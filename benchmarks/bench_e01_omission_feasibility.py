@@ -1,0 +1,7 @@
+"""Benchmark E01 — Theorem 2.1, message passing."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e01_omission_feasibility(benchmark):
+    run_experiment_bench(benchmark, "E01")

@@ -1,0 +1,7 @@
+"""Benchmark E02 — Theorem 2.1, radio."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e02_omission_radio(benchmark):
+    run_experiment_bench(benchmark, "E02")

@@ -1,0 +1,7 @@
+"""Benchmark E03 — Theorem 2.2 threshold."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e03_malicious_mp(benchmark):
+    run_experiment_bench(benchmark, "E03")

@@ -1,0 +1,7 @@
+"""Benchmark E04 — Theorem 2.3 impossibility."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e04_equalizing(benchmark):
+    run_experiment_bench(benchmark, "E04")

@@ -1,0 +1,7 @@
+"""Benchmark E05 — Theorem 2.4 feasibility."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e05_radio_threshold(benchmark):
+    run_experiment_bench(benchmark, "E05")

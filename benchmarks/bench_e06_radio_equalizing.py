@@ -1,0 +1,7 @@
+"""Benchmark E06 — Theorem 2.4 impossibility."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e06_radio_equalizing(benchmark):
+    run_experiment_bench(benchmark, "E06")

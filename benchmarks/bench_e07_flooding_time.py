@@ -1,0 +1,7 @@
+"""Benchmark E07 — Theorem 3.1 time bound."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e07_flooding_time(benchmark):
+    run_experiment_bench(benchmark, "E07")

@@ -1,0 +1,7 @@
+"""Benchmark E08 — Lemma 3.1 line tail."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e08_line_flooding(benchmark):
+    run_experiment_bench(benchmark, "E08")

@@ -1,0 +1,7 @@
+"""Benchmark E09 — Theorem 3.2 composition algorithm."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e09_kucera(benchmark):
+    run_experiment_bench(benchmark, "E09")

@@ -1,0 +1,7 @@
+"""Benchmark E10 — Lemma 3.3 optimum."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e10_layered_opt(benchmark):
+    run_experiment_bench(benchmark, "E10")

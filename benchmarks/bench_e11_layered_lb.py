@@ -1,0 +1,7 @@
+"""Benchmark E11 — Lemma 3.4 / Theorem 3.3 lower bound."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e11_layered_lb(benchmark):
+    run_experiment_bench(benchmark, "E11")

@@ -1,0 +1,7 @@
+"""Benchmark E12 — Theorem 3.4 schedule repetition."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e12_radio_repeat(benchmark):
+    run_experiment_bench(benchmark, "E12")

@@ -1,0 +1,7 @@
+"""Benchmark E13 — Section 2.2.2 hello protocol."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e13_hello(benchmark):
+    run_experiment_bench(benchmark, "E13")

@@ -1,0 +1,7 @@
+"""Benchmark E14 — discussion-section variants."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e14_variants(benchmark):
+    run_experiment_bench(benchmark, "E14")

@@ -1,0 +1,7 @@
+"""Benchmark E15 — design-choice ablations (DESIGN.md §6)."""
+
+from benchmarks.helpers import run_experiment_bench
+
+
+def test_e15_ablations(benchmark):
+    run_experiment_bench(benchmark, "E15")

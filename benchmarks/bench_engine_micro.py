@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the execution engine.
+
+These time the substrate primitives the experiments are built on:
+full engine rounds in both communication models, the radio collision
+resolver, and a complete Simple-Omission broadcast.
+"""
+
+from repro.core import SimpleOmission
+from repro.engine import MESSAGE_PASSING, RADIO, deliver_radio, run_execution
+from repro.failures import OmissionFailures
+from repro.graphs import binary_tree, grid
+
+
+def test_mp_round_throughput(benchmark):
+    topology = grid(6, 6)
+    algo = SimpleOmission(topology, 0, 1, MESSAGE_PASSING, phase_length=2)
+
+    def run():
+        return run_execution(algo, OmissionFailures(0.3), 7,
+                             metadata=algo.metadata(), record_trace=False)
+
+    result = benchmark(run)
+    assert result.rounds == algo.rounds
+
+
+def test_radio_round_throughput(benchmark):
+    topology = grid(6, 6)
+    algo = SimpleOmission(topology, 0, 1, RADIO, phase_length=2)
+
+    def run():
+        return run_execution(algo, OmissionFailures(0.3), 7,
+                             metadata=algo.metadata(), record_trace=False)
+
+    result = benchmark(run)
+    assert result.rounds == algo.rounds
+
+
+def test_radio_collision_resolution(benchmark):
+    topology = grid(10, 10)
+    transmitters = {node: 1 for node in range(0, topology.order, 3)}
+
+    heard = benchmark(deliver_radio, topology, transmitters)
+    assert len(heard) == topology.order
+
+
+def test_full_broadcast_binary_tree(benchmark):
+    topology = binary_tree(5)
+    algo = SimpleOmission(topology, 0, 1, MESSAGE_PASSING, p=0.3)
+
+    def run():
+        return run_execution(algo, OmissionFailures(0.3), 11,
+                             metadata=algo.metadata(), record_trace=False)
+
+    result = benchmark(run)
+    assert result.is_successful_broadcast()

@@ -1,0 +1,42 @@
+"""Micro-benchmarks of the vectorised Monte-Carlo samplers."""
+
+from repro.fastsim import (
+    sample_flooding_times,
+    sample_layered_omission,
+    sample_simple_malicious_mp,
+    sample_simple_malicious_radio,
+)
+from repro.graphs import bfs_tree, binary_tree, layered_graph
+
+
+def test_malicious_mp_sampler(benchmark):
+    tree = bfs_tree(binary_tree(6), 0)
+
+    outcomes = benchmark(sample_simple_malicious_mp, tree, 21, 0.3, 5000, 3)
+    assert outcomes.shape == (5000,)
+
+
+def test_malicious_radio_sampler(benchmark):
+    tree = bfs_tree(binary_tree(6), 0)
+
+    outcomes = benchmark(
+        sample_simple_malicious_radio, tree, 21, 0.05, 5000, 3
+    )
+    assert outcomes.shape == (5000,)
+
+
+def test_flooding_time_sampler(benchmark):
+    tree = bfs_tree(binary_tree(8), 0)
+
+    times = benchmark(sample_flooding_times, tree, 0.3, 5000, 3)
+    assert times.min() >= tree.height
+
+
+def test_layered_omission_sampler(benchmark):
+    graph = layered_graph(6)
+    steps = [{(i % 6) + 1} for i in range(30)]
+
+    outcomes = benchmark(
+        sample_layered_omission, graph, steps, 0.5, 2000, 3, 5
+    )
+    assert outcomes.shape == (2000,)

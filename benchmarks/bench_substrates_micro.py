@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the scheduling and planning substrates."""
+
+from repro.core.kucera import build_plan, compile_plan, guarantee
+from repro.graphs import bfs_tree, erdos_renyi, grid, layered_graph
+from repro.radio import greedy_schedule, layered_min_layer2_steps, optimal_schedule
+
+
+def test_kucera_planner(benchmark):
+    plan = benchmark(build_plan, 256, 0.25, 1e-9)
+    assert guarantee(plan, 0.25).length >= 256
+
+
+def test_kucera_compiler(benchmark):
+    plan = build_plan(64, 0.25, 1e-6)
+
+    compiled = benchmark(compile_plan, plan, 0.25)
+    assert compiled.transmission_count() > 0
+
+
+def test_greedy_scheduler_grid(benchmark):
+    topology = grid(8, 8)
+
+    schedule = benchmark(greedy_schedule, topology, 0)
+    assert schedule.is_valid()
+
+
+def test_greedy_scheduler_random_graph(benchmark):
+    topology = erdos_renyi(60, 0.12, 3)
+
+    schedule = benchmark(greedy_schedule, topology, 0)
+    assert schedule.is_valid()
+
+
+def test_exact_scheduler_small(benchmark):
+    topology = grid(2, 5)
+
+    schedule = benchmark(optimal_schedule, topology, 0)
+    assert schedule.is_valid()
+
+
+def test_layered_exhaustive_search(benchmark):
+    graph = layered_graph(4)
+
+    minimum = benchmark(layered_min_layer2_steps, graph)
+    assert minimum == 4
+
+
+def test_bfs_tree_construction(benchmark):
+    topology = grid(30, 30)
+
+    tree = benchmark(bfs_tree, topology, 0)
+    assert tree.height == topology.radius_from(0)

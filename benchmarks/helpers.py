@@ -1,0 +1,20 @@
+"""Shared helper for the per-experiment benchmark harness.
+
+Every paper result (table/figure equivalent — this paper's evaluation
+is its theorems) has one benchmark that re-runs the corresponding
+experiment in quick mode, asserts the claim reproduces, and reports the
+wall-clock cost through pytest-benchmark.  Full-size results live in
+EXPERIMENTS.md; the benches keep the reproduction continuously
+exercised and timed.
+"""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def run_experiment_bench(benchmark, experiment_id: str) -> None:
+    """Benchmark one quick-mode experiment run and assert it reproduces."""
+    config = ExperimentConfig(seed=2007, quick=True)
+    report = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1,
+    )
+    assert report.passed, report.render()

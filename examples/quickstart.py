@@ -1,0 +1,65 @@
+"""Quickstart: broadcast a bit through a faulty network, both models.
+
+Runs Algorithm Simple-Omission (Theorem 2.1) on a binary tree in the
+message-passing and radio models, estimates the success probability
+against the almost-safe bar ``1 - 1/n``, and prints the feasibility
+map of the paper's four scenarios for this network.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MESSAGE_PASSING, RADIO, run_execution
+from repro.analysis import estimate_success, radio_malicious_threshold
+from repro.core import SimpleOmission
+from repro.failures import OmissionFailures
+from repro.graphs import binary_tree
+
+
+def main() -> None:
+    topology = binary_tree(4)  # 31 nodes, radius 4
+    p = 0.4
+    print(f"network: {topology.name} (n={topology.order}, "
+          f"radius={topology.radius_from(0)}, max degree="
+          f"{topology.max_degree()})")
+    print(f"per-round transmitter failure probability p = {p}")
+    print()
+
+    for model in (MESSAGE_PASSING, RADIO):
+        algorithm = SimpleOmission(
+            topology, source=0, source_message=1, model=model, p=p
+        )
+        print(f"[{model}] Simple-Omission: m={algorithm.phase_length} "
+              f"steps/phase, {algorithm.rounds} rounds total")
+
+        one_run = run_execution(
+            algorithm, OmissionFailures(p), seed_or_stream=7,
+            metadata=algorithm.metadata(),
+        )
+        print(f"  single run: success={one_run.is_successful_broadcast()}, "
+              f"faulty transmissions={one_run.trace.fault_count()}")
+
+        def trial(stream):
+            result = run_execution(
+                algorithm, OmissionFailures(p), stream,
+                metadata=algorithm.metadata(), record_trace=False,
+            )
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, trials=150, seed_or_stream=42)
+        bar = 1 - 1 / topology.order
+        print(f"  Monte Carlo: {outcome.describe()}")
+        print(f"  almost-safe bar 1 - 1/n = {bar:.4f} -> "
+              f"{outcome.almost_safe_verdict(topology.order)}")
+        print()
+
+    delta = topology.max_degree()
+    print("feasibility map for this network (the paper's four scenarios):")
+    print(f"  omission + message passing : any p < 1")
+    print(f"  omission + radio           : any p < 1")
+    print(f"  malicious + message passing: p < 1/2")
+    print(f"  malicious + radio          : p < (1-p)^(max_degree+1) = "
+          f"{radio_malicious_threshold(delta):.4f}  (max degree {delta})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scenario: a radio mesh under jamming — Theorem 3.4 in action.
+
+A spider-shaped radio mesh (a hub with six 4-hop legs) must broadcast
+a configuration bit.  Faulty transmitters behave maliciously: they can
+jam (transmit out of turn, colliding with legitimate traffic) or flip
+relayed bits.  The example
+
+1. computes a fault-free schedule (``opt`` steps),
+2. derives the degree threshold ``p* = (1-p)^{Δ+1}`` of Theorem 2.4,
+3. runs Algorithm Malicious-Radio (every schedule step repeated
+   ``m = ⌈c log n⌉`` times, majority adoption) below the threshold, and
+4. shows the same machinery collapsing above the threshold.
+
+Run:  python examples/radio_mesh_repetition.py
+"""
+
+from repro import run_execution
+from repro.analysis import estimate_success, radio_malicious_threshold
+from repro.core import ADOPT_MAJORITY, RadioRepeat
+from repro.failures import ComplementAdversary, JammingAdversary, MaliciousFailures
+from repro.graphs import spider
+from repro.radio import spider_schedule
+
+
+def success_rate(schedule, p, phase_length, adversary, trials=100):
+    """Monte-Carlo success of Malicious-Radio under one adversary."""
+    algorithm = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY,
+                            phase_length=phase_length)
+
+    def trial(stream):
+        result = run_execution(
+            algorithm, MaliciousFailures(p, adversary), stream,
+            metadata=algorithm.metadata(), record_trace=False,
+        )
+        return result.is_successful_broadcast()
+
+    return estimate_success(trial, trials, seed_or_stream=23)
+
+
+def main() -> None:
+    legs, leg_length = 6, 4
+    topology = spider(legs, leg_length)
+    schedule = spider_schedule(topology, legs, leg_length)
+    n = topology.order
+    delta = topology.max_degree()
+    p_star = radio_malicious_threshold(delta)
+    print(f"mesh: {topology.name}, n={n}, max degree={delta}")
+    print(f"fault-free schedule: opt={schedule.length} steps")
+    print(f"Theorem 2.4 threshold: p* = {p_star:.4f}")
+    print()
+
+    p_safe = round(0.5 * p_star, 3)
+    algorithm = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY, p=p_safe)
+    print(f"below threshold (p={p_safe}): m={algorithm.phase_length}, "
+          f"total {algorithm.rounds} rounds = opt x m")
+    for name, adversary in [("jamming", JammingAdversary()),
+                            ("bit-flipping", ComplementAdversary())]:
+        outcome = success_rate(schedule, p_safe, algorithm.phase_length,
+                               adversary)
+        print(f"  vs {name:13s}: {outcome.describe()}  "
+              f"[{outcome.almost_safe_verdict(n)}]")
+    print()
+
+    p_unsafe = round(min(0.45, 2.5 * p_star), 3)
+    outcome = success_rate(schedule, p_unsafe, algorithm.phase_length,
+                           ComplementAdversary())
+    print(f"above threshold (p={p_unsafe} > p*): {outcome.describe()}")
+    print("  the repetition budget that was almost-safe below the "
+          "threshold no longer helps — Theorem 2.4's feasibility wall")
+
+
+if __name__ == "__main__":
+    main()

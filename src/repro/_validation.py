@@ -1,0 +1,68 @@
+"""Small argument-validation helpers shared across the library.
+
+Validation raises early with precise messages, per the "errors should
+never pass silently" principle; every public constructor funnels its
+argument checking through these helpers so that error text stays
+uniform across the package.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "check_probability",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_node",
+    "check_in_range",
+    "check_bit",
+]
+
+
+def check_probability(value: float, name: str = "p", *, allow_zero: bool = True,
+                      allow_one: bool = False) -> float:
+    """Validate that ``value`` is a probability and return it as float."""
+    value = float(value)
+    low_ok = value > 0.0 or (allow_zero and value == 0.0)
+    high_ok = value < 1.0 or (allow_one and value == 1.0)
+    if not (low_ok and high_ok):
+        lo = "[0" if allow_zero else "(0"
+        hi = "1]" if allow_one else "1)"
+        raise ValueError(f"{name} must lie in {lo}, {hi}, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate a strictly positive integer."""
+    if int(value) != value or value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate a non-negative integer."""
+    if int(value) != value or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def check_node(node: int, order: int, name: str = "node") -> int:
+    """Validate a node identifier against a graph of ``order`` nodes."""
+    if int(node) != node or not 0 <= node < order:
+        raise ValueError(f"{name} must be an integer in [0, {order}), got {node!r}")
+    return int(node)
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value
+
+
+def check_bit(value: int, name: str = "bit") -> int:
+    """Validate that ``value`` is a 0/1 bit."""
+    if value not in (0, 1):
+        raise ValueError(f"{name} must be 0 or 1, got {value!r}")
+    return int(value)

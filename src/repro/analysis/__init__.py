@@ -1,0 +1,51 @@
+"""Analysis toolkit: bounds, thresholds, estimation, lower-bound machinery."""
+
+from repro.analysis.chernoff import (
+    binomial_tail_ge,
+    binomial_tail_le,
+    chernoff_tail_above,
+    chernoff_tail_below,
+    hoeffding_tail,
+    majority_error_probability,
+    repetitions_for_all_silent,
+    repetitions_for_majority,
+    union_bound_target,
+)
+from repro.analysis.estimation import (
+    MonteCarloResult,
+    clopper_pearson,
+    estimate_success,
+    wilson_interval,
+)
+from repro.analysis.thresholds import (
+    MP_MALICIOUS_THRESHOLD,
+    mp_malicious_feasible,
+    omission_feasible,
+    radio_feasible,
+    radio_malicious_threshold,
+    radio_threshold_asymptote,
+    radio_threshold_table,
+)
+
+__all__ = [
+    "binomial_tail_ge",
+    "binomial_tail_le",
+    "majority_error_probability",
+    "hoeffding_tail",
+    "chernoff_tail_above",
+    "chernoff_tail_below",
+    "repetitions_for_all_silent",
+    "repetitions_for_majority",
+    "union_bound_target",
+    "MonteCarloResult",
+    "clopper_pearson",
+    "wilson_interval",
+    "estimate_success",
+    "MP_MALICIOUS_THRESHOLD",
+    "radio_malicious_threshold",
+    "radio_feasible",
+    "mp_malicious_feasible",
+    "omission_feasible",
+    "radio_threshold_table",
+    "radio_threshold_asymptote",
+]

@@ -1,0 +1,163 @@
+"""Monte-Carlo estimation of success probabilities.
+
+"Almost-safe" is a statement about a probability (success at least
+``1 - 1/n``), so reproducing the feasibility theorems means estimating
+success probabilities with honest uncertainty.  This module provides
+exact Clopper–Pearson and Wilson intervals, a generic trial runner and
+an almost-safe verdict that only claims what the interval supports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from scipy import stats
+
+from repro._validation import check_non_negative_int, check_positive_int, check_probability
+from repro.rng import RngStream, as_stream
+
+__all__ = [
+    "clopper_pearson",
+    "wilson_interval",
+    "MonteCarloResult",
+    "estimate_success",
+]
+
+
+def clopper_pearson(successes: int, trials: int,
+                    confidence: float = 0.99) -> Tuple[float, float]:
+    """Exact (conservative) two-sided binomial confidence interval."""
+    successes = check_non_negative_int(successes, "successes")
+    trials = check_positive_int(trials, "trials")
+    if successes > trials:
+        raise ValueError(f"successes {successes} exceed trials {trials}")
+    confidence = check_probability(confidence, "confidence", allow_zero=False)
+    alpha = 1.0 - confidence
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = float(stats.beta.ppf(alpha / 2, successes, trials - successes + 1))
+    if successes == trials:
+        upper = 1.0
+    else:
+        upper = float(stats.beta.ppf(1 - alpha / 2, successes + 1, trials - successes))
+    return lower, upper
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.99) -> Tuple[float, float]:
+    """Wilson score interval (narrower than Clopper–Pearson, approximate)."""
+    successes = check_non_negative_int(successes, "successes")
+    trials = check_positive_int(trials, "trials")
+    if successes > trials:
+        raise ValueError(f"successes {successes} exceed trials {trials}")
+    confidence = check_probability(confidence, "confidence", allow_zero=False)
+    z = float(stats.norm.ppf(0.5 + confidence / 2))
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        phat * (1 - phat) / trials + z * z / (4 * trials * trials)
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Result of a batch of success/failure trials.
+
+    Attributes
+    ----------
+    successes, trials:
+        Raw counts.
+    confidence:
+        Confidence level used for the stored interval.
+    lower, upper:
+        Clopper–Pearson bounds on the true success probability.
+    """
+
+    successes: int
+    trials: int
+    confidence: float
+    lower: float
+    upper: float
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate ``successes / trials``."""
+        return self.successes / self.trials
+
+    @property
+    def failure_estimate(self) -> float:
+        """Point estimate of the failure probability."""
+        return 1.0 - self.estimate
+
+    def certainly_at_least(self, threshold: float) -> bool:
+        """Whether the interval's lower bound clears ``threshold``."""
+        return self.lower >= threshold
+
+    def certainly_below(self, threshold: float) -> bool:
+        """Whether the interval's upper bound stays under ``threshold``."""
+        return self.upper < threshold
+
+    def almost_safe_verdict(self, n: int) -> str:
+        """Verdict against the paper's ``1 - 1/n`` bar.
+
+        Returns one of ``"almost-safe"`` (interval proves success prob
+        >= 1 - 1/n), ``"not-almost-safe"`` (interval proves it is
+        below), or ``"inconclusive"``.
+        """
+        bar = 1.0 - 1.0 / check_positive_int(n, "n")
+        if self.certainly_at_least(bar):
+            return "almost-safe"
+        if self.certainly_below(bar):
+            return "not-almost-safe"
+        return "inconclusive"
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables."""
+        return (f"{self.successes}/{self.trials} "
+                f"(={self.estimate:.4f}, CI [{self.lower:.4f}, {self.upper:.4f}])")
+
+
+def estimate_success(trial: Callable[[RngStream], bool],
+                     trials: int,
+                     seed_or_stream=0,
+                     confidence: float = 0.99,
+                     early_stop_failures: Optional[int] = None) -> MonteCarloResult:
+    """Run ``trial`` under independent child streams and tally successes.
+
+    Parameters
+    ----------
+    trial:
+        Callable receiving a fresh :class:`RngStream` and returning
+        True on success.
+    trials:
+        Number of independent runs.
+    early_stop_failures:
+        Optional cap: stop as soon as this many failures are observed
+        (useful when demonstrating *in*feasibility cheaply).  The
+        interval is computed over the trials actually run.
+    """
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    successes = 0
+    executed = 0
+    for trial_stream in stream.children(trials, prefix="mc"):
+        outcome = trial(trial_stream)
+        executed += 1
+        if outcome:
+            successes += 1
+        failures = executed - successes
+        if early_stop_failures is not None and failures >= early_stop_failures:
+            break
+    lower, upper = clopper_pearson(successes, executed, confidence)
+    return MonteCarloResult(
+        successes=successes,
+        trials=executed,
+        confidence=confidence,
+        lower=lower,
+        upper=upper,
+    )

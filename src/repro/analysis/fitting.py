@@ -1,0 +1,114 @@
+"""Shape fitting for the complexity experiments.
+
+The paper's complexity results are asymptotic (``Θ(D + log n)``,
+``O(opt · log n)``, ``Ω(log n log log n / log log log n)``); the
+reproduction checks *shapes* at finite sizes by least-squares fitting
+the predicted functional forms and reporting the fit quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LinearFit",
+    "fit_linear_model",
+    "fit_d_plus_log_n",
+    "fit_power_law",
+    "r_squared",
+]
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of a fit."""
+    actual_arr = np.asarray(actual, dtype=float)
+    predicted_arr = np.asarray(predicted, dtype=float)
+    if actual_arr.shape != predicted_arr.shape or actual_arr.size == 0:
+        raise ValueError("actual and predicted must be equal-length, non-empty")
+    residual = float(np.sum((actual_arr - predicted_arr) ** 2))
+    total = float(np.sum((actual_arr - actual_arr.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares fit ``y ≈ Σ coef_k · feature_k(x)``.
+
+    Attributes
+    ----------
+    coefficients:
+        One per feature, in input order.
+    feature_names:
+        Labels for reporting.
+    score:
+        ``R²`` of the fit on the training points.
+    """
+
+    coefficients: Tuple[float, ...]
+    feature_names: Tuple[str, ...]
+    score: float
+
+    def predict_row(self, features: Sequence[float]) -> float:
+        """Evaluate the fitted combination on one feature row."""
+        if len(features) != len(self.coefficients):
+            raise ValueError(
+                f"expected {len(self.coefficients)} features, got {len(features)}"
+            )
+        return float(sum(c * f for c, f in zip(self.coefficients, features)))
+
+    def describe(self) -> str:
+        """Human-readable formula."""
+        terms = " + ".join(
+            f"{coef:.3g}*{name}"
+            for coef, name in zip(self.coefficients, self.feature_names)
+        )
+        return f"y = {terms}  (R^2 = {self.score:.4f})"
+
+
+def fit_linear_model(rows: Sequence[Sequence[float]],
+                     targets: Sequence[float],
+                     feature_names: Sequence[str]) -> LinearFit:
+    """Ordinary least squares over explicit feature rows."""
+    matrix = np.asarray(rows, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != y.size:
+        raise ValueError("rows and targets must align")
+    if matrix.shape[1] != len(feature_names):
+        raise ValueError("feature_names must match row width")
+    coefficients, *_ = np.linalg.lstsq(matrix, y, rcond=None)
+    predicted = matrix @ coefficients
+    return LinearFit(
+        coefficients=tuple(float(c) for c in coefficients),
+        feature_names=tuple(feature_names),
+        score=r_squared(y, predicted),
+    )
+
+
+def fit_d_plus_log_n(radii: Sequence[int], orders: Sequence[int],
+                     times: Sequence[float],
+                     log_exponent: float = 1.0) -> LinearFit:
+    """Fit ``time ≈ a·D + b·(log₂ n)^e + c`` (Theorems 3.1 / 3.2 shapes)."""
+    if not (len(radii) == len(orders) == len(times)):
+        raise ValueError("radii, orders, times must be equal length")
+    rows = [
+        [float(d), math.log2(max(n, 2)) ** log_exponent, 1.0]
+        for d, n in zip(radii, orders)
+    ]
+    name = "log2(n)" if log_exponent == 1.0 else f"log2(n)^{log_exponent:g}"
+    return fit_linear_model(rows, times, ["D", name, "1"])
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit ``y ≈ a · x^b`` by log-log least squares; returns ``(a, b)``."""
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if np.any(xs_arr <= 0) or np.any(ys_arr <= 0):
+        raise ValueError("power-law fitting needs strictly positive data")
+    slope, intercept = np.polyfit(np.log(xs_arr), np.log(ys_arr), 1)
+    return float(math.exp(intercept)), float(slope)

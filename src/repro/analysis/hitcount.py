@@ -1,0 +1,218 @@
+"""The combinatorial machinery of Lemma 3.4.
+
+Lemma 3.4 lower-bounds almost-safe broadcast time on the layered graph
+``G(m)`` by counting *hits*: layer-3 value ``v`` is hit by transmitter
+set ``A_t ⊆ {1..m}`` when ``|A_t ∩ P_v| = 1`` (``P_v`` = positions of
+``v``'s one-bits) — the only kind of step in which ``v`` can hear.  The
+chain of claims reproduced here:
+
+* Claim 3.1/3.2 — ``v`` misses all its ``h_v`` hits with probability
+  ``p^{h_v}``, so almost-safety needs ``h_v >= log n / log(1/p)`` for
+  every ``v``.
+* Claim 3.3 — a set of size ``ℓ`` hits ``h(t,j) = ℓ·C(m-ℓ, j-1)`` of
+  the weight-``j`` class ``S_j``.
+* Claim 3.4 — the hit *fraction* obeys
+  ``f(t,j) <= (ℓj/m)·(1-(ℓ-1)/(m-1))^{j-1}``.
+* Claims 3.5–3.6 — ``f(t,j) > 2/K`` forces ``m/(jK) < ℓ < m(Z+1)/j``
+  (``K = log m/log log m``, ``Z = log K + log log K``).
+* Claim 3.7 — the weight cascade ``j_i = ⌈m/(K(Z+1))^{2i-2}⌉`` has
+  pairwise-disjoint useful-``ℓ`` ranges, so each step contributes
+  ``< 2`` to ``F = Σ_i f(j_i)`` while almost-safety needs
+  ``F >= (K/4)·c·log n`` — hence ``τ > c·K·log n/8``.
+
+All logs are base 2 (the graph's ``m = log₂ N``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro._validation import check_positive_int, check_probability
+from repro.graphs.layered import LayeredGraph
+
+__all__ = [
+    "min_hits_required",
+    "hits_of_set_on_class",
+    "hit_fraction",
+    "hit_fraction_bound",
+    "cascade_parameters",
+    "weight_cascade",
+    "useful_size_range",
+    "lemma34_lower_bound",
+    "ScheduleHitAnalysis",
+    "analyze_layer2_schedule",
+]
+
+
+def min_hits_required(n: int, p: float) -> float:
+    """Hits each layer-3 node needs: ``p^{h} <= 1/n`` ⇒ ``h >= log n / log(1/p)``.
+
+    If some node is hit fewer times, it alone fails with probability
+    above ``1/n`` and the algorithm is not almost-safe (Claims 3.1/3.2).
+    """
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p", allow_zero=False)
+    if n == 1:
+        return 0.0
+    return math.log(n) / math.log(1.0 / p)
+
+
+def hits_of_set_on_class(m: int, set_size: int, ones: int) -> int:
+    """Claim 3.3: ``h(t, j) = ℓ · C(m-ℓ, j-1)`` for ``ℓ = |A_t|``."""
+    m = check_positive_int(m, "m")
+    if not 0 <= set_size <= m:
+        raise ValueError(f"set_size must lie in [0, {m}], got {set_size}")
+    if not 1 <= ones <= m:
+        raise ValueError(f"ones must lie in [1, {m}], got {ones}")
+    if set_size == 0:
+        return 0
+    return set_size * comb(m - set_size, ones - 1)
+
+
+def hit_fraction(m: int, set_size: int, ones: int) -> float:
+    """``f(t, j) = h(t, j) / |S_j|`` — the hit fraction of ``S_j``."""
+    return hits_of_set_on_class(m, set_size, ones) / comb(m, ones)
+
+
+def hit_fraction_bound(m: int, set_size: int, ones: int) -> float:
+    """Claim 3.4's bound ``f(t,j) <= (ℓj/m)·(1-(ℓ-1)/(m-1))^{j-1}``."""
+    m = check_positive_int(m, "m")
+    if m == 1:
+        return 1.0
+    ell, j = set_size, ones
+    base = max(0.0, 1.0 - (ell - 1) / (m - 1))
+    return (ell * j / m) * base ** (j - 1)
+
+
+def cascade_parameters(m: int) -> Tuple[float, float]:
+    """``(K, Z)`` with ``K = log m / log log m``, ``Z = log K + log log K``.
+
+    Defined for ``m >= 5`` (below that the iterated logs collapse);
+    base-2 logarithms throughout.
+    """
+    m = check_positive_int(m, "m")
+    if m < 5:
+        raise ValueError(f"cascade parameters need m >= 5, got {m}")
+    log_m = math.log2(m)
+    log_log_m = math.log2(log_m)
+    if log_log_m <= 0:
+        raise ValueError(f"m = {m} too small: log log m <= 0")
+    big_k = log_m / log_log_m
+    if big_k <= 1.0 or math.log2(big_k) <= 0:
+        raise ValueError(f"m = {m} too small for a meaningful cascade")
+    log_k = math.log2(big_k)
+    z = log_k + (math.log2(log_k) if log_k > 1 else 0.0)
+    return big_k, z
+
+
+def weight_cascade(m: int) -> List[int]:
+    """The weights ``j_i = ⌈m / (K(Z+1))^{2i-2}⌉`` for ``1 <= i <= K/4``.
+
+    ``j_1 = m``; the sequence decreases geometrically and stays >= 1.
+    """
+    big_k, z = cascade_parameters(m)
+    count = max(1, int(big_k / 4))
+    ratio = big_k * (z + 1.0)
+    weights = []
+    for index in range(1, count + 1):
+        weights.append(max(1, math.ceil(m / ratio ** (2 * index - 2))))
+    return weights
+
+
+def useful_size_range(m: int, ones: int) -> Tuple[float, float]:
+    """Claim 3.6: ``f(t,j) >= 2/K`` forces ``m/(jK) < ℓ < m(Z+1)/j``."""
+    big_k, z = cascade_parameters(m)
+    return m / (ones * big_k), m * (z + 1.0) / ones
+
+
+def lemma34_lower_bound(m: int, p: float) -> float:
+    """The Lemma 3.4 bound: ``τ > c·K·log n / 8``.
+
+    ``c = 1/log(1/p)`` is the per-node hit requirement constant
+    (base-2) and ``n = 2^m + m`` is the graph order.  The bound is
+    asymptotically ``Ω(log n · log log n / log log log n)``.
+    """
+    p = check_probability(p, "p", allow_zero=False)
+    big_k, _ = cascade_parameters(m)
+    n = (1 << m) + m
+    c = 1.0 / math.log2(1.0 / p)
+    return c * big_k * math.log2(n) / 8.0
+
+
+@dataclass(frozen=True)
+class ScheduleHitAnalysis:
+    """Hit accounting of a concrete layer-2 schedule on ``G(m)``.
+
+    Attributes
+    ----------
+    steps:
+        Number of layer-2 steps analysed (``τ``).
+    hits_per_value:
+        ``value -> h_v``.
+    min_hits:
+        The smallest ``h_v``.
+    class_fractions:
+        ``j -> f(j) = Σ_t f(t, j)`` for every weight class.
+    cascade_total:
+        ``F = Σ_{i} f(j_i)`` over the Lemma 3.4 weight cascade (0 when
+        ``m < 5`` and the cascade is undefined).
+    max_step_cascade_contribution:
+        The largest single-step contribution to ``F`` (Claim 3.7 says
+        it is below 2).
+    """
+
+    steps: int
+    hits_per_value: Dict[int, int]
+    min_hits: int
+    class_fractions: Dict[int, float]
+    cascade_total: float
+    max_step_cascade_contribution: float
+
+
+def analyze_layer2_schedule(graph: LayeredGraph,
+                            steps: Sequence[Set[int]]) -> ScheduleHitAnalysis:
+    """Run the full Lemma 3.4 accounting over an explicit schedule.
+
+    ``steps`` holds layer-2 transmitter sets as 1-based bit positions.
+    """
+    m = graph.m
+    values = list(range(1, graph.n_values))
+    position_sets = {value: graph.positions(value) for value in values}
+    hits_per_value = {value: 0 for value in values}
+    per_step_fractions: List[Dict[int, float]] = []
+    for step in steps:
+        step = set(step)
+        if not step <= set(range(1, m + 1)):
+            raise ValueError(
+                f"layer-2 step {sorted(step)} contains non-bit-positions"
+            )
+        fractions: Dict[int, float] = {}
+        for value in values:
+            if len(step & position_sets[value]) == 1:
+                hits_per_value[value] += 1
+        for ones in range(1, m + 1):
+            fractions[ones] = hit_fraction(m, len(step), ones)
+        per_step_fractions.append(fractions)
+    class_fractions = {
+        ones: sum(fractions[ones] for fractions in per_step_fractions)
+        for ones in range(1, m + 1)
+    }
+    cascade_total = 0.0
+    max_contribution = 0.0
+    if m >= 5:
+        cascade = weight_cascade(m)
+        cascade_total = sum(class_fractions[j] for j in cascade)
+        for fractions in per_step_fractions:
+            contribution = sum(fractions[j] for j in cascade)
+            max_contribution = max(max_contribution, contribution)
+    return ScheduleHitAnalysis(
+        steps=len(steps),
+        hits_per_value=hits_per_value,
+        min_hits=min(hits_per_value.values()) if values else 0,
+        class_fractions=class_fractions,
+        cascade_total=cascade_total,
+        max_step_cascade_contribution=max_contribution,
+    )

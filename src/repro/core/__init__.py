@@ -1,0 +1,78 @@
+"""Core algorithms: the paper's broadcasting protocols."""
+
+from repro.core.flooding import (
+    FastFlooding,
+    FastFloodingProtocol,
+    flooding_line_length,
+    flooding_rounds,
+)
+from repro.core.hello import (
+    HelloProtocolAlgorithm,
+    HelloReceiver,
+    HelloSender,
+    hello_success_probability,
+)
+from repro.core.labels import (
+    PrimeScheduleBroadcast,
+    RoundRobinBroadcast,
+    first_primes,
+)
+from repro.core.parameters import (
+    mp_malicious_phase_length,
+    omission_phase_length,
+    radio_malicious_phase_length,
+    repetitions_for_signed_majority,
+    signed_majority_error,
+    theoretical_omission_constant,
+)
+from repro.core.radio_repeat import (
+    ADOPT_ANY,
+    ADOPT_MAJORITY,
+    RadioRepeat,
+    RadioRepeatProtocol,
+)
+from repro.core.simple_malicious import SimpleMalicious, SimpleMaliciousProtocol
+from repro.core.simple_omission import SimpleOmission, SimpleOmissionProtocol
+from repro.core.tree_phase import (
+    PhaseSchedule,
+    TreePhaseAlgorithm,
+    majority_or_default,
+)
+from repro.core.windowed import WindowedMalicious, WindowedMaliciousProtocol
+from repro.core import kucera
+from repro.core.kucera import KuceraBroadcast
+
+__all__ = [
+    "SimpleOmission",
+    "SimpleOmissionProtocol",
+    "SimpleMalicious",
+    "SimpleMaliciousProtocol",
+    "FastFlooding",
+    "FastFloodingProtocol",
+    "flooding_rounds",
+    "flooding_line_length",
+    "KuceraBroadcast",
+    "kucera",
+    "RadioRepeat",
+    "RadioRepeatProtocol",
+    "ADOPT_ANY",
+    "ADOPT_MAJORITY",
+    "HelloProtocolAlgorithm",
+    "HelloSender",
+    "HelloReceiver",
+    "hello_success_probability",
+    "WindowedMalicious",
+    "WindowedMaliciousProtocol",
+    "RoundRobinBroadcast",
+    "PrimeScheduleBroadcast",
+    "first_primes",
+    "TreePhaseAlgorithm",
+    "PhaseSchedule",
+    "majority_or_default",
+    "omission_phase_length",
+    "mp_malicious_phase_length",
+    "radio_malicious_phase_length",
+    "signed_majority_error",
+    "repetitions_for_signed_majority",
+    "theoretical_omission_constant",
+]

@@ -1,0 +1,183 @@
+"""Fast flooding for node-omission failures (Theorem 3.1, via Lemma 3.1).
+
+The ``O(D + log n)`` message-passing algorithm: fix a BFS tree ``T`` of
+height ``D``, let ``L = D + ⌈log n⌉``, and let *all* nodes of ``T``
+transmit simultaneously for ``O(L)`` steps — each informed node keeps
+re-sending the message to its tree children every round.  Along every
+root-to-leaf branch the informed front advances by one whenever the
+front node's transmitter is fault-free, i.e. the front position after
+``R`` rounds is ``min(Bin(R, 1-p), branch length)``; Lemma 3.1 (the
+line result of Diks & Pelc [13]) says ``R = O(L)`` rounds suffice with
+probability ``1 - e^{-cL}``, and a union bound over branches gives
+Theorem 3.1's ``1 - 1/n``.
+
+This module computes the *exact* minimal round count from the binomial
+front law (no asymptotic slack) and implements the algorithm.  It is
+message-passing only; in the radio model simultaneous transmission
+collides, which is the whole point of Theorem 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro._validation import check_node, check_positive_int
+from repro.analysis.chernoff import binomial_tail_le, union_bound_target
+from repro.engine.protocol import MESSAGE_PASSING, Algorithm, Protocol
+from repro.graphs.bfs import SpanningTree, bfs_tree
+from repro.graphs.topology import Topology
+
+__all__ = ["FastFlooding", "FastFloodingProtocol", "flooding_rounds", "flooding_line_length"]
+
+
+def flooding_line_length(n: int, radius: int) -> int:
+    """``L = D + ⌈log2 n⌉`` — the padded branch length of Theorem 3.1."""
+    n = check_positive_int(n, "n")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return radius + max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def flooding_rounds(n: int, radius: int, p: float,
+                    slack_power: float = 2.0) -> int:
+    """Minimal rounds ``R`` with ``P[Bin(R, 1-p) < L] <= 1/n^slack_power``.
+
+    The per-branch failure event is the binomial front not reaching the
+    padded length ``L``; the budget per branch is ``1/n²`` so the union
+    bound over (at most ``n``) branches leaves ``1/n`` overall.
+    """
+    n = check_positive_int(n, "n")
+    target = union_bound_target(n, slack_power)
+    length = flooding_line_length(n, radius)
+    q = 1.0 - p
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"p must lie in [0, 1), got {p}")
+    low = length  # cannot finish before L successes fit
+    high = max(length, math.ceil(length / q))
+    while binomial_tail_le(high, length - 1, q) > target:
+        high *= 2
+    while high - low > 1:
+        mid = (low + high) // 2
+        if binomial_tail_le(mid, length - 1, q) <= target:
+            high = mid
+        else:
+            low = mid
+    if binomial_tail_le(low, length - 1, q) <= target:
+        return low
+    return high
+
+
+class FastFloodingProtocol(Protocol):
+    """Per-node program: re-send the adopted message to children each round."""
+
+    def __init__(self, algorithm: "FastFlooding", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._message = initial_message
+
+    @property
+    def has_message(self) -> bool:
+        """Whether the node has adopted a message."""
+        return self._message is not None
+
+    def intent(self, round_index: int):
+        if self._message is None:
+            return None
+        children = self._algorithm.tree.children(self._node)
+        if not children:
+            return None
+        return {child: self._message for child in children}
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._message is not None:
+            return
+        parent = self._algorithm.tree.parent[self._node]
+        payload = received.get(parent)
+        if payload is not None:
+            self._message = payload
+
+    def output(self) -> Any:
+        if self._message is not None:
+            return self._message
+        return self._algorithm.default
+
+
+class FastFlooding(Algorithm):
+    """Theorem 3.1's ``O(D + log n)`` flooding algorithm (message passing).
+
+    Parameters
+    ----------
+    topology, source, source_message:
+        The broadcast instance.
+    p:
+        Failure probability used to size the round count (omission
+        model).  Alternatively pass ``rounds`` explicitly.
+    rounds:
+        Explicit round count override (used by the E07 sweeps that
+        probe the failure curve below the safe round count).
+    tree:
+        Optional pre-built spanning tree (default: BFS).
+    default:
+        Output for nodes that never hear anything.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 p: Optional[float] = None, rounds: Optional[int] = None,
+                 tree: Optional[SpanningTree] = None, default: Any = 0):
+        super().__init__(topology, MESSAGE_PASSING)
+        self._source = check_node(source, topology.order, "source")
+        if source_message is None:
+            raise ValueError("source_message must not be None (None is silence)")
+        self._source_message = source_message
+        self._default = default
+        if tree is None:
+            tree = bfs_tree(topology, self._source)
+        elif tree.root != self._source:
+            raise ValueError(
+                f"tree is rooted at {tree.root}, not at source {self._source}"
+            )
+        self._tree = tree
+        if rounds is None:
+            if p is None:
+                raise ValueError("give either rounds or p")
+            rounds = flooding_rounds(topology.order, tree.height, p)
+        self._rounds = check_positive_int(rounds, "rounds")
+
+    @property
+    def source(self) -> int:
+        """The broadcast source."""
+        return self._source
+
+    @property
+    def source_message(self) -> Any:
+        """The true source message ``Ms``."""
+        return self._source_message
+
+    @property
+    def default(self) -> Any:
+        """Output fallback for uninformed nodes."""
+        return self._default
+
+    @property
+    def tree(self) -> SpanningTree:
+        """The BFS tree being flooded."""
+        return self._tree
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def metadata(self):
+        """Standard execution metadata for broadcast runs."""
+        return {"source": self._source, "source_message": self._source_message}
+
+    def protocol(self, node: int) -> Protocol:
+        node = check_node(node, self.topology.order)
+        initial = self._source_message if node == self._source else None
+        return FastFloodingProtocol(self, node, initial)
+
+    def counterfactual_source(self, flipped_message: Any) -> Protocol:
+        """Source twin for the impossibility adversaries."""
+        return FastFloodingProtocol(self, self._source, flipped_message)

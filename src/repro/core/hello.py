@@ -1,0 +1,176 @@
+"""The "hello" timing-channel protocol (end of Section 2.2.2).
+
+The proof of Theorem 2.3 "relies strongly on the assumption that
+failures can cause the link to transmit out of turn".  Without that
+power — the *limited malicious* model — the 1/2 threshold evaporates:
+a sender can almost-safely convey a bit for *any* ``p < 1`` by encoding
+it in the timing pattern of otherwise meaningless transmissions:
+
+* ``M = 0`` — transmit "hello" on every step ``1 .. 2m``;
+* ``M = 1`` — transmit "hello" only on the even steps ``2, 4, .., 2m``.
+
+The receiver decodes 0 iff it heard transmissions in two consecutive
+rounds.  Since a limited-malicious failure can only *remove* (or
+corrupt the content of) a transmission, a sender of 1 never produces
+two consecutive audible rounds, so 1 is always decoded correctly; a
+sender of 0 fails only when no two consecutive rounds both survive,
+which dies off exponentially in ``m`` (Chernoff in the paper; computed
+exactly here by the standard no-two-consecutive-successes recurrence).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro._validation import check_bit, check_positive_int, check_probability
+from repro.engine.protocol import MESSAGE_PASSING, RADIO, Algorithm, Protocol
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "HelloProtocolAlgorithm",
+    "HelloSender",
+    "HelloReceiver",
+    "hello_success_probability",
+]
+
+HELLO = "hello"
+"""The (content-irrelevant) payload the sender transmits."""
+
+
+def hello_success_probability(p: float, m: int, message: int) -> float:
+    """Exact success probability of the hello protocol.
+
+    For ``message = 1`` the protocol never errs.  For ``message = 0``
+    it errs exactly when no two consecutive of the ``2m`` rounds are
+    both fault-free; with per-round survival ``q = 1 - p`` the
+    no-two-consecutive-successes probability follows the recurrence
+    ``A_k = p·A_{k-1} + q·p·A_{k-2}`` (``A_0 = 1``, ``A_1 = 1``).
+    """
+    p = check_probability(p, "p", allow_zero=True)
+    m = check_positive_int(m, "m")
+    message = check_bit(message, "message")
+    if message == 1:
+        return 1.0
+    q = 1.0 - p
+    rounds = 2 * m
+    a_prev2, a_prev1 = 1.0, 1.0
+    for _ in range(2, rounds + 1):
+        a_prev2, a_prev1 = a_prev1, p * a_prev1 + q * p * a_prev2
+    return 1.0 - a_prev1
+
+
+class HelloSender(Protocol):
+    """Sender: all rounds for 0, odd-indexed (0-based) rounds for 1.
+
+    The paper's steps are 1-based ("transmit on the even steps
+    2, 4, ..."), so 0-based round ``r`` is transmitted for ``M = 1``
+    iff ``r`` is odd.
+    """
+
+    def __init__(self, algorithm: "HelloProtocolAlgorithm", message: int):
+        self._algorithm = algorithm
+        self._message = check_bit(message, "message")
+
+    def intent(self, round_index: int):
+        if self._message == 0 or round_index % 2 == 1:
+            if self._algorithm.model == MESSAGE_PASSING:
+                return {self._algorithm.receiver: HELLO}
+            return HELLO
+        return None
+
+    def deliver(self, round_index: int, received) -> None:
+        pass  # the sender never listens
+
+    def output(self) -> Any:
+        return self._message
+
+
+class HelloReceiver(Protocol):
+    """Receiver: decode 0 iff transmissions arrived in consecutive rounds."""
+
+    def __init__(self, algorithm: "HelloProtocolAlgorithm"):
+        self._algorithm = algorithm
+        self._heard_previous = False
+        self._decoded_zero = False
+
+    def intent(self, round_index: int):
+        return None  # the receiver never transmits
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._algorithm.model == MESSAGE_PASSING:
+            heard = bool(received)
+        else:
+            heard = received is not None
+        if heard and self._heard_previous:
+            self._decoded_zero = True
+        self._heard_previous = heard
+
+    def output(self) -> Any:
+        return 0 if self._decoded_zero else 1
+
+
+class HelloProtocolAlgorithm(Algorithm):
+    """The 2-node timing-channel broadcast, in either model.
+
+    Parameters
+    ----------
+    topology:
+        Must be the 2-node graph (:func:`repro.graphs.builders.two_node`).
+    message:
+        The bit to broadcast.
+    m:
+        Half the number of rounds (the protocol runs ``2m`` rounds).
+    model:
+        Either model works — with two nodes and a silent receiver the
+        radio medium never collides.
+    """
+
+    def __init__(self, topology: Topology, message: int, m: int,
+                 model: str = MESSAGE_PASSING,
+                 sender: int = 0, receiver: int = 1):
+        super().__init__(topology, model)
+        if topology.order != 2 or not topology.has_edge(sender, receiver):
+            raise ValueError(
+                "the hello protocol runs on the 2-node graph of Theorem 2.3"
+            )
+        self._message = check_bit(message, "message")
+        self._m = check_positive_int(m, "m")
+        self._sender = sender
+        self._receiver = receiver
+
+    @property
+    def sender(self) -> int:
+        """The sender node ``s``."""
+        return self._sender
+
+    @property
+    def receiver(self) -> int:
+        """The receiver node ``v``."""
+        return self._receiver
+
+    @property
+    def source_message(self) -> int:
+        """The bit being conveyed."""
+        return self._message
+
+    @property
+    def m(self) -> int:
+        """The protocol parameter ``m`` (rounds = ``2m``)."""
+        return self._m
+
+    @property
+    def rounds(self) -> int:
+        return 2 * self._m
+
+    def metadata(self):
+        """Standard execution metadata for broadcast runs."""
+        return {"source": self._sender, "source_message": self._message}
+
+    def protocol(self, node: int) -> Protocol:
+        if node == self._sender:
+            return HelloSender(self, self._message)
+        return HelloReceiver(self)
+
+    def counterfactual_source(self, flipped_message: Any) -> Protocol:
+        """Source twin (lets the equalizing adversary attack it in tests)."""
+        return HelloSender(self, flipped_message)

@@ -1,0 +1,32 @@
+"""Kučera's composition algorithm (Lemma 3.2) lifted to trees (Thm 3.2)."""
+
+from repro.core.kucera.algorithm import KuceraBroadcast, KuceraProtocol
+from repro.core.kucera.compiler import CompiledPlan, ControlDirective, compile_plan
+from repro.core.kucera.plan import (
+    Edge,
+    Plan,
+    PlanGuarantee,
+    Repeat,
+    Serial,
+    describe_plan,
+    guarantee,
+)
+from repro.core.kucera.planner import alpha_exponent, build_plan, working_failure_level
+
+__all__ = [
+    "Edge",
+    "Serial",
+    "Repeat",
+    "Plan",
+    "PlanGuarantee",
+    "guarantee",
+    "describe_plan",
+    "compile_plan",
+    "CompiledPlan",
+    "ControlDirective",
+    "build_plan",
+    "working_failure_level",
+    "alpha_exponent",
+    "KuceraBroadcast",
+    "KuceraProtocol",
+]

@@ -1,0 +1,181 @@
+"""Compiling Kučera plans into executable round-by-round schedules.
+
+A compiled plan assigns three kinds of *directives* to line positions
+(positions double as tree depths when the plan is lifted to a tree):
+
+* **transmit** — at round ``r``, the node at position ``i`` transmits
+  its current bit for context ``ctx`` to position ``i+1``;
+* **copy** — at the start of round ``r``, the node copies its bit for
+  the enclosing context into a fresh repetition-execution context
+  (the block source seeding execution ``i`` of a Repeat);
+* **vote** — at the start of round ``r``, the node sets its bit for
+  the enclosing context to the majority of its bits over the
+  repetition's execution contexts (abstaining contexts — never set,
+  e.g. after a limited-malicious message loss — are excluded).
+
+*Contexts* are tuples of repetition-execution indices identifying which
+copy of which nested Repeat a bit belongs to; the root context ``()``
+holds each node's final answer.  Messages carry no context tags — the
+schedule is globally known, so a receiver maps ``(position, round)``
+back to the context, exactly as a real deterministic protocol would.
+
+The compiler verifies the pipelining algebra: it is an error for two
+transmissions to occupy the same ``(position, round)`` slot, which
+would mean the [CO2] delay offsets failed to keep executions apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro._validation import check_probability
+from repro.core.kucera.plan import Edge, Plan, PlanGuarantee, Repeat, Serial, guarantee
+
+__all__ = ["ControlDirective", "CompiledPlan", "compile_plan"]
+
+Context = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ControlDirective:
+    """A copy or vote executed locally at the start of a round.
+
+    ``kind`` is ``"copy"`` (read ``source_context``, write
+    ``target_contexts[0]``) or ``"vote"`` (read all
+    ``source_contexts``, write ``target_context``).
+    """
+
+    round_index: int
+    position: int
+    kind: str
+    target_context: Context
+    source_contexts: Tuple[Context, ...]
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        """Execution order: by round; votes before copies; deeper votes first."""
+        kind_priority = 0 if self.kind == "vote" else 1
+        depth = -len(self.target_context) if self.kind == "vote" else 0
+        return (self.round_index, kind_priority, depth)
+
+
+@dataclass
+class CompiledPlan:
+    """A plan lowered to directives, ready to run on a line or tree.
+
+    Attributes
+    ----------
+    guarantee:
+        The exact :class:`PlanGuarantee` of the source plan.
+    transmissions:
+        ``position -> {round -> context}``: when and for which context
+        each position transmits.
+    receptions:
+        ``position -> {round -> context}``: the reception map (always
+        the transmission map of ``position - 1``).
+    controls:
+        ``position -> [ControlDirective]`` in execution order.
+    """
+
+    guarantee: PlanGuarantee
+    transmissions: Dict[int, Dict[int, Context]] = field(default_factory=dict)
+    receptions: Dict[int, Dict[int, Context]] = field(default_factory=dict)
+    controls: Dict[int, List[ControlDirective]] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        """Line length the plan covers."""
+        return self.guarantee.length
+
+    @property
+    def time(self) -> int:
+        """Rounds of communication."""
+        return self.guarantee.time
+
+    def transmission_count(self) -> int:
+        """Total number of scheduled transmissions."""
+        return sum(len(by_round) for by_round in self.transmissions.values())
+
+    def _add_transmit(self, round_index: int, position: int,
+                      context: Context) -> None:
+        by_round = self.transmissions.setdefault(position, {})
+        if round_index in by_round:
+            raise ValueError(
+                f"pipelining conflict: position {position} already transmits "
+                f"at round {round_index} (context {by_round[round_index]}, "
+                f"new {context}) — invalid plan delays"
+            )
+        by_round[round_index] = context
+        self.receptions.setdefault(position + 1, {})[round_index] = context
+
+    def _add_control(self, directive: ControlDirective) -> None:
+        self.controls.setdefault(directive.position, []).append(directive)
+
+    def _finalize(self) -> None:
+        for directives in self.controls.values():
+            directives.sort(key=ControlDirective.sort_key)
+
+
+def compile_plan(plan: Plan, p: float) -> CompiledPlan:
+    """Lower ``plan`` to directives and verify the pipelining algebra."""
+    check_probability(p, "p", allow_zero=True)
+    compiled = CompiledPlan(guarantee=guarantee(plan, p))
+    _emit(plan, compiled, base_position=0, start_round=0, context=())
+    compiled._finalize()
+    return compiled
+
+
+def _emit(plan: Plan, compiled: CompiledPlan, base_position: int,
+          start_round: int, context: Context) -> None:
+    """Recursively emit directives for ``plan`` at the given offsets."""
+    if isinstance(plan, Edge):
+        compiled._add_transmit(start_round, base_position, context)
+        return
+    if isinstance(plan, Serial):
+        sub = guarantee(plan.sub, 0.0)  # p irrelevant for length/time/delay
+        for block in range(plan.rho):
+            _emit(
+                plan.sub, compiled,
+                base_position=base_position + block * sub.length,
+                start_round=start_round + block * sub.time,
+                context=context,
+            )
+        return
+    if isinstance(plan, Repeat):
+        sub = guarantee(plan.sub, 0.0)
+        execution_contexts: List[Context] = []
+        for execution in range(plan.kappa):
+            execution_context = context + (execution,)
+            execution_contexts.append(execution_context)
+            execution_start = start_round + execution * sub.delay
+            # Seed: the block source carries the enclosing context's bit
+            # into this execution.
+            compiled._add_control(ControlDirective(
+                round_index=execution_start,
+                position=base_position,
+                kind="copy",
+                target_context=execution_context,
+                source_contexts=(context,),
+            ))
+            _emit(
+                plan.sub, compiled,
+                base_position=base_position,
+                start_round=execution_start,
+                context=execution_context,
+            )
+        # Votes: every node of the block folds its kappa execution bits
+        # back into the enclosing context once the block completes.
+        # (The paper votes at the last node only and notes the extension
+        # to every intermediate node is readily verified; voting at every
+        # node is that extension.)
+        vote_round = start_round + sub.time + (plan.kappa - 1) * sub.delay
+        for position in range(base_position, base_position + sub.length + 1):
+            compiled._add_control(ControlDirective(
+                round_index=vote_round,
+                position=position,
+                kind="vote",
+                target_context=context,
+                source_contexts=tuple(execution_contexts),
+            ))
+        return
+    raise TypeError(f"not a plan: {plan!r}")

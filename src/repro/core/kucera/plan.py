@@ -1,0 +1,126 @@
+"""The Kučera composition calculus: plans and their guarantees.
+
+Lemma 3.2 rests on Kučera's line algorithm [23], which the paper
+describes through exactly two composition rules over the predicate
+``A_p(n, τ, δ, Q)`` ("on the line of length ``n``, with per-
+transmission failure probability ``p``, there is a broadcast algorithm
+of time ``τ``, delay ``δ`` and failure probability at most ``Q``"):
+
+* **[CO1] serial composition** — run the block algorithm on ``ρ``
+  consecutive copies of the line, the ``j``-th copy starting at time
+  ``j·τ``:  ``A_p(n,τ,δ,Q) ⟹ A_p(ρn, ρτ, δ, 1-(1-Q)^ρ)``.
+* **[CO2] repetition** — run the block algorithm ``κ`` times with
+  delay ``δ`` between successive (pipelined) executions, the last node
+  taking the majority bit:  ``A_p(n,τ,δ,Q) ⟹ A_p(n, τ+(κ-1)δ, κδ, Q')``
+  with ``Q' = Σ_{j≥κ/2} C(κ,j) Q^j (1-Q)^{κ-j}``.
+
+A *plan* is a term over ``Edge | Serial(sub, ρ) | Repeat(sub, κ)``.
+This module computes the exact ``(length, time, delay, Q)`` algebra of
+a plan; :mod:`repro.core.kucera.compiler` turns a plan into an
+executable round-by-round schedule, and tests verify that the compiled
+execution's timing matches this algebra exactly.
+
+``delay`` follows the paper's definition: the maximum time span during
+which any single node is *receiving* within the block — which is also
+the pipelining offset that keeps repeated executions from colliding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro._validation import check_positive_int, check_probability
+from repro.analysis.chernoff import binomial_tail_ge
+
+__all__ = ["Edge", "Serial", "Repeat", "Plan", "PlanGuarantee", "guarantee", "describe_plan"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single transmission across a single edge: ``A_p(1, 1, 1, p)``."""
+
+
+@dataclass(frozen=True)
+class Serial:
+    """[CO1] — ``rho`` copies of ``sub`` run back to back."""
+
+    sub: "Plan"
+    rho: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.rho, "rho")
+        if self.rho < 2:
+            raise ValueError(f"Serial needs rho >= 2, got {self.rho}")
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """[CO2] — ``kappa`` pipelined executions of ``sub`` + majority votes.
+
+    ``kappa`` should be odd so the majority is never tied.
+    """
+
+    sub: "Plan"
+    kappa: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.kappa, "kappa")
+        if self.kappa % 2 == 0:
+            raise ValueError(f"Repeat needs odd kappa, got {self.kappa}")
+
+
+Plan = Union[Edge, Serial, Repeat]
+
+
+@dataclass(frozen=True)
+class PlanGuarantee:
+    """The exact ``A_p(length, time, delay, failure)`` tuple of a plan.
+
+    ``failure`` bounds the probability that the *last* node of the line
+    ends with a wrong (or missing) bit; every intermediate node is the
+    last node of a serial prefix of the plan and enjoys essentially the
+    same bound, so per-node budgeting multiplies by the line length.
+    """
+
+    length: int
+    time: int
+    delay: int
+    failure: float
+
+
+def guarantee(plan: Plan, p: float) -> PlanGuarantee:
+    """Evaluate the [CO1]/[CO2] algebra exactly (exact binomial tails)."""
+    p = check_probability(p, "p", allow_zero=True)
+    if isinstance(plan, Edge):
+        return PlanGuarantee(length=1, time=1, delay=1, failure=p)
+    if isinstance(plan, Serial):
+        sub = guarantee(plan.sub, p)
+        failure = 1.0 - (1.0 - sub.failure) ** plan.rho
+        return PlanGuarantee(
+            length=plan.rho * sub.length,
+            time=plan.rho * sub.time,
+            delay=sub.delay,
+            failure=failure,
+        )
+    if isinstance(plan, Repeat):
+        sub = guarantee(plan.sub, p)
+        failure = binomial_tail_ge(plan.kappa, plan.kappa / 2.0, sub.failure)
+        return PlanGuarantee(
+            length=sub.length,
+            time=sub.time + (plan.kappa - 1) * sub.delay,
+            delay=plan.kappa * sub.delay,
+            failure=failure,
+        )
+    raise TypeError(f"not a plan: {plan!r}")
+
+
+def describe_plan(plan: Plan) -> str:
+    """Compact human-readable plan term, e.g. ``R5(S4(R3(E)))``."""
+    if isinstance(plan, Edge):
+        return "E"
+    if isinstance(plan, Serial):
+        return f"S{plan.rho}({describe_plan(plan.sub)})"
+    if isinstance(plan, Repeat):
+        return f"R{plan.kappa}({describe_plan(plan.sub)})"
+    raise TypeError(f"not a plan: {plan!r}")

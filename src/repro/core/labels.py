@@ -1,0 +1,220 @@
+"""Label-based collision-free radio schedules (Section 2.1 discussion).
+
+In the radio model, anonymous networks make broadcasting impossible for
+some graphs (the 4-cycle, by symmetry); with distinct labels the paper
+sketches two collision-free timetables:
+
+* **round robin** — "a node with label ``i`` to transmit only in time
+  steps ``ℓK + i`` for integer ``ℓ >= 0``" (labels from ``[0, K-1]``,
+  ``K`` known): one node per round by construction.
+* **prime powers** — "in case ``K`` is unknown to the nodes — in time
+  steps ``p_k^i`` ... where ``p_i`` is the ``i``-th prime": distinct
+  primes have disjoint power sequences, so no two labelled nodes ever
+  share a round.  Wildly inefficient (opportunities thin out
+  exponentially), but it needs no bound on the label range — a
+  feasibility statement, reproduced as such.
+
+Both algorithms target omission failures: an informed node transmits
+its message in its slots, an uninformed node keeps silent, and
+receivers adopt the first payload heard (everything heard is genuine).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro._validation import check_node, check_positive_int
+from repro.engine.protocol import RADIO, Algorithm, Protocol
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "RoundRobinBroadcast",
+    "PrimeScheduleBroadcast",
+    "first_primes",
+]
+
+
+def first_primes(count: int) -> List[int]:
+    """The first ``count`` primes (simple trial-division sieve)."""
+    count = check_positive_int(count, "count")
+    primes: List[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % prime for prime in primes):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+class _SlotProtocol(Protocol):
+    """Shared per-node program: transmit in own slots once informed."""
+
+    def __init__(self, algorithm: "_SlotAlgorithm", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._message = initial_message
+
+    @property
+    def has_message(self) -> bool:
+        """Whether the node has adopted a message."""
+        return self._message is not None
+
+    def intent(self, round_index: int):
+        if self._message is None:
+            return None
+        if not self._algorithm.owns_slot(self._node, round_index):
+            return None
+        return self._message
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._message is None and received is not None:
+            self._message = received
+
+    def output(self) -> Any:
+        if self._message is not None:
+            return self._message
+        return self._algorithm.default
+
+
+class _SlotAlgorithm(Algorithm):
+    """Base: a slot-ownership predicate turns labels into a timetable."""
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 rounds: int, labels: Optional[Sequence[int]] = None,
+                 default: Any = 0):
+        super().__init__(topology, RADIO)
+        self._source = check_node(source, topology.order, "source")
+        if source_message is None:
+            raise ValueError("source_message must not be None (None is silence)")
+        self._source_message = source_message
+        self._default = default
+        self._rounds = check_positive_int(rounds, "rounds")
+        if labels is None:
+            labels = list(topology.nodes)
+        if len(labels) != topology.order or len(set(labels)) != topology.order:
+            raise ValueError("labels must be distinct, one per node")
+        self._labels: Dict[int, int] = {
+            node: int(label) for node, label in zip(topology.nodes, labels)
+        }
+
+    @property
+    def source(self) -> int:
+        """The broadcast source."""
+        return self._source
+
+    @property
+    def source_message(self) -> Any:
+        """The true source message."""
+        return self._source_message
+
+    @property
+    def default(self) -> Any:
+        """Output fallback for uninformed nodes."""
+        return self._default
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def label_of(self, node: int) -> int:
+        """The distinct label assigned to ``node``."""
+        return self._labels[node]
+
+    def owns_slot(self, node: int, round_index: int) -> bool:
+        """Whether ``node`` may transmit in ``round_index``."""
+        raise NotImplementedError
+
+    def metadata(self):
+        """Standard execution metadata for broadcast runs."""
+        return {"source": self._source, "source_message": self._source_message}
+
+    def protocol(self, node: int) -> Protocol:
+        node = check_node(node, self.topology.order)
+        initial = self._source_message if node == self._source else None
+        return _SlotProtocol(self, node, initial)
+
+    def counterfactual_source(self, flipped_message: Any) -> Protocol:
+        """Source twin for the impossibility adversaries."""
+        return _SlotProtocol(self, self._source, flipped_message)
+
+
+class RoundRobinBroadcast(_SlotAlgorithm):
+    """Labelled round robin: label ``i`` owns rounds ``ℓK + i``.
+
+    Parameters
+    ----------
+    label_range:
+        ``K`` — the known label range (defaults to ``n``).
+    cycles:
+        How many full label cycles to run; each informed node gets one
+        transmission opportunity per cycle, so front progress per cycle
+        mirrors one round of the flooding analysis.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 cycles: int, label_range: Optional[int] = None,
+                 labels: Optional[Sequence[int]] = None, default: Any = 0):
+        if label_range is None:
+            label_range = topology.order
+        self._label_range = check_positive_int(label_range, "label_range")
+        cycles = check_positive_int(cycles, "cycles")
+        super().__init__(
+            topology, source, source_message,
+            rounds=cycles * self._label_range, labels=labels, default=default,
+        )
+        bad = [
+            node for node in topology.nodes
+            if not 0 <= self.label_of(node) < self._label_range
+        ]
+        if bad:
+            raise ValueError(
+                f"labels of nodes {bad[:5]} fall outside [0, {self._label_range})"
+            )
+
+    @property
+    def label_range(self) -> int:
+        """``K`` — one transmission slot per label per cycle."""
+        return self._label_range
+
+    def owns_slot(self, node: int, round_index: int) -> bool:
+        return round_index % self._label_range == self.label_of(node)
+
+
+class PrimeScheduleBroadcast(_SlotAlgorithm):
+    """Prime-power timetable: the node with the ``i``-th label owns
+    rounds ``p_i^k - 1`` (0-based) for every integer ``k >= 1``.
+
+    ``K`` need not be known; distinct primes guarantee disjoint slot
+    sets.  Exponentially sparse — intended for feasibility tests on
+    tiny networks, exactly like the paper's aside.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 rounds: int, labels: Optional[Sequence[int]] = None,
+                 default: Any = 0):
+        super().__init__(
+            topology, source, source_message,
+            rounds=rounds, labels=labels, default=default,
+        )
+        ordered_labels = sorted(self.label_of(node) for node in topology.nodes)
+        primes = first_primes(len(ordered_labels))
+        prime_of_label = {
+            label: primes[index] for index, label in enumerate(ordered_labels)
+        }
+        self._slots: Dict[int, set] = {}
+        for node in topology.nodes:
+            prime = prime_of_label[self.label_of(node)]
+            slots = set()
+            power = prime
+            while power <= rounds:
+                slots.add(power - 1)  # paper steps are 1-based
+                power *= prime
+            self._slots[node] = slots
+
+    def owns_slot(self, node: int, round_index: int) -> bool:
+        return round_index in self._slots[node]
+
+    def slot_count(self, node: int) -> int:
+        """Transmission opportunities ``node`` gets within the horizon."""
+        return len(self._slots[node])

@@ -1,0 +1,194 @@
+"""Algorithms Omission-Radio and Malicious-Radio (Theorem 3.4).
+
+Take any fault-free broadcasting schedule ``A`` of length ``opt`` and
+"repeat every step ``i`` of ``A`` in a series ``S_i`` of consecutive
+``m = ⌈c log n⌉`` steps".  Every node ``v`` that gets the source
+message from ``p(v)`` at step ``i`` of ``A`` listens during series
+``S_i`` and sets its value ``M_v`` to
+
+* any payload received (Algorithm **Omission-Radio** — receipts are
+  trustworthy under omission failures), or
+* the majority of the payloads received, default 0 on a tie or silence
+  (Algorithm **Malicious-Radio**).
+
+In later series where ``v`` is scheduled to transmit, it transmits
+``M_v``.  Total time ``opt · m = O(opt · log n)``; almost-safe for any
+``p < 1`` (omission) or ``p < (1-p)^{Δ+1}`` (malicious), by the same
+arguments as Theorems 2.1 / 2.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro._validation import check_positive_int
+from repro.engine.protocol import RADIO, Algorithm, Protocol
+from repro.core.parameters import (
+    omission_phase_length,
+    radio_malicious_phase_length,
+)
+from repro.core.tree_phase import majority_or_default
+from repro.graphs.topology import Topology
+from repro.radio.schedule import RadioSchedule
+
+__all__ = ["RadioRepeat", "RadioRepeatProtocol", "ADOPT_ANY", "ADOPT_MAJORITY"]
+
+ADOPT_ANY = "any"
+"""Omission-Radio adoption rule: trust the first payload heard."""
+
+ADOPT_MAJORITY = "majority"
+"""Malicious-Radio adoption rule: majority vote, default on ties."""
+
+
+class RadioRepeatProtocol(Protocol):
+    """Per-node program of the schedule-repetition algorithms."""
+
+    def __init__(self, algorithm: "RadioRepeat", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._initial_message = initial_message
+        self._votes: List[Any] = []
+        self._adopted: Optional[Any] = None
+
+    def _current_value(self) -> Any:
+        """``M_v`` — the value this node would transmit right now."""
+        if self._initial_message is not None:
+            return self._initial_message
+        algorithm = self._algorithm
+        if algorithm.rule == ADOPT_ANY:
+            if self._adopted is not None:
+                return self._adopted
+            return algorithm.default
+        if not self._votes:
+            return algorithm.default
+        return majority_or_default(self._votes, algorithm.default)
+
+    def intent(self, round_index: int):
+        algorithm = self._algorithm
+        series = round_index // algorithm.phase_length
+        if self._node not in algorithm.base_schedule.transmitters(series):
+            return None
+        return self._current_value()
+
+    def deliver(self, round_index: int, received) -> None:
+        if received is None:
+            return
+        algorithm = self._algorithm
+        series = round_index // algorithm.phase_length
+        if series != algorithm.listening_series(self._node):
+            return
+        if algorithm.rule == ADOPT_ANY:
+            if self._adopted is None:
+                self._adopted = received
+        else:
+            self._votes.append(received)
+
+    def output(self) -> Any:
+        return self._current_value()
+
+
+class RadioRepeat(Algorithm):
+    """Omission-Radio / Malicious-Radio over an arbitrary base schedule.
+
+    Parameters
+    ----------
+    schedule:
+        A valid fault-free :class:`~repro.radio.schedule.RadioSchedule`
+        (its length is the ``opt`` benchmark the run pays ``· m`` over).
+    source_message:
+        The message ``Ms``.
+    rule:
+        :data:`ADOPT_ANY` (Omission-Radio) or :data:`ADOPT_MAJORITY`
+        (Malicious-Radio).
+    phase_length:
+        The repetition count ``m``; omit and give ``p`` to use the
+        exact calculators (omission or radio-malicious budget,
+        depending on ``rule``).
+    """
+
+    def __init__(self, schedule: RadioSchedule, source_message: Any,
+                 rule: str = ADOPT_MAJORITY,
+                 phase_length: Optional[int] = None,
+                 p: Optional[float] = None, default: Any = 0):
+        super().__init__(schedule.topology, RADIO)
+        if rule not in (ADOPT_ANY, ADOPT_MAJORITY):
+            raise ValueError(
+                f"rule must be {ADOPT_ANY!r} or {ADOPT_MAJORITY!r}, got {rule!r}"
+            )
+        if source_message is None:
+            raise ValueError("source_message must not be None (None is silence)")
+        schedule.validate()
+        self._base_schedule = schedule
+        self._source_message = source_message
+        self._rule = rule
+        self._default = default
+        if phase_length is None:
+            if p is None:
+                raise ValueError("give either phase_length or p")
+            n = schedule.topology.order
+            if rule == ADOPT_ANY:
+                phase_length = omission_phase_length(n, p)
+            else:
+                phase_length = radio_malicious_phase_length(
+                    n, p, schedule.topology.max_degree()
+                )
+        self._phase_length = check_positive_int(phase_length, "phase_length")
+        simulation = schedule.simulate()
+        self._informed_step = simulation.informed_step
+        self._parent = simulation.parent
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def base_schedule(self) -> RadioSchedule:
+        """The fault-free schedule being repeated."""
+        return self._base_schedule
+
+    @property
+    def source(self) -> int:
+        """The broadcast source."""
+        return self._base_schedule.source
+
+    @property
+    def source_message(self) -> Any:
+        """The true source message ``Ms``."""
+        return self._source_message
+
+    @property
+    def rule(self) -> str:
+        """Adoption rule (``any`` = Omission-Radio, ``majority`` = Malicious-Radio)."""
+        return self._rule
+
+    @property
+    def default(self) -> Any:
+        """Fallback payload on silence or tie."""
+        return self._default
+
+    @property
+    def phase_length(self) -> int:
+        """The repetition count ``m``."""
+        return self._phase_length
+
+    @property
+    def rounds(self) -> int:
+        return self._base_schedule.length * self._phase_length
+
+    def listening_series(self, node: int) -> int:
+        """The series index during which ``node`` listens (-1 = source)."""
+        return self._informed_step[node]
+
+    def schedule_parent(self, node: int) -> Optional[int]:
+        """``p(v)`` — the node ``v`` hears in the fault-free schedule."""
+        return self._parent.get(node)
+
+    def metadata(self):
+        """Standard execution metadata for broadcast runs."""
+        return {"source": self.source, "source_message": self._source_message}
+
+    def protocol(self, node: int) -> Protocol:
+        initial = self._source_message if node == self.source else None
+        return RadioRepeatProtocol(self, node, initial)
+
+    def counterfactual_source(self, flipped_message: Any) -> Protocol:
+        """Source twin for the impossibility adversaries."""
+        return RadioRepeatProtocol(self, self.source, flipped_message)

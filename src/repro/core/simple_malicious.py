@@ -1,0 +1,131 @@
+"""Algorithm Simple-Malicious (Section 2.2, Theorems 2.2 and 2.4).
+
+::
+
+    The source v_1 transmits the source message Ms for m steps;
+    For i = 2 to n do
+      Phase i:
+        - v_i computes M_i := the majority message among the messages
+          received by v_i from its parent;
+        - v_i transmits M_i for m consecutive steps.
+        - All other nodes remain silent.
+
+The schedule is identical to Simple-Omission; the difference is the
+majority vote (received payloads can no longer be trusted) with default
+value 0 when there is no majority.  The same algorithm runs in both
+models but its analysis differs:
+
+* message passing (Thm 2.2) — each reception is wrong with probability
+  at most ``p``, so majority voting works iff ``p < 1/2``;
+* radio (Thm 2.4) — a faulty neighbour can also *collide* with the
+  parent's transmission, so a step yields the correct payload with
+  probability at least ``q = (1-p)^{d+1}`` (closed neighbourhood
+  fault-free), a wrong payload with probability at most ``p``, and
+  silence otherwise; voting works iff ``p < (1-p)^{Δ+1}``.
+
+In the radio model a listening node votes over *everything* it hears
+during its parent's phase — it cannot tell which neighbour a payload
+came from, which is exactly why out-of-turn malicious transmissions
+are dangerous there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.engine.protocol import MESSAGE_PASSING, RADIO, Protocol
+from repro.core.parameters import (
+    mp_malicious_phase_length,
+    radio_malicious_phase_length,
+)
+from repro.core.tree_phase import TreePhaseAlgorithm, majority_or_default
+from repro.graphs.bfs import SpanningTree
+from repro.graphs.topology import Topology
+
+__all__ = ["SimpleMalicious", "SimpleMaliciousProtocol"]
+
+
+class SimpleMaliciousProtocol(Protocol):
+    """Per-node program of Algorithm Simple-Malicious.
+
+    State: the payloads heard during the parent's phase (``votes``).
+    The relayed value ``M_i`` is the majority of the votes, computed on
+    demand once the listening window has passed; the source relays
+    ``Ms`` directly.
+    """
+
+    def __init__(self, algorithm: "SimpleMalicious", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._initial_message = initial_message
+        self._votes: List[Any] = []
+
+    @property
+    def node(self) -> int:
+        """The node this protocol instance runs on."""
+        return self._node
+
+    @property
+    def votes(self) -> List[Any]:
+        """Payloads collected during the listening window (copy)."""
+        return list(self._votes)
+
+    def decided_value(self) -> Any:
+        """``M_i`` — the value this node relays and outputs."""
+        if self._initial_message is not None:
+            return self._initial_message
+        return majority_or_default(self._votes, self._algorithm.default)
+
+    def intent(self, round_index: int):
+        algorithm = self._algorithm
+        if not algorithm.schedule.in_window(self._node, round_index):
+            return None
+        return algorithm.wrap_payload(self._node, self.decided_value())
+
+    def deliver(self, round_index: int, received) -> None:
+        algorithm = self._algorithm
+        if not algorithm.schedule.in_listening_window(self._node, round_index):
+            return
+        if algorithm.model == MESSAGE_PASSING:
+            parent = algorithm.tree.parent[self._node]
+            payload = received.get(parent)
+        else:
+            payload = received
+        if payload is not None:
+            self._votes.append(payload)
+
+    def output(self) -> Any:
+        return self.decided_value()
+
+
+class SimpleMalicious(TreePhaseAlgorithm):
+    """Algorithm Simple-Malicious, runnable in both models.
+
+    ``phase_length`` may be omitted by giving ``p`` — the exact
+    Theorem 2.2 (message passing) or Theorem 2.4 (radio; uses the
+    network's maximum degree) phase length for the ``1/n²`` budget is
+    then computed.  In the infeasible regime the calculators raise, so
+    impossibility experiments must pass an explicit ``phase_length``.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 model: str, phase_length: Optional[int] = None,
+                 p: Optional[float] = None,
+                 tree: Optional[SpanningTree] = None, default: Any = 0):
+        if phase_length is None:
+            if p is None:
+                raise ValueError("give either phase_length or p")
+            if model == RADIO:
+                phase_length = radio_malicious_phase_length(
+                    topology.order, p, topology.max_degree()
+                )
+            else:
+                phase_length = mp_malicious_phase_length(topology.order, p)
+        super().__init__(
+            topology, source, source_message, model, phase_length,
+            tree=tree, default=default,
+        )
+
+    def _make_protocol(self, node: int, initial_message: Optional[Any]) -> Protocol:
+        return SimpleMaliciousProtocol(self, node, initial_message)

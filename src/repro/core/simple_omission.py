@@ -1,0 +1,108 @@
+"""Algorithm Simple-Omission (Section 2.1, Theorem 2.1).
+
+::
+
+    For i = 1 to n do
+      Phase i: For m steps:
+        - v_i transmits the source message Ms (or 0 if it has not
+          received Ms).
+        - All other nodes remain silent.
+
+Because only one node transmits per step there are no radio collisions,
+and the same algorithm (and analysis) serves both communication models.
+A node adopts the first payload it hears from its tree parent during
+the parent's phase; under omission failures everything received is
+genuine, so no voting is needed.  Theorem 2.1: with
+``m >= log(n²)/log(1/p)`` each phase delivers with probability at least
+``1 - 1/n²`` and the union bound makes the algorithm almost-safe for
+every ``p < 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engine.protocol import MESSAGE_PASSING, Protocol
+from repro.core.parameters import omission_phase_length
+from repro.core.tree_phase import TreePhaseAlgorithm
+from repro.graphs.bfs import SpanningTree
+from repro.graphs.topology import Topology
+
+__all__ = ["SimpleOmission", "SimpleOmissionProtocol"]
+
+
+class SimpleOmissionProtocol(Protocol):
+    """Per-node program of Algorithm Simple-Omission.
+
+    State: the adopted message (initially ``Ms`` at the source, unset
+    elsewhere).  Behaviour is a pure function of the round number and
+    the deliveries received, as the engine contract requires.
+    """
+
+    def __init__(self, algorithm: "SimpleOmission", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._message = initial_message
+
+    @property
+    def node(self) -> int:
+        """The node this protocol instance runs on."""
+        return self._node
+
+    @property
+    def has_message(self) -> bool:
+        """Whether the node has adopted a message."""
+        return self._message is not None
+
+    def intent(self, round_index: int):
+        algorithm = self._algorithm
+        if not algorithm.schedule.in_window(self._node, round_index):
+            return None
+        payload = self._message if self._message is not None else algorithm.default
+        return algorithm.wrap_payload(self._node, payload)
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._message is not None:
+            return
+        algorithm = self._algorithm
+        if not algorithm.schedule.in_listening_window(self._node, round_index):
+            return
+        if algorithm.model == MESSAGE_PASSING:
+            parent = algorithm.tree.parent[self._node]
+            payload = received.get(parent)
+        else:
+            payload = received
+        if payload is not None:
+            self._message = payload
+
+    def output(self) -> Any:
+        if self._message is not None:
+            return self._message
+        return self._algorithm.default
+
+
+class SimpleOmission(TreePhaseAlgorithm):
+    """Algorithm Simple-Omission, runnable in both models.
+
+    Parameters match :class:`~repro.core.tree_phase.TreePhaseAlgorithm`;
+    ``phase_length`` may be omitted by giving the failure probability
+    ``p``, in which case the exact Theorem 2.1 phase length for the
+    ``1/n²`` budget is computed.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 model: str, phase_length: Optional[int] = None,
+                 p: Optional[float] = None,
+                 tree: Optional[SpanningTree] = None, default: Any = 0):
+        if phase_length is None:
+            if p is None:
+                raise ValueError("give either phase_length or p")
+            phase_length = omission_phase_length(topology.order, p)
+        super().__init__(
+            topology, source, source_message, model, phase_length,
+            tree=tree, default=default,
+        )
+
+    def _make_protocol(self, node: int, initial_message: Optional[Any]) -> Protocol:
+        return SimpleOmissionProtocol(self, node, initial_message)

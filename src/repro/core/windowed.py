@@ -1,0 +1,175 @@
+"""The windowed Simple-Malicious variant (Section 2.2.2 discussion).
+
+Theorem 2.2's two assumptions — every node knows its enumeration index
+and all nodes wake up simultaneously — "can again be discarded in the
+message passing model by modifying the algorithm": a node starts its
+transmission window immediately upon completion of its listening
+window, but since failures can make links speak out of turn, it cannot
+know the true start of its listening window.  The fix from the paper:
+
+    "each node ``v_i`` must listen all the time.  On each round ``t``,
+    and for each of its incident links, ``v_i`` examines the messages
+    it has heard on that link in the window of the last ``m`` rounds,
+    ``[t-m+1, t]``.  If ``m/2`` identical copies of the same message
+    have been received, then ``v_i`` accepts this message as a genuine
+    one, and proceeds to start its own transmission window."
+
+By Chernoff, a correct parent window yields ``>= m/2`` true copies with
+high probability, while ``m/2`` identical *false* copies inside any
+``m``-round window require ``m/2`` failures there — exponentially
+unlikely for ``p < 1/2``.  No global clock, no index knowledge; each
+node only knows its tree neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro._validation import check_node, check_positive_int
+from repro.engine.protocol import MESSAGE_PASSING, Algorithm, Protocol
+from repro.core.parameters import mp_malicious_phase_length
+from repro.graphs.bfs import SpanningTree, bfs_tree
+from repro.graphs.topology import Topology
+
+__all__ = ["WindowedMalicious", "WindowedMaliciousProtocol"]
+
+
+class WindowedMaliciousProtocol(Protocol):
+    """Per-node program: sliding-window acceptance, then an ``m``-round relay."""
+
+    def __init__(self, algorithm: "WindowedMalicious", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._window: Deque[Any] = deque(maxlen=algorithm.window_length)
+        self._accepted: Optional[Any] = initial_message
+        self._transmissions_left = (
+            algorithm.window_length if initial_message is not None else 0
+        )
+
+    @property
+    def accepted(self) -> Optional[Any]:
+        """The accepted message (``None`` until acceptance)."""
+        return self._accepted
+
+    def intent(self, round_index: int):
+        if self._accepted is None or self._transmissions_left <= 0:
+            return None
+        children = self._algorithm.tree.children(self._node)
+        self._transmissions_left -= 1
+        if not children:
+            return None
+        return {child: self._accepted for child in children}
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._accepted is not None:
+            return
+        parent = self._algorithm.tree.parent[self._node]
+        self._window.append(received.get(parent))
+        threshold = self._algorithm.acceptance_threshold
+        counts: Dict[Any, int] = {}
+        for payload in self._window:
+            if payload is None:
+                continue
+            counts[payload] = counts.get(payload, 0) + 1
+            if counts[payload] >= threshold:
+                self._accepted = payload
+                self._transmissions_left = self._algorithm.window_length
+                return
+
+    def output(self) -> Any:
+        if self._accepted is not None:
+            return self._accepted
+        return self._algorithm.default
+
+
+class WindowedMalicious(Algorithm):
+    """Simple-Malicious without index knowledge or simultaneous wake-up.
+
+    Parameters
+    ----------
+    topology, source, source_message:
+        The broadcast instance (message passing only).
+    window_length:
+        The window/relay length ``m``; omit and give ``p`` to size it
+        from the Theorem 2.2 calculator (the acceptance threshold is
+        ``⌈m/2⌉`` as in the paper).
+    horizon:
+        Total rounds; defaults to ``(D + 2) · m`` — depth-``d`` nodes
+        accept by the end of their parent's relay, round ``(d+1)·m``.
+    """
+
+    def __init__(self, topology: Topology, source: int, source_message: Any,
+                 window_length: Optional[int] = None,
+                 p: Optional[float] = None,
+                 horizon: Optional[int] = None,
+                 tree: Optional[SpanningTree] = None, default: Any = 0):
+        super().__init__(topology, MESSAGE_PASSING)
+        self._source = check_node(source, topology.order, "source")
+        if source_message is None:
+            raise ValueError("source_message must not be None (None is silence)")
+        self._source_message = source_message
+        self._default = default
+        if tree is None:
+            tree = bfs_tree(topology, self._source)
+        elif tree.root != self._source:
+            raise ValueError(
+                f"tree is rooted at {tree.root}, not at source {self._source}"
+            )
+        self._tree = tree
+        if window_length is None:
+            if p is None:
+                raise ValueError("give either window_length or p")
+            window_length = mp_malicious_phase_length(topology.order, p)
+        self._window_length = check_positive_int(window_length, "window_length")
+        if horizon is None:
+            horizon = (tree.height + 2) * self._window_length
+        self._horizon = check_positive_int(horizon, "horizon")
+
+    @property
+    def source(self) -> int:
+        """The broadcast source."""
+        return self._source
+
+    @property
+    def source_message(self) -> Any:
+        """The true source message."""
+        return self._source_message
+
+    @property
+    def default(self) -> Any:
+        """Output fallback for nodes that never accept."""
+        return self._default
+
+    @property
+    def tree(self) -> SpanningTree:
+        """The relay tree (only parent/child knowledge is used)."""
+        return self._tree
+
+    @property
+    def window_length(self) -> int:
+        """The window and relay length ``m``."""
+        return self._window_length
+
+    @property
+    def acceptance_threshold(self) -> int:
+        """Identical copies needed inside one window: ``⌈m/2⌉``."""
+        return (self._window_length + 1) // 2
+
+    @property
+    def rounds(self) -> int:
+        return self._horizon
+
+    def metadata(self):
+        """Standard execution metadata for broadcast runs."""
+        return {"source": self._source, "source_message": self._source_message}
+
+    def protocol(self, node: int) -> Protocol:
+        node = check_node(node, self.topology.order)
+        initial = self._source_message if node == self._source else None
+        return WindowedMaliciousProtocol(self, node, initial)
+
+    def counterfactual_source(self, flipped_message: Any) -> Protocol:
+        """Source twin for the impossibility adversaries."""
+        return WindowedMaliciousProtocol(self, self._source, flipped_message)

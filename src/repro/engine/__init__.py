@@ -1,0 +1,27 @@
+"""Synchronous round-based execution engine (message passing + radio)."""
+
+from repro.engine.protocol import MESSAGE_PASSING, RADIO, Algorithm, Protocol
+from repro.engine.simulator import (
+    Execution,
+    ExecutionResult,
+    ExecutionView,
+    deliver_message_passing,
+    deliver_radio,
+    run_execution,
+)
+from repro.engine.trace import RoundRecord, Trace
+
+__all__ = [
+    "MESSAGE_PASSING",
+    "RADIO",
+    "Algorithm",
+    "Protocol",
+    "Execution",
+    "ExecutionResult",
+    "ExecutionView",
+    "run_execution",
+    "deliver_message_passing",
+    "deliver_radio",
+    "RoundRecord",
+    "Trace",
+]

@@ -1,0 +1,155 @@
+"""Per-node protocol and whole-algorithm interfaces.
+
+The paper's algorithms are deterministic per-node programs driven by a
+global synchronous clock.  A :class:`Protocol` instance is the program
+of one node; an :class:`Algorithm` bundles the per-node programs with
+the round horizon and the communication model they target.
+
+Intents
+-------
+At the start of each round every protocol is asked for a *transmission
+intent*:
+
+* message passing — a ``dict`` mapping neighbour ids to payloads (each
+  neighbour may receive a different message), or ``None`` for silence;
+* radio — a single payload delivered to all neighbours, or ``None`` for
+  silence.  ``None`` is reserved for silence and is never a payload.
+
+Deliveries
+----------
+At the end of each round, after failures are applied, protocols receive
+what reached them:
+
+* message passing — a ``dict`` mapping sender ids to payloads (empty if
+  nothing arrived);
+* radio — a single payload if *exactly one* neighbour transmitted and
+  the node itself kept silent, otherwise ``None`` (collision and
+  silence are indistinguishable; there is no collision detection).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from repro.graphs.topology import Topology
+
+__all__ = ["MESSAGE_PASSING", "RADIO", "Protocol", "Algorithm"]
+
+MESSAGE_PASSING = "message-passing"
+RADIO = "radio"
+
+_VALID_MODELS = (MESSAGE_PASSING, RADIO)
+
+
+class Protocol(ABC):
+    """The deterministic program run by a single node.
+
+    Subclasses receive their node id and the topology at construction
+    time (via their :class:`Algorithm`), keep whatever state they need,
+    and implement the three hooks below.  Determinism is required by the
+    paper's model: all randomness lives in the environment.
+    """
+
+    @abstractmethod
+    def intent(self, round_index: int):
+        """Transmission intent for ``round_index`` (see module docstring).
+
+        Contract: the intent must be a pure function of the round
+        number and the deliveries received so far — never of how many
+        times ``intent`` itself was called.  Counterfactual twins (used
+        by the impossibility adversaries) rely on being able to query
+        intents without perfect call-for-call lock-step.
+        """
+
+    @abstractmethod
+    def deliver(self, round_index: int, received) -> None:
+        """End-of-round delivery (model-specific shape, see module docstring)."""
+
+    @abstractmethod
+    def output(self) -> Any:
+        """The node's current decision (the message it believes was broadcast).
+
+        Read after the final round; protocols should keep it meaningful
+        at every point so that traces can inspect partial progress.
+        """
+
+
+class Algorithm(ABC):
+    """A complete distributed algorithm: factory of per-node protocols.
+
+    Attributes
+    ----------
+    model:
+        Which communication model the algorithm is written for —
+        :data:`MESSAGE_PASSING`, :data:`RADIO`; algorithms valid in both
+        (like Simple-Omission) advertise the model they are being run in
+        via :meth:`for_model`.
+    """
+
+    def __init__(self, topology: Topology, model: str):
+        if model not in _VALID_MODELS:
+            raise ValueError(
+                f"model must be one of {_VALID_MODELS}, got {model!r}"
+            )
+        self._topology = topology
+        self._model = model
+
+    @property
+    def topology(self) -> Topology:
+        """The network the algorithm runs on."""
+        return self._topology
+
+    @property
+    def model(self) -> str:
+        """The communication model this instance targets."""
+        return self._model
+
+    @property
+    @abstractmethod
+    def rounds(self) -> int:
+        """Total number of synchronous rounds the algorithm runs."""
+
+    @abstractmethod
+    def protocol(self, node: int) -> Protocol:
+        """Instantiate the program of ``node``."""
+
+    def protocols(self) -> Dict[int, Protocol]:
+        """Instantiate all per-node programs."""
+        return {node: self.protocol(node) for node in self._topology.nodes}
+
+    def describe(self) -> str:
+        """One-line description for experiment tables."""
+        return (f"{type(self).__name__}(n={self._topology.order}, "
+                f"model={self._model}, rounds={self.rounds})")
+
+
+def validate_mp_intent(topology: Topology, node: int,
+                       intent: Optional[Dict[int, Any]]) -> None:
+    """Raise if a message-passing intent is malformed."""
+    if intent is None:
+        return
+    if not isinstance(intent, dict):
+        raise TypeError(
+            f"node {node}: message-passing intent must be a dict or None, "
+            f"got {type(intent).__name__}"
+        )
+    neighbours = set(topology.neighbors(node))
+    for target, payload in intent.items():
+        if target not in neighbours:
+            raise ValueError(
+                f"node {node} intends to send to non-neighbour {target}"
+            )
+        if payload is None:
+            raise ValueError(
+                f"node {node}: None is reserved for silence, not a payload"
+            )
+
+
+def validate_radio_intent(node: int, intent: Any) -> None:
+    """Raise if a radio intent is malformed (dicts are a likely bug)."""
+    if isinstance(intent, dict):
+        raise TypeError(
+            f"node {node}: radio intent must be a single payload or None, "
+            f"got a dict (did you mean message passing?)"
+        )

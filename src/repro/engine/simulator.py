@@ -1,0 +1,298 @@
+"""The synchronous execution engine.
+
+One :class:`Execution` runs one algorithm on one topology under one
+failure model, for the algorithm's declared number of rounds, and
+returns an :class:`ExecutionResult` with every node's output and the
+full trace.
+
+Round structure (identical for both communication models):
+
+1. every protocol is asked for its transmission intent;
+2. the failure model samples faulty transmitters and transforms the
+   intents into actual transmissions (possibly consulting an adaptive
+   adversary through the :class:`ExecutionView`);
+3. the medium delivers:
+
+   * message passing — each actual ``(sender → target, payload)`` is
+     handed to ``target``; every node gets a dict ``sender -> payload``;
+   * radio — a node hears a payload iff it did not itself (actually)
+     transmit and *exactly one* of its neighbours transmitted;
+     otherwise it hears silence (``None``) — collisions are
+     indistinguishable from silence, per the paper's no-collision-
+     detection assumption;
+
+4. deliveries are handed to the protocols and the round is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Set
+
+from repro.engine.protocol import (
+    MESSAGE_PASSING,
+    RADIO,
+    Algorithm,
+    validate_mp_intent,
+    validate_radio_intent,
+)
+from repro.engine.trace import RoundRecord, Trace
+from repro.failures.base import FailureModel, FaultFree
+from repro.graphs.topology import Topology
+from repro.rng import RngStream, as_stream
+
+__all__ = [
+    "ExecutionView",
+    "ExecutionResult",
+    "Execution",
+    "run_execution",
+    "deliver_message_passing",
+    "deliver_radio",
+]
+
+
+def deliver_message_passing(topology: Topology,
+                            actual: Dict[int, Dict[int, Any]]
+                            ) -> Dict[int, Dict[int, Any]]:
+    """Message-passing delivery: route every actual transmission."""
+    inboxes: Dict[int, Dict[int, Any]] = {node: {} for node in topology.nodes}
+    for sender, per_target in actual.items():
+        for target, payload in per_target.items():
+            inboxes[target][sender] = payload
+    return inboxes
+
+
+def deliver_radio(topology: Topology,
+                  actual: Dict[int, Any]) -> Dict[int, Any]:
+    """Radio delivery with collision-as-silence semantics."""
+    transmitters: Set[int] = set(actual)
+    heard: Dict[int, Any] = {}
+    for node in topology.nodes:
+        if node in transmitters:
+            heard[node] = None
+            continue
+        speaking_neighbours = [
+            neighbour for neighbour in topology.neighbors(node)
+            if neighbour in transmitters
+        ]
+        if len(speaking_neighbours) == 1:
+            heard[node] = actual[speaking_neighbours[0]]
+        else:
+            heard[node] = None
+    return heard
+
+
+@dataclass
+class ExecutionView:
+    """What an adaptive adversary (and the trace) may consult.
+
+    Attributes
+    ----------
+    topology:
+        The network.
+    model:
+        ``message-passing`` or ``radio``.
+    algorithm:
+        The running algorithm (adversaries may build counterfactual
+        twins of its protocols; they must not mutate live state).
+    trace:
+        History of all *completed* rounds.
+    metadata:
+        Free-form execution facts; broadcast runs put the source node
+        under ``"source"`` and the true message under ``"source_message"``.
+    adversary_stream:
+        Private random stream for randomized adversary behaviour.
+    """
+
+    topology: Topology
+    model: str
+    algorithm: Algorithm
+    trace: Trace
+    metadata: Dict[str, Any]
+    adversary_stream: RngStream
+    round_index: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one execution.
+
+    Attributes
+    ----------
+    outputs:
+        ``node -> output()`` after the final round.
+    rounds:
+        Number of rounds executed.
+    trace:
+        Full execution trace (``None`` when tracing was disabled).
+    topology:
+        The network the run used.
+    metadata:
+        The execution metadata (source, source message, ...).
+    """
+
+    outputs: Dict[int, Any]
+    rounds: int
+    trace: Optional[Trace]
+    topology: Topology
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def correct_nodes(self, expected: Any) -> Set[int]:
+        """Nodes whose output equals ``expected``."""
+        return {
+            node for node, value in self.outputs.items() if value == expected
+        }
+
+    def is_successful_broadcast(self, expected: Optional[Any] = None) -> bool:
+        """Whether every node output the source message.
+
+        With no argument, the expected message is read from the
+        execution metadata (key ``"source_message"``).
+        """
+        if expected is None:
+            if "source_message" not in self.metadata:
+                raise ValueError(
+                    "no expected message given and none recorded in metadata"
+                )
+            expected = self.metadata["source_message"]
+        return len(self.correct_nodes(expected)) == self.topology.order
+
+
+class Execution:
+    """One run of an algorithm under a failure model.
+
+    Parameters
+    ----------
+    algorithm:
+        The distributed algorithm (also fixes the communication model).
+    failure_model:
+        Defaults to :class:`FaultFree`.
+    seed_or_stream:
+        Seed for the run's randomness (fault sampling + adversary).
+    metadata:
+        Facts recorded on the result and exposed to adversaries.
+    record_trace:
+        When False the result carries no trace (the trace is still
+        built internally because adaptive adversaries need history).
+    """
+
+    def __init__(self, algorithm: Algorithm,
+                 failure_model: Optional[FailureModel] = None,
+                 seed_or_stream=0,
+                 metadata: Optional[Dict[str, Any]] = None,
+                 record_trace: bool = True):
+        self._algorithm = algorithm
+        self._failure_model = failure_model if failure_model is not None else FaultFree()
+        self._stream = as_stream(seed_or_stream)
+        self._metadata = dict(metadata or {})
+        self._record_trace = record_trace
+
+    def run(self) -> ExecutionResult:
+        """Execute all rounds and collect the outputs."""
+        algorithm = self._algorithm
+        topology = algorithm.topology
+        model = algorithm.model
+        protocols = algorithm.protocols()
+        trace = Trace()
+        fault_stream = self._stream.child("faults")
+        view = ExecutionView(
+            topology=topology,
+            model=model,
+            algorithm=algorithm,
+            trace=trace,
+            metadata=self._metadata,
+            adversary_stream=self._stream.child("adversary"),
+        )
+        for round_index in range(algorithm.rounds):
+            view.round_index = round_index
+            intents = self._collect_intents(protocols, round_index)
+            faulty = self._failure_model.sample_faulty(
+                fault_stream, topology.order
+            )
+            actual = self._failure_model.apply(round_index, faulty, intents, view)
+            self._validate_actual(actual)
+            deliveries = self._deliver(protocols, round_index, actual)
+            trace.append(RoundRecord(
+                round_index=round_index,
+                intents=intents,
+                faulty=faulty,
+                actual=actual,
+                deliveries=deliveries,
+            ))
+        outputs = {node: protocols[node].output() for node in topology.nodes}
+        return ExecutionResult(
+            outputs=outputs,
+            rounds=algorithm.rounds,
+            trace=trace if self._record_trace else None,
+            topology=topology,
+            metadata=self._metadata,
+        )
+
+    # -- internals ------------------------------------------------------
+    def _collect_intents(self, protocols, round_index: int) -> Dict[int, Any]:
+        """Ask every protocol for its intent; validate and drop silences."""
+        topology = self._algorithm.topology
+        model = self._algorithm.model
+        intents: Dict[int, Any] = {}
+        for node, protocol in protocols.items():
+            intent = protocol.intent(round_index)
+            if intent is None:
+                continue
+            if model == MESSAGE_PASSING:
+                validate_mp_intent(topology, node, intent)
+                if not intent:
+                    continue
+                intents[node] = dict(intent)
+            else:
+                validate_radio_intent(node, intent)
+                intents[node] = intent
+        return intents
+
+    def _validate_actual(self, actual: Dict[int, Any]) -> None:
+        """Sanity-check the failure model's output."""
+        topology = self._algorithm.topology
+        model = self._algorithm.model
+        for node, transmission in actual.items():
+            if transmission is None:
+                raise ValueError(
+                    f"failure model produced None transmission for node {node}; "
+                    f"silent nodes must be omitted"
+                )
+            if model == MESSAGE_PASSING:
+                validate_mp_intent(topology, node, transmission)
+            else:
+                validate_radio_intent(node, transmission)
+
+    def _deliver(self, protocols, round_index: int,
+                 actual: Dict[int, Any]) -> Dict[int, Any]:
+        """Run medium semantics and hand deliveries to the protocols."""
+        topology = self._algorithm.topology
+        if self._algorithm.model == MESSAGE_PASSING:
+            inboxes = deliver_message_passing(topology, actual)
+            for node, protocol in protocols.items():
+                protocol.deliver(round_index, inboxes[node])
+            return {
+                node: inbox for node, inbox in inboxes.items() if inbox
+            }
+        heard = deliver_radio(topology, actual)
+        for node, protocol in protocols.items():
+            protocol.deliver(round_index, heard[node])
+        return {
+            node: payload for node, payload in heard.items() if payload is not None
+        }
+
+
+def run_execution(algorithm: Algorithm,
+                  failure_model: Optional[FailureModel] = None,
+                  seed_or_stream=0,
+                  metadata: Optional[Dict[str, Any]] = None,
+                  record_trace: bool = True) -> ExecutionResult:
+    """Convenience wrapper: build an :class:`Execution` and run it."""
+    execution = Execution(
+        algorithm,
+        failure_model=failure_model,
+        seed_or_stream=seed_or_stream,
+        metadata=metadata,
+        record_trace=record_trace,
+    )
+    return execution.run()

@@ -1,0 +1,23 @@
+"""Experiment harness: per-theorem reproductions with tables and verdicts."""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentReport,
+    all_experiments,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.tables import Table
+
+__all__ = [
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "Table",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,66 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run E05 [--quick] [--seed N]
+    python -m repro.experiments run-all [--quick] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import (
+    ExperimentConfig,
+    all_experiments,
+    run_all,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's theorems, one experiment each.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_one = sub.add_parser("run", help="run one experiment")
+    run_one.add_argument("experiment_id", help="e.g. E05")
+    run_everything = sub.add_parser("run-all", help="run every experiment")
+    for command in (run_one, run_everything):
+        command.add_argument("--quick", action="store_true",
+                             help="smaller sizes / fewer trials")
+        command.add_argument("--seed", type=int, default=2007,
+                             help="root seed (default 2007)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment in all_experiments():
+            print(f"{experiment.experiment_id}  {experiment.title}")
+            print(f"      {experiment.paper_claim}")
+        return 0
+    config = ExperimentConfig(seed=args.seed, quick=args.quick)
+    if args.command == "run":
+        report = run_experiment(args.experiment_id.upper(), config)
+        print(report.render())
+        return 0 if report.passed else 1
+    reports = run_all(config)
+    for report in reports:
+        print(report.render())
+        print()
+    failed = [r.experiment_id for r in reports if not r.passed]
+    print(f"{len(reports) - len(failed)}/{len(reports)} experiments reproduced")
+    if failed:
+        print(f"not reproduced: {', '.join(failed)}")
+    return 0 if not failed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

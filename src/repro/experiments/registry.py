@@ -1,0 +1,145 @@
+"""Experiment registry: one entry per theorem/lemma being reproduced.
+
+Each experiment is a callable taking an :class:`ExperimentConfig` and
+returning an :class:`ExperimentReport` containing a result table, notes
+and a boolean ``passed`` verdict — "did the paper's qualitative claim
+hold in this run".  Runner modules register themselves at import time
+via :func:`register`; :func:`run_experiment` / :func:`run_all` drive
+them (used by the CLI, the benchmarks and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.tables import Table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+    "run_all",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for every experiment run.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every experiment derives all randomness from it.
+    quick:
+        Smaller sizes / fewer trials (used by the benchmark harness).
+    """
+
+    seed: int = 2007  # the journal year, for flavour
+    quick: bool = False
+
+
+@dataclass
+class ExperimentReport:
+    """What an experiment hands back.
+
+    Attributes
+    ----------
+    experiment_id, title, paper_claim:
+        Identification and the claim under test.
+    table:
+        The regenerated result grid.
+    notes:
+        Free-form commentary lines (fits, constants, caveats).
+    passed:
+        Whether the paper's qualitative claim held.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    table: Table
+    notes: List[str] = field(default_factory=list)
+    passed: bool = True
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+            self.table.render(),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        lines.append("")
+        lines.append(f"verdict: {'REPRODUCED' if self.passed else 'NOT REPRODUCED'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    runner: Callable[[ExperimentConfig], ExperimentReport]
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_claim: str):
+    """Decorator registering a runner under ``experiment_id``."""
+
+    def decorate(runner: Callable[[ExperimentConfig], ExperimentReport]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_claim=paper_claim,
+            runner=runner,
+        )
+        return runner
+
+    return decorate
+
+
+def _ensure_runners_loaded() -> None:
+    """Import every runner module (registration is an import side effect)."""
+    from repro.experiments import runners  # noqa: F401  (import for effect)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by id (e.g. ``"E05"``)."""
+    _ensure_runners_loaded()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    _ensure_runners_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def run_experiment(experiment_id: str,
+                   config: Optional[ExperimentConfig] = None) -> ExperimentReport:
+    """Run one experiment."""
+    experiment = get_experiment(experiment_id)
+    return experiment.runner(config or ExperimentConfig())
+
+
+def run_all(config: Optional[ExperimentConfig] = None) -> List[ExperimentReport]:
+    """Run every registered experiment in id order."""
+    config = config or ExperimentConfig()
+    return [experiment.runner(config) for experiment in all_experiments()]

@@ -1,0 +1,18 @@
+"""Experiment runners — importing this package registers all of them."""
+
+from repro.experiments.runners import (  # noqa: F401  (import for effect)
+    e01_omission,
+    e03_malicious_mp,
+    e04_equalizing_mp,
+    e05_radio_threshold,
+    e06_equalizing_star,
+    e07_flooding_time,
+    e08_line_flooding,
+    e09_kucera,
+    e10_layered_opt,
+    e11_layered_lb,
+    e12_radio_repeat,
+    e13_hello,
+    e14_variants,
+    e15_ablations,
+)

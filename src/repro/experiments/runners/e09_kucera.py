@@ -1,0 +1,123 @@
+"""E09 — Theorem 3.2 / Lemma 3.2: the Kučera composition algorithm.
+
+Claims: the [CO1]/[CO2] composition calculus yields a line algorithm of
+time ``O(L)`` and failure ``e^{-Ω(L^c)}``; lifted to a BFS tree it
+broadcasts almost-safely in ``O(D + log^α n)`` against limited-
+malicious (here: flip) failures whenever ``p < 1/2``.
+
+The experiment (a) verifies the planner's exact guarantees scale
+linearly in the line length with super-polynomially shrinking failure,
+and (b) runs the compiled algorithm end to end in the engine under the
+flip adversary on lines and trees, checking empirical success.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.estimation import estimate_success
+from repro.core.kucera import (
+    KuceraBroadcast,
+    build_plan,
+    compile_plan,
+    describe_plan,
+    guarantee,
+)
+from repro.engine.simulator import run_execution
+from repro.failures.adversaries import RandomFlipAdversary
+from repro.failures.malicious import MaliciousFailures, Restriction
+from repro.graphs.builders import binary_tree, line
+from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.tables import Table
+from repro.rng import RngStream
+
+
+@register(
+    "E09",
+    "Kucera composition algorithm (Theorem 3.2)",
+    "Theorem 3.2 — almost-safe in O(D + log^alpha n) for limited-malicious "
+    "failures, p < 1/2",
+)
+def run_e09(config: ExperimentConfig) -> ExperimentReport:
+    stream = RngStream(config.seed).child("E09")
+    p = 0.25
+    # (a) plan-guarantee scaling: exact algebra only, no simulation.
+    plan_lengths = [4, 16, 64] if config.quick else [4, 16, 64, 256, 1024]
+    scaling = Table(["L", "plan", "time", "time_per_L", "delay", "failure_bound"])
+    per_length_costs = []
+    for length in plan_lengths:
+        plan = build_plan(length, p, failure_target=1e-6)
+        g = guarantee(plan, p)
+        scaling.add_row(
+            L=length, plan=describe_plan(plan), time=g.time,
+            time_per_L=g.time / g.length, delay=g.delay,
+            failure_bound=g.failure,
+        )
+        per_length_costs.append(g.time / g.length)
+    # O(L) time: the per-unit cost must stay bounded as L grows 256x.
+    linear_time_ok = max(per_length_costs) <= 3.0 * per_length_costs[0]
+    # (b) end-to-end engine runs under the flip adversary.
+    graphs = [line(6), binary_tree(3)] if config.quick else [
+        line(6), line(12), binary_tree(3), binary_tree(4),
+    ]
+    trials = 12 if config.quick else 40
+    runs = Table(["graph", "n", "D", "plan", "rounds", "q_bound", "mc_success"])
+    passed = linear_time_ok
+    for topology in graphs:
+        algorithm = KuceraBroadcast(topology, 0, 1, p=p)
+        g = guarantee(algorithm.plan, p)
+
+        def trial(trial_stream: RngStream) -> bool:
+            algo = KuceraBroadcast(
+                topology, 0, 1, p=p, plan=algorithm.plan
+            )
+            failure = MaliciousFailures(
+                p, RandomFlipAdversary(), Restriction.FLIP
+            )
+            result = run_execution(
+                algo, failure, trial_stream,
+                metadata=algo.metadata(), record_trace=False,
+            )
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(
+            trial, trials, stream.child("mc", topology.name)
+        )
+        runs.add_row(
+            graph=topology.name, n=topology.order,
+            D=max(algorithm.tree.height, 1),
+            plan=describe_plan(algorithm.plan), rounds=algorithm.rounds,
+            q_bound=g.failure, mc_success=outcome.estimate,
+        )
+        passed = passed and outcome.estimate == 1.0
+    # Merge both tables for the report (scaling rows then run rows).
+    combined = Table([
+        "section", "graph", "n", "D", "L", "plan", "time", "time_per_L",
+        "delay", "failure_bound", "rounds", "mc_success",
+    ])
+    for row in scaling.rows:
+        combined.add_row(section="plan-scaling", **row)
+    for row in runs.rows:
+        combined.add_row(
+            section="engine-run", graph=row["graph"], n=row["n"], D=row["D"],
+            plan=row["plan"], rounds=row["rounds"],
+            failure_bound=row["q_bound"], mc_success=row["mc_success"],
+        )
+    notes = [
+        f"p = {p}; planner constants rho=4, kappa=3 "
+        f"(alpha = log(rho)/log(kappa/2) ≈ 3.42; larger kappa pushes alpha "
+        f"toward 1)",
+        f"plan time per unit length stays bounded "
+        f"({per_length_costs[0]:.1f} -> {per_length_costs[-1]:.1f}) while "
+        f"the failure bound keeps shrinking — the O(L), e^(-L^c) tradeoff "
+        f"of Lemma 3.2",
+        "engine runs face the flip adversary under the FLIP restriction "
+        "(Kucera's model); every run must deliver the bit to all nodes",
+    ]
+    return ExperimentReport(
+        experiment_id="E09",
+        title="Kucera composition algorithm (Theorem 3.2)",
+        paper_claim="Theorem 3.2: almost-safe broadcast in O(D + log^alpha n) "
+                    "time for limited-malicious failures with p < 1/2",
+        table=combined,
+        notes=notes,
+        passed=passed,
+    )

@@ -1,0 +1,114 @@
+"""E13 — Section 2.2.2 remark: the hello protocol beats 1/2 when links
+cannot speak out of turn.
+
+Claim: in the *limited* malicious model (no out-of-turn transmissions),
+the 2-node timing-channel protocol broadcasts a bit almost-safely for
+every ``p < 1`` — message 1 is never misdecoded, message 0 fails only
+when no two consecutive rounds survive, with probability
+``e^{-Θ(m)}``.
+
+The experiment compares the exact recurrence value with engine
+Monte-Carlo under a payload-corrupting limited-malicious adversary
+(content is irrelevant — only timing matters), and exhibits the
+exponential decay in ``m``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.estimation import estimate_success
+from repro.core.hello import HelloProtocolAlgorithm, hello_success_probability
+from repro.engine.simulator import run_execution
+from repro.failures.adversaries import GarbageAdversary, SilentAdversary
+from repro.failures.malicious import MaliciousFailures, Restriction
+from repro.graphs.builders import two_node
+from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.tables import Table
+from repro.rng import RngStream
+
+
+@register(
+    "E13",
+    "Hello protocol (limited malicious, any p < 1)",
+    "Section 2.2.2 — without out-of-turn failures, a bit crosses one link "
+    "almost-safely for every p < 1",
+)
+def run_e13(config: ExperimentConfig) -> ExperimentReport:
+    stream = RngStream(config.seed).child("E13")
+    topology = two_node()
+    trials = 150 if config.quick else 600
+    probabilities = [0.2, 0.6] if config.quick else [0.2, 0.5, 0.8]
+    ms = [8, 32] if config.quick else [8, 16, 32, 64]
+    table = Table([
+        "p", "m", "message", "adversary", "exact_success", "engine_mc",
+        "agrees",
+    ])
+    passed = True
+    # The worst limited-malicious behaviour against a timing channel is
+    # *dropping* (the exact recurrence's model); content corruption is
+    # harmless and is shown in separate rows as a sanity contrast.
+    adversaries = [
+        ("drop", SilentAdversary()),
+        ("corrupt", GarbageAdversary()),
+    ]
+    for p in probabilities:
+        for m in ms:
+            for message in (0, 1):
+                for adversary_name, adversary in adversaries:
+                    if adversary_name == "corrupt" and m != ms[0]:
+                        continue  # one contrast row per (p, message)
+                    exact = (
+                        hello_success_probability(p, m, message)
+                        if adversary_name == "drop" else 1.0
+                    )
+
+                    def trial(trial_stream: RngStream) -> bool:
+                        algo = HelloProtocolAlgorithm(topology, message, m=m)
+                        failure = MaliciousFailures(
+                            p, adversary, Restriction.LIMITED
+                        )
+                        result = run_execution(
+                            algo, failure, trial_stream,
+                            metadata=algo.metadata(), record_trace=False,
+                        )
+                        return result.outputs[1] == message
+
+                    outcome = estimate_success(
+                        trial, trials,
+                        stream.child("mc", p, m, message, adversary_name),
+                    )
+                    agrees = (
+                        outcome.lower - 0.02 <= exact <= outcome.upper + 0.02
+                    )
+                    passed = passed and agrees
+                    table.add_row(
+                        p=p, m=m, message=message, adversary=adversary_name,
+                        exact_success=exact, engine_mc=outcome.estimate,
+                        agrees=agrees,
+                    )
+    # Exponential decay and the >1/2 beat: even p = 0.8 succeeds w.h.p.
+    decay_ok = (
+        hello_success_probability(0.8, 64, 0)
+        > hello_success_probability(0.8, 8, 0)
+        and hello_success_probability(0.8, 256, 0) > 0.99
+    )
+    passed = passed and decay_ok
+    notes = [
+        "drop rows: the silent adversary (worst limited-malicious attack "
+        "on a timing channel) — matches the exact recurrence; corrupt rows: "
+        "content corruption never hurts, success is identically 1",
+        "message 1 is never misdecoded (failures only remove audible "
+        "rounds); message 0 fails iff no two consecutive rounds survive",
+        f"p=0.8 success rises from "
+        f"{hello_success_probability(0.8, 8, 0):.3f} (m=8) to "
+        f"{hello_success_probability(0.8, 256, 0):.6f} (m=256) — beating "
+        f"the p >= 1/2 impossibility of the full malicious model",
+    ]
+    return ExperimentReport(
+        experiment_id="E13",
+        title="Hello protocol (limited malicious, any p < 1)",
+        paper_claim="Section 2.2.2: without out-of-turn transmissions the "
+                    "sender beats the 1/2 threshold for every p < 1",
+        table=table,
+        notes=notes,
+        passed=passed,
+    )

@@ -1,0 +1,77 @@
+"""Plain-text result tables for the experiment harness.
+
+The paper has no numeric tables (its evaluation is its theorems), so
+the reproduction's "tables" are per-theorem grids of measured
+quantities with almost-safe verdicts.  This module renders them as
+aligned monospace text for the benches, EXPERIMENTS.md and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A column-ordered grid of experiment rows.
+
+    Rows are dicts keyed by column name; missing cells render empty.
+    """
+
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        """Append a row; unknown column names are rejected early."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise ValueError(
+                f"row has cells {sorted(unknown)} outside columns {list(self.columns)}"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ValueError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned monospace rendering with a header rule."""
+        headers = list(self.columns)
+        grid = [
+            [_format_cell(row.get(column, "")) for column in headers]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header), *(len(line[i]) for line in grid)) if grid else len(header)
+            for i, header in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for line in grid:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,39 @@
+"""Failure substrate: omission and malicious transmission failures."""
+
+from repro.failures.adversaries import (
+    ComplementAdversary,
+    GarbageAdversary,
+    JammingAdversary,
+    RandomFlipAdversary,
+    SilentAdversary,
+    SlowingAdversary,
+    flip_bit,
+)
+from repro.failures.base import FailureModel, FaultFree, OmissionFailures
+from repro.failures.equalizing import (
+    CounterfactualTwin,
+    EqualizingMpAdversary,
+    EqualizingStarAdversary,
+    SourceTwinnable,
+)
+from repro.failures.malicious import Adversary, MaliciousFailures, Restriction
+
+__all__ = [
+    "FailureModel",
+    "FaultFree",
+    "OmissionFailures",
+    "Adversary",
+    "MaliciousFailures",
+    "Restriction",
+    "SilentAdversary",
+    "ComplementAdversary",
+    "RandomFlipAdversary",
+    "GarbageAdversary",
+    "JammingAdversary",
+    "SlowingAdversary",
+    "flip_bit",
+    "EqualizingMpAdversary",
+    "EqualizingStarAdversary",
+    "CounterfactualTwin",
+    "SourceTwinnable",
+]

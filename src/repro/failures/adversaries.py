@@ -1,0 +1,211 @@
+"""Concrete adversaries for malicious transmission failures.
+
+These are the workhorse adversaries used by the feasibility and
+complexity experiments:
+
+* :class:`SilentAdversary` — faulty nodes stop (makes malicious
+  failures degrade to omission; a useful baseline).
+* :class:`ComplementAdversary` — every intended bit is flipped.  This
+  is the worst case for majority-voting protocols and is legal in all
+  three restriction levels when payloads are bits.
+* :class:`RandomFlipAdversary` — Kučera's flip model: each faulty
+  transmission's bit is flipped (the *fault* already happened with
+  probability ``p``; the flip is the damage).
+* :class:`GarbageAdversary` — replaces payloads with a fixed garbage
+  value, never speaks out of turn (limited malicious).
+* :class:`JammingAdversary` — radio-only: faulty nodes transmit noise
+  out of turn, manufacturing collisions (full malicious).
+* :class:`SlowingAdversary` — the proofs' failure-rate *slowing*
+  reduction: a wrapper that lets a faulty node behave fault-free with
+  the right probability so the effective malicious rate drops from
+  ``p`` to a chosen target.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro._validation import check_probability
+from repro.engine.protocol import MESSAGE_PASSING
+from repro.failures.malicious import Adversary
+
+__all__ = [
+    "SilentAdversary",
+    "ComplementAdversary",
+    "RandomFlipAdversary",
+    "GarbageAdversary",
+    "JammingAdversary",
+    "SlowingAdversary",
+    "flip_bit",
+]
+
+
+def flip_bit(payload: Any) -> Any:
+    """Flip a 0/1 bit; other payloads are returned unchanged.
+
+    Non-bit payloads pass through so that bit-oriented adversaries can
+    run against protocols that also exchange control messages.
+    """
+    if payload == 0:
+        return 1
+    if payload == 1:
+        return 0
+    return payload
+
+
+class SilentAdversary(Adversary):
+    """Faulty nodes transmit nothing — malicious degraded to omission."""
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        return {}
+
+
+class ComplementAdversary(Adversary):
+    """Flip every bit a faulty node intended to transmit.
+
+    For majority-vote protocols this is the most detrimental
+    history-oblivious behaviour: every faulty round contributes a wrong
+    vote, so success degrades exactly along the binomial-majority curve
+    that the Theorem 2.2 analysis bounds.
+    """
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        replacements: Dict[int, Any] = {}
+        for node in faulty:
+            intent = intents.get(node)
+            if intent is None:
+                continue
+            if view.model == MESSAGE_PASSING:
+                replacements[node] = {
+                    target: flip_bit(payload) for target, payload in intent.items()
+                }
+            else:
+                replacements[node] = flip_bit(intent)
+        return replacements
+
+
+class RandomFlipAdversary(Adversary):
+    """Kučera's flip model: a faulty transmission's bit is always flipped.
+
+    Identical to :class:`ComplementAdversary` in action but kept as a
+    separate named adversary because the flip *restriction* requires
+    the target set to be preserved exactly (no dropping), which this
+    class guarantees by construction.
+    """
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        replacements: Dict[int, Any] = {}
+        for node in faulty:
+            intent = intents.get(node)
+            if intent is None:
+                continue
+            if view.model == MESSAGE_PASSING:
+                replacements[node] = {
+                    target: flip_bit(payload) for target, payload in intent.items()
+                }
+            else:
+                replacements[node] = flip_bit(intent)
+        return replacements
+
+
+class GarbageAdversary(Adversary):
+    """Replace every intended payload with a fixed garbage value.
+
+    Never speaks out of turn, so it is legal under the *limited*
+    malicious restriction.  Garbage is distinguishable from both source
+    bits, so majority votes simply waste the faulty rounds.
+    """
+
+    def __init__(self, garbage: Any = "garbage"):
+        if garbage is None:
+            raise ValueError("garbage payload must not be None (None is silence)")
+        self._garbage = garbage
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        replacements: Dict[int, Any] = {}
+        for node in faulty:
+            intent = intents.get(node)
+            if intent is None:
+                continue
+            if view.model == MESSAGE_PASSING:
+                replacements[node] = {target: self._garbage for target in intent}
+            else:
+                replacements[node] = self._garbage
+        return replacements
+
+
+class JammingAdversary(Adversary):
+    """Radio: faulty nodes always transmit noise, manufacturing collisions.
+
+    Speaking out of turn is the radio adversary's signature weapon (it
+    is what makes the Theorem 2.4 threshold depend on the degree): a
+    single faulty neighbour can destroy a reception by colliding with
+    the legitimate transmitter.
+    """
+
+    def __init__(self, noise: Any = "JAM"):
+        if noise is None:
+            raise ValueError("noise payload must not be None (None is silence)")
+        self._noise = noise
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        return {node: self._noise for node in faulty}
+
+
+class SlowingAdversary(Adversary):
+    """The proofs' slowing reduction, as an adversary combinator.
+
+    With raw fault probability ``p`` and desired effective malicious
+    rate ``target <= p``, each faulty node independently *stays
+    malicious* with probability ``target / p`` and otherwise behaves
+    exactly fault-free (its intent passes through).  The surviving
+    faulty set is handed to the inner adversary.
+
+    This realises the reductions in Theorems 2.3 and 2.4: e.g. for
+    ``p > 1/2`` the adversary tosses a coin with heads probability
+    ``(p - 1/2)/p`` and "delivers the correct message if heads turns
+    up", which is precisely staying-malicious probability
+    ``(1/2)/p = target/p``.
+    """
+
+    def __init__(self, inner: Adversary, p: float, target: float):
+        self._p = check_probability(p, "p", allow_zero=False)
+        self._target = check_probability(target, "target", allow_zero=True)
+        if target > p:
+            raise ValueError(
+                f"cannot slow failures upwards: target {target} > p {p}"
+            )
+        self._inner = inner
+        self._keep_probability = target / p
+
+    @property
+    def effective_rate(self) -> float:
+        """The effective malicious failure probability after slowing."""
+        return self._target
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        stream = view.adversary_stream
+        still_faulty = frozenset(
+            node for node in sorted(faulty)
+            if stream.bernoulli(self._keep_probability)
+        )
+        replacements: Dict[int, Any] = {}
+        for node in faulty - still_faulty:
+            intent = intents.get(node)
+            if intent is not None:
+                replacements[node] = intent
+        if still_faulty:
+            replacements.update(
+                self._inner.rewrite(round_index, still_faulty, intents, view)
+            )
+        return replacements
+
+    def describe(self) -> str:
+        return (f"SlowingAdversary({self._inner.describe()}, "
+                f"p={self._p:g} -> {self._target:g})")

@@ -1,0 +1,113 @@
+"""Failure-model interface and the fault-free / omission models.
+
+The paper's fault scenario: *"In every step, the transmissions of each
+node fail with constant probability 0 < p < 1.  Transmission failures
+of different nodes are independent, and so are transmission failures of
+the same node in different steps."*  Faults hit only the transmission
+component; memory and control state are never touched, so a node that
+is fault-free in a later step behaves normally again.
+
+A :class:`FailureModel` does two things each round:
+
+1. sample the set of faulty transmitters (i.i.d. Bernoulli(p)), and
+2. transform the protocols' intents into the *actual* transmissions
+   placed on the medium.
+
+Node-omission semantics: a faulty node "does not send any messages
+during that step" — its transmissions are dropped, everything received
+can be trusted.  Because an omission-faulty transmitter is silent, it
+does not occupy the radio medium, so the node can still *receive* in
+that round; this matters only for schedules with simultaneous
+transmitters (Theorem 3.4) and is the reading consistent with the
+paper's analysis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet
+
+from repro._validation import check_probability
+from repro.rng import RngStream
+
+__all__ = ["FailureModel", "FaultFree", "OmissionFailures"]
+
+
+class FailureModel(ABC):
+    """Samples transmitter faults and applies their semantics.
+
+    Parameters
+    ----------
+    p:
+        Per-node per-round transmitter failure probability.
+    """
+
+    def __init__(self, p: float):
+        self._p = check_probability(p, "p", allow_zero=True, allow_one=False)
+
+    @property
+    def p(self) -> float:
+        """The per-round failure probability."""
+        return self._p
+
+    def sample_faulty(self, stream: RngStream, order: int) -> FrozenSet[int]:
+        """Sample the faulty-transmitter set for one round."""
+        if self._p == 0.0:
+            return frozenset()
+        mask = stream.bernoulli(self._p, size=order)
+        return frozenset(int(node) for node in mask.nonzero()[0])
+
+    @abstractmethod
+    def apply(self, round_index: int, faulty: FrozenSet[int],
+              intents: Dict[int, Any], view) -> Dict[int, Any]:
+        """Turn intents into actual transmissions.
+
+        Parameters
+        ----------
+        round_index:
+            Current 0-based round.
+        faulty:
+            Nodes whose transmitter failed this round.
+        intents:
+            ``node -> intent`` for nodes that intend to transmit
+            (silent nodes are absent).  Message-passing intents are
+            ``dict`` target→payload; radio intents are single payloads.
+        view:
+            The :class:`repro.engine.simulator.ExecutionView`, giving
+            adaptive adversaries the topology, history and metadata.
+
+        Returns
+        -------
+        ``node -> transmission`` for nodes that actually transmit.
+        """
+
+    def describe(self) -> str:
+        """One-line description for experiment tables."""
+        return f"{type(self).__name__}(p={self._p:g})"
+
+
+class FaultFree(FailureModel):
+    """No failures at all (``p = 0``); intents pass through unchanged."""
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def apply(self, round_index: int, faulty: FrozenSet[int],
+              intents: Dict[int, Any], view) -> Dict[int, Any]:
+        return dict(intents)
+
+
+class OmissionFailures(FailureModel):
+    """Node-omission transmission failures (Section 2.1).
+
+    A faulty node's entire round of transmissions is silently dropped.
+    In the message-passing model this drops the messages to *all*
+    neighbours at once, matching the paper's single per-node transmitter
+    component.
+    """
+
+    def apply(self, round_index: int, faulty: FrozenSet[int],
+              intents: Dict[int, Any], view) -> Dict[int, Any]:
+        return {
+            node: intent for node, intent in intents.items() if node not in faulty
+        }

@@ -1,0 +1,28 @@
+"""Vectorised Monte-Carlo samplers (validated against the engine)."""
+
+from repro.fastsim.closed_forms import (
+    flooding_success_lower_bound,
+    internal_node_count,
+    line_flooding_success_probability,
+    simple_omission_success_probability,
+)
+from repro.fastsim.layered import layered_success_estimate, sample_layered_omission
+from repro.fastsim.tree_chain import (
+    sample_flooding_success,
+    sample_flooding_times,
+    sample_simple_malicious_mp,
+    sample_simple_malicious_radio,
+)
+
+__all__ = [
+    "simple_omission_success_probability",
+    "internal_node_count",
+    "line_flooding_success_probability",
+    "flooding_success_lower_bound",
+    "sample_simple_malicious_mp",
+    "sample_simple_malicious_radio",
+    "sample_flooding_times",
+    "sample_flooding_success",
+    "sample_layered_omission",
+    "layered_success_estimate",
+]

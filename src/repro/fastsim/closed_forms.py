@@ -1,0 +1,77 @@
+"""Closed-form success probabilities for the simple algorithms.
+
+For several of the paper's algorithms the success event factorises over
+independent per-phase events, giving *exact* closed forms that the
+experiment harness can sweep instantly and that the reference engine is
+validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro._validation import check_positive_int, check_probability
+from repro.analysis.chernoff import binomial_tail_le
+from repro.core.flooding import flooding_line_length
+from repro.graphs.bfs import SpanningTree
+
+__all__ = [
+    "simple_omission_success_probability",
+    "internal_node_count",
+    "line_flooding_success_probability",
+    "flooding_success_lower_bound",
+]
+
+
+def internal_node_count(tree: SpanningTree) -> int:
+    """Number of tree nodes with at least one child."""
+    return sum(
+        1 for node in tree.topology.nodes if not tree.is_leaf(node)
+    )
+
+
+def simple_omission_success_probability(tree: SpanningTree, phase_length: int,
+                                        p: float) -> float:
+    """Exact success probability of Simple-Omission on ``tree``.
+
+    A child is informed iff its parent's phase contains at least one
+    non-faulty step — one independent Bernoulli event *per internal
+    node* (all children of a node share their parent's phase), each
+    succeeding with probability ``1 - p^m``.  Success is the
+    conjunction: ``(1 - p^m)^{#internal}``.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    internals = internal_node_count(tree)
+    return (1.0 - p ** phase_length) ** internals
+
+
+def line_flooding_success_probability(length: int, rounds: int,
+                                      p: float) -> float:
+    """Exact success probability of flooding a line of ``length`` edges.
+
+    The informed front advances by one per non-faulty round of the
+    front node, so the front position after ``R`` rounds is
+    ``Bin(R, 1-p)`` and success is ``P[Bin(R, 1-p) >= length]``
+    (Lemma 3.1's event, computed exactly instead of bounded).
+    """
+    length = check_positive_int(length, "length")
+    rounds = check_positive_int(rounds, "rounds")
+    p = check_probability(p, "p", allow_zero=True)
+    return 1.0 - binomial_tail_le(rounds, length - 1, 1.0 - p)
+
+
+def flooding_success_lower_bound(tree: SpanningTree, rounds: int, p: float,
+                                 padded_length: Optional[int] = None) -> float:
+    """Theorem 3.1's union bound on flooding success over a tree.
+
+    Every branch behaves like a line no longer than the padded length
+    ``L = D + ⌈log n⌉``; a union bound over the leaves gives
+    ``success >= 1 - #leaves · P[Bin(R, 1-p) < L]``.
+    """
+    if padded_length is None:
+        padded_length = flooding_line_length(tree.topology.order, tree.height)
+    leaf_count = len(tree.leaves())
+    branch_failure = binomial_tail_le(rounds, padded_length - 1, 1.0 - p)
+    return max(0.0, 1.0 - leaf_count * branch_failure)

@@ -1,0 +1,168 @@
+"""Vectorised Monte-Carlo samplers for the tree algorithms.
+
+The reference engine simulates every round of every node — perfect for
+correctness, far too slow for 10⁴-trial sweeps over dozens of
+parameter points.  These samplers exploit the algorithms' structure to
+sample the *success event* directly:
+
+* **Simple-Malicious** (either model) — correctness propagates down
+  the tree as a Markov chain: conditioned on the parent's decided
+  value, a node's vote outcome depends only on its own phase's fault
+  pattern.  Per (trial, node) one trinomial draw suffices.
+* **Flooding** (Theorem 3.1) — per-round faults are i.i.d., so the
+  delay from a node's informing to its successful relay is geometric,
+  shared by all of its children (they listen to the same transmitter);
+  a node's informed time is the sum of geometric delays along its
+  ancestor path.
+
+Every sampler is cross-validated against the reference engine in
+``tests/test_fastsim_agreement.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_probability
+from repro.graphs.bfs import SpanningTree
+from repro.rng import as_stream
+
+__all__ = [
+    "sample_simple_malicious_mp",
+    "sample_simple_malicious_radio",
+    "sample_flooding_times",
+    "sample_flooding_success",
+]
+
+
+def _nodes_in_topdown_order(tree: SpanningTree):
+    """Non-root nodes ordered so parents precede children."""
+    return [node for node in tree.order if node != tree.root]
+
+
+def sample_simple_malicious_mp(tree: SpanningTree, phase_length: int, p: float,
+                               trials: int, seed_or_stream=0) -> np.ndarray:
+    """Success indicators for Simple-Malicious + complement adversary (MP).
+
+    Message convention: ``Ms = 1``, default ``0``.  The fault pattern of
+    a node's phase is shared by *all* of its children (they listen to
+    the same ``m`` rounds, and the complement adversary flips the whole
+    per-round transmission), so siblings decide identically: the
+    success event factorises into one Bernoulli event per **internal**
+    node, exactly as in the reference engine.  Conditioned on the
+    parent being correct, the children err when flipped receptions
+    reach half of the window; conditioned on it being wrong, only
+    ``> m/2`` flips rescue them (a tie falls to the default 0 = the
+    wrong value for ``Ms = 1``).
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    m = phase_length
+    half = m / 2.0
+    correct = {tree.root: np.ones(trials, dtype=bool)}
+    result = np.ones(trials, dtype=bool)
+    for node in tree.order:
+        children = tree.children(node)
+        if not children:
+            continue
+        parent_correct = correct[node]
+        flips = generator.binomial(m, p, size=trials)
+        children_correct = np.where(parent_correct, flips < half, flips > half)
+        result &= children_correct
+        for child in children:
+            correct[child] = children_correct
+    return result
+
+
+def sample_simple_malicious_radio(tree: SpanningTree, phase_length: int,
+                                  p: float, trials: int,
+                                  seed_or_stream=0) -> np.ndarray:
+    """Success indicators for Simple-Malicious in the radio model.
+
+    This samples the *analysis model* of the Theorem 2.4 proof: per
+    listening step a node independently hears the correct bit with
+    probability ``good = (1-p)^{d+1}`` (its whole closed neighbourhood
+    fault-free), the flipped bit with probability ``bad = p`` (the
+    scheduled parent faulty, the adversary flipping while others stay
+    silent), and silence otherwise; the vote errs when bad receptions
+    tie or beat good ones (roles swap when the parent itself is wrong).
+    Per-node trinomials are drawn independently — the proof's per-node
+    bound — whereas a concrete engine adversary induces sibling
+    correlations; both sides of the threshold are unaffected because
+    the per-node marginals coincide.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    m = phase_length
+    topology = tree.topology
+    correct = {tree.root: np.ones(trials, dtype=bool)}
+    for node in _nodes_in_topdown_order(tree):
+        degree = topology.degree(node)
+        good = (1.0 - p) ** (degree + 1)
+        bad = p
+        if good + bad > 1.0:
+            raise ValueError(
+                f"inconsistent trinomial at node {node}: good {good} + bad {bad} > 1"
+            )
+        draws = generator.multinomial(m, [good, bad, 1.0 - good - bad],
+                                      size=trials)
+        good_count = draws[:, 0]
+        bad_count = draws[:, 1]
+        parent_correct = correct[tree.parent[node]]
+        # Parent correct: good receptions carry Ms=1, vote right iff
+        # good > bad (tie -> default 0 = wrong).  Parent wrong: swapped.
+        correct[node] = np.where(
+            parent_correct, good_count > bad_count, bad_count > good_count
+        )
+    result = np.ones(trials, dtype=bool)
+    for node in topology.nodes:
+        if node != tree.root:
+            result &= correct[node]
+    return result
+
+
+def sample_flooding_times(tree: SpanningTree, p: float, trials: int,
+                          seed_or_stream=0) -> np.ndarray:
+    """Broadcast completion times of flooding (rounds until all informed).
+
+    ``result[k]`` is trial ``k``'s completion round: the maximum over
+    nodes of the sum of geometric(1-p) relay delays along the node's
+    ancestor path (one shared delay per internal node, drawn after that
+    node becomes informed — valid by memorylessness of the i.i.d.
+    per-round faults).
+    """
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    informed_time = {tree.root: np.zeros(trials, dtype=np.int64)}
+    completion = np.zeros(trials, dtype=np.int64)
+    relay_delay = {}
+    for node in tree.order:
+        if tree.is_leaf(node):
+            continue
+        if p == 0.0:
+            relay_delay[node] = np.ones(trials, dtype=np.int64)
+        else:
+            relay_delay[node] = generator.geometric(1.0 - p, size=trials)
+    for node in _nodes_in_topdown_order(tree):
+        parent = tree.parent[node]
+        informed_time[node] = informed_time[parent] + relay_delay[parent]
+        np.maximum(completion, informed_time[node], out=completion)
+    return completion
+
+
+def sample_flooding_success(tree: SpanningTree, rounds: int, p: float,
+                            trials: int, seed_or_stream=0) -> np.ndarray:
+    """Success indicators for flooding run for a fixed round budget."""
+    rounds = check_positive_int(rounds, "rounds")
+    times = sample_flooding_times(tree, p, trials, seed_or_stream)
+    return times <= rounds

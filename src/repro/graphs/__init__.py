@@ -1,0 +1,52 @@
+"""Graph substrate: topologies, builders, BFS trees, the lower-bound graph.
+
+See :mod:`repro.graphs.topology` for the core immutable graph type,
+:mod:`repro.graphs.builders` for the standard families, and
+:mod:`repro.graphs.layered` for the Section 3 lower-bound construction.
+"""
+
+from repro.graphs.bfs import SpanningTree, bfs_tree
+from repro.graphs.builders import (
+    barbell,
+    binary_tree,
+    caterpillar,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    kary_tree,
+    line,
+    random_regular,
+    random_tree,
+    ring,
+    spider,
+    star,
+    torus,
+    two_node,
+)
+from repro.graphs.layered import LayeredGraph, layered_graph
+from repro.graphs.topology import Topology
+
+__all__ = [
+    "Topology",
+    "SpanningTree",
+    "bfs_tree",
+    "LayeredGraph",
+    "layered_graph",
+    "line",
+    "two_node",
+    "ring",
+    "star",
+    "complete",
+    "grid",
+    "torus",
+    "hypercube",
+    "binary_tree",
+    "kary_tree",
+    "spider",
+    "caterpillar",
+    "barbell",
+    "random_tree",
+    "erdos_renyi",
+    "random_regular",
+]

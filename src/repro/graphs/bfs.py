@@ -1,0 +1,175 @@
+"""Spanning trees and level-ordered enumerations.
+
+The paper's naive algorithms (Section 2) broadcast along a spanning tree
+``T`` rooted at the source, with the nodes enumerated ``v_1 .. v_n`` "by
+nondecreasing distance from s in T", so the enumeration respects the
+levels of ``T``.  This module constructs BFS spanning trees (the choice
+used by Theorems 3.1/3.2 as well) and exposes exactly that enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._validation import check_node
+from repro.graphs.topology import Topology
+
+__all__ = ["SpanningTree", "bfs_tree"]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted spanning tree of a topology.
+
+    Attributes
+    ----------
+    topology:
+        The underlying network.
+    root:
+        The broadcast source ``s``.
+    parent:
+        ``parent[v]`` is the tree parent of ``v`` (``None`` for the root).
+    depth:
+        ``depth[v]`` is the tree distance from the root.
+    order:
+        The enumeration ``v_1 .. v_n`` (level order, ties by node id) as
+        required by Algorithms Simple-Omission / Simple-Malicious.
+    """
+
+    topology: Topology
+    root: int
+    parent: Tuple[Optional[int], ...]
+    depth: Tuple[int, ...]
+    order: Tuple[int, ...]
+    _children: Dict[int, Tuple[int, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        children: Dict[int, List[int]] = {node: [] for node in self.topology.nodes}
+        for node, par in enumerate(self.parent):
+            if par is not None:
+                children[par].append(node)
+        frozen = {node: tuple(sorted(kids)) for node, kids in children.items()}
+        object.__setattr__(self, "_children", frozen)
+
+    # -- structure ------------------------------------------------------
+    def children(self, node: int) -> Tuple[int, ...]:
+        """Sorted tuple of tree children of ``node``."""
+        return self._children[check_node(node, self.topology.order)]
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` has no children."""
+        return not self.children(node)
+
+    @property
+    def height(self) -> int:
+        """Tree height — equals the radius ``D`` for a BFS tree."""
+        return max(self.depth)
+
+    def rank(self, node: int) -> int:
+        """Position of ``node`` in the enumeration (0-based: ``v_{rank+1}``)."""
+        return self.order.index(node)
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Nodes from ``node`` up to and including the root."""
+        node = check_node(node, self.topology.order)
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def branch(self, leaf: int) -> List[int]:
+        """Root-to-``leaf`` branch (the line the Thm 3.1/3.2 analyses use)."""
+        return list(reversed(self.path_to_root(leaf)))
+
+    def leaves(self) -> List[int]:
+        """All leaves of the tree."""
+        return [node for node in self.topology.nodes if self.is_leaf(node)]
+
+    def subtree_nodes(self, node: int) -> List[int]:
+        """All nodes in the subtree rooted at ``node`` (preorder)."""
+        stack = [check_node(node, self.topology.order)]
+        result = []
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(reversed(self.children(current)))
+        return result
+
+    def as_topology(self, name: str = "") -> Topology:
+        """The tree itself as a :class:`Topology` (tree edges only)."""
+        edges = [
+            (node, par) for node, par in enumerate(self.parent) if par is not None
+        ]
+        return Topology(
+            self.topology.order, edges,
+            name=name or f"{self.topology.name}-bfs-tree",
+        )
+
+    def validate(self) -> None:
+        """Check the spanning-tree invariants; raise ``ValueError`` if broken."""
+        n = self.topology.order
+        if len(self.parent) != n or len(self.depth) != n or len(self.order) != n:
+            raise ValueError("parent/depth/order must all have length n")
+        if self.parent[self.root] is not None or self.depth[self.root] != 0:
+            raise ValueError("root must have no parent and depth 0")
+        for node, par in enumerate(self.parent):
+            if node == self.root:
+                continue
+            if par is None:
+                raise ValueError(f"non-root node {node} lacks a parent")
+            if not self.topology.has_edge(node, par):
+                raise ValueError(f"tree edge ({par}, {node}) is not a graph edge")
+            if self.depth[node] != self.depth[par] + 1:
+                raise ValueError(f"depth invariant broken at node {node}")
+        if sorted(self.order) != list(range(n)):
+            raise ValueError("order must be a permutation of all nodes")
+        for earlier, later in zip(self.order, self.order[1:]):
+            if self.depth[earlier] > self.depth[later]:
+                raise ValueError("order must be nondecreasing in depth")
+        if self.order[0] != self.root:
+            raise ValueError("enumeration must start at the root")
+
+
+def bfs_tree(topology: Topology, source: int) -> SpanningTree:
+    """Breadth-first spanning tree rooted at ``source``.
+
+    Children adopt the smallest-id eligible parent, making the
+    construction deterministic.  The returned enumeration lists nodes in
+    level order with ties broken by node id — a valid ``v_1 .. v_n``
+    enumeration for the Section 2 algorithms.
+    """
+    source = check_node(source, topology.order, "source")
+    parent: List[Optional[int]] = [None] * topology.order
+    depth = [-1] * topology.order
+    depth[source] = 0
+    frontier = [source]
+    visit_order = [source]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbour in topology.neighbors(node):
+                if depth[neighbour] < 0:
+                    depth[neighbour] = depth[node] + 1
+                    parent[neighbour] = node
+                    next_frontier.append(neighbour)
+        next_frontier.sort()
+        visit_order.extend(next_frontier)
+        frontier = next_frontier
+    if any(d < 0 for d in depth):
+        missing = [node for node, d in enumerate(depth) if d < 0]
+        raise ValueError(
+            f"graph {topology.name!r} is not connected: nodes {missing[:5]} "
+            f"unreachable from source {source}"
+        )
+    tree = SpanningTree(
+        topology=topology,
+        root=source,
+        parent=tuple(parent),
+        depth=tuple(depth),
+        order=tuple(visit_order),
+    )
+    tree.validate()
+    return tree

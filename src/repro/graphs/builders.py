@@ -1,0 +1,284 @@
+"""Standard topology builders.
+
+These cover every graph family used by the paper's arguments and by the
+experiment harness: lines (the substrate of Lemmas 3.1/3.2), stars (the
+impossibility graph of Theorem 2.4), bounded-degree trees and grids
+(message-passing benchmarks), spiders (radio benchmarks), hypercubes,
+and random graphs for robustness sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro._validation import check_non_negative_int, check_positive_int
+from repro.graphs.topology import Topology
+from repro.rng import RngStream, as_stream
+
+__all__ = [
+    "line",
+    "ring",
+    "star",
+    "complete",
+    "grid",
+    "torus",
+    "hypercube",
+    "binary_tree",
+    "kary_tree",
+    "spider",
+    "caterpillar",
+    "barbell",
+    "random_tree",
+    "erdos_renyi",
+    "random_regular",
+    "two_node",
+]
+
+
+def line(length: int) -> Topology:
+    """A path with ``length`` edges (``length + 1`` nodes ``0..length``).
+
+    Node 0 is the conventional source endpoint, matching the lines of
+    Lemmas 3.1 and 3.2.
+    """
+    length = check_positive_int(length, "length")
+    edges = [(i, i + 1) for i in range(length)]
+    return Topology(length + 1, edges, name=f"line-{length}")
+
+
+def two_node() -> Topology:
+    """The 2-node graph of Theorem 2.3 (source 0, receiver 1)."""
+    return Topology(2, [(0, 1)], name="two-node")
+
+
+def ring(order: int) -> Topology:
+    """A cycle on ``order`` >= 3 nodes."""
+    order = check_positive_int(order, "order")
+    if order < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {order}")
+    edges = [(i, (i + 1) % order) for i in range(order)]
+    return Topology(order, edges, name=f"ring-{order}")
+
+
+def star(leaves: int, source_is_center: bool = True) -> Topology:
+    """A star with ``leaves`` leaves.
+
+    When ``source_is_center`` is True the center is node 0 (the natural
+    broadcast source).  When False, node 0 is a *leaf* and the center is
+    node 1 — the layout of the Theorem 2.4 impossibility proof, where
+    the source ``s`` is one of the leaves and ``v`` is the star root.
+    """
+    leaves = check_positive_int(leaves, "leaves")
+    order = leaves + 1
+    if source_is_center:
+        edges = [(0, i) for i in range(1, order)]
+        name = f"star-{leaves}"
+    else:
+        center = 1
+        edges = [(center, node) for node in range(order) if node != center]
+        name = f"leafstar-{leaves}"
+    return Topology(order, edges, name=name)
+
+
+def complete(order: int) -> Topology:
+    """The complete graph ``K_order``."""
+    order = check_positive_int(order, "order")
+    edges = [(u, v) for u in range(order) for v in range(u + 1, order)]
+    return Topology(order, edges, name=f"complete-{order}")
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` grid; node ``(r, c)`` is ``r * cols + c``."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Topology(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` torus (grid with wrap-around, sizes >= 3)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs both dimensions >= 3 to avoid multi-edges")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            edges.append((node, r * cols + (c + 1) % cols))
+            edges.append((node, ((r + 1) % rows) * cols + c))
+    return Topology(rows * cols, edges, name=f"torus-{rows}x{cols}")
+
+
+def hypercube(dimension: int) -> Topology:
+    """The ``dimension``-dimensional hypercube on ``2**dimension`` nodes."""
+    dimension = check_positive_int(dimension, "dimension")
+    order = 1 << dimension
+    edges = [
+        (node, node ^ (1 << bit))
+        for node in range(order)
+        for bit in range(dimension)
+        if node < node ^ (1 << bit)
+    ]
+    return Topology(order, edges, name=f"hypercube-{dimension}")
+
+
+def binary_tree(depth: int) -> Topology:
+    """Complete binary tree of the given ``depth`` (root = node 0)."""
+    return kary_tree(2, depth)
+
+
+def kary_tree(arity: int, depth: int) -> Topology:
+    """Complete ``arity``-ary tree of the given ``depth`` (root = node 0)."""
+    arity = check_positive_int(arity, "arity")
+    depth = check_non_negative_int(depth, "depth")
+    order = sum(arity ** level for level in range(depth + 1))
+    edges = []
+    for node in range(1, order):
+        parent = (node - 1) // arity
+        edges.append((parent, node))
+    return Topology(max(order, 1), edges, name=f"{arity}ary-tree-{depth}")
+
+
+def spider(legs: int, leg_length: int) -> Topology:
+    """``legs`` disjoint paths of ``leg_length`` edges glued at node 0.
+
+    A classic radio benchmark: broadcast from the hub must serialise
+    collisions only near the hub.
+    """
+    legs = check_positive_int(legs, "legs")
+    leg_length = check_positive_int(leg_length, "leg_length")
+    edges: List[Tuple[int, int]] = []
+    next_node = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            edges.append((previous, next_node))
+            previous = next_node
+            next_node += 1
+    return Topology(next_node, edges, name=f"spider-{legs}x{leg_length}")
+
+
+def caterpillar(spine: int, legs_per_node: int) -> Topology:
+    """A path of ``spine`` edges with ``legs_per_node`` leaves per spine node."""
+    spine = check_positive_int(spine, "spine")
+    legs_per_node = check_non_negative_int(legs_per_node, "legs_per_node")
+    edges = [(i, i + 1) for i in range(spine)]
+    next_node = spine + 1
+    for spine_node in range(spine + 1):
+        for _ in range(legs_per_node):
+            edges.append((spine_node, next_node))
+            next_node += 1
+    return Topology(next_node, edges, name=f"caterpillar-{spine}+{legs_per_node}")
+
+
+def barbell(clique: int, bridge: int) -> Topology:
+    """Two ``clique``-cliques joined by a path of ``bridge`` edges."""
+    clique = check_positive_int(clique, "clique")
+    bridge = check_positive_int(bridge, "bridge")
+    if clique < 2:
+        raise ValueError("barbell cliques need at least 2 nodes")
+    edges = [(u, v) for u in range(clique) for v in range(u + 1, clique)]
+    offset = clique + bridge - 1
+    edges += [
+        (offset + u, offset + v) for u in range(clique) for v in range(u + 1, clique)
+    ]
+    path_nodes = [clique - 1] + list(range(clique, clique + bridge - 1)) + [offset]
+    edges += [(path_nodes[i], path_nodes[i + 1]) for i in range(len(path_nodes) - 1)]
+    order = 2 * clique + bridge - 1
+    return Topology(order, edges, name=f"barbell-{clique}-{bridge}")
+
+
+def random_tree(order: int, seed_or_stream, max_degree: Optional[int] = None) -> Topology:
+    """A uniform-attachment random tree on ``order`` nodes, root 0.
+
+    Each node ``i >= 1`` attaches to a uniformly random earlier node,
+    optionally restricted to nodes whose degree is below ``max_degree``
+    (yielding bounded-degree trees for the Theorem 2.4 sweeps).
+    """
+    order = check_positive_int(order, "order")
+    stream = as_stream(seed_or_stream)
+    degrees = [0] * order
+    edges: List[Tuple[int, int]] = []
+    for node in range(1, order):
+        candidates = [
+            earlier for earlier in range(node)
+            if max_degree is None or degrees[earlier] < max_degree
+        ]
+        if not candidates:
+            raise ValueError(
+                f"cannot attach node {node}: every earlier node is at "
+                f"max_degree={max_degree}"
+            )
+        parent = candidates[int(stream.integers(0, len(candidates)))]
+        edges.append((parent, node))
+        degrees[parent] += 1
+        degrees[node] += 1
+    return Topology(order, edges, name=f"rtree-{order}")
+
+
+def erdos_renyi(order: int, edge_prob: float, seed_or_stream,
+                ensure_connected: bool = True, max_attempts: int = 200) -> Topology:
+    """An Erdős–Rényi ``G(n, p)`` graph, optionally resampled until connected."""
+    order = check_positive_int(order, "order")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValueError(f"edge_prob must lie in [0, 1], got {edge_prob}")
+    stream = as_stream(seed_or_stream)
+    for attempt in range(max_attempts):
+        trial = stream.child("er", attempt)
+        edges = [
+            (u, v)
+            for u in range(order)
+            for v in range(u + 1, order)
+            if trial.bernoulli(edge_prob)
+        ]
+        graph = Topology(order, edges, name=f"er-{order}-{edge_prob:g}")
+        if not ensure_connected or graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"could not sample a connected G({order}, {edge_prob}) in "
+        f"{max_attempts} attempts; raise edge_prob"
+    )
+
+
+def random_regular(order: int, degree: int, seed_or_stream,
+                   max_attempts: int = 500) -> Topology:
+    """A random ``degree``-regular graph via the pairing model.
+
+    Retries until the pairing is simple (no loops / multi-edges) and the
+    graph is connected.
+    """
+    order = check_positive_int(order, "order")
+    degree = check_positive_int(degree, "degree")
+    if order * degree % 2 != 0:
+        raise ValueError(f"order * degree must be even, got {order} * {degree}")
+    if degree >= order:
+        raise ValueError(f"degree {degree} must be below order {order}")
+    stream = as_stream(seed_or_stream)
+    stubs = [node for node in range(order) for _ in range(degree)]
+    for attempt in range(max_attempts):
+        trial = stream.child("pairing", attempt)
+        permuted = [stubs[i] for i in trial.permutation(len(stubs))]
+        pairs = [
+            (permuted[2 * k], permuted[2 * k + 1]) for k in range(len(permuted) // 2)
+        ]
+        if any(u == v for u, v in pairs):
+            continue
+        canonical = {(min(u, v), max(u, v)) for u, v in pairs}
+        if len(canonical) != len(pairs):
+            continue
+        graph = Topology(order, canonical, name=f"rreg-{order}-{degree}")
+        if graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"could not sample a simple connected {degree}-regular graph on "
+        f"{order} nodes in {max_attempts} attempts"
+    )

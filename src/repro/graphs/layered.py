@@ -1,0 +1,137 @@
+"""The three-layer lower-bound graph of Section 3.
+
+The construction (used by Lemmas 3.3 and 3.4 and Theorem 3.3): let
+``N = 2**m``.  The graph has
+
+* layer ``V1`` — the root/source ``s``;
+* layer ``V2`` — ``m`` "bit" nodes ``b_1 .. b_m``, all adjacent to ``s``;
+* layer ``V3`` — ``N - 1`` nodes identified with the integers
+  ``1 .. N-1``; bit node ``b_i`` is adjacent to every ``v`` whose ``i``-th
+  binary digit is 1.
+
+Altogether ``n = N + log N`` nodes.  Fault-free radio broadcast takes
+exactly ``m + 1`` rounds (Lemma 3.3), while almost-safe broadcast under
+node-omission failures needs ``Ω(log n · log log n / log log log n)``
+rounds (Lemma 3.4).
+
+Node numbering used here: ``s = 0``; ``b_i = i`` for ``1 <= i <= m``
+(so layer-2 node ``i`` carries bit position ``i``); layer-3 value ``v``
+(``1 <= v <= N-1``) is node ``m + v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import List, Set, Tuple
+
+from repro._validation import check_positive_int
+from repro.graphs.topology import Topology
+
+__all__ = ["LayeredGraph", "layered_graph"]
+
+
+@dataclass(frozen=True)
+class LayeredGraph:
+    """The lower-bound graph ``G(m)`` together with its layer structure.
+
+    Attributes
+    ----------
+    m:
+        Number of bit nodes; ``N = 2**m``.
+    topology:
+        The underlying :class:`Topology` on ``n = 2**m + m`` nodes.
+    """
+
+    m: int
+    topology: Topology
+
+    # -- node naming ----------------------------------------------------
+    @property
+    def source(self) -> int:
+        """The root ``s`` (node 0)."""
+        return 0
+
+    @property
+    def n_values(self) -> int:
+        """``N = 2**m``."""
+        return 1 << self.m
+
+    @property
+    def bit_nodes(self) -> range:
+        """Layer-2 node ids ``b_1 .. b_m`` (= ``1 .. m``)."""
+        return range(1, self.m + 1)
+
+    @property
+    def value_nodes(self) -> range:
+        """Layer-3 node ids (``m+1 .. m+N-1``)."""
+        return range(self.m + 1, self.m + self.n_values)
+
+    def bit_node(self, position: int) -> int:
+        """Node id of ``b_position`` (positions are 1-based as in the paper)."""
+        if not 1 <= position <= self.m:
+            raise ValueError(f"bit position must lie in [1, {self.m}], got {position}")
+        return position
+
+    def value_node(self, value: int) -> int:
+        """Node id of layer-3 value ``value`` (``1 <= value <= N-1``)."""
+        if not 1 <= value < self.n_values:
+            raise ValueError(
+                f"value must lie in [1, {self.n_values - 1}], got {value}"
+            )
+        return self.m + value
+
+    def value_of(self, node: int) -> int:
+        """Inverse of :meth:`value_node`."""
+        value = node - self.m
+        if not 1 <= value < self.n_values:
+            raise ValueError(f"node {node} is not a layer-3 node")
+        return value
+
+    # -- the combinatorics of Lemma 3.4 ---------------------------------
+    def positions(self, value: int) -> Set[int]:
+        """``P_v`` — 1-based positions where ``value``'s binary digits are 1.
+
+        Position ``i`` corresponds to bit ``2**(i-1)``.
+        """
+        if not 1 <= value < self.n_values:
+            raise ValueError(
+                f"value must lie in [1, {self.n_values - 1}], got {value}"
+            )
+        return {i + 1 for i in range(self.m) if value >> i & 1}
+
+    def weight_class(self, ones: int) -> List[int]:
+        """``S_j`` — all layer-3 values with exactly ``ones`` one-bits."""
+        if not 1 <= ones <= self.m:
+            raise ValueError(f"ones must lie in [1, {self.m}], got {ones}")
+        return [
+            value for value in range(1, self.n_values)
+            if bin(value).count("1") == ones
+        ]
+
+    def weight_class_size(self, ones: int) -> int:
+        """``|S_j| = C(m, j)`` without enumerating."""
+        if not 1 <= ones <= self.m:
+            raise ValueError(f"ones must lie in [1, {self.m}], got {ones}")
+        return comb(self.m, ones)
+
+    def is_hit(self, value: int, transmitters: Set[int]) -> bool:
+        """``H(v, t) = 1`` — exactly one transmitting bit node covers ``value``.
+
+        ``transmitters`` holds 1-based bit *positions* (the set ``A_t``).
+        """
+        return len(self.positions(value) & set(transmitters)) == 1
+
+
+def layered_graph(m: int) -> LayeredGraph:
+    """Construct ``G(m)`` for ``m >= 1``."""
+    m = check_positive_int(m, "m")
+    n_values = 1 << m
+    edges: List[Tuple[int, int]] = [(0, bit) for bit in range(1, m + 1)]
+    for value in range(1, n_values):
+        value_id = m + value
+        for position in range(m):
+            if value >> position & 1:
+                edges.append((position + 1, value_id))
+    topology = Topology(m + n_values, edges, name=f"layered-{m}")
+    return LayeredGraph(m=m, topology=topology)

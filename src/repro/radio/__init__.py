@@ -1,0 +1,30 @@
+"""Fault-free radio broadcast scheduling (the ``opt`` benchmark)."""
+
+from repro.radio.closed_form import (
+    complete_schedule,
+    layered_schedule,
+    line_schedule,
+    spider_schedule,
+    star_schedule,
+)
+from repro.radio.exact import (
+    layered_min_layer2_steps,
+    optimal_broadcast_time,
+    optimal_schedule,
+)
+from repro.radio.greedy import greedy_schedule
+from repro.radio.schedule import RadioSchedule, ScheduleSimulation
+
+__all__ = [
+    "RadioSchedule",
+    "ScheduleSimulation",
+    "greedy_schedule",
+    "optimal_schedule",
+    "optimal_broadcast_time",
+    "layered_min_layer2_steps",
+    "line_schedule",
+    "star_schedule",
+    "complete_schedule",
+    "spider_schedule",
+    "layered_schedule",
+]

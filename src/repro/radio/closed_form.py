@@ -1,0 +1,91 @@
+"""Closed-form optimal fault-free radio schedules for known families.
+
+These are the graphs whose fault-free broadcast time ``opt`` the paper
+reasons about directly: the line (``opt = D``), stars (1 or 2 steps),
+the complete graph (1 step), spiders (``opt = D``), and the layered
+lower-bound graph ``G(m)`` (``opt = m + 1``, Lemma 3.3 — the schedule
+here is exactly the one from the lemma's constructive half: "the source
+transmitting in step 0, followed by ``m`` steps in which node ``b_i``
+of layer 2 transmits in step ``i``").
+"""
+
+from __future__ import annotations
+
+from repro.graphs.layered import LayeredGraph
+from repro.graphs.topology import Topology
+from repro.radio.schedule import RadioSchedule
+
+__all__ = [
+    "line_schedule",
+    "star_schedule",
+    "complete_schedule",
+    "spider_schedule",
+    "layered_schedule",
+]
+
+
+def line_schedule(topology: Topology, source: int = 0) -> RadioSchedule:
+    """Relay along a line built by :func:`repro.graphs.builders.line`.
+
+    Node ``i`` transmits at step ``i`` (source at the 0 endpoint); each
+    reception has exactly one transmitting neighbour, so ``opt = D``.
+    """
+    if source != 0:
+        raise ValueError("line_schedule assumes the source is endpoint 0")
+    steps = [[node] for node in range(topology.order - 1)]
+    schedule = RadioSchedule(topology, source, steps)
+    schedule.validate()
+    return schedule
+
+
+def star_schedule(topology: Topology, source: int, center: int) -> RadioSchedule:
+    """Star: 1 step when the source is the center, 2 when it is a leaf."""
+    if source == center:
+        steps = [[center]]
+    else:
+        steps = [[source], [center]]
+    schedule = RadioSchedule(topology, source, steps)
+    schedule.validate()
+    return schedule
+
+
+def complete_schedule(topology: Topology, source: int) -> RadioSchedule:
+    """Complete graph: a single source transmission reaches everyone."""
+    schedule = RadioSchedule(topology, source, [[source]])
+    schedule.validate()
+    return schedule
+
+
+def spider_schedule(topology: Topology, legs: int, leg_length: int) -> RadioSchedule:
+    """Spider with hub source 0: all legs progress in lock-step.
+
+    Step 0: the hub.  Step ``k >= 1``: every depth-``k`` node of every
+    leg transmits; a depth-``k+1`` node hears only its own leg's
+    depth-``k`` node (legs are vertex-disjoint away from the hub), so
+    there are no harmful collisions and ``opt = D = leg_length``.
+    """
+    steps = [[0]]
+    for depth in range(1, leg_length):
+        # Node ids from repro.graphs.builders.spider: leg j occupies
+        # 1 + j*leg_length .. (j+1)*leg_length, depth d at offset d-1.
+        steps.append([
+            1 + leg * leg_length + (depth - 1) for leg in range(legs)
+        ])
+    schedule = RadioSchedule(topology, 0, steps)
+    schedule.validate()
+    return schedule
+
+
+def layered_schedule(graph: LayeredGraph) -> RadioSchedule:
+    """The Lemma 3.3 optimal schedule for ``G(m)``: ``m + 1`` steps.
+
+    Step 0: the source.  Step ``i``: bit node ``b_i`` alone.  A layer-3
+    value ``v`` hears ``b_i`` whenever ``i ∈ P_v``, and every value has
+    at least one one-bit, so all of layer 3 is informed; total length
+    ``m + 1`` matches the lemma's lower bound exactly.
+    """
+    steps = [[graph.source]]
+    steps += [[graph.bit_node(position)] for position in range(1, graph.m + 1)]
+    schedule = RadioSchedule(graph.topology, graph.source, steps)
+    schedule.validate()
+    return schedule

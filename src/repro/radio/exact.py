@@ -1,0 +1,179 @@
+"""Exact optimal radio broadcast scheduling (small graphs).
+
+Two exact tools:
+
+* :func:`optimal_schedule` — breadth-first search over informed-set
+  states for arbitrary small graphs (the transmitter set per step
+  ranges over subsets of the *useful* informed nodes).  Exponential,
+  gated by explicit size limits.
+* :func:`layered_min_layer2_steps` — the specialised exhaustive search
+  used to verify Lemma 3.3: on ``G(m)``, after the source's one
+  transmission, how many layer-2 steps are needed to inform all of
+  layer 3?  Coverage by a set sequence is order-independent, so the
+  search ranges over *multisets* of layer-2 subsets, which keeps
+  ``m <= 5`` comfortably exhaustive.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, combinations_with_replacement
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro._validation import check_node, check_positive_int
+from repro.graphs.layered import LayeredGraph
+from repro.graphs.topology import Topology
+from repro.radio.schedule import RadioSchedule
+
+__all__ = [
+    "optimal_schedule",
+    "optimal_broadcast_time",
+    "layered_min_layer2_steps",
+]
+
+_MAX_EXACT_NODES = 16
+_MAX_USEFUL_TRANSMITTERS = 12
+
+
+def _useful_subsets(topology: Topology,
+                    informed: FrozenSet[int]) -> List[FrozenSet[int]]:
+    """All non-empty subsets of informed nodes with uninformed neighbours."""
+    useful = [
+        node for node in sorted(informed)
+        if any(
+            neighbour not in informed for neighbour in topology.neighbors(node)
+        )
+    ]
+    if len(useful) > _MAX_USEFUL_TRANSMITTERS:
+        raise ValueError(
+            f"exact search infeasible: {len(useful)} useful transmitters "
+            f"(limit {_MAX_USEFUL_TRANSMITTERS})"
+        )
+    subsets: List[FrozenSet[int]] = []
+    for size in range(1, len(useful) + 1):
+        subsets.extend(
+            frozenset(combo) for combo in combinations(useful, size)
+        )
+    return subsets
+
+
+def _advance(topology: Topology, informed: FrozenSet[int],
+             transmitters: FrozenSet[int]) -> FrozenSet[int]:
+    """Informed set after one step with the given transmitters."""
+    fresh = set()
+    for node in topology.nodes:
+        if node in informed or node in transmitters:
+            continue
+        speaking = [
+            neighbour for neighbour in topology.neighbors(node)
+            if neighbour in transmitters
+        ]
+        if len(speaking) == 1:
+            fresh.add(node)
+    return informed | frozenset(fresh)
+
+
+def optimal_schedule(topology: Topology, source: int,
+                     max_steps: Optional[int] = None) -> RadioSchedule:
+    """The shortest fault-free broadcast schedule, by exhaustive BFS.
+
+    Raises ``ValueError`` when the graph exceeds the exact-search
+    limits; use :func:`repro.radio.greedy.greedy_schedule` instead.
+    """
+    source = check_node(source, topology.order, "source")
+    if topology.order > _MAX_EXACT_NODES:
+        raise ValueError(
+            f"exact search limited to {_MAX_EXACT_NODES} nodes, "
+            f"graph has {topology.order}"
+        )
+    if not topology.is_connected():
+        raise ValueError(
+            f"graph {topology.name!r} is not connected; broadcast impossible"
+        )
+    full = frozenset(topology.nodes)
+    start = frozenset({source})
+    if start == full:
+        return RadioSchedule(topology, source, [])
+    # BFS over informed sets; predecessor map reconstructs the schedule.
+    frontier = [start]
+    seen: Dict[FrozenSet[int], Optional[Tuple[FrozenSet[int], FrozenSet[int]]]] = {
+        start: None
+    }
+    depth = 0
+    horizon = max_steps if max_steps is not None else topology.order * 2
+    while frontier:
+        depth += 1
+        if depth > horizon:
+            raise RuntimeError(
+                f"no schedule of length <= {horizon} found "
+                f"(graph {topology.name!r})"
+            )
+        next_frontier: List[FrozenSet[int]] = []
+        for state in frontier:
+            for transmitters in _useful_subsets(topology, state):
+                new_state = _advance(topology, state, transmitters)
+                if new_state == state or new_state in seen:
+                    continue
+                seen[new_state] = (state, transmitters)
+                if new_state == full:
+                    return _reconstruct(topology, source, seen, new_state)
+                next_frontier.append(new_state)
+        frontier = next_frontier
+    raise RuntimeError(
+        f"search space exhausted without covering {topology.name!r}"
+    )
+
+
+def _reconstruct(topology: Topology, source: int, seen, final) -> RadioSchedule:
+    """Rebuild the step sequence from the BFS predecessor map."""
+    steps: List[FrozenSet[int]] = []
+    state = final
+    while seen[state] is not None:
+        predecessor, transmitters = seen[state]
+        steps.append(transmitters)
+        state = predecessor
+    steps.reverse()
+    schedule = RadioSchedule(topology, source, steps)
+    schedule.validate()
+    return schedule
+
+
+def optimal_broadcast_time(topology: Topology, source: int,
+                           max_steps: Optional[int] = None) -> int:
+    """``opt`` — the length of the shortest fault-free schedule."""
+    return optimal_schedule(topology, source, max_steps=max_steps).length
+
+
+def layered_min_layer2_steps(graph: LayeredGraph,
+                             max_steps: Optional[int] = None) -> int:
+    """Minimal number of layer-2 steps covering all of layer 3 in ``G(m)``.
+
+    Lemma 3.3 asserts this is exactly ``m`` (so ``opt = m + 1`` with the
+    source's step).  A layer-3 value ``v`` is covered by a step with
+    transmitter set ``A ⊆ {1..m}`` iff ``|A ∩ P_v| = 1``; coverage is
+    order-independent, so the search enumerates multisets of subsets.
+    Exhaustive for ``m <= 5`` (beyond that the multiset space explodes).
+    """
+    m = graph.m
+    check_positive_int(m, "m")
+    if m > 5:
+        raise ValueError(
+            f"exhaustive layer-2 search limited to m <= 5, got m = {m}"
+        )
+    values = list(range(1, graph.n_values))
+    position_sets = {value: graph.positions(value) for value in values}
+    all_subsets = [
+        frozenset(combo)
+        for size in range(1, m + 1)
+        for combo in combinations(range(1, m + 1), size)
+    ]
+    limit = max_steps if max_steps is not None else m
+    for step_count in range(1, limit + 1):
+        for multiset in combinations_with_replacement(all_subsets, step_count):
+            if all(
+                any(len(subset & position_sets[value]) == 1 for subset in multiset)
+                for value in values
+            ):
+                return step_count
+    raise RuntimeError(
+        f"no covering multiset of <= {limit} layer-2 steps exists for m={m}"
+    )

@@ -1,0 +1,182 @@
+"""Fault-free radio broadcast schedules.
+
+A schedule is the object Theorem 3.4 starts from: a sequence of
+transmitter sets ``A_1 .. A_τ`` such that, under fault-free radio
+semantics, every node ends up informed.  The schedule also induces the
+functions the repetition algorithms need: ``p(v)`` — "the node from
+which ``v`` gets the source message in algorithm ``A``" — and the step
+at which that happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._validation import check_node
+from repro.graphs.topology import Topology
+
+__all__ = ["ScheduleSimulation", "RadioSchedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleSimulation:
+    """Outcome of running a schedule under fault-free radio semantics.
+
+    Attributes
+    ----------
+    informed_step:
+        ``v -> step index`` at which ``v`` first heard the message
+        (``-1`` for the source, which starts informed).
+    parent:
+        ``v -> p(v)``, the unique transmitter ``v`` heard at that step
+        (absent for the source).
+    informed:
+        All informed nodes after the final step.
+    """
+
+    informed_step: Dict[int, int]
+    parent: Dict[int, int]
+    informed: FrozenSet[int]
+
+    def covers(self, topology: Topology) -> bool:
+        """Whether every node of ``topology`` ends up informed."""
+        return len(self.informed) == topology.order
+
+
+class RadioSchedule:
+    """An explicit fault-free broadcast schedule ``A_1 .. A_τ``.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    source:
+        The broadcast source (informed before step 0).
+    steps:
+        Iterable of transmitter sets, one per step (0-indexed here;
+        the paper's ``A_t`` is ``steps[t-1]``).
+    """
+
+    def __init__(self, topology: Topology, source: int,
+                 steps: Iterable[Iterable[int]]):
+        self._topology = topology
+        self._source = check_node(source, topology.order, "source")
+        self._steps: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(check_node(node, topology.order) for node in step)
+            for step in steps
+        )
+        self._simulation: Optional[ScheduleSimulation] = None
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The network the schedule runs on."""
+        return self._topology
+
+    @property
+    def source(self) -> int:
+        """The broadcast source."""
+        return self._source
+
+    @property
+    def steps(self) -> Tuple[FrozenSet[int], ...]:
+        """The transmitter sets, step by step."""
+        return self._steps
+
+    @property
+    def length(self) -> int:
+        """Number of steps ``τ``."""
+        return len(self._steps)
+
+    def transmitters(self, step: int) -> FrozenSet[int]:
+        """The set ``A_{step+1}`` (0-indexed access)."""
+        return self._steps[step]
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __repr__(self) -> str:
+        return (f"RadioSchedule(graph={self._topology.name!r}, "
+                f"source={self._source}, length={self.length})")
+
+    # -- semantics ------------------------------------------------------
+    def simulate(self) -> ScheduleSimulation:
+        """Run the schedule fault-free and record who informs whom.
+
+        Results are cached; schedules are immutable.
+        """
+        if self._simulation is not None:
+            return self._simulation
+        topology = self._topology
+        informed: Set[int] = {self._source}
+        informed_step: Dict[int, int] = {self._source: -1}
+        parent: Dict[int, int] = {}
+        for index, transmitters in enumerate(self._steps):
+            hearers: List[Tuple[int, int]] = []
+            for node in topology.nodes:
+                if node in transmitters or node in informed:
+                    continue
+                speaking = [
+                    neighbour for neighbour in topology.neighbors(node)
+                    if neighbour in transmitters
+                ]
+                if len(speaking) == 1:
+                    hearers.append((node, speaking[0]))
+            for node, speaker in hearers:
+                informed.add(node)
+                informed_step[node] = index
+                parent[node] = speaker
+        self._simulation = ScheduleSimulation(
+            informed_step=informed_step,
+            parent=parent,
+            informed=frozenset(informed),
+        )
+        return self._simulation
+
+    def validate(self) -> None:
+        """Check structural validity; raise ``ValueError`` if broken.
+
+        Requirements: every transmitter must already be informed when
+        it transmits (an uninformed node has nothing to send), and the
+        schedule must inform every node.
+        """
+        informed: Set[int] = {self._source}
+        for index, transmitters in enumerate(self._steps):
+            uninformed_transmitters = transmitters - informed
+            if uninformed_transmitters:
+                raise ValueError(
+                    f"step {index}: transmitters {sorted(uninformed_transmitters)} "
+                    f"are not yet informed"
+                )
+            for node in self._topology.nodes:
+                if node in transmitters or node in informed:
+                    continue
+                speaking = [
+                    neighbour for neighbour in self._topology.neighbors(node)
+                    if neighbour in transmitters
+                ]
+                if len(speaking) == 1:
+                    informed.add(node)
+        if len(informed) != self._topology.order:
+            missing = sorted(set(self._topology.nodes) - informed)
+            raise ValueError(
+                f"schedule does not inform nodes {missing[:10]} "
+                f"({len(missing)} total)"
+            )
+
+    def is_valid(self) -> bool:
+        """Validity as a boolean (see :meth:`validate`)."""
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+    def prefix(self, length: int) -> "RadioSchedule":
+        """The schedule truncated to its first ``length`` steps."""
+        if not 0 <= length <= self.length:
+            raise ValueError(
+                f"prefix length must lie in [0, {self.length}], got {length}"
+            )
+        return RadioSchedule(self._topology, self._source, self._steps[:length])

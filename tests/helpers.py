@@ -1,0 +1,56 @@
+"""Shared test helpers: scripted protocols for exercising the engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.protocol import Algorithm, Protocol
+from repro.graphs.topology import Topology
+
+
+class ScriptedProtocol(Protocol):
+    """Plays back a fixed per-round intent script and records deliveries."""
+
+    def __init__(self, script: Sequence[Any]):
+        self._script = list(script)
+        self.received: List[Any] = []
+
+    def intent(self, round_index: int):
+        if round_index < len(self._script):
+            return self._script[round_index]
+        return None
+
+    def deliver(self, round_index: int, received) -> None:
+        self.received.append(received)
+
+    def output(self) -> Any:
+        return self.received
+
+
+class ScriptedAlgorithm(Algorithm):
+    """An Algorithm whose nodes play fixed scripts.
+
+    ``scripts`` maps node -> list of per-round intents (missing nodes
+    stay silent).  Protocol instances are cached so tests can inspect
+    ``received`` after the run.
+    """
+
+    def __init__(self, topology: Topology, model: str,
+                 scripts: Dict[int, Sequence[Any]], rounds: Optional[int] = None):
+        super().__init__(topology, model)
+        self._scripts = {node: list(script) for node, script in scripts.items()}
+        if rounds is None:
+            rounds = max(
+                (len(script) for script in self._scripts.values()), default=0
+            )
+        self._rounds = rounds
+        self.instances: Dict[int, ScriptedProtocol] = {}
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def protocol(self, node: int) -> Protocol:
+        instance = ScriptedProtocol(self._scripts.get(node, []))
+        self.instances[node] = instance
+        return instance

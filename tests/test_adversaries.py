@@ -1,0 +1,114 @@
+"""Tests for the concrete adversaries: complement, flip, slowing."""
+
+import pytest
+
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    ComplementAdversary,
+    MaliciousFailures,
+    RandomFlipAdversary,
+    Restriction,
+    SilentAdversary,
+    SlowingAdversary,
+    flip_bit,
+)
+from repro.graphs import line, star
+
+from tests.helpers import ScriptedAlgorithm
+
+
+class TestFlipBit:
+    def test_flips_bits(self):
+        assert flip_bit(0) == 1
+        assert flip_bit(1) == 0
+
+    def test_passes_other_payloads(self):
+        assert flip_bit("hello") == "hello"
+
+
+class TestComplementAdversary:
+    def test_flips_every_faulty_transmission_mp(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: 1}] * 100},
+                                 rounds=100)
+        failure = MaliciousFailures(0.4, ComplementAdversary())
+        result = run_execution(algo, failure, 3)
+        for record in result.trace:
+            payload = record.deliveries[1][0]
+            if 0 in record.faulty:
+                assert payload == 0
+            else:
+                assert payload == 1
+
+    def test_flips_radio_payloads(self):
+        g = star(1)
+        algo = ScriptedAlgorithm(g, RADIO, {0: [1] * 100}, rounds=100)
+        failure = MaliciousFailures(0.4, ComplementAdversary())
+        result = run_execution(algo, failure, 5)
+        for record in result.trace:
+            if 0 in record.faulty:
+                assert record.actual[0] == 0
+
+    def test_silent_nodes_stay_silent(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {}, rounds=50)
+        failure = MaliciousFailures(0.9, ComplementAdversary())
+        result = run_execution(algo, failure, 5)
+        assert all(not record.actual for record in result.trace)
+
+
+class TestRandomFlipAdversary:
+    def test_legal_under_flip_restriction(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: 1}] * 60},
+                                 rounds=60)
+        failure = MaliciousFailures(0.4, RandomFlipAdversary(), Restriction.FLIP)
+        result = run_execution(algo, failure, 3)
+        flipped = sum(
+            1 for record in result.trace if record.deliveries[1][0] == 0
+        )
+        assert flipped == result.trace.fault_count(0)
+
+
+class TestSlowingAdversary:
+    def test_target_above_p_rejected(self):
+        with pytest.raises(ValueError, match="slow failures upwards"):
+            SlowingAdversary(SilentAdversary(), p=0.3, target=0.5)
+
+    def test_effective_rate_property(self):
+        adversary = SlowingAdversary(SilentAdversary(), p=0.8, target=0.4)
+        assert adversary.effective_rate == 0.4
+
+    def test_effective_rate_statistical(self):
+        # Complement inner adversary: flipped rounds are exactly the
+        # effectively-malicious rounds; their rate must match the target.
+        g = line(1)
+        rounds = 4000
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: 1}] * rounds},
+                                 rounds=rounds)
+        inner = ComplementAdversary()
+        failure = MaliciousFailures(
+            0.8, SlowingAdversary(inner, p=0.8, target=0.4)
+        )
+        result = run_execution(algo, failure, 13)
+        flipped = sum(
+            1 for record in result.trace if record.deliveries[1][0] == 0
+        )
+        assert abs(flipped / rounds - 0.4) < 0.03
+
+    def test_slowed_away_nodes_behave_fault_free(self):
+        g = line(1)
+        rounds = 600
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: 1}] * rounds},
+                                 rounds=rounds)
+        failure = MaliciousFailures(
+            0.9, SlowingAdversary(SilentAdversary(), p=0.9, target=0.1)
+        )
+        result = run_execution(algo, failure, 17)
+        delivered = sum(1 for record in result.trace if 1 in record.deliveries)
+        # silent only on effectively-faulty rounds (~10%), not ~90%
+        assert delivered > rounds * 0.8
+
+    def test_describe(self):
+        text = SlowingAdversary(SilentAdversary(), 0.8, 0.5).describe()
+        assert "0.8" in text and "0.5" in text

@@ -1,0 +1,158 @@
+"""Tests for BFS spanning trees and the level-order enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    SpanningTree,
+    bfs_tree,
+    binary_tree,
+    grid,
+    line,
+    random_tree,
+    ring,
+    star,
+)
+
+
+class TestBfsTree:
+    def test_line(self):
+        tree = bfs_tree(line(4), 0)
+        assert tree.parent == (None, 0, 1, 2, 3)
+        assert tree.depth == (0, 1, 2, 3, 4)
+        assert tree.order == (0, 1, 2, 3, 4)
+
+    def test_star_from_center(self):
+        tree = bfs_tree(star(4), 0)
+        assert tree.height == 1
+        assert tree.children(0) == (1, 2, 3, 4)
+
+    def test_star_from_leaf(self):
+        tree = bfs_tree(star(4, source_is_center=False), 0)
+        assert tree.height == 2
+        assert tree.parent[1] == 0
+
+    def test_disconnected_raises(self):
+        from repro.graphs import Topology
+        with pytest.raises(ValueError, match="not connected"):
+            bfs_tree(Topology(3, [(0, 1)]), 0)
+
+    def test_bad_source_raises(self):
+        with pytest.raises(ValueError):
+            bfs_tree(line(3), 9)
+
+    def test_height_equals_radius(self):
+        for g, source in [(grid(4, 5), 0), (ring(9), 2), (binary_tree(4), 0)]:
+            assert bfs_tree(g, source).height == g.radius_from(source)
+
+    def test_enumeration_is_level_order(self):
+        tree = bfs_tree(grid(3, 3), 4)  # center of the grid
+        depths = [tree.depth[node] for node in tree.order]
+        assert depths == sorted(depths)
+        assert tree.order[0] == 4
+
+    def test_deterministic_smallest_parent(self):
+        # In a ring both neighbours of the far node are eligible parents;
+        # the smaller id must win.
+        tree = bfs_tree(ring(4), 0)
+        assert tree.parent[2] == 1
+
+
+class TestSpanningTreeQueries:
+    def setup_method(self):
+        self.tree = bfs_tree(binary_tree(3), 0)
+
+    def test_children(self):
+        assert self.tree.children(0) == (1, 2)
+        assert self.tree.children(1) == (3, 4)
+
+    def test_is_leaf(self):
+        assert self.tree.is_leaf(14)
+        assert not self.tree.is_leaf(0)
+
+    def test_leaves_count(self):
+        assert len(self.tree.leaves()) == 8
+
+    def test_rank(self):
+        assert self.tree.rank(0) == 0
+        assert self.tree.rank(self.tree.order[5]) == 5
+
+    def test_path_to_root(self):
+        path = self.tree.path_to_root(11)
+        assert path[0] == 11 and path[-1] == 0
+        for child, parent in zip(path, path[1:]):
+            assert self.tree.parent[child] == parent
+
+    def test_branch_is_reversed_path(self):
+        assert self.tree.branch(11) == list(reversed(self.tree.path_to_root(11)))
+
+    def test_subtree_nodes(self):
+        sub = self.tree.subtree_nodes(1)
+        assert set(sub) == {1, 3, 4, 7, 8, 9, 10}
+
+    def test_as_topology(self):
+        as_graph = self.tree.as_topology()
+        assert as_graph.size == self.tree.topology.order - 1
+        assert as_graph.is_connected()
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        bfs_tree(grid(3, 4), 0).validate()
+
+    def test_detects_missing_parent(self):
+        g = line(2)
+        broken = SpanningTree(
+            topology=g, root=0, parent=(None, 0, None),
+            depth=(0, 1, 2), order=(0, 1, 2),
+        )
+        with pytest.raises(ValueError, match="lacks a parent"):
+            broken.validate()
+
+    def test_detects_non_edge_parent(self):
+        g = line(2)
+        broken = SpanningTree(
+            topology=g, root=0, parent=(None, 0, 0),
+            depth=(0, 1, 1), order=(0, 1, 2),
+        )
+        with pytest.raises(ValueError, match="not a graph edge"):
+            broken.validate()
+
+    def test_detects_depth_violation(self):
+        g = line(2)
+        broken = SpanningTree(
+            topology=g, root=0, parent=(None, 0, 1),
+            depth=(0, 1, 3), order=(0, 1, 2),
+        )
+        with pytest.raises(ValueError, match="depth invariant"):
+            broken.validate()
+
+    def test_detects_bad_enumeration(self):
+        g = line(2)
+        broken = SpanningTree(
+            topology=g, root=0, parent=(None, 0, 1),
+            depth=(0, 1, 2), order=(0, 2, 1),
+        )
+        with pytest.raises(ValueError, match="nondecreasing"):
+            broken.validate()
+
+
+class TestTreeProperties:
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_random_tree_bfs_invariants(self, order, seed):
+        tree = bfs_tree(random_tree(order, seed), 0)
+        tree.validate()
+        # every node's rank exceeds its parent's rank
+        ranks = {node: rank for rank, node in enumerate(tree.order)}
+        for node, parent in enumerate(tree.parent):
+            if parent is not None:
+                assert ranks[parent] < ranks[node]
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=30, deadline=None)
+    def test_branch_lengths_bounded_by_height(self, order, seed):
+        tree = bfs_tree(random_tree(order, seed), 0)
+        for leaf in tree.leaves():
+            assert len(tree.branch(leaf)) - 1 <= tree.height

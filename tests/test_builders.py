@@ -1,0 +1,219 @@
+"""Tests for the standard topology builders."""
+
+import pytest
+
+from repro.graphs import (
+    barbell,
+    binary_tree,
+    caterpillar,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    kary_tree,
+    line,
+    random_regular,
+    random_tree,
+    ring,
+    spider,
+    star,
+    torus,
+    two_node,
+)
+from repro.rng import RngStream
+
+
+class TestLine:
+    def test_structure(self):
+        g = line(5)
+        assert g.order == 6
+        assert g.size == 5
+        assert g.radius_from(0) == 5
+
+    def test_degrees(self):
+        g = line(5)
+        assert g.degree(0) == 1 and g.degree(5) == 1
+        assert all(g.degree(i) == 2 for i in range(1, 5))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            line(0)
+
+
+class TestTwoNode:
+    def test_structure(self):
+        g = two_node()
+        assert g.order == 2 and g.has_edge(0, 1)
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring(6)
+        assert g.order == 6 and g.size == 6
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            ring(2)
+
+
+class TestStar:
+    def test_center_source(self):
+        g = star(5)
+        assert g.order == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_leaf_source(self):
+        g = star(5, source_is_center=False)
+        assert g.degree(1) == 5  # node 1 is the center
+        assert g.degree(0) == 1  # node 0 (source) is a leaf
+        assert g.has_edge(0, 1)
+
+
+class TestComplete:
+    def test_structure(self):
+        g = complete(5)
+        assert g.size == 10
+        assert g.max_degree() == 4
+        assert g.diameter() == 1
+
+
+class TestGridAndTorus:
+    def test_grid_structure(self):
+        g = grid(3, 4)
+        assert g.order == 12
+        assert g.size == 3 * 3 + 2 * 4  # vertical + horizontal runs
+        assert g.radius_from(0) == 2 + 3
+
+    def test_torus_regular(self):
+        g = torus(3, 4)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_torus_minimum(self):
+        with pytest.raises(ValueError):
+            torus(2, 5)
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube(4)
+        assert g.order == 16
+        assert all(g.degree(v) == 4 for v in g.nodes)
+        assert g.radius_from(0) == 4
+
+
+class TestTrees:
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.order == 15
+        assert g.size == 14
+        assert g.radius_from(0) == 3
+
+    def test_kary_tree(self):
+        g = kary_tree(3, 2)
+        assert g.order == 1 + 3 + 9
+        assert g.degree(0) == 3
+
+    def test_depth_zero(self):
+        assert kary_tree(2, 0).order == 1
+
+
+class TestSpider:
+    def test_structure(self):
+        g = spider(4, 3)
+        assert g.order == 1 + 12
+        assert g.degree(0) == 4
+        assert g.radius_from(0) == 3
+
+    def test_leg_disjointness(self):
+        g = spider(3, 2)
+        # depth-1 nodes of different legs must not be adjacent
+        depth1 = [1, 3, 5]
+        for i, u in enumerate(depth1):
+            for v in depth1[i + 1:]:
+                assert not g.has_edge(u, v)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar(3, 2)
+        assert g.order == 4 + 4 * 2
+        assert g.degree(0) == 3  # one spine neighbour + two legs
+
+
+class TestBarbell:
+    def test_structure(self):
+        g = barbell(4, 3)
+        assert g.order == 2 * 4 + 2
+        assert g.is_connected()
+        assert g.max_degree() == 4
+
+    def test_rejects_tiny_clique(self):
+        with pytest.raises(ValueError):
+            barbell(1, 2)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        g = random_tree(20, 7)
+        assert g.size == 19
+        assert g.is_connected()
+
+    def test_deterministic(self):
+        assert random_tree(15, 7) == random_tree(15, 7)
+
+    def test_seed_changes_tree(self):
+        trees = {random_tree(15, seed) for seed in range(8)}
+        assert len(trees) > 1
+
+    def test_max_degree_respected(self):
+        g = random_tree(30, 3, max_degree=3)
+        assert g.max_degree() <= 3
+
+    def test_infeasible_degree_bound(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            random_tree(4, 0, max_degree=1)
+
+    def test_accepts_stream(self):
+        g = random_tree(10, RngStream(3))
+        assert g.order == 10
+
+
+class TestErdosRenyi:
+    def test_connected_by_default(self):
+        g = erdos_renyi(20, 0.3, 1)
+        assert g.is_connected()
+
+    def test_deterministic(self):
+        assert erdos_renyi(15, 0.3, 5) == erdos_renyi(15, 0.3, 5)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5, 0)
+
+    def test_unconnected_allowed(self):
+        g = erdos_renyi(10, 0.0, 0, ensure_connected=False)
+        assert g.size == 0
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(RuntimeError, match="connected"):
+            erdos_renyi(10, 0.0, 0, max_attempts=3)
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        g = random_regular(12, 3, 2)
+        assert all(g.degree(v) == 3 for v in g.nodes)
+        assert g.is_connected()
+
+    def test_parity_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            random_regular(5, 3, 0)
+
+    def test_degree_too_large(self):
+        with pytest.raises(ValueError, match="below order"):
+            random_regular(4, 4, 0)
+
+    def test_deterministic(self):
+        assert random_regular(10, 3, 4) == random_regular(10, 3, 4)

@@ -1,0 +1,151 @@
+"""Tests for the Chernoff/binomial machinery."""
+
+import math
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chernoff import (
+    binomial_tail_ge,
+    binomial_tail_le,
+    chernoff_tail_above,
+    chernoff_tail_below,
+    hoeffding_tail,
+    majority_error_probability,
+    repetitions_for_all_silent,
+    repetitions_for_majority,
+    union_bound_target,
+)
+
+
+def brute_force_tail_ge(trials, threshold, prob):
+    """Exact tail by direct summation."""
+    k = math.ceil(threshold)
+    return sum(
+        math.comb(trials, i) * prob ** i * (1 - prob) ** (trials - i)
+        for i in range(max(k, 0), trials + 1)
+    )
+
+
+class TestBinomialTails:
+    def test_against_brute_force(self):
+        for trials, prob in product([1, 4, 9, 16], [0.0, 0.2, 0.5, 0.9, 1.0]):
+            for threshold in (0, trials / 2, trials - 1, trials):
+                expected = brute_force_tail_ge(trials, threshold, prob)
+                assert binomial_tail_ge(trials, threshold, prob) == pytest.approx(
+                    expected, abs=1e-12
+                )
+
+    def test_fractional_threshold_rounds_up(self):
+        # P[X >= 2.5] = P[X >= 3]
+        assert binomial_tail_ge(10, 2.5, 0.3) == binomial_tail_ge(10, 3, 0.3)
+
+    def test_le_plus_ge_complementary(self):
+        for trials in (5, 12):
+            for k in range(trials + 1):
+                total = binomial_tail_le(trials, k, 0.4) + binomial_tail_ge(
+                    trials, k + 1, 0.4
+                )
+                assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_edge_thresholds(self):
+        assert binomial_tail_ge(10, 0, 0.5) == 1.0
+        assert binomial_tail_ge(10, 11, 0.5) == 0.0
+        assert binomial_tail_le(10, -1, 0.5) == 0.0
+        assert binomial_tail_le(10, 10, 0.5) == 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tail_in_unit_interval(self, trials, prob):
+        value = binomial_tail_ge(trials, trials / 2, prob)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_tail_monotone_in_threshold(self, trials):
+        values = [binomial_tail_ge(trials, k, 0.37) for k in range(trials + 1)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestMajorityError:
+    def test_single_trial(self):
+        assert majority_error_probability(1, 0.3) == pytest.approx(0.3)
+
+    def test_decreases_with_repetitions_below_half(self):
+        values = [majority_error_probability(m, 0.3) for m in (1, 5, 21, 75)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 1e-3
+
+    def test_does_not_converge_above_half(self):
+        assert majority_error_probability(201, 0.6) > 0.9
+
+    def test_exactly_half_is_coin_flip_ish(self):
+        # with p = 1/2 the tail P[X >= m/2] stays near 1/2 (above, due
+        # to the tie being counted as error)
+        assert 0.5 <= majority_error_probability(100, 0.5) <= 0.6
+
+
+class TestChernoffForms:
+    def test_hoeffding_dominates_exact(self):
+        # P[Bin(n, .5) >= .5n + dev*n] <= exp(-2 n dev^2)
+        n, dev = 100, 0.1
+        exact = binomial_tail_ge(n, n * (0.5 + dev), 0.5)
+        assert exact <= hoeffding_tail(n, dev)
+
+    def test_chernoff_below_dominates_exact(self):
+        n, p, frac = 200, 0.4, 0.5
+        exact = binomial_tail_le(n, (1 - frac) * n * p, p)
+        assert exact <= chernoff_tail_below(n, p, frac)
+
+    def test_chernoff_above_dominates_exact(self):
+        n, p, frac = 200, 0.4, 0.5
+        exact = binomial_tail_ge(n, (1 + frac) * n * p, p)
+        assert exact <= chernoff_tail_above(n, p, frac)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_tail_below(10, 0.5, 1.5)
+
+
+class TestRepetitionCalculators:
+    def test_all_silent_requirement(self):
+        m = repetitions_for_all_silent(0.3, 1e-4)
+        assert 0.3 ** m <= 1e-4
+        assert 0.3 ** (m - 1) > 1e-4  # minimality
+
+    def test_all_silent_p_zero(self):
+        assert repetitions_for_all_silent(0.0, 0.01) == 1
+
+    def test_majority_requirement_and_minimality(self):
+        m = repetitions_for_majority(0.3, 1e-6)
+        assert majority_error_probability(m, 0.3) <= 1e-6
+        assert majority_error_probability(m - 1, 0.3) > 1e-6
+
+    def test_majority_rejects_half(self):
+        with pytest.raises(ValueError, match="1/2"):
+            repetitions_for_majority(0.5, 0.01)
+
+    def test_majority_single_when_easy(self):
+        assert repetitions_for_majority(0.001, 0.01) == 1
+
+    def test_growth_is_logarithmic(self):
+        # doubling the exponent of the target should roughly double m
+        m1 = repetitions_for_majority(0.3, 1e-4)
+        m2 = repetitions_for_majority(0.3, 1e-8)
+        assert 1.5 < m2 / m1 < 2.6
+
+
+class TestUnionBoundTarget:
+    def test_default_square(self):
+        assert union_bound_target(10) == pytest.approx(0.01)
+
+    def test_custom_power(self):
+        assert union_bound_target(10, 3.0) == pytest.approx(0.001)
+
+    def test_single_node(self):
+        assert union_bound_target(1) == 0.25

@@ -1,0 +1,115 @@
+"""Tests for Monte-Carlo estimation and confidence intervals."""
+
+import pytest
+
+from repro.analysis.estimation import (
+    MonteCarloResult,
+    clopper_pearson,
+    estimate_success,
+    wilson_interval,
+)
+from repro.rng import RngStream
+
+
+class TestClopperPearson:
+    def test_contains_point_estimate(self):
+        low, high = clopper_pearson(70, 100)
+        assert low < 0.7 < high
+
+    def test_zero_successes(self):
+        low, high = clopper_pearson(0, 50)
+        assert low == 0.0
+        assert 0 < high < 0.25
+
+    def test_all_successes(self):
+        low, high = clopper_pearson(50, 50)
+        assert high == 1.0
+        assert 0.8 < low < 1.0
+
+    def test_narrows_with_trials(self):
+        narrow = clopper_pearson(700, 1000)
+        wide = clopper_pearson(70, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_successes_cannot_exceed_trials(self):
+        with pytest.raises(ValueError):
+            clopper_pearson(11, 10)
+
+    def test_known_value(self):
+        # exact CP for 0/10 at 95%: upper = 1 - (0.025)^(1/10) ~ 0.3085
+        _, high = clopper_pearson(0, 10, confidence=0.95)
+        assert high == pytest.approx(1 - 0.025 ** 0.1, abs=1e-9)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(70, 100)
+        assert low < 0.7 < high
+
+    def test_within_unit_interval(self):
+        low, high = wilson_interval(1, 2, confidence=0.999)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_narrower_than_clopper_pearson(self):
+        cp = clopper_pearson(80, 100)
+        wi = wilson_interval(80, 100)
+        assert wi[1] - wi[0] <= cp[1] - cp[0] + 1e-9
+
+
+class TestMonteCarloResult:
+    def _result(self, successes, trials):
+        low, high = clopper_pearson(successes, trials)
+        return MonteCarloResult(successes, trials, 0.99, low, high)
+
+    def test_estimates(self):
+        result = self._result(90, 100)
+        assert result.estimate == pytest.approx(0.9)
+        assert result.failure_estimate == pytest.approx(0.1)
+
+    def test_verdicts(self):
+        confident = self._result(5000, 5000)
+        assert confident.almost_safe_verdict(10) == "almost-safe"
+        hopeless = self._result(100, 5000)
+        assert hopeless.almost_safe_verdict(10) == "not-almost-safe"
+        unclear = self._result(9, 10)
+        assert unclear.almost_safe_verdict(10) == "inconclusive"
+
+    def test_describe(self):
+        text = self._result(9, 10).describe()
+        assert "9/10" in text
+
+
+class TestEstimateSuccess:
+    def test_deterministic_given_seed(self):
+        def trial(stream: RngStream) -> bool:
+            return stream.bernoulli(0.5)
+
+        a = estimate_success(trial, 200, 42)
+        b = estimate_success(trial, 200, 42)
+        assert a.successes == b.successes
+
+    def test_rate_statistical(self):
+        def trial(stream: RngStream) -> bool:
+            return stream.bernoulli(0.7)
+
+        result = estimate_success(trial, 3000, 7)
+        assert abs(result.estimate - 0.7) < 0.03
+        assert result.lower < 0.7 < result.upper
+
+    def test_independent_trials_get_distinct_streams(self):
+        seeds = []
+
+        def trial(stream: RngStream) -> bool:
+            seeds.append(stream.seed)
+            return True
+
+        estimate_success(trial, 10, 3)
+        assert len(set(seeds)) == 10
+
+    def test_early_stop(self):
+        def trial(stream: RngStream) -> bool:
+            return False
+
+        result = estimate_success(trial, 1000, 0, early_stop_failures=5)
+        assert result.trials == 5
+        assert result.successes == 0

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness: tables, registry, CLI."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    Table,
+    all_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.registry import ExperimentReport, register
+from repro.experiments.__main__ import main
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(name="alpha", value=1)
+        table.add_row(name="b", value=123.456789)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line) for line in lines if line)) <= 2
+        assert "123.4568" in text
+
+    def test_unknown_column_rejected(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError, match="outside columns"):
+            table.add_row(b=1)
+
+    def test_column_access(self):
+        table = Table(["a", "b"])
+        table.add_row(a=1)
+        table.add_row(a=2, b=3)
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == [None, 3]
+        with pytest.raises(ValueError):
+            table.column("zzz")
+
+    def test_bool_and_small_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(x=True)
+        table.add_row(x=1e-9)
+        text = table.render()
+        assert "yes" in text and "1e-09" in text
+
+    def test_len(self):
+        table = Table(["a"])
+        table.add_row(a=1)
+        assert len(table) == 1
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        ids = [e.experiment_id for e in all_experiments()]
+        assert ids == [f"E{i:02d}" for i in range(1, 16)]
+
+    def test_get_experiment(self):
+        experiment = get_experiment("E05")
+        assert "2.4" in experiment.paper_claim
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register("E01", "again", "claim")(lambda config: None)
+
+    def test_report_render(self):
+        table = Table(["a"])
+        table.add_row(a=1)
+        report = ExperimentReport(
+            experiment_id="EXX", title="t", paper_claim="c", table=table,
+            notes=["n1"], passed=True,
+        )
+        text = report.render()
+        assert "EXX" in text and "REPRODUCED" in text and "note: n1" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E14" in out
+
+    def test_run_single_quick(self, capsys):
+        code = main(["run", "e10", "--quick", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REPRODUCED" in out
+
+
+class TestQuickReproductions:
+    """Every experiment must reproduce its claim in quick mode.
+
+    These are the library's end-to-end acceptance tests; the full-size
+    versions live in the benchmark harness.
+    """
+
+    @pytest.mark.parametrize(
+        "experiment_id", [f"E{i:02d}" for i in range(1, 16)]
+    )
+    def test_quick_run_passes(self, experiment_id):
+        report = run_experiment(
+            experiment_id, ExperimentConfig(seed=2007, quick=True)
+        )
+        assert report.passed, report.render()
+        assert len(report.table) > 0

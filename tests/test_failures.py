@@ -1,0 +1,192 @@
+"""Tests for failure models: sampling, omission, malicious enforcement."""
+
+import pytest
+
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    Adversary,
+    FaultFree,
+    GarbageAdversary,
+    JammingAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+    Restriction,
+    SilentAdversary,
+)
+from repro.graphs import line, star
+from repro.rng import RngStream
+
+from tests.helpers import ScriptedAlgorithm
+
+
+class TestFaultSampling:
+    def test_fault_free_samples_nothing(self):
+        assert FaultFree().sample_faulty(RngStream(0), 100) == frozenset()
+
+    def test_rate_statistical(self):
+        model = OmissionFailures(0.3)
+        stream = RngStream(1)
+        total = sum(
+            len(model.sample_faulty(stream, 100)) for _ in range(200)
+        )
+        assert abs(total / 20000 - 0.3) < 0.02
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            OmissionFailures(1.0)
+        with pytest.raises(ValueError):
+            OmissionFailures(-0.1)
+
+    def test_describe(self):
+        assert "0.25" in OmissionFailures(0.25).describe()
+
+
+class TestOmissionSemantics:
+    def test_faulty_node_fully_silent(self):
+        g = star(2)
+        model = OmissionFailures(0.5)
+        actual = model.apply(
+            0, frozenset({0}), {0: {1: "a", 2: "b"}}, view=None
+        )
+        assert actual == {}
+
+    def test_non_faulty_pass_through(self):
+        model = OmissionFailures(0.5)
+        actual = model.apply(0, frozenset({2}), {0: {1: "a"}}, view=None)
+        assert actual == {0: {1: "a"}}
+
+
+class TestMaliciousConstruction:
+    def test_requires_adversary_type(self):
+        with pytest.raises(TypeError, match="Adversary"):
+            MaliciousFailures(0.2, "not an adversary")
+
+    def test_requires_restriction_type(self):
+        with pytest.raises(TypeError, match="Restriction"):
+            MaliciousFailures(0.2, SilentAdversary(), "full")
+
+    def test_describe_mentions_parts(self):
+        text = MaliciousFailures(0.2, SilentAdversary(),
+                                 Restriction.LIMITED).describe()
+        assert "SilentAdversary" in text and "limited" in text
+
+
+class _RewriteEverythingAdversary(Adversary):
+    """Misbehaving adversary that rewrites fault-free nodes too."""
+
+    def rewrite(self, round_index, faulty, intents, view):
+        return {node: "evil" for node in view.topology.nodes}
+
+
+class _OutOfTurnAdversary(Adversary):
+    """Speaks out of turn for every faulty node (radio payloads)."""
+
+    def rewrite(self, round_index, faulty, intents, view):
+        return {node: "noise" for node in faulty}
+
+
+class _DropperAdversary(Adversary):
+    """Drops every faulty transmission (legal in limited, not flip)."""
+
+    def rewrite(self, round_index, faulty, intents, view):
+        return {}
+
+
+class TestRestrictionEnforcement:
+    def _run(self, model_name, scripts, failure):
+        g = star(2)
+        algo = ScriptedAlgorithm(g, model_name, scripts, rounds=60)
+        return run_execution(algo, failure, seed_or_stream=3)
+
+    def test_rewriting_fault_free_nodes_rejected(self):
+        failure = MaliciousFailures(0.5, _RewriteEverythingAdversary())
+        with pytest.raises(ValueError, match="fault-free"):
+            self._run(RADIO, {0: ["m"] * 60}, failure)
+
+    def test_limited_radio_blocks_out_of_turn(self):
+        failure = MaliciousFailures(
+            0.5, _OutOfTurnAdversary(), Restriction.LIMITED
+        )
+        # node 1 never intends to transmit; once it is faulty the
+        # adversary tries to make it speak.
+        with pytest.raises(ValueError, match="out of turn"):
+            self._run(RADIO, {0: ["m"] * 60}, failure)
+
+    def test_full_radio_allows_out_of_turn(self):
+        failure = MaliciousFailures(0.5, _OutOfTurnAdversary(), Restriction.FULL)
+        result = self._run(RADIO, {0: ["m"] * 60}, failure)
+        assert result.rounds == 60
+
+    def test_flip_blocks_dropping(self):
+        failure = MaliciousFailures(0.5, _DropperAdversary(), Restriction.FLIP)
+        with pytest.raises(ValueError, match="added or removed"):
+            self._run(RADIO, {0: [1] * 60}, failure)
+
+    def test_flip_requires_bit_payloads(self):
+        from repro.failures import RandomFlipAdversary
+        failure = MaliciousFailures(0.5, RandomFlipAdversary(), Restriction.FLIP)
+        with pytest.raises(ValueError, match="bit payloads"):
+            self._run(RADIO, {0: ["not-a-bit"] * 60}, failure)
+
+    def test_limited_mp_blocks_new_targets(self):
+        class NewTargetAdversary(Adversary):
+            def rewrite(self, round_index, faulty, intents, view):
+                return {node: {1: "x", 2: "x"} for node in faulty}
+
+        failure = MaliciousFailures(
+            0.5, NewTargetAdversary(), Restriction.LIMITED
+        )
+        with pytest.raises(ValueError, match="out of.*turn"):
+            self._run(MESSAGE_PASSING, {0: [{1: "m"}] * 60}, failure)
+
+    def test_flip_mp_target_set_preserved(self):
+        class TargetDropAdversary(Adversary):
+            def rewrite(self, round_index, faulty, intents, view):
+                return {node: {} for node in faulty}
+
+        failure = MaliciousFailures(
+            0.5, TargetDropAdversary(), Restriction.FLIP
+        )
+        with pytest.raises(ValueError, match="target set"):
+            self._run(MESSAGE_PASSING, {0: [{1: 1}] * 60}, failure)
+
+    def test_silent_adversary_legal_everywhere_except_flip(self):
+        for restriction in (Restriction.FULL, Restriction.LIMITED):
+            failure = MaliciousFailures(0.5, SilentAdversary(), restriction)
+            result = self._run(RADIO, {0: [1] * 60}, failure)
+            assert result.rounds == 60
+
+
+class TestJammingAdversary:
+    def test_jams_out_of_turn(self):
+        g = star(2)
+        algo = ScriptedAlgorithm(g, RADIO, {0: ["m"] * 80}, rounds=80)
+        failure = MaliciousFailures(0.5, JammingAdversary())
+        run_execution(algo, failure, 7)
+        # leaf 1: whenever leaf 2 jammed while the center transmitted,
+        # there was a collision -> some deliveries are None
+        received = algo.instances[1].received
+        assert None in received
+        assert "m" in received
+
+    def test_noise_payload_validation(self):
+        with pytest.raises(ValueError, match="silence"):
+            JammingAdversary(noise=None)
+
+
+class TestGarbageAdversary:
+    def test_corrupts_content_only(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "real"}] * 80},
+                                 rounds=80)
+        failure = MaliciousFailures(
+            0.5, GarbageAdversary("junk"), Restriction.LIMITED
+        )
+        run_execution(algo, failure, 11)
+        payloads = [box.get(0) for box in algo.instances[1].received]
+        assert "junk" in payloads and "real" in payloads
+        assert None not in payloads  # garbage corrupts, never drops
+
+    def test_garbage_payload_validation(self):
+        with pytest.raises(ValueError, match="silence"):
+            GarbageAdversary(None)

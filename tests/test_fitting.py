@@ -1,0 +1,90 @@
+"""Tests for the shape-fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    LinearFit,
+    fit_d_plus_log_n,
+    fit_linear_model,
+    fit_power_law,
+    r_squared,
+)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        assert r_squared([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_constant_data(self):
+        assert r_squared([5, 5], [5, 5]) == 1.0
+        assert r_squared([5, 5], [4, 6]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1, 2], [1, 2, 3])
+
+
+class TestLinearModel:
+    def test_exact_recovery(self):
+        rows = [[1, 0], [0, 1], [1, 1], [2, 3]]
+        targets = [2 * a + 5 * b for a, b in rows]
+        fit = fit_linear_model(rows, targets, ["a", "b"])
+        assert fit.coefficients == pytest.approx((2.0, 5.0))
+        assert fit.score == pytest.approx(1.0)
+
+    def test_predict_row(self):
+        fit = LinearFit((2.0, 5.0), ("a", "b"), 1.0)
+        assert fit.predict_row([3, 1]) == pytest.approx(11.0)
+        with pytest.raises(ValueError):
+            fit.predict_row([1])
+
+    def test_describe(self):
+        fit = LinearFit((2.0, 5.0), ("a", "b"), 0.99)
+        assert "2*a" in fit.describe() and "R^2" in fit.describe()
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            fit_linear_model([[1, 2]], [1, 2], ["a", "b"])
+
+
+class TestDPlusLogN:
+    def test_recovers_planted_coefficients(self):
+        radii = [4, 8, 16, 32, 64]
+        orders = [16, 64, 256, 1024, 4096]
+        times = [3 * d + 7 * math.log2(n) + 2 for d, n in zip(radii, orders)]
+        fit = fit_d_plus_log_n(radii, orders, times)
+        assert fit.coefficients[0] == pytest.approx(3.0, abs=1e-6)
+        assert fit.coefficients[1] == pytest.approx(7.0, abs=1e-6)
+        assert fit.score == pytest.approx(1.0)
+
+    def test_custom_exponent(self):
+        radii = [4, 8, 16, 6, 40]
+        orders = [16, 64, 256, 1024, 100]
+        times = [
+            2 * d + 3 * math.log2(n) ** 2 for d, n in zip(radii, orders)
+        ]
+        fit = fit_d_plus_log_n(radii, orders, times, log_exponent=2.0)
+        assert fit.coefficients[0] == pytest.approx(2.0, abs=1e-6)
+        assert fit.coefficients[1] == pytest.approx(3.0, abs=1e-6)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_d_plus_log_n([1], [2, 3], [4])
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x ** 1.5 for x in xs]
+        a, b = fit_power_law(xs, ys)
+        assert a == pytest.approx(3.0, rel=1e-9)
+        assert b == pytest.approx(1.5, rel=1e-9)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])

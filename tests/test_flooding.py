@@ -1,0 +1,99 @@
+"""Tests for the Theorem 3.1 fast flooding algorithm."""
+
+import pytest
+
+from repro.analysis.chernoff import binomial_tail_le
+from repro.analysis.estimation import estimate_success
+from repro.core import FastFlooding, flooding_line_length, flooding_rounds
+from repro.engine import MESSAGE_PASSING, run_execution
+from repro.failures import FaultFree, OmissionFailures
+from repro.graphs import binary_tree, grid, line
+from repro.rng import RngStream
+
+
+class TestRoundCalculator:
+    def test_line_length(self):
+        assert flooding_line_length(16, 5) == 5 + 4
+        assert flooding_line_length(2, 0) == 1
+
+    def test_budget_met_and_minimal(self):
+        n, radius, p = 64, 10, 0.3
+        rounds = flooding_rounds(n, radius, p)
+        length = flooding_line_length(n, radius)
+        target = 1.0 / n ** 2
+        assert binomial_tail_le(rounds, length - 1, 1 - p) <= target
+        assert binomial_tail_le(rounds - 1, length - 1, 1 - p) > target
+
+    def test_fault_free_needs_exactly_length(self):
+        assert flooding_rounds(16, 6, 0.0) == flooding_line_length(16, 6)
+
+    def test_grows_with_p(self):
+        assert flooding_rounds(64, 10, 0.6) > flooding_rounds(64, 10, 0.2)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            flooding_rounds(16, 5, 1.0)
+
+
+class TestFaultFreeExecution:
+    def test_completes_in_radius_rounds(self):
+        topology = grid(3, 4)
+        algo = FastFlooding(topology, 0, "m", rounds=topology.radius_from(0))
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_one_round_short_fails_fault_free(self):
+        topology = line(5)
+        algo = FastFlooding(topology, 0, "m", rounds=4)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert not result.is_successful_broadcast()
+        assert result.outputs[5] == 0  # default
+
+    def test_all_informed_nodes_transmit_every_round(self):
+        topology = line(3)
+        algo = FastFlooding(topology, 0, "m", rounds=3)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        # round 0: source; round 1: source + node 1; round 2: + node 2
+        assert set(result.trace[0].actual) == {0}
+        assert set(result.trace[1].actual) == {0, 1}
+        assert set(result.trace[2].actual) == {0, 1, 2}
+
+
+class TestUnderOmission:
+    def test_almost_safe_with_computed_rounds(self):
+        topology = binary_tree(4)
+        algo = FastFlooding(topology, 0, 1, p=0.3)
+
+        def trial(stream: RngStream) -> bool:
+            run = FastFlooding(topology, 0, 1, rounds=algo.rounds)
+            result = run_execution(run, OmissionFailures(0.3), stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 150, 7)
+        assert outcome.estimate >= 1 - 2 / topology.order
+
+    def test_starved_budget_fails_often(self):
+        topology = line(10)
+
+        def trial(stream: RngStream) -> bool:
+            run = FastFlooding(topology, 0, 1, rounds=10)  # no slack at p=0.5
+            result = run_execution(run, OmissionFailures(0.5), stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 60, 9)
+        assert outcome.estimate < 0.2
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="rounds or p"):
+            FastFlooding(line(4), 0, 1)
+        with pytest.raises(ValueError, match="silence"):
+            FastFlooding(line(4), 0, None, rounds=5)
+
+    def test_counterfactual_source(self):
+        algo = FastFlooding(line(4), 0, 1, rounds=6)
+        twin = algo.counterfactual_source(0)
+        assert twin.intent(0) == {1: 0}

@@ -1,0 +1,120 @@
+"""Tests for the hello timing-channel protocol."""
+
+import itertools
+
+import pytest
+
+from repro.core import HelloProtocolAlgorithm, hello_success_probability
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    FaultFree,
+    GarbageAdversary,
+    MaliciousFailures,
+    Restriction,
+    SilentAdversary,
+)
+from repro.graphs import line, two_node
+
+
+def brute_force_success_zero(p, m):
+    """P[two consecutive non-faulty rounds exist] by full enumeration."""
+    rounds = 2 * m
+    total = 0.0
+    for pattern in itertools.product([0, 1], repeat=rounds):  # 1 = faulty
+        weight = 1.0
+        for bit in pattern:
+            weight *= p if bit else (1 - p)
+        if any(pattern[i] == 0 and pattern[i + 1] == 0
+               for i in range(rounds - 1)):
+            total += weight
+    return total
+
+
+class TestExactFormula:
+    def test_against_brute_force(self):
+        for p, m in [(0.3, 2), (0.5, 3), (0.7, 4), (0.9, 5)]:
+            expected = brute_force_success_zero(p, m)
+            assert hello_success_probability(p, m, 0) == pytest.approx(
+                expected, abs=1e-12
+            )
+
+    def test_message_one_never_fails(self):
+        for p in (0.1, 0.5, 0.99):
+            assert hello_success_probability(p, 10, 1) == 1.0
+
+    def test_fault_free_always_succeeds(self):
+        assert hello_success_probability(0.0, 1, 0) == 1.0
+
+    def test_monotone_in_m(self):
+        values = [hello_success_probability(0.8, m, 0) for m in (2, 8, 32, 128)]
+        assert values == sorted(values)
+
+    def test_exponential_decay_of_failure(self):
+        f16 = 1 - hello_success_probability(0.6, 16, 0)
+        f64 = 1 - hello_success_probability(0.6, 64, 0)
+        assert f64 < f16 ** 2  # much faster than linear
+
+
+class TestProtocolExecution:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError, match="2-node"):
+            HelloProtocolAlgorithm(line(2), 0, m=4)
+        with pytest.raises(ValueError):
+            HelloProtocolAlgorithm(two_node(), 2, m=4)
+
+    @pytest.mark.parametrize("model", [MESSAGE_PASSING, RADIO])
+    @pytest.mark.parametrize("message", [0, 1])
+    def test_fault_free_decoding(self, model, message):
+        algo = HelloProtocolAlgorithm(two_node(), message, m=5, model=model)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.outputs[1] == message
+
+    def test_transmission_pattern_zero(self):
+        algo = HelloProtocolAlgorithm(two_node(), 0, m=3)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert all(0 in record.actual for record in result.trace)
+
+    def test_transmission_pattern_one(self):
+        algo = HelloProtocolAlgorithm(two_node(), 1, m=3)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        for record in result.trace:
+            transmitted = 0 in record.actual
+            assert transmitted == (record.round_index % 2 == 1)
+
+    def test_message_one_correct_under_any_dropping(self):
+        # exhaustive over seeds: dropping failures can never corrupt a 1
+        for seed in range(40):
+            algo = HelloProtocolAlgorithm(two_node(), 1, m=6)
+            failure = MaliciousFailures(0.6, SilentAdversary(),
+                                        Restriction.LIMITED)
+            result = run_execution(algo, failure, seed,
+                                   metadata=algo.metadata())
+            assert result.outputs[1] == 1
+
+    def test_corruption_without_dropping_is_harmless(self):
+        for message in (0, 1):
+            for seed in range(20):
+                algo = HelloProtocolAlgorithm(two_node(), message, m=6)
+                failure = MaliciousFailures(0.7, GarbageAdversary(),
+                                            Restriction.LIMITED)
+                result = run_execution(algo, failure, seed,
+                                       metadata=algo.metadata())
+                assert result.outputs[1] == message
+
+    def test_dropping_rate_matches_exact_formula(self):
+        from repro.analysis.estimation import estimate_success
+        from repro.rng import RngStream
+        p, m = 0.6, 4
+        exact = hello_success_probability(p, m, 0)
+
+        def trial(stream: RngStream) -> bool:
+            algo = HelloProtocolAlgorithm(two_node(), 0, m=m)
+            failure = MaliciousFailures(p, SilentAdversary(),
+                                        Restriction.LIMITED)
+            result = run_execution(algo, failure, stream,
+                                   metadata=algo.metadata(),
+                                   record_trace=False)
+            return result.outputs[1] == 0
+
+        outcome = estimate_success(trial, 600, 3)
+        assert outcome.lower - 0.02 <= exact <= outcome.upper + 0.02

@@ -1,0 +1,160 @@
+"""Tests for the Lemma 3.4 hit-count machinery."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.analysis.hitcount import (
+    analyze_layer2_schedule,
+    cascade_parameters,
+    hit_fraction,
+    hit_fraction_bound,
+    hits_of_set_on_class,
+    lemma34_lower_bound,
+    min_hits_required,
+    useful_size_range,
+    weight_cascade,
+)
+from repro.graphs import layered_graph
+
+
+def brute_force_hits(m, transmitters, ones):
+    """Count weight-`ones` values hit by `transmitters` directly."""
+    count = 0
+    for value in range(1, 1 << m):
+        if bin(value).count("1") != ones:
+            continue
+        positions = {i + 1 for i in range(m) if value >> i & 1}
+        if len(positions & transmitters) == 1:
+            count += 1
+    return count
+
+
+class TestMinHitsRequired:
+    def test_formula(self):
+        assert min_hits_required(64, 0.5) == pytest.approx(
+            math.log(64) / math.log(2)
+        )
+
+    def test_grows_with_n(self):
+        assert min_hits_required(1 << 20, 0.5) > min_hits_required(1 << 10, 0.5)
+
+    def test_grows_with_p(self):
+        assert min_hits_required(64, 0.9) > min_hits_required(64, 0.1)
+
+
+class TestClaim33:
+    def test_formula_matches_brute_force(self):
+        m = 6
+        for size in range(0, m + 1):
+            transmitters = set(range(1, size + 1))
+            for ones in range(1, m + 1):
+                expected = brute_force_hits(m, transmitters, ones)
+                assert hits_of_set_on_class(m, size, ones) == expected
+
+    def test_formula_independent_of_which_set(self):
+        # h(t, j) depends only on |A_t|, per Claim 3.3
+        m, ones = 6, 3
+        for subset in combinations(range(1, m + 1), 2):
+            assert (
+                brute_force_hits(m, set(subset), ones)
+                == hits_of_set_on_class(m, 2, ones)
+            )
+
+
+class TestClaim34:
+    def test_bound_dominates_exact_fraction(self):
+        for m in (5, 8, 12):
+            for size in range(1, m + 1):
+                for ones in range(1, m + 1):
+                    exact = hit_fraction(m, size, ones)
+                    bound = hit_fraction_bound(m, size, ones)
+                    assert exact <= bound + 1e-12
+
+    def test_fraction_at_most_one(self):
+        for size in range(1, 7):
+            for ones in range(1, 7):
+                assert hit_fraction(6, size, ones) <= 1.0 + 1e-12
+
+
+class TestCascade:
+    def test_parameters_positive(self):
+        big_k, z = cascade_parameters(64)
+        assert big_k > 1 and z > 0
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            cascade_parameters(4)
+
+    def test_cascade_starts_at_m_and_decreases(self):
+        weights = weight_cascade(40)
+        assert weights[0] == 40
+        assert weights == sorted(weights, reverse=True)
+        assert all(w >= 1 for w in weights)
+
+    def test_claims_35_36_useful_range(self):
+        # wherever the exact fraction reaches 2/K, the set size must lie
+        # in the (m/(jK), m(Z+1)/j) window
+        m = 32
+        big_k, _ = cascade_parameters(m)
+        for ones in (1, 2, 4, 8):
+            low, high = useful_size_range(m, ones)
+            for size in range(1, m + 1):
+                if hit_fraction(m, size, ones) > 2.0 / big_k:
+                    assert low < size < high
+
+
+class TestLowerBound:
+    def test_positive_and_growing(self):
+        values = [lemma34_lower_bound(m, 0.5) for m in (6, 10, 16)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values)
+
+    def test_superlogarithmic_vs_opt(self):
+        # the bound grows strictly faster than log n: its ratio to
+        # opt + log n ~ 2m increases with m (the K = log m / log log m
+        # factor — glacial, as the paper's triple-log form suggests)
+        ratios = [
+            lemma34_lower_bound(m, 0.5) / (2 * m) for m in (8, 64, 4096)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > ratios[0] * 1.3
+
+
+class TestScheduleAnalysis:
+    def test_hits_counted_correctly(self):
+        graph = layered_graph(3)
+        analysis = analyze_layer2_schedule(graph, [{1}, {2}, {3}])
+        # value v gets one hit per one-bit position
+        for value in range(1, 8):
+            assert analysis.hits_per_value[value] == bin(value).count("1")
+        assert analysis.min_hits == 1
+
+    def test_pair_set_hits(self):
+        graph = layered_graph(3)
+        analysis = analyze_layer2_schedule(graph, [{1, 2}])
+        # |A ∩ P_v| = 1 exactly for values with one of bits {1,2}:
+        # 001,010 -> 1 hit; 011 -> 2 overlaps -> 0; 101,110 -> 1; 100 -> 0
+        assert analysis.hits_per_value[0b001] == 1
+        assert analysis.hits_per_value[0b011] == 0
+        assert analysis.hits_per_value[0b100] == 0
+        assert analysis.hits_per_value[0b101] == 1
+
+    def test_rejects_bad_positions(self):
+        graph = layered_graph(3)
+        with pytest.raises(ValueError, match="non-bit"):
+            analyze_layer2_schedule(graph, [{4}])
+
+    def test_claim_37_on_uniform_schedules(self):
+        graph = layered_graph(6)
+        steps = [{(i % 6) + 1} for i in range(12)]
+        analysis = analyze_layer2_schedule(graph, steps)
+        assert analysis.max_step_cascade_contribution < 2.0
+
+    def test_class_fractions_sum_per_step(self):
+        graph = layered_graph(5)
+        analysis = analyze_layer2_schedule(graph, [{1}, {1, 2, 3}])
+        for ones in range(1, 6):
+            expected = hit_fraction(5, 1, ones) + hit_fraction(5, 3, ones)
+            assert analysis.class_fractions[ones] == pytest.approx(expected)

@@ -1,0 +1,150 @@
+"""Tests for the planner and the tree-lifted Kučera algorithm."""
+
+import pytest
+
+from repro.analysis.estimation import estimate_success
+from repro.core.kucera import (
+    Edge,
+    KuceraBroadcast,
+    Repeat,
+    Serial,
+    alpha_exponent,
+    build_plan,
+    guarantee,
+    working_failure_level,
+)
+from repro.engine import run_execution
+from repro.failures import (
+    FaultFree,
+    MaliciousFailures,
+    RandomFlipAdversary,
+    Restriction,
+    SilentAdversary,
+)
+from repro.graphs import binary_tree, grid, line
+from repro.rng import RngStream
+
+
+class TestPlanner:
+    def test_length_and_failure_targets_met(self):
+        for length, target in [(1, 1e-3), (10, 1e-6), (100, 1e-8)]:
+            plan = build_plan(length, 0.25, target)
+            g = guarantee(plan, 0.25)
+            assert g.length >= length
+            assert g.failure <= target
+
+    def test_time_linear_in_length(self):
+        times = {}
+        for length in (16, 256):
+            g = guarantee(build_plan(length, 0.2, 1e-6), 0.2)
+            times[length] = g.time / g.length
+        assert times[256] <= 3 * times[16]
+
+    def test_p_at_half_rejected(self):
+        with pytest.raises(ValueError, match="1/2"):
+            build_plan(8, 0.5, 1e-3)
+
+    def test_rho_kappa_ordering_enforced(self):
+        with pytest.raises(ValueError, match="rho > kappa"):
+            build_plan(8, 0.2, 1e-3, rho=3, kappa=3)
+
+    def test_alpha_exponent(self):
+        assert alpha_exponent(4, 3) == pytest.approx(3.419, abs=0.01)
+        # larger constants approach alpha = 1
+        assert alpha_exponent(9, 8) < alpha_exponent(4, 3)
+
+    def test_working_failure_level_contracts(self):
+        from repro.analysis.chernoff import binomial_tail_ge
+        rho, kappa = 4, 3
+        q = working_failure_level(rho, kappa)
+        image = binomial_tail_ge(kappa, kappa / 2, 1 - (1 - q) ** rho)
+        assert image <= q / 2 + 1e-12
+
+    def test_p_zero_trivial_plan(self):
+        plan = build_plan(4, 0.0, 0.5)
+        assert guarantee(plan, 0.0).failure == 0.0
+
+
+class TestAlgorithmFaultFree:
+    @pytest.mark.parametrize("topology,source", [
+        (line(5), 0), (binary_tree(3), 0), (grid(3, 3), 0),
+    ])
+    def test_broadcast_succeeds(self, topology, source):
+        algo = KuceraBroadcast(topology, source, 1, p=0.2)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_bit_zero_also_works(self):
+        algo = KuceraBroadcast(line(4), 0, 0, p=0.2, default=1)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_rounds_equal_plan_time(self):
+        algo = KuceraBroadcast(line(6), 0, 1, p=0.2)
+        assert algo.rounds == guarantee(algo.plan, 0.2).time
+
+    def test_plan_too_short_rejected(self):
+        short_plan = Repeat(Edge(), 3)  # length 1
+        with pytest.raises(ValueError, match="height"):
+            KuceraBroadcast(line(5), 0, 1, p=0.2, plan=short_plan)
+
+    def test_describe_mentions_plan(self):
+        algo = KuceraBroadcast(line(4), 0, 1, p=0.2)
+        assert "plan=" in algo.describe()
+
+
+class TestAlgorithmUnderFailures:
+    def test_flip_adversary_line(self):
+        topology = line(8)
+        reference = KuceraBroadcast(topology, 0, 1, p=0.25)
+
+        def trial(stream: RngStream) -> bool:
+            algo = KuceraBroadcast(topology, 0, 1, p=0.25,
+                                   plan=reference.plan)
+            failure = MaliciousFailures(0.25, RandomFlipAdversary(),
+                                        Restriction.FLIP)
+            result = run_execution(algo, failure, stream,
+                                   metadata=algo.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 30, 3)
+        assert outcome.estimate == 1.0  # bound is ~1e-5 per run
+
+    def test_drop_adversary_tree(self):
+        # limited-malicious message loss: abstentions, not flips
+        topology = binary_tree(3)
+        reference = KuceraBroadcast(topology, 0, 1, p=0.25)
+
+        def trial(stream: RngStream) -> bool:
+            algo = KuceraBroadcast(topology, 0, 1, p=0.25,
+                                   plan=reference.plan)
+            failure = MaliciousFailures(0.25, SilentAdversary(),
+                                        Restriction.LIMITED)
+            result = run_execution(algo, failure, stream,
+                                   metadata=algo.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 20, 5)
+        assert outcome.estimate == 1.0
+
+    def test_branching_nodes_transmit_same_bit_to_all_children(self):
+        algo = KuceraBroadcast(binary_tree(2), 0, 1, p=0.2)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        for record in result.trace:
+            for node, intent in record.actual.items():
+                payloads = set(intent.values())
+                assert len(payloads) == 1  # same line bit to every child
+
+    def test_counterfactual_source(self):
+        algo = KuceraBroadcast(line(4), 0, 1, p=0.2)
+        twin = algo.counterfactual_source(0)
+        # the twin's first transmission carries the flipped bit
+        for round_index in range(algo.rounds):
+            intent = twin.intent(round_index)
+            if intent is not None:
+                assert intent == {1: 0}
+                break
+        else:
+            pytest.fail("twin never transmitted")

@@ -1,0 +1,101 @@
+"""Tests for the Kučera plan compiler."""
+
+import pytest
+
+from repro.core.kucera import (
+    Edge,
+    Repeat,
+    Serial,
+    compile_plan,
+    guarantee,
+)
+
+
+class TestEdgeCompilation:
+    def test_single_transmission(self):
+        compiled = compile_plan(Edge(), 0.2)
+        assert compiled.transmissions == {0: {0: ()}}
+        assert compiled.receptions == {1: {0: ()}}
+        assert compiled.transmission_count() == 1
+
+
+class TestSerialCompilation:
+    def test_blocks_shifted_in_space_and_time(self):
+        compiled = compile_plan(Serial(Edge(), 3), 0.2)
+        assert compiled.transmissions[0] == {0: ()}
+        assert compiled.transmissions[1] == {1: ()}
+        assert compiled.transmissions[2] == {2: ()}
+        assert compiled.transmission_count() == 3
+
+
+class TestRepeatCompilation:
+    def test_pipelined_executions(self):
+        compiled = compile_plan(Repeat(Edge(), 3), 0.2)
+        # three executions at rounds 0, 1, 2 with contexts (0,), (1,), (2,)
+        assert compiled.transmissions[0] == {0: (0,), 1: (1,), 2: (2,)}
+        # copies at the block source, votes at both positions
+        kinds = [d.kind for d in compiled.controls[0]]
+        assert kinds.count("copy") == 3
+        assert kinds.count("vote") == 1
+        assert [d.kind for d in compiled.controls[1]].count("vote") == 1
+
+    def test_vote_round_is_block_end(self):
+        plan = Repeat(Edge(), 3)
+        compiled = compile_plan(plan, 0.2)
+        g = guarantee(plan, 0.2)
+        votes = [d for d in compiled.controls[1] if d.kind == "vote"]
+        assert votes[0].round_index == g.time
+        assert votes[0].source_contexts == ((0,), (1,), (2,))
+        assert votes[0].target_context == ()
+
+
+class TestConflictDetection:
+    def test_valid_plans_compile_without_conflicts(self):
+        plans = [
+            Repeat(Serial(Repeat(Edge(), 13), 4), 3),
+            Repeat(Serial(Repeat(Serial(Repeat(Edge(), 5), 2), 3), 4), 3),
+            Serial(Repeat(Edge(), 3), 5),
+        ]
+        for plan in plans:
+            compiled = compile_plan(plan, 0.2)
+            assert compiled.transmission_count() > 0
+
+    def test_transmission_counts_match_algebra(self):
+        # total transmissions = sum over positions of scheduled rounds;
+        # every position < length transmits at least once
+        plan = Repeat(Serial(Repeat(Edge(), 3), 4), 3)
+        compiled = compile_plan(plan, 0.1)
+        g = guarantee(plan, 0.1)
+        assert set(compiled.transmissions) == set(range(g.length))
+        for position in range(g.length):
+            rounds = compiled.transmissions[position]
+            assert len(rounds) >= 1
+            assert max(rounds) < g.time
+
+    def test_reception_map_is_shifted_transmission_map(self):
+        plan = Serial(Repeat(Edge(), 3), 2)
+        compiled = compile_plan(plan, 0.1)
+        for position, by_round in compiled.transmissions.items():
+            assert compiled.receptions[position + 1] == by_round
+
+
+class TestControlOrdering:
+    def test_votes_precede_copies_at_same_round(self):
+        # Serial of Repeats: the boundary node votes (block j) and copies
+        # (block j+1 seed) in the same round; the vote must come first.
+        plan = Serial(Repeat(Edge(), 3), 2)
+        compiled = compile_plan(plan, 0.1)
+        boundary = compiled.controls[1]
+        same_round = {}
+        for directive in boundary:
+            same_round.setdefault(directive.round_index, []).append(directive.kind)
+        for kinds in same_round.values():
+            if "vote" in kinds and "copy" in kinds:
+                assert kinds.index("vote") < kinds.index("copy")
+
+    def test_controls_sorted_by_round(self):
+        plan = Repeat(Serial(Repeat(Edge(), 3), 2), 3)
+        compiled = compile_plan(plan, 0.1)
+        for directives in compiled.controls.values():
+            rounds = [d.round_index for d in directives]
+            assert rounds == sorted(rounds)

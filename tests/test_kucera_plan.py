@@ -1,0 +1,113 @@
+"""Tests for the Kučera plan algebra ([CO1]/[CO2])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.chernoff import binomial_tail_ge
+from repro.core.kucera import (
+    Edge,
+    Repeat,
+    Serial,
+    describe_plan,
+    guarantee,
+)
+
+
+class TestEdge:
+    def test_guarantee(self):
+        g = guarantee(Edge(), 0.3)
+        assert (g.length, g.time, g.delay, g.failure) == (1, 1, 1, 0.3)
+
+
+class TestSerial:
+    def test_co1_algebra(self):
+        g = guarantee(Serial(Edge(), 4), 0.2)
+        assert g.length == 4
+        assert g.time == 4
+        assert g.delay == 1
+        assert g.failure == pytest.approx(1 - 0.8 ** 4)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError, match="rho"):
+            Serial(Edge(), 1)
+
+
+class TestRepeat:
+    def test_co2_algebra(self):
+        g = guarantee(Repeat(Edge(), 5), 0.2)
+        assert g.length == 1
+        assert g.time == 1 + 4 * 1
+        assert g.delay == 5
+        assert g.failure == pytest.approx(binomial_tail_ge(5, 2.5, 0.2))
+
+    def test_even_kappa_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            Repeat(Edge(), 4)
+
+    def test_repetition_reduces_failure(self):
+        plain = guarantee(Edge(), 0.3).failure
+        boosted = guarantee(Repeat(Edge(), 9), 0.3).failure
+        assert boosted < plain
+
+
+class TestComposite:
+    def test_nested_algebra(self):
+        # R3(S2(R3(E))) at p: verify by hand-computed recurrences
+        p = 0.25
+        inner = Repeat(Edge(), 3)
+        gi = guarantee(inner, p)
+        q_inner = binomial_tail_ge(3, 1.5, p)
+        assert gi.failure == pytest.approx(q_inner)
+        assert (gi.time, gi.delay) == (3, 3)
+        serial = Serial(inner, 2)
+        gs = guarantee(serial, p)
+        assert gs.length == 2
+        assert gs.time == 6
+        assert gs.delay == 3
+        assert gs.failure == pytest.approx(1 - (1 - q_inner) ** 2)
+        outer = Repeat(serial, 3)
+        go = guarantee(outer, p)
+        assert go.length == 2
+        assert go.time == 6 + 2 * 3
+        assert go.delay == 9
+        assert go.failure == pytest.approx(
+            binomial_tail_ge(3, 1.5, gs.failure)
+        )
+
+    def test_describe(self):
+        plan = Repeat(Serial(Repeat(Edge(), 3), 4), 5)
+        assert describe_plan(plan) == "R5(S4(R3(E)))"
+
+
+@st.composite
+def plans(draw, max_depth=4):
+    if max_depth == 0 or draw(st.booleans()):
+        return Edge()
+    if draw(st.booleans()):
+        return Serial(draw(plans(max_depth=max_depth - 1)),
+                      draw(st.integers(min_value=2, max_value=5)))
+    return Repeat(draw(plans(max_depth=max_depth - 1)),
+                  draw(st.sampled_from([3, 5, 7])))
+
+
+class TestPlanProperties:
+    @given(plans(), st.floats(min_value=0.0, max_value=0.49))
+    @settings(max_examples=80, deadline=None)
+    def test_guarantee_sanity(self, plan, p):
+        g = guarantee(plan, p)
+        assert g.length >= 1
+        assert g.time >= g.length  # at least one round per hop
+        assert g.delay >= 1
+        assert 0.0 <= g.failure <= 1.0
+
+    @given(plans())
+    @settings(max_examples=60, deadline=None)
+    def test_failure_monotone_in_p(self, plan):
+        failures = [guarantee(plan, p).failure for p in (0.05, 0.2, 0.4)]
+        assert failures == sorted(failures)
+
+    @given(plans())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_p_means_zero_failure(self, plan):
+        assert guarantee(plan, 0.0).failure == 0.0

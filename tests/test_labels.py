@@ -1,0 +1,96 @@
+"""Tests for the label-based radio schedules."""
+
+import pytest
+
+from repro.core import PrimeScheduleBroadcast, RoundRobinBroadcast, first_primes
+from repro.engine import run_execution
+from repro.failures import FaultFree, OmissionFailures
+from repro.graphs import binary_tree, line, ring
+
+
+class TestFirstPrimes:
+    def test_known_prefix(self):
+        assert first_primes(8) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            first_primes(0)
+
+
+class TestRoundRobin:
+    def test_one_transmitter_per_round(self):
+        algo = RoundRobinBroadcast(ring(6), 0, 1, cycles=4)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        for record in result.trace:
+            assert len(record.actual) <= 1
+            for node in record.actual:
+                assert record.round_index % 6 == node
+
+    def test_fault_free_success(self):
+        algo = RoundRobinBroadcast(binary_tree(3), 0, 1, cycles=5)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_uninformed_nodes_stay_silent(self):
+        # labels reversed along the line: the informed front cannot ride
+        # a single cycle, so the far end stays silent in cycle one
+        algo = RoundRobinBroadcast(line(4), 0, 1, cycles=1,
+                                   labels=[4, 3, 2, 1, 0])
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        transmitters = {n for record in result.trace for n in record.actual}
+        assert 4 not in transmitters  # the far end is not yet informed
+        assert 0 in transmitters  # the source transmits in its slot
+
+    def test_custom_labels(self):
+        algo = RoundRobinBroadcast(line(2), 0, 1, cycles=6,
+                                   labels=[2, 1, 0], label_range=3)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+        for record in result.trace:
+            for node in record.actual:
+                assert record.round_index % 3 == algo.label_of(node)
+
+    def test_label_validation(self):
+        with pytest.raises(ValueError, match="distinct"):
+            RoundRobinBroadcast(line(2), 0, 1, cycles=2, labels=[0, 0, 1])
+        with pytest.raises(ValueError, match="outside"):
+            RoundRobinBroadcast(line(2), 0, 1, cycles=2, labels=[0, 1, 5],
+                                label_range=3)
+
+    def test_under_omission(self):
+        algo = RoundRobinBroadcast(line(4), 0, 1, cycles=30)
+        successes = 0
+        for seed in range(40):
+            run = RoundRobinBroadcast(line(4), 0, 1, cycles=30)
+            result = run_execution(run, OmissionFailures(0.5), seed,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            successes += result.is_successful_broadcast()
+        assert successes >= 38
+
+
+class TestPrimeSchedule:
+    def test_slots_disjoint_across_nodes(self):
+        algo = PrimeScheduleBroadcast(ring(5), 0, 1, rounds=500)
+        all_slots = []
+        for node in range(5):
+            slots = {r for r in range(500) if algo.owns_slot(node, r)}
+            all_slots.append(slots)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not all_slots[i] & all_slots[j]
+
+    def test_slots_are_prime_powers(self):
+        algo = PrimeScheduleBroadcast(line(1), 0, 1, rounds=100)
+        # smallest label gets prime 2: 1-based rounds 2, 4, 8, 16, 32, 64
+        slots = {r for r in range(100) if algo.owns_slot(0, r)}
+        assert slots == {1, 3, 7, 15, 31, 63}  # 0-based
+
+    def test_fault_free_success(self):
+        algo = PrimeScheduleBroadcast(line(3), 0, 1, rounds=400)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_slot_count(self):
+        algo = PrimeScheduleBroadcast(line(1), 0, 1, rounds=100)
+        assert algo.slot_count(0) == 6

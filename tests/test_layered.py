@@ -1,0 +1,109 @@
+"""Tests for the Section 3 lower-bound graph G(m)."""
+
+import pytest
+
+from repro.graphs import layered_graph
+
+
+class TestStructure:
+    def test_order(self):
+        for m in (1, 2, 3, 4, 6):
+            graph = layered_graph(m)
+            assert graph.topology.order == (1 << m) + m
+
+    def test_source_and_layers(self):
+        graph = layered_graph(3)
+        assert graph.source == 0
+        assert list(graph.bit_nodes) == [1, 2, 3]
+        assert len(list(graph.value_nodes)) == 7
+
+    def test_source_adjacent_to_all_bit_nodes_only(self):
+        graph = layered_graph(4)
+        assert graph.topology.neighbors(0) == tuple(range(1, 5))
+
+    def test_value_adjacency_matches_binary_representation(self):
+        graph = layered_graph(3)
+        # value 5 = 101b: positions {1, 3}
+        node = graph.value_node(5)
+        neighbours = set(graph.topology.neighbors(node))
+        assert neighbours == {graph.bit_node(1), graph.bit_node(3)}
+
+    def test_bit_node_degree(self):
+        graph = layered_graph(3)
+        # b_i: source + all values with bit i set = 1 + 2^(m-1)
+        for position in range(1, 4):
+            assert graph.topology.degree(graph.bit_node(position)) == 1 + 4
+
+    def test_edge_count(self):
+        graph = layered_graph(4)
+        m = 4
+        # m source edges + sum over values of popcount = m + m * 2^(m-1)
+        assert graph.topology.size == m + m * (1 << (m - 1))
+
+    def test_connected(self):
+        assert layered_graph(5).topology.is_connected()
+
+    def test_radius_is_two(self):
+        assert layered_graph(4).topology.radius_from(0) == 2
+
+
+class TestNodeMaps:
+    def test_value_node_roundtrip(self):
+        graph = layered_graph(4)
+        for value in (1, 7, 15):
+            assert graph.value_of(graph.value_node(value)) == value
+
+    def test_value_node_bounds(self):
+        graph = layered_graph(3)
+        with pytest.raises(ValueError):
+            graph.value_node(0)
+        with pytest.raises(ValueError):
+            graph.value_node(8)
+
+    def test_bit_node_bounds(self):
+        graph = layered_graph(3)
+        with pytest.raises(ValueError):
+            graph.bit_node(0)
+        with pytest.raises(ValueError):
+            graph.bit_node(4)
+
+    def test_value_of_rejects_non_value_nodes(self):
+        graph = layered_graph(3)
+        with pytest.raises(ValueError):
+            graph.value_of(0)
+
+
+class TestCombinatorics:
+    def test_positions(self):
+        graph = layered_graph(4)
+        assert graph.positions(0b1011) == {1, 2, 4}
+        assert graph.positions(1) == {1}
+
+    def test_positions_bounds(self):
+        with pytest.raises(ValueError):
+            layered_graph(3).positions(8)
+
+    def test_weight_class(self):
+        graph = layered_graph(4)
+        ones_2 = graph.weight_class(2)
+        assert len(ones_2) == 6
+        assert all(bin(v).count("1") == 2 for v in ones_2)
+
+    def test_weight_class_size_matches(self):
+        graph = layered_graph(5)
+        for j in range(1, 6):
+            assert graph.weight_class_size(j) == len(graph.weight_class(j))
+
+    def test_is_hit(self):
+        graph = layered_graph(4)
+        assert graph.is_hit(0b0101, {1})       # exactly position 1
+        assert not graph.is_hit(0b0101, {1, 3})  # both positions: collision
+        assert not graph.is_hit(0b0101, {2})   # no transmitting neighbour
+        assert graph.is_hit(0b0101, {1, 2})    # position 2 irrelevant
+
+    def test_every_value_hittable_by_singletons(self):
+        graph = layered_graph(4)
+        for value in range(1, 16):
+            assert any(
+                graph.is_hit(value, {pos}) for pos in graph.positions(value)
+            )

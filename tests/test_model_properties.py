@@ -1,0 +1,84 @@
+"""Model-based property tests against independently written oracles.
+
+The radio collision rule and the BFS metric are the two pieces of
+semantics everything else leans on; these tests re-derive both from
+first principles (per the paper's definitions) and compare against the
+implementations over randomized instances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import deliver_radio
+from repro.graphs import Topology
+
+
+@st.composite
+def graph_and_transmitters(draw):
+    order = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(order) for v in range(u + 1, order)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=18))
+    transmitters = draw(st.sets(
+        st.integers(min_value=0, max_value=order - 1), max_size=order
+    ))
+    return Topology(order, edges), transmitters
+
+
+def radio_oracle(topology, transmitters):
+    """The paper, verbatim: a node receives iff it does not transmit
+    itself and exactly one of its neighbours transmits."""
+    heard = {}
+    for node in topology.nodes:
+        if node in transmitters:
+            heard[node] = None
+            continue
+        speaking = [u for u in transmitters if topology.has_edge(node, u)]
+        heard[node] = ("payload", speaking[0]) if len(speaking) == 1 else None
+    return heard
+
+
+class TestRadioModel:
+    @given(graph_and_transmitters())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_oracle(self, instance):
+        topology, transmitters = instance
+        actual_map = {node: ("payload", node) for node in transmitters}
+        heard = deliver_radio(topology, actual_map)
+        assert heard == radio_oracle(topology, transmitters)
+
+    @given(graph_and_transmitters())
+    @settings(max_examples=80, deadline=None)
+    def test_transmitters_never_hear(self, instance):
+        topology, transmitters = instance
+        heard = deliver_radio(topology, {n: "x" for n in transmitters})
+        for node in transmitters:
+            assert heard[node] is None
+
+    @given(graph_and_transmitters())
+    @settings(max_examples=80, deadline=None)
+    def test_silence_without_transmitters(self, instance):
+        topology, _ = instance
+        heard = deliver_radio(topology, {})
+        assert all(value is None for value in heard.values())
+
+
+def bfs_oracle(topology, source):
+    """Textbook queue-based BFS, written independently."""
+    from collections import deque
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbour in topology.neighbors(node):
+            if neighbour not in distances:
+                distances[neighbour] = distances[node] + 1
+                queue.append(neighbour)
+    return [distances.get(node, -1) for node in topology.nodes]
+
+
+class TestBfsMetric:
+    @given(graph_and_transmitters())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_oracle(self, instance):
+        topology, _ = instance
+        assert topology.bfs_distances(0) == bfs_oracle(topology, 0)

@@ -1,0 +1,69 @@
+"""Public-API integrity tests.
+
+Guard the import surface: every name a package re-exports must
+resolve, and the README quickstart must keep working verbatim.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.graphs",
+    "repro.engine",
+    "repro.failures",
+    "repro.core",
+    "repro.core.kucera",
+    "repro.radio",
+    "repro.analysis",
+    "repro.fastsim",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_module_docstrings(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a module docstring"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        from repro import MESSAGE_PASSING, run_execution
+        from repro.core import SimpleOmission
+        from repro.failures import OmissionFailures
+        from repro.graphs import binary_tree
+
+        topology = binary_tree(4)
+        algo = SimpleOmission(topology, source=0, source_message=1,
+                              model=MESSAGE_PASSING, p=0.4)
+        result = run_execution(algo, OmissionFailures(0.4), seed_or_stream=7,
+                               metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_package_docstring_example(self):
+        from repro import graphs, run_execution
+        from repro.core import SimpleOmission
+        from repro.failures import OmissionFailures
+
+        g = graphs.binary_tree(4)
+        algo = SimpleOmission(g, source=0, source_message=1,
+                              model="message-passing", p=0.3)
+        result = run_execution(algo, OmissionFailures(0.3), seed_or_stream=7,
+                               metadata=algo.metadata())
+        assert result.is_successful_broadcast()

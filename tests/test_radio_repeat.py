@@ -1,0 +1,150 @@
+"""Tests for Omission-Radio / Malicious-Radio (Theorem 3.4)."""
+
+import pytest
+
+from repro.analysis.estimation import estimate_success
+from repro.core import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
+from repro.engine import run_execution
+from repro.failures import (
+    ComplementAdversary,
+    FaultFree,
+    JammingAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+)
+from repro.graphs import layered_graph, line, spider, star
+from repro.radio import (
+    RadioSchedule,
+    layered_schedule,
+    line_schedule,
+    spider_schedule,
+    star_schedule,
+)
+from repro.rng import RngStream
+
+
+class TestConstruction:
+    def test_rule_validation(self):
+        schedule = line_schedule(line(3))
+        with pytest.raises(ValueError, match="rule"):
+            RadioRepeat(schedule, 1, rule="plurality", phase_length=3)
+
+    def test_invalid_schedule_rejected(self):
+        bad = RadioSchedule(line(3), 0, [[0]])
+        with pytest.raises(ValueError, match="does not inform"):
+            RadioRepeat(bad, 1, phase_length=3)
+
+    def test_rounds_is_opt_times_m(self):
+        schedule = spider_schedule(spider(3, 4), 3, 4)
+        algo = RadioRepeat(schedule, 1, phase_length=7)
+        assert algo.rounds == schedule.length * 7
+
+    def test_phase_length_from_p_by_rule(self):
+        schedule = star_schedule(star(4), 0, 0)
+        any_rule = RadioRepeat(schedule, 1, rule=ADOPT_ANY, p=0.4)
+        maj_rule = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY, p=0.05)
+        assert any_rule.phase_length >= 1
+        assert maj_rule.phase_length >= 1
+
+    def test_listening_series_and_parent(self):
+        schedule = line_schedule(line(3))
+        algo = RadioRepeat(schedule, 1, phase_length=2)
+        assert algo.listening_series(0) == -1
+        assert algo.listening_series(2) == 1
+        assert algo.schedule_parent(2) == 1
+        assert algo.schedule_parent(0) is None
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("rule", [ADOPT_ANY, ADOPT_MAJORITY])
+    def test_broadcast_succeeds(self, rule):
+        for schedule in (
+            line_schedule(line(5)),
+            spider_schedule(spider(3, 3), 3, 3),
+            layered_schedule(layered_graph(3)),
+        ):
+            algo = RadioRepeat(schedule, 1, rule=rule, phase_length=3)
+            result = run_execution(algo, FaultFree(), 0,
+                                   metadata=algo.metadata())
+            assert result.is_successful_broadcast()
+
+    def test_transmitters_follow_base_schedule(self):
+        schedule = line_schedule(line(3))
+        algo = RadioRepeat(schedule, 1, phase_length=2)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        for record in result.trace:
+            series = record.round_index // 2
+            assert set(record.actual) == set(schedule.transmitters(series))
+
+
+class TestUnderFailures:
+    def test_omission_radio_almost_safe(self):
+        schedule = spider_schedule(spider(3, 3), 3, 3)
+        n = schedule.topology.order
+        algo = RadioRepeat(schedule, 1, rule=ADOPT_ANY, p=0.4)
+
+        def trial(stream: RngStream) -> bool:
+            run = RadioRepeat(schedule, 1, rule=ADOPT_ANY,
+                              phase_length=algo.phase_length)
+            result = run_execution(run, OmissionFailures(0.4), stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 80, 3)
+        assert outcome.estimate >= 1 - 2.5 / n
+
+    def test_malicious_radio_with_complement(self):
+        schedule = layered_schedule(layered_graph(3))
+        algo = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY, p=0.03)
+
+        def trial(stream: RngStream) -> bool:
+            run = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY,
+                              phase_length=algo.phase_length)
+            failure = MaliciousFailures(0.03, ComplementAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 60, 7)
+        assert outcome.estimate >= 1 - 2.5 / schedule.topology.order
+
+    def test_malicious_radio_with_jamming(self):
+        schedule = star_schedule(star(5), 0, 0)
+        algo = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY, p=0.05)
+
+        def trial(stream: RngStream) -> bool:
+            run = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY,
+                              phase_length=algo.phase_length)
+            failure = MaliciousFailures(0.05, JammingAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 60, 9)
+        assert outcome.estimate >= 1 - 2.5 / schedule.topology.order
+
+    def test_any_rule_trusts_first_payload(self):
+        schedule = line_schedule(line(2))
+        algo = RadioRepeat(schedule, "M", rule=ADOPT_ANY, phase_length=3)
+        protocol = algo.protocol(1)
+        protocol.deliver(0, "M")
+        protocol.deliver(1, "X")  # later payloads ignored
+        assert protocol.output() == "M"
+
+    def test_majority_rule_votes(self):
+        schedule = line_schedule(line(2))
+        algo = RadioRepeat(schedule, 1, rule=ADOPT_MAJORITY, phase_length=3)
+        protocol = algo.protocol(1)
+        protocol.deliver(0, 1)
+        protocol.deliver(1, 0)
+        protocol.deliver(2, 1)
+        assert protocol.output() == 1
+
+    def test_counterfactual_source(self):
+        schedule = line_schedule(line(2))
+        algo = RadioRepeat(schedule, 1, phase_length=2)
+        twin = algo.counterfactual_source(0)
+        assert twin.intent(0) == 0

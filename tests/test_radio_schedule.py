@@ -1,0 +1,109 @@
+"""Tests for radio schedules: semantics, validation, closed forms."""
+
+import pytest
+
+from repro.graphs import complete, layered_graph, line, ring, spider, star
+from repro.radio import (
+    RadioSchedule,
+    complete_schedule,
+    layered_schedule,
+    line_schedule,
+    spider_schedule,
+    star_schedule,
+)
+
+
+class TestSimulation:
+    def test_line_relay(self):
+        schedule = line_schedule(line(4))
+        sim = schedule.simulate()
+        assert sim.covers(schedule.topology)
+        assert sim.informed_step == {0: -1, 1: 0, 2: 1, 3: 2, 4: 3}
+        assert sim.parent == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_collision_prevents_informing(self):
+        g = star(2)
+        schedule = RadioSchedule(g, 0, [[0], [1, 2]])
+        sim = schedule.simulate()
+        # both leaves transmit in step 1: the center hears nothing new
+        # (it is informed anyway); the schedule still covers
+        assert sim.covers(g)
+
+    def test_uncovering_schedule_detected(self):
+        schedule = RadioSchedule(line(3), 0, [[0]])
+        assert not schedule.simulate().covers(schedule.topology)
+
+    def test_simulation_cached(self):
+        schedule = line_schedule(line(3))
+        assert schedule.simulate() is schedule.simulate()
+
+
+class TestValidation:
+    def test_uninformed_transmitter_rejected(self):
+        schedule = RadioSchedule(line(3), 0, [[2]])
+        with pytest.raises(ValueError, match="not yet informed"):
+            schedule.validate()
+
+    def test_uncovering_rejected(self):
+        schedule = RadioSchedule(line(3), 0, [[0], [1]])
+        with pytest.raises(ValueError, match="does not inform"):
+            schedule.validate()
+
+    def test_is_valid_boolean(self):
+        assert line_schedule(line(3)).is_valid()
+        assert not RadioSchedule(line(3), 0, [[0]]).is_valid()
+
+    def test_prefix(self):
+        schedule = line_schedule(line(5))
+        prefix = schedule.prefix(2)
+        assert prefix.length == 2
+        assert not prefix.is_valid()  # truncated: no longer covers
+        with pytest.raises(ValueError):
+            schedule.prefix(99)
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ValueError):
+            RadioSchedule(line(3), 0, [[7]])
+
+
+class TestClosedForms:
+    def test_line_schedule_optimal_length(self):
+        g = line(6)
+        schedule = line_schedule(g)
+        assert schedule.length == 6 == g.radius_from(0)
+
+    def test_line_schedule_requires_endpoint(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            line_schedule(line(4), source=2)
+
+    def test_star_center_one_step(self):
+        g = star(5)
+        assert star_schedule(g, 0, 0).length == 1
+
+    def test_star_leaf_two_steps(self):
+        g = star(5, source_is_center=False)
+        schedule = star_schedule(g, 0, 1)
+        assert schedule.length == 2
+        schedule.validate()
+
+    def test_complete_one_step(self):
+        assert complete_schedule(complete(6), 2).length == 1
+
+    def test_spider_matches_radius(self):
+        g = spider(4, 5)
+        schedule = spider_schedule(g, 4, 5)
+        assert schedule.length == 5 == g.radius_from(0)
+        schedule.validate()
+
+    def test_layered_schedule_length(self):
+        for m in (1, 2, 3, 5):
+            graph = layered_graph(m)
+            schedule = layered_schedule(graph)
+            assert schedule.length == m + 1
+            schedule.validate()
+
+    def test_layered_parents_are_bit_nodes(self):
+        graph = layered_graph(3)
+        sim = layered_schedule(graph).simulate()
+        for value_node in graph.value_nodes:
+            assert sim.parent[value_node] in set(graph.bit_nodes)

@@ -1,0 +1,91 @@
+"""Tests for the greedy and exact radio schedulers."""
+
+import pytest
+
+from repro.graphs import (
+    Topology,
+    binary_tree,
+    complete,
+    grid,
+    layered_graph,
+    line,
+    ring,
+    spider,
+    star,
+)
+from repro.radio import (
+    greedy_schedule,
+    layered_min_layer2_steps,
+    optimal_broadcast_time,
+    optimal_schedule,
+)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("topology,source", [
+        (line(6), 0), (ring(9), 0), (star(6), 0), (grid(3, 4), 0),
+        (binary_tree(3), 0), (spider(3, 3), 0), (complete(6), 3),
+        (layered_graph(3).topology, 0),
+    ])
+    def test_produces_valid_schedules(self, topology, source):
+        schedule = greedy_schedule(topology, source)
+        schedule.validate()
+
+    def test_at_least_radius(self):
+        g = grid(3, 4)
+        assert greedy_schedule(g, 0).length >= g.radius_from(0)
+
+    def test_star_is_immediate(self):
+        assert greedy_schedule(star(8), 0).length == 1
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="not connected"):
+            greedy_schedule(Topology(3, [(0, 1)]), 0)
+
+    def test_never_beats_exact(self):
+        for topology, source in [(ring(7), 0), (grid(2, 4), 0), (line(5), 0)]:
+            greedy_len = greedy_schedule(topology, source).length
+            exact_len = optimal_broadcast_time(topology, source)
+            assert greedy_len >= exact_len
+
+
+class TestExact:
+    def test_line_optimum_is_radius(self):
+        assert optimal_broadcast_time(line(5), 0) == 5
+
+    def test_star_optimum(self):
+        assert optimal_broadcast_time(star(5), 0) == 1
+        assert optimal_broadcast_time(star(5, source_is_center=False), 0) == 2
+
+    def test_complete_optimum(self):
+        assert optimal_broadcast_time(complete(5), 0) == 1
+
+    def test_ring_optimum(self):
+        # on a cycle, broadcast proceeds in both directions after step 1
+        assert optimal_broadcast_time(ring(6), 0) == 3
+
+    def test_schedule_is_valid(self):
+        schedule = optimal_schedule(grid(2, 4), 0)
+        schedule.validate()
+
+    def test_single_node(self):
+        assert optimal_broadcast_time(Topology(1, []), 0) == 0
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            optimal_schedule(grid(5, 5), 0)
+
+    def test_layered_optimum_matches_lemma(self):
+        for m in (1, 2, 3):
+            graph = layered_graph(m)
+            assert optimal_broadcast_time(graph.topology, 0) == m + 1
+
+
+class TestLayeredExhaustive:
+    def test_minimum_is_m(self):
+        for m in (2, 3, 4):
+            assert layered_min_layer2_steps(layered_graph(m)) == m
+
+    def test_m_too_large_rejected(self):
+        with pytest.raises(ValueError, match="m <= 5"):
+            layered_min_layer2_steps(layered_graph(6))

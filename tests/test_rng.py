@@ -1,0 +1,117 @@
+"""Tests for the hierarchical RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngStream, as_stream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_differs_by_seed(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_differs_by_name(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_differs_by_path_depth(self):
+        assert derive_seed(7, "a") != derive_seed(7, "a", "a")
+
+    def test_accepts_mixed_name_types(self):
+        assert derive_seed(7, "trial", 3, (1, 2)) == derive_seed(7, "trial", 3, (1, 2))
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123456789, "x")
+        assert 0 <= seed < 1 << 64
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(42).random(10)
+        b = RngStream(42).random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(RngStream(1).random(10), RngStream(2).random(10))
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RngStream(-1)
+
+    def test_child_reproducible(self):
+        a = RngStream(42).child("x", 1).random(5)
+        b = RngStream(42).child("x", 1).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_independent_of_parent_consumption(self):
+        parent_a = RngStream(42)
+        parent_a.random(100)  # consume from the parent first
+        child_a = parent_a.child("x").random(5)
+        child_b = RngStream(42).child("x").random(5)
+        np.testing.assert_array_equal(child_a, child_b)
+
+    def test_children_enumeration(self):
+        kids = list(RngStream(7).children(3))
+        assert len(kids) == 3
+        draws = [kid.random() for kid in kids]
+        assert len(set(draws)) == 3
+
+    def test_bernoulli_scalar_and_vector(self):
+        stream = RngStream(3)
+        assert isinstance(stream.bernoulli(0.5), bool)
+        vector = RngStream(3).child("v").bernoulli(0.5, size=100)
+        assert vector.shape == (100,)
+        assert vector.dtype == bool
+
+    def test_bernoulli_rate(self):
+        draws = RngStream(11).bernoulli(0.3, size=20000)
+        assert abs(draws.mean() - 0.3) < 0.02
+
+    def test_integers_range(self):
+        draws = RngStream(5).integers(2, 7, size=1000)
+        assert draws.min() >= 2 and draws.max() < 7
+
+    def test_choice_scalar(self):
+        assert RngStream(5).choice(["a", "b", "c"]) in ("a", "b", "c")
+
+    def test_choice_vector(self):
+        picks = RngStream(5).choice(["a", "b"], size=10)
+        assert len(picks) == 10
+        assert set(picks) <= {"a", "b"}
+
+    def test_permutation(self):
+        perm = RngStream(5).permutation(6)
+        assert sorted(perm.tolist()) == list(range(6))
+
+    def test_geometric_positive(self):
+        draws = RngStream(5).geometric(0.5, size=100)
+        assert draws.min() >= 1
+
+    def test_path_recorded(self):
+        child = RngStream(9).child("alpha", 2)
+        assert child.path == ("alpha", 2)
+
+    def test_seed_property(self):
+        assert RngStream(99).seed == 99
+
+
+class TestAsStream:
+    def test_passthrough(self):
+        stream = RngStream(1)
+        assert as_stream(stream) is stream
+
+    def test_int_coercion(self):
+        assert as_stream(5).seed == 5
+
+    def test_numpy_int_coercion(self):
+        assert as_stream(np.int64(5)).seed == 5
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="expected an int seed"):
+            as_stream("seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            as_stream(1.5)

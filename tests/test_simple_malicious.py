@@ -1,0 +1,141 @@
+"""Tests for Algorithm Simple-Malicious."""
+
+import pytest
+
+from repro.analysis.chernoff import majority_error_probability
+from repro.analysis.estimation import estimate_success
+from repro.core import SimpleMalicious, majority_or_default
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    ComplementAdversary,
+    FaultFree,
+    MaliciousFailures,
+    SilentAdversary,
+)
+from repro.graphs import binary_tree, grid, line, star
+from repro.rng import RngStream
+
+
+class TestMajorityOrDefault:
+    def test_clear_majority(self):
+        assert majority_or_default([1, 1, 0], default=9) == 1
+
+    def test_tie_yields_default(self):
+        assert majority_or_default([1, 0], default=9) == 9
+
+    def test_empty_yields_default(self):
+        assert majority_or_default([], default=9) == 9
+
+    def test_plurality_of_three_values(self):
+        assert majority_or_default(["a", "b", "a", "c"], default=9) == "a"
+
+    def test_three_way_tie(self):
+        assert majority_or_default(["a", "b", "c"], default=9) == 9
+
+
+class TestConstruction:
+    def test_phase_length_mp(self):
+        algo = SimpleMalicious(line(4), 0, 1, MESSAGE_PASSING, p=0.3)
+        n = 5
+        assert majority_error_probability(algo.phase_length, 0.3) <= 1 / n ** 2
+
+    def test_phase_length_radio_uses_degree(self):
+        low_degree = SimpleMalicious(line(8), 0, 1, RADIO, p=0.05)
+        high_degree = SimpleMalicious(star(8), 0, 1, RADIO, p=0.05)
+        assert high_degree.phase_length > low_degree.phase_length
+
+    def test_infeasible_radio_p_raises(self):
+        with pytest.raises(ValueError):
+            SimpleMalicious(star(10), 0, 1, RADIO, p=0.3)
+
+    def test_explicit_phase_length_allows_infeasible(self):
+        algo = SimpleMalicious(star(10), 0, 1, RADIO, phase_length=5)
+        assert algo.phase_length == 5
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("model", [MESSAGE_PASSING, RADIO])
+    def test_broadcast_succeeds(self, model):
+        for topology, source in [(binary_tree(3), 0), (grid(3, 3), 4)]:
+            algo = SimpleMalicious(topology, source, 1, model, phase_length=3)
+            result = run_execution(algo, FaultFree(), 0,
+                                   metadata=algo.metadata())
+            assert result.is_successful_broadcast()
+
+    def test_votes_collected_from_parent_phase_only(self):
+        algo = SimpleMalicious(line(3), 0, "M", MESSAGE_PASSING, phase_length=4)
+        protocols = algo.protocols()
+        result_protocol = protocols[1]
+        # simulate: deliveries inside the parent (source) window count
+        result_protocol.deliver(0, {0: "M"})
+        result_protocol.deliver(3, {0: "M"})
+        # outside the window: ignored
+        result_protocol.deliver(4, {0: "X"})
+        assert result_protocol.votes == ["M", "M"]
+        assert result_protocol.decided_value() == "M"
+
+
+class TestUnderAdversaries:
+    def test_silent_adversary_behaves_like_omission(self):
+        topology = binary_tree(3)
+        algo = SimpleMalicious(topology, 0, 1, MESSAGE_PASSING, phase_length=9)
+
+        def trial(stream: RngStream) -> bool:
+            run = SimpleMalicious(topology, 0, 1, MESSAGE_PASSING,
+                                  phase_length=9)
+            failure = MaliciousFailures(0.3, SilentAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 120, 5)
+        assert outcome.estimate >= 0.95
+
+    def test_complement_adversary_feasible_regime(self):
+        topology = binary_tree(3)
+        algo = SimpleMalicious(topology, 0, 1, MESSAGE_PASSING, p=0.3)
+
+        def trial(stream: RngStream) -> bool:
+            run = SimpleMalicious(topology, 0, 1, MESSAGE_PASSING,
+                                  phase_length=algo.phase_length)
+            failure = MaliciousFailures(0.3, ComplementAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 100, 5)
+        assert outcome.estimate >= 1 - 3 / topology.order
+
+    def test_complement_adversary_infeasible_regime(self):
+        # p = 0.7 > 1/2: majority voting must collapse
+        topology = line(4)
+
+        def trial(stream: RngStream) -> bool:
+            run = SimpleMalicious(topology, 0, 1, MESSAGE_PASSING,
+                                  phase_length=21)
+            failure = MaliciousFailures(0.7, ComplementAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 80, 5)
+        assert outcome.estimate < 0.2
+
+    def test_radio_collects_any_heard_payload(self):
+        # in radio, votes come from whatever was heard in the window,
+        # regardless of who transmitted
+        algo = SimpleMalicious(star(3), 0, 1, RADIO, phase_length=4)
+        protocol = algo.protocols()[1]
+        protocol.deliver(0, "X")
+        protocol.deliver(1, None)  # silence contributes nothing
+        protocol.deliver(2, "X")
+        assert protocol.votes == ["X", "X"]
+
+    def test_counterfactual_twin_transmits_flip(self):
+        algo = SimpleMalicious(line(3), 0, 1, MESSAGE_PASSING, phase_length=2)
+        twin = algo.counterfactual_source(0)
+        assert twin.intent(0) == {1: 0}
+        assert twin.intent(5) is None  # outside the source window

@@ -1,0 +1,115 @@
+"""Tests for Algorithm Simple-Omission."""
+
+import pytest
+
+from repro.analysis.estimation import estimate_success
+from repro.core import SimpleOmission
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import FaultFree, OmissionFailures
+from repro.fastsim.closed_forms import simple_omission_success_probability
+from repro.graphs import bfs_tree, binary_tree, grid, line, star
+from repro.rng import RngStream
+
+
+class TestConstruction:
+    def test_phase_length_from_p(self):
+        algo = SimpleOmission(line(4), 0, 1, MESSAGE_PASSING, p=0.5)
+        assert algo.phase_length >= 1
+        assert 0.5 ** algo.phase_length <= 1 / 25
+
+    def test_requires_phase_length_or_p(self):
+        with pytest.raises(ValueError, match="phase_length or p"):
+            SimpleOmission(line(4), 0, 1, MESSAGE_PASSING)
+
+    def test_rounds(self):
+        algo = SimpleOmission(line(4), 0, 1, RADIO, phase_length=3)
+        assert algo.rounds == 5 * 3
+
+    def test_rejects_none_message(self):
+        with pytest.raises(ValueError, match="silence"):
+            SimpleOmission(line(4), 0, None, RADIO, phase_length=3)
+
+    def test_rejects_mismatched_tree(self):
+        tree = bfs_tree(line(4), 1)
+        with pytest.raises(ValueError, match="rooted at"):
+            SimpleOmission(line(4), 0, 1, RADIO, phase_length=3, tree=tree)
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(ValueError, match="model"):
+            SimpleOmission(line(4), 0, 1, "telepathy", phase_length=3)
+
+
+class TestFaultFreeCorrectness:
+    @pytest.mark.parametrize("model", [MESSAGE_PASSING, RADIO])
+    @pytest.mark.parametrize("builder,source", [
+        (lambda: line(6), 0),
+        (lambda: binary_tree(3), 0),
+        (lambda: grid(3, 4), 5),
+        (lambda: star(5), 0),
+    ])
+    def test_broadcast_succeeds(self, model, builder, source):
+        topology = builder()
+        algo = SimpleOmission(topology, source, "payload", model, phase_length=2)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        assert result.is_successful_broadcast()
+
+    def test_single_transmitter_per_round(self):
+        algo = SimpleOmission(binary_tree(3), 0, 1, RADIO, phase_length=3)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        for record in result.trace:
+            assert len(record.actual) <= 1
+            expected = algo.schedule.transmitter_at(record.round_index)
+            if record.actual:
+                assert set(record.actual) == {expected}
+
+
+class TestUnderFailures:
+    def test_uninformed_nodes_output_default(self):
+        # p extremely high and m = 1: phases mostly fail
+        algo = SimpleOmission(line(5), 0, "msg", MESSAGE_PASSING,
+                              phase_length=1, default="dflt")
+        result = run_execution(algo, OmissionFailures(0.95), 3,
+                               metadata=algo.metadata())
+        outputs = set(result.outputs.values())
+        assert outputs <= {"msg", "dflt"}
+        assert "dflt" in outputs  # with p=0.95 some phase certainly failed
+
+    @pytest.mark.parametrize("model", [MESSAGE_PASSING, RADIO])
+    def test_engine_matches_closed_form(self, model):
+        topology = binary_tree(3)
+        tree = bfs_tree(topology, 0)
+        p, m, trials = 0.4, 3, 400
+        exact = simple_omission_success_probability(tree, m, p)
+
+        def trial(stream: RngStream) -> bool:
+            algo = SimpleOmission(topology, 0, 1, model, phase_length=m)
+            result = run_execution(algo, OmissionFailures(p), stream,
+                                   metadata=algo.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, trials, 11)
+        assert outcome.lower - 0.02 <= exact <= outcome.upper + 0.02
+
+    def test_almost_safe_at_high_p(self):
+        topology = star(10)
+        algo = SimpleOmission(topology, 0, 1, RADIO, p=0.9)
+
+        def trial(stream: RngStream) -> bool:
+            run = SimpleOmission(topology, 0, 1, RADIO,
+                                 phase_length=algo.phase_length)
+            result = run_execution(run, OmissionFailures(0.9), stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 150, 13)
+        assert outcome.estimate >= 1 - 2 / topology.order
+
+
+class TestCounterfactualTwin:
+    def test_twin_carries_flipped_message(self):
+        algo = SimpleOmission(line(3), 0, 1, MESSAGE_PASSING, phase_length=2)
+        twin = algo.counterfactual_source(0)
+        intent = twin.intent(0)
+        assert intent == {1: 0}

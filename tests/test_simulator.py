@@ -1,0 +1,189 @@
+"""Tests for the synchronous engine: delivery semantics, traces, results."""
+
+import pytest
+
+from repro.engine import (
+    MESSAGE_PASSING,
+    RADIO,
+    deliver_message_passing,
+    deliver_radio,
+    run_execution,
+)
+from repro.failures import FaultFree, OmissionFailures
+from repro.graphs import Topology, line, star
+
+from tests.helpers import ScriptedAlgorithm
+
+
+class TestMessagePassingDelivery:
+    def test_routing(self):
+        g = line(2)  # 0-1-2
+        inboxes = deliver_message_passing(g, {0: {1: "a"}, 2: {1: "b"}})
+        assert inboxes[1] == {0: "a", 2: "b"}
+        assert inboxes[0] == {} and inboxes[2] == {}
+
+    def test_distinct_messages_per_neighbour(self):
+        g = star(2)
+        inboxes = deliver_message_passing(g, {0: {1: "x", 2: "y"}})
+        assert inboxes[1] == {0: "x"}
+        assert inboxes[2] == {0: "y"}
+
+
+class TestRadioDelivery:
+    def setup_method(self):
+        self.g = Topology(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+
+    def test_single_transmitter_heard_by_neighbours(self):
+        heard = deliver_radio(self.g, {1: "msg"})
+        assert heard[0] == "msg" and heard[2] == "msg"
+        assert heard[3] is None  # not a neighbour of 1
+
+    def test_collision_is_silence(self):
+        heard = deliver_radio(self.g, {1: "a", 0: "b"})
+        # node 2 neighbours 0, 1 and 3: two transmitters -> silence
+        assert heard[2] is None
+
+    def test_own_transmission_blocks_reception(self):
+        heard = deliver_radio(self.g, {0: "a", 1: "b"})
+        assert heard[0] is None  # 0 transmits, cannot hear 1
+        assert heard[1] is None
+
+    def test_exactly_one_of_many_neighbours(self):
+        heard = deliver_radio(self.g, {3: "z"})
+        assert heard[2] == "z"
+        assert heard[0] is None and heard[1] is None
+
+    def test_transmitter_with_no_listeners(self):
+        g = line(1)
+        heard = deliver_radio(g, {0: "m", 1: "n"})
+        assert heard[0] is None and heard[1] is None
+
+
+class TestExecutionMessagePassing:
+    def test_deliveries_reach_protocols(self):
+        g = line(2)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "hi"}]})
+        result = run_execution(algo, FaultFree(), 0)
+        assert algo.instances[1].received == [{0: "hi"}]
+        assert algo.instances[0].received == [{}]
+        assert result.rounds == 1
+
+    def test_intent_to_non_neighbour_rejected(self):
+        g = line(2)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{2: "bad"}]})
+        with pytest.raises(ValueError, match="non-neighbour"):
+            run_execution(algo, FaultFree(), 0)
+
+    def test_none_payload_rejected(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: None}]})
+        with pytest.raises(ValueError, match="silence"):
+            run_execution(algo, FaultFree(), 0)
+
+    def test_radio_intent_shape_rejected_in_radio_model(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, RADIO, {0: [{1: "x"}]})
+        with pytest.raises(TypeError, match="radio intent"):
+            run_execution(algo, FaultFree(), 0)
+
+    def test_empty_dict_intent_is_silence(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{}]})
+        result = run_execution(algo, FaultFree(), 0)
+        assert result.trace[0].intents == {}
+
+
+class TestExecutionRadio:
+    def test_collision_on_shared_neighbour(self):
+        g = star(2)  # center 0, leaves 1 and 2
+        algo = ScriptedAlgorithm(g, RADIO, {1: ["a"], 2: ["a"]})
+        run_execution(algo, FaultFree(), 0)
+        assert algo.instances[0].received == [None]
+
+    def test_single_transmission_heard(self):
+        g = star(2)
+        algo = ScriptedAlgorithm(g, RADIO, {0: ["hello"]})
+        run_execution(algo, FaultFree(), 0)
+        assert algo.instances[1].received == ["hello"]
+        assert algo.instances[2].received == ["hello"]
+
+
+class TestTraceRecording:
+    def test_trace_contents(self):
+        g = line(2)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING,
+                                 {0: [{1: "a"}], 1: [None, {2: "b"}]})
+        result = run_execution(algo, FaultFree(), 0)
+        assert len(result.trace) == 2
+        record = result.trace[0]
+        assert record.intents == {0: {1: "a"}}
+        assert record.faulty == frozenset()
+        assert record.actual == {0: {1: "a"}}
+        assert record.deliveries == {1: {0: "a"}}
+        assert result.trace[1].deliveries == {2: {1: "b"}}
+
+    def test_trace_disabled(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "a"}]})
+        result = run_execution(algo, FaultFree(), 0, record_trace=False)
+        assert result.trace is None
+
+    def test_omission_recorded_as_faulty(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "a"}] * 50})
+        result = run_execution(algo, OmissionFailures(0.5), 1)
+        faulty_rounds = [r for r in result.trace if 0 in r.faulty]
+        assert faulty_rounds  # p = 0.5 over 50 rounds: essentially certain
+        for record in faulty_rounds:
+            assert 0 not in record.actual
+            assert 1 not in record.deliveries
+
+
+class TestExecutionResult:
+    def test_metadata_and_success(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "m"}]})
+        result = run_execution(algo, FaultFree(), 0,
+                               metadata={"source_message": "m"})
+        # scripted outputs are the delivery logs, not broadcast values;
+        # exercise correct_nodes with an explicit expectation instead
+        assert result.correct_nodes([{0: "m"}]) == {1}
+
+    def test_success_requires_metadata(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {})
+        result = run_execution(algo, FaultFree(), 0)
+        with pytest.raises(ValueError, match="metadata"):
+            result.is_successful_broadcast()
+
+    def test_determinism_same_seed(self):
+        g = line(1)
+
+        def run(seed):
+            algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "a"}] * 30})
+            result = run_execution(algo, OmissionFailures(0.4), seed)
+            return [sorted(record.faulty) for record in result.trace]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestTraceQueries:
+    def test_transmissions_and_deliveries(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING,
+                                 {0: [{1: "a"}, None, {1: "b"}]})
+        result = run_execution(algo, FaultFree(), 0)
+        assert result.trace.transmissions_of(0) == [{1: "a"}, {1: "b"}]
+        assert result.trace.deliveries_to(1) == [{0: "a"}, {0: "b"}]
+        assert result.trace.fault_count() == 0
+
+    def test_append_order_enforced(self):
+        from repro.engine.trace import RoundRecord, Trace
+        trace = Trace()
+        record = RoundRecord(
+            round_index=3, intents={}, faulty=frozenset(), actual={},
+            deliveries={},
+        )
+        with pytest.raises(ValueError, match="expected round 0"):
+            trace.append(record)

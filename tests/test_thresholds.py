@@ -1,0 +1,79 @@
+"""Tests for the feasibility thresholds."""
+
+import math
+
+import pytest
+
+from repro.analysis.thresholds import (
+    MP_MALICIOUS_THRESHOLD,
+    mp_malicious_feasible,
+    omission_feasible,
+    radio_feasible,
+    radio_malicious_threshold,
+    radio_threshold_asymptote,
+    radio_threshold_table,
+)
+
+
+class TestRadioThreshold:
+    def test_root_property(self):
+        for delta in (0, 1, 2, 5, 10, 50):
+            p_star = radio_malicious_threshold(delta)
+            assert p_star == pytest.approx(
+                (1 - p_star) ** (delta + 1), abs=1e-12
+            )
+
+    def test_known_values(self):
+        # delta = 0: p = 1 - p -> 1/2
+        assert radio_malicious_threshold(0) == pytest.approx(0.5)
+        # delta = 1: p = (1-p)^2 -> (3 - sqrt(5)) / 2
+        golden = (3 - math.sqrt(5)) / 2
+        assert radio_malicious_threshold(1) == pytest.approx(golden, abs=1e-12)
+
+    def test_strictly_decreasing_in_degree(self):
+        values = [radio_malicious_threshold(d) for d in range(0, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_interior(self):
+        for delta in (0, 3, 100):
+            assert 0.0 < radio_malicious_threshold(delta) < 0.5 + 1e-12
+
+    def test_feasibility_predicate_consistent_with_root(self):
+        for delta in (1, 4, 9):
+            p_star = radio_malicious_threshold(delta)
+            assert radio_feasible(p_star - 1e-6, delta)
+            assert not radio_feasible(p_star + 1e-6, delta)
+
+    def test_threshold_table(self):
+        table = radio_threshold_table([1, 2, 3])
+        assert set(table) == {1, 2, 3}
+        assert table[1] == radio_malicious_threshold(1)
+
+    def test_asymptote_shape(self):
+        # p*(delta) ~ ln(delta)/delta: ratio tends toward 1 as delta grows
+        ratios = [
+            radio_malicious_threshold(d) / radio_threshold_asymptote(d)
+            for d in (64, 256, 1024)
+        ]
+        assert all(0.5 < r < 1.5 for r in ratios)
+        # and the approximation improves
+        assert abs(ratios[-1] - 1) < abs(ratios[0] - 1)
+
+
+class TestSimplePredicates:
+    def test_mp_threshold_constant(self):
+        assert MP_MALICIOUS_THRESHOLD == 0.5
+
+    def test_mp_feasible(self):
+        assert mp_malicious_feasible(0.49)
+        assert not mp_malicious_feasible(0.5)
+
+    def test_omission_always_feasible(self):
+        assert omission_feasible(0.99)
+        assert omission_feasible(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mp_malicious_feasible(1.5)
+        with pytest.raises(ValueError):
+            radio_malicious_threshold(-1)

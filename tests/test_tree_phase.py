@@ -1,0 +1,60 @@
+"""Tests for the shared phase schedule."""
+
+import pytest
+
+from repro.core.tree_phase import PhaseSchedule
+from repro.graphs import bfs_tree, binary_tree, line
+
+
+class TestPhaseSchedule:
+    def setup_method(self):
+        self.tree = bfs_tree(binary_tree(2), 0)  # 7 nodes
+        self.schedule = PhaseSchedule(self.tree, phase_length=4)
+
+    def test_total_rounds(self):
+        assert self.schedule.total_rounds == 7 * 4
+
+    def test_windows_partition_time(self):
+        covered = []
+        for node in self.tree.topology.nodes:
+            start, end = self.schedule.window_of(node)
+            covered.extend(range(start, end))
+        assert sorted(covered) == list(range(28))
+
+    def test_window_follows_rank(self):
+        first = self.tree.order[0]
+        assert self.schedule.window_of(first) == (0, 4)
+        third = self.tree.order[2]
+        assert self.schedule.window_of(third) == (8, 12)
+
+    def test_in_window(self):
+        node = self.tree.order[1]
+        assert self.schedule.in_window(node, 4)
+        assert self.schedule.in_window(node, 7)
+        assert not self.schedule.in_window(node, 8)
+
+    def test_listening_window_is_parents(self):
+        child = self.tree.children(0)[0]
+        assert self.schedule.listening_window(child) == self.schedule.window_of(0)
+
+    def test_root_has_no_listening_window(self):
+        assert self.schedule.listening_window(0) is None
+        assert not self.schedule.in_listening_window(0, 0)
+
+    def test_transmitter_at(self):
+        assert self.schedule.transmitter_at(0) == 0
+        assert self.schedule.transmitter_at(27) == self.tree.order[6]
+        with pytest.raises(ValueError):
+            self.schedule.transmitter_at(28)
+
+    def test_listening_precedes_transmission(self):
+        # the paper's induction requires every node's listening window to
+        # end no later than its own window starts
+        tree = bfs_tree(line(6), 0)
+        schedule = PhaseSchedule(tree, phase_length=3)
+        for node in tree.topology.nodes:
+            listening = schedule.listening_window(node)
+            if listening is None:
+                continue
+            own_start, _ = schedule.window_of(node)
+            assert listening[1] <= own_start

@@ -1,0 +1,116 @@
+"""Tests for the shared validation helpers."""
+
+import pytest
+
+from repro._validation import (
+    check_bit,
+    check_in_range,
+    check_node,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    def test_interior_value(self):
+        assert check_probability(0.5) == 0.5
+
+    def test_zero_allowed_by_default(self):
+        assert check_probability(0.0) == 0.0
+
+    def test_zero_rejectable(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, allow_zero=False)
+
+    def test_one_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            check_probability(1.0)
+
+    def test_one_allowed_when_requested(self):
+        assert check_probability(1.0, allow_one=True) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_probability(-0.1)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability(1.1, allow_one=True)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myprob"):
+            check_probability(2.0, "myprob")
+
+    def test_coerces_to_float(self):
+        assert isinstance(check_probability(0), float)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_positive_int(1.5, "x")
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(3.0, "x") == 3
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x"):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckNode:
+    def test_accepts_in_range(self):
+        assert check_node(3, 5) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node(5, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_node(-1, 5)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_node(1.5, 5)
+
+
+class TestCheckInRange:
+    def test_accepts_boundaries(self):
+        assert check_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert check_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, 0.0, 1.0, "x")
+
+
+class TestCheckBit:
+    def test_accepts_bits(self):
+        assert check_bit(0) == 0
+        assert check_bit(1) == 1
+
+    def test_rejects_two(self):
+        with pytest.raises(ValueError):
+            check_bit(2)
+
+    def test_rejects_none(self):
+        with pytest.raises(ValueError):
+            check_bit(None)

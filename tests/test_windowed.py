@@ -1,0 +1,105 @@
+"""Tests for the windowed (no-index) Simple-Malicious variant."""
+
+import pytest
+
+from repro.analysis.estimation import estimate_success
+from repro.core import WindowedMalicious
+from repro.engine import run_execution
+from repro.failures import (
+    ComplementAdversary,
+    FaultFree,
+    GarbageAdversary,
+    MaliciousFailures,
+    Restriction,
+)
+from repro.graphs import binary_tree, grid, line
+from repro.rng import RngStream
+
+
+class TestConstruction:
+    def test_window_from_p(self):
+        algo = WindowedMalicious(line(4), 0, 1, p=0.3)
+        assert algo.window_length >= 1
+        assert algo.acceptance_threshold == (algo.window_length + 1) // 2
+
+    def test_horizon_default(self):
+        algo = WindowedMalicious(line(4), 0, 1, window_length=10)
+        assert algo.rounds == (4 + 2) * 10
+
+    def test_requires_window_or_p(self):
+        with pytest.raises(ValueError, match="window_length or p"):
+            WindowedMalicious(line(4), 0, 1)
+
+
+class TestFaultFree:
+    def test_broadcast_succeeds(self):
+        for topology, source in [(line(5), 0), (binary_tree(3), 0),
+                                 (grid(3, 3), 4)]:
+            algo = WindowedMalicious(topology, source, "M", window_length=6)
+            result = run_execution(algo, FaultFree(), 0,
+                                   metadata=algo.metadata())
+            assert result.is_successful_broadcast()
+
+    def test_acceptance_happens_within_parent_window(self):
+        algo = WindowedMalicious(line(3), 0, "M", window_length=6)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        # depth-d node accepts after ceil(m/2) copies: round d*m + m/2 or so
+        trace = result.trace
+        first_delivery_rounds = {}
+        for record in trace:
+            for node in record.deliveries:
+                first_delivery_rounds.setdefault(node, record.round_index)
+        assert first_delivery_rounds[1] == 0
+        assert first_delivery_rounds[2] <= 6 + 3
+
+    def test_relay_stops_after_m_rounds(self):
+        algo = WindowedMalicious(line(2), 0, "M", window_length=4)
+        result = run_execution(algo, FaultFree(), 0, metadata=algo.metadata())
+        transmissions = result.trace.transmissions_of(0)
+        assert len(transmissions) == 4  # exactly m relays, then silence
+
+
+class TestUnderAdversaries:
+    def test_complement_adversary(self):
+        topology = grid(3, 3)
+        algo = WindowedMalicious(topology, 0, 1, p=0.25)
+
+        def trial(stream: RngStream) -> bool:
+            run = WindowedMalicious(topology, 0, 1,
+                                    window_length=algo.window_length)
+            failure = MaliciousFailures(0.25, ComplementAdversary())
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 60, 3)
+        assert outcome.estimate >= 1 - 3 / topology.order
+
+    def test_garbage_adversary_limited(self):
+        topology = line(5)
+        algo = WindowedMalicious(topology, 0, 1, p=0.3)
+
+        def trial(stream: RngStream) -> bool:
+            run = WindowedMalicious(topology, 0, 1,
+                                    window_length=algo.window_length)
+            failure = MaliciousFailures(0.3, GarbageAdversary(),
+                                        Restriction.LIMITED)
+            result = run_execution(run, failure, stream,
+                                   metadata=run.metadata(),
+                                   record_trace=False)
+            return result.is_successful_broadcast()
+
+        outcome = estimate_success(trial, 60, 5)
+        assert outcome.estimate >= 1 - 3 / topology.order
+
+    def test_never_accepts_minority_noise(self):
+        # a window of m rounds with fewer than m/2 identical copies
+        # must not trigger acceptance
+        algo = WindowedMalicious(line(2), 0, 1, window_length=9)
+        protocol = algo.protocol(1)
+        for round_index in range(4):
+            protocol.deliver(round_index, {0: "noise"})
+        for round_index in range(4, 9):
+            protocol.deliver(round_index, {})
+        assert protocol.accepted is None
