@@ -1,0 +1,119 @@
+"""Benchmarks of the Monte-Carlo trial subsystem.
+
+Two claims are asserted, not just timed:
+
+* fastsim auto-dispatch beats the naive per-trial engine loop (the
+  pattern every experiment runner used before ``TrialRunner``) by at
+  least 5x on a covered scenario;
+* the trace-free engine fast path (skipping the internal trace when the
+  failure model is history-oblivious) beats the always-trace execution
+  the seed engine performed.
+"""
+
+import time
+
+from repro.analysis import estimate_success
+from repro.core import SimpleOmission
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import OmissionFailures
+from repro.graphs import binary_tree, grid
+from repro.montecarlo import TrialRunner
+
+
+def _best_of(callable_, repeats=3):
+    """Minimum wall-clock of ``repeats`` runs (noise-robust timing)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_dispatch_beats_naive_engine_loop(benchmark):
+    """Dispatched TrialRunner >= 5x faster than the per-trial loop."""
+    topology = binary_tree(4)
+    p, m, trials = 0.3, 4, 120
+    failure = OmissionFailures(p)
+
+    def factory():
+        return SimpleOmission(
+            topology, 0, 1, MESSAGE_PASSING, phase_length=m
+        )
+
+    runner = TrialRunner(factory, failure)
+    entry = runner.dispatch_entry()
+    assert entry is not None and entry.name == "simple-omission"
+
+    def naive():
+        # The pre-TrialRunner pattern: rebuild the algorithm and run a
+        # traced-internals execution for every single trial.
+        def trial(stream):
+            algorithm = factory()
+            result = run_execution(
+                algorithm, failure, stream,
+                metadata=algorithm.metadata(), record_trace=False,
+            )
+            return result.is_successful_broadcast()
+
+        return estimate_success(trial, trials, 7)
+
+    def dispatched():
+        return runner.run(trials, 7)
+
+    dispatched()  # warm caches before timing
+    naive_time = _best_of(naive)
+    dispatch_time = _best_of(dispatched)
+    assert dispatch_time * 5 < naive_time, (
+        f"dispatch {dispatch_time:.4f}s vs naive {naive_time:.4f}s "
+        f"({naive_time / dispatch_time:.1f}x)"
+    )
+
+    result = benchmark(dispatched)
+    assert result.backend == "fastsim:simple-omission"
+    assert result.trials == trials
+    # Same success law: the dispatched estimate agrees with the engine.
+    assert abs(result.estimate - naive().estimate) < 0.2
+
+
+def test_no_trace_fast_path_beats_traced_engine(benchmark):
+    """Trace-free batches beat the always-trace seed engine behaviour."""
+    topology = grid(6, 6)
+    algorithm = SimpleOmission(topology, 0, 1, RADIO, phase_length=2)
+    failure = OmissionFailures(0.3)
+    runs = 20
+
+    def batch(record_trace):
+        for seed in range(runs):
+            run_execution(
+                algorithm, failure, seed,
+                metadata=algorithm.metadata(), record_trace=record_trace,
+            )
+
+    batch(True)
+    batch(False)  # warm up both paths
+    # Best-of-7 each: the radio no-trace margin is ~1.3x, so the
+    # minimum is robust to scheduler noise on shared CI runners.
+    traced_time = _best_of(lambda: batch(True), repeats=7)
+    fast_time = _best_of(lambda: batch(False), repeats=7)
+    assert fast_time < traced_time, (
+        f"no-trace {fast_time:.4f}s should beat traced {traced_time:.4f}s"
+    )
+    benchmark(lambda: batch(False))
+
+
+def test_trial_runner_engine_batch(benchmark):
+    """Throughput of the engine-fallback batch (no matching sampler)."""
+    topology = grid(4, 4)
+    failure = OmissionFailures(0.3)
+
+    runner = TrialRunner(
+        lambda: SimpleOmission(topology, 0, 1, RADIO, phase_length=2),
+        failure,
+        # Force the fallback so this measures the batched engine.
+        use_fastsim=False,
+    )
+
+    result = benchmark(lambda: runner.run(25, 11))
+    assert result.backend == "engine"
+    assert result.trials == 25

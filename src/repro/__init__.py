@@ -24,7 +24,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the per-theorem reproduction results.
 """
 
-from repro import analysis, core, engine, failures, graphs
+from repro import analysis, core, engine, failures, graphs, montecarlo
 from repro.engine import (
     MESSAGE_PASSING,
     RADIO,
@@ -32,6 +32,7 @@ from repro.engine import (
     ExecutionResult,
     run_execution,
 )
+from repro.montecarlo import TrialResult, TrialRunner
 from repro.rng import RngStream, as_stream, derive_seed
 
 __version__ = "1.0.0"
@@ -42,6 +43,9 @@ __all__ = [
     "engine",
     "failures",
     "graphs",
+    "montecarlo",
+    "TrialRunner",
+    "TrialResult",
     "MESSAGE_PASSING",
     "RADIO",
     "Execution",

@@ -15,6 +15,7 @@ from repro.analysis.estimation import (
     MonteCarloResult,
     clopper_pearson,
     estimate_success,
+    hoeffding_interval,
     wilson_interval,
 )
 from repro.analysis.thresholds import (
@@ -40,6 +41,7 @@ __all__ = [
     "MonteCarloResult",
     "clopper_pearson",
     "wilson_interval",
+    "hoeffding_interval",
     "estimate_success",
     "MP_MALICIOUS_THRESHOLD",
     "radio_malicious_threshold",

@@ -21,6 +21,7 @@ from repro.rng import RngStream, as_stream
 __all__ = [
     "clopper_pearson",
     "wilson_interval",
+    "hoeffding_interval",
     "MonteCarloResult",
     "estimate_success",
 ]
@@ -62,6 +63,25 @@ def wilson_interval(successes: int, trials: int,
         phat * (1 - phat) / trials + z * z / (4 * trials * trials)
     )
     return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def hoeffding_interval(successes: int, trials: int,
+                       confidence: float = 0.99) -> Tuple[float, float]:
+    """Chernoff–Hoeffding two-sided interval ``p̂ ± sqrt(ln(2/α)/2t)``.
+
+    Wider than Wilson but distribution-free and trivially streamable —
+    the margin depends only on the trial count, so running tallies can
+    report it without refitting.
+    """
+    successes = check_non_negative_int(successes, "successes")
+    trials = check_positive_int(trials, "trials")
+    if successes > trials:
+        raise ValueError(f"successes {successes} exceed trials {trials}")
+    confidence = check_probability(confidence, "confidence", allow_zero=False)
+    alpha = 1.0 - confidence
+    phat = successes / trials
+    margin = math.sqrt(math.log(2.0 / alpha) / (2.0 * trials))
+    return max(0.0, phat - margin), min(1.0, phat + margin)
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ Round structure (identical for both communication models):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from repro.engine.protocol import (
     MESSAGE_PASSING,
@@ -64,19 +64,38 @@ def deliver_message_passing(topology: Topology,
 
 def deliver_radio(topology: Topology,
                   actual: Dict[int, Any]) -> Dict[int, Any]:
-    """Radio delivery with collision-as-silence semantics."""
-    transmitters: Set[int] = set(actual)
+    """Radio delivery with collision-as-silence semantics.
+
+    Per listener, the speaking-neighbour scan iterates whichever is
+    smaller — the transmitter set (sparse rounds: single-transmitter
+    schedules) or the listener's neighbour list (dense rounds: jamming
+    adversaries) — against the cached neighbour sets, so a round costs
+    ``O(min(n · #transmitters, E))`` membership probes.
+    """
+    transmitters = list(actual)
+    neighbor_sets = topology.neighbor_sets()
     heard: Dict[int, Any] = {}
     for node in topology.nodes:
-        if node in transmitters:
+        if node in actual:
             heard[node] = None
             continue
-        speaking_neighbours = [
-            neighbour for neighbour in topology.neighbors(node)
-            if neighbour in transmitters
-        ]
-        if len(speaking_neighbours) == 1:
-            heard[node] = actual[speaking_neighbours[0]]
+        speaking: Optional[int] = None
+        collided = False
+        node_neighbors = neighbor_sets[node]
+        if len(transmitters) <= len(node_neighbors):
+            candidates = transmitters
+            speaking_test = node_neighbors
+        else:
+            candidates = node_neighbors
+            speaking_test = actual
+        for transmitter in candidates:
+            if transmitter in speaking_test:
+                if speaking is not None:
+                    collided = True
+                    break
+                speaking = transmitter
+        if speaking is not None and not collided:
+            heard[node] = actual[speaking]
         else:
             heard[node] = None
     return heard
@@ -172,8 +191,10 @@ class Execution:
     metadata:
         Facts recorded on the result and exposed to adversaries.
     record_trace:
-        When False the result carries no trace (the trace is still
-        built internally because adaptive adversaries need history).
+        When False the result carries no trace.  The trace is then
+        also skipped *internally* whenever the failure model declares
+        ``requires_history = False`` — the fast path Monte-Carlo
+        batches run on; adaptive adversaries still get a full history.
     """
 
     def __init__(self, algorithm: Algorithm,
@@ -203,6 +224,7 @@ class Execution:
             metadata=self._metadata,
             adversary_stream=self._stream.child("adversary"),
         )
+        build_trace = self._record_trace or self._failure_model.requires_history
         for round_index in range(algorithm.rounds):
             view.round_index = round_index
             intents = self._collect_intents(protocols, round_index)
@@ -211,14 +233,15 @@ class Execution:
             )
             actual = self._failure_model.apply(round_index, faulty, intents, view)
             self._validate_actual(actual)
-            deliveries = self._deliver(protocols, round_index, actual)
-            trace.append(RoundRecord(
-                round_index=round_index,
-                intents=intents,
-                faulty=faulty,
-                actual=actual,
-                deliveries=deliveries,
-            ))
+            deliveries = self._deliver(protocols, round_index, actual, build_trace)
+            if build_trace:
+                trace.append(RoundRecord(
+                    round_index=round_index,
+                    intents=intents,
+                    faulty=faulty,
+                    actual=actual,
+                    deliveries=deliveries,
+                ))
         outputs = {node: protocols[node].output() for node in topology.nodes}
         return ExecutionResult(
             outputs=outputs,
@@ -263,20 +286,28 @@ class Execution:
             else:
                 validate_radio_intent(node, transmission)
 
-    def _deliver(self, protocols, round_index: int,
-                 actual: Dict[int, Any]) -> Dict[int, Any]:
-        """Run medium semantics and hand deliveries to the protocols."""
+    def _deliver(self, protocols, round_index: int, actual: Dict[int, Any],
+                 want_record: bool = True) -> Optional[Dict[int, Any]]:
+        """Run medium semantics and hand deliveries to the protocols.
+
+        The return value only feeds the trace record; trace-free runs
+        pass ``want_record=False`` and skip building it.
+        """
         topology = self._algorithm.topology
         if self._algorithm.model == MESSAGE_PASSING:
             inboxes = deliver_message_passing(topology, actual)
             for node, protocol in protocols.items():
                 protocol.deliver(round_index, inboxes[node])
+            if not want_record:
+                return None
             return {
                 node: inbox for node, inbox in inboxes.items() if inbox
             }
         heard = deliver_radio(topology, actual)
         for node, protocol in protocols.items():
             protocol.deliver(round_index, heard[node])
+        if not want_record:
+            return None
         return {
             node: payload for node, payload in heard.items() if payload is not None
         }

@@ -13,34 +13,32 @@ two models execute identically).
 
 from __future__ import annotations
 
-from repro.analysis.estimation import estimate_success
 from repro.core.parameters import omission_phase_length
 from repro.core.simple_omission import SimpleOmission
 from repro.engine.protocol import MESSAGE_PASSING, RADIO
-from repro.engine.simulator import run_execution
 from repro.failures.base import OmissionFailures
 from repro.fastsim.closed_forms import simple_omission_success_probability
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
 def _engine_success_rate(topology, source, p, m, model, trials, stream) -> float:
-    """Monte-Carlo success rate of the reference engine."""
+    """Monte-Carlo success rate of the reference engine.
 
-    def trial(trial_stream: RngStream) -> bool:
-        algorithm = SimpleOmission(
-            topology, source, 1, model=model, phase_length=m
-        )
-        result = run_execution(
-            algorithm, OmissionFailures(p), trial_stream,
-            metadata=algorithm.metadata(), record_trace=False,
-        )
-        return result.is_successful_broadcast()
-
-    return estimate_success(trial, trials, stream).estimate
+    ``use_fastsim=False``: this column exists to validate the closed
+    form against the *engine*, so dispatching to the vectorised
+    omission sampler would defeat its purpose.
+    """
+    runner = TrialRunner(
+        lambda: SimpleOmission(topology, source, 1, model=model, phase_length=m),
+        OmissionFailures(p),
+        use_fastsim=False,
+    )
+    return runner.run(trials, stream).estimate
 
 
 def _run(config: ExperimentConfig, model: str, experiment_id: str) -> ExperimentReport:

@@ -17,20 +17,34 @@ collapses far below the almost-safe bar.
 from __future__ import annotations
 
 from repro.analysis.chernoff import majority_error_probability
-from repro.analysis.estimation import estimate_success
 from repro.core.parameters import mp_malicious_phase_length
 from repro.core.simple_malicious import SimpleMalicious
 from repro.engine.protocol import MESSAGE_PASSING
-from repro.engine.simulator import run_execution
 from repro.failures.adversaries import ComplementAdversary
 from repro.failures.malicious import MaliciousFailures
 from repro.fastsim.closed_forms import internal_node_count
-from repro.fastsim.tree_chain import sample_simple_malicious_mp
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _runner(topology, m: int, p: float, use_fastsim: bool = True) -> TrialRunner:
+    """Trial runner for Simple-Malicious + complement adversary (MP).
+
+    With dispatch enabled this lands on the ``simple-malicious-mp``
+    fastsim sampler; with it disabled it batches reference-engine
+    executions (the spot-check column).
+    """
+    return TrialRunner(
+        lambda: SimpleMalicious(
+            topology, 0, 1, model=MESSAGE_PASSING, phase_length=m
+        ),
+        MaliciousFailures(p, ComplementAdversary()),
+        use_fastsim=use_fastsim,
+    )
 
 
 @register(
@@ -58,11 +72,7 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
         m = mp_malicious_phase_length(n, p)
         last_feasible_m = m
         exact = (1.0 - majority_error_probability(m, p)) ** internals
-        mc = float(
-            sample_simple_malicious_mp(
-                tree, m, p, trials, stream.child("mc", p)
-            ).mean()
-        )
+        mc = _runner(topology, m, p).run(trials, stream.child("mc", p)).estimate
         almost_safe = exact >= target
         passed = passed and almost_safe and mc >= 1.0 - 2.5 / n
         table.add_row(
@@ -72,35 +82,22 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
     for p in ([0.55] if config.quick else [0.5, 0.55, 0.65]):
         m = last_feasible_m
         exact = (1.0 - majority_error_probability(m, p)) ** internals
-        mc = float(
-            sample_simple_malicious_mp(
-                tree, m, p, trials, stream.child("mc-bad", p)
-            ).mean()
-        )
+        mc = _runner(topology, m, p).run(
+            trials, stream.child("mc-bad", p)
+        ).estimate
         collapses = exact < 0.5 and mc < 0.5
         passed = passed and collapses
         table.add_row(
             p=p, feasible=False, m=m, exact_success=exact, fastsim_mc=mc,
             target=target, almost_safe=exact >= target,
         )
-    # Reference-engine spot check against the exact chain value.
+    # Reference-engine spot check against the exact chain value
+    # (dispatch disabled so the engine itself is exercised).
     engine_p = feasible_ps[1]
     engine_m = mp_malicious_phase_length(n, engine_p)
     engine_trials = 40 if config.quick else 120
-
-    def engine_trial(trial_stream: RngStream) -> bool:
-        algorithm = SimpleMalicious(
-            topology, 0, 1, model=MESSAGE_PASSING, phase_length=engine_m
-        )
-        failure = MaliciousFailures(engine_p, ComplementAdversary())
-        result = run_execution(
-            algorithm, failure, trial_stream,
-            metadata=algorithm.metadata(), record_trace=False,
-        )
-        return result.is_successful_broadcast()
-
-    engine_rate = estimate_success(
-        engine_trial, engine_trials, stream.child("engine")
+    engine_rate = _runner(topology, engine_m, engine_p, use_fastsim=False).run(
+        engine_trials, stream.child("engine")
     ).estimate
     notes = [
         f"n = {n} (complete binary tree of depth {depth}); adversary = "

@@ -18,10 +18,12 @@ import math
 import numpy as np
 
 from repro.analysis.fitting import fit_d_plus_log_n
-from repro.core.flooding import flooding_rounds
+from repro.core.flooding import FastFlooding, flooding_rounds
+from repro.failures.base import OmissionFailures
 from repro.fastsim.tree_chain import sample_flooding_times
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree, grid, line
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
@@ -51,11 +53,22 @@ def run_e07(config: ExperimentConfig) -> ExperimentReport:
         n = topology.order
         radius = tree.height
         safe_rounds = flooding_rounds(n, radius, p)
+        # Success at the safe budget via the dispatched TrialRunner
+        # (lands on the `flooding` fastsim sampler); the completion
+        # quantile needs the raw times, drawn from a fresh stream with
+        # the same derivation so both statistics describe the identical
+        # sampled executions.
+        runner = TrialRunner(
+            lambda t=topology, r=safe_rounds: FastFlooding(t, 0, 1, rounds=r),
+            OmissionFailures(p),
+        )
+        success = runner.run(
+            trials, stream.child("times", topology.name)
+        ).estimate
         times = sample_flooding_times(
             tree, p, trials, stream.child("times", topology.name)
         )
         quantile = float(np.quantile(times, 1.0 - 1.0 / n))
-        success = float((times <= safe_rounds).mean())
         almost_safe = success >= 1.0 - 2.5 / n
         passed = passed and almost_safe and quantile <= safe_rounds
         table.add_row(

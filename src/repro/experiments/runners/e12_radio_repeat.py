@@ -14,10 +14,8 @@ below each graph's radio threshold.
 
 from __future__ import annotations
 
-from repro.analysis.estimation import estimate_success
 from repro.analysis.thresholds import radio_malicious_threshold
 from repro.core.radio_repeat import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
-from repro.engine.simulator import run_execution
 from repro.failures.adversaries import ComplementAdversary
 from repro.failures.base import OmissionFailures
 from repro.failures.malicious import MaliciousFailures
@@ -30,6 +28,7 @@ from repro.radio.closed_form import (
     star_schedule,
 )
 from repro.radio.greedy import greedy_schedule
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
@@ -80,21 +79,14 @@ def run_e12(config: ExperimentConfig) -> ExperimentReport:
         ]
         for rule, failure_name, p, failure_model in cases:
             algorithm = RadioRepeat(schedule, 1, rule=rule, p=p)
-
-            def trial(trial_stream: RngStream) -> bool:
-                algo = RadioRepeat(
-                    schedule, 1, rule=rule,
-                    phase_length=algorithm.phase_length,
-                )
-                result = run_execution(
-                    algo, failure_model, trial_stream,
-                    metadata=algo.metadata(), record_trace=False,
-                )
-                return result.is_successful_broadcast()
-
-            outcome = estimate_success(
-                trial, trials, stream.child("mc", name, rule)
+            # No fastsim sampler covers schedule repetition: TrialRunner
+            # falls back to the batched trace-free engine.
+            runner = TrialRunner(
+                lambda s=schedule, r=rule, m=algorithm.phase_length:
+                    RadioRepeat(s, 1, rule=r, phase_length=m),
+                failure_model,
             )
+            outcome = runner.run(trials, stream.child("mc", name, rule))
             # With per-run failure <= 1/n, seeing more than a couple of
             # failures in `trials` runs would be wildly unlikely.
             ok = outcome.estimate >= target - 2.0 * (1.0 / trials)

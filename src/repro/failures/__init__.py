@@ -4,6 +4,7 @@ from repro.failures.adversaries import (
     ComplementAdversary,
     GarbageAdversary,
     JammingAdversary,
+    RadioWorstCaseAdversary,
     RandomFlipAdversary,
     SilentAdversary,
     SlowingAdversary,
@@ -30,6 +31,7 @@ __all__ = [
     "RandomFlipAdversary",
     "GarbageAdversary",
     "JammingAdversary",
+    "RadioWorstCaseAdversary",
     "SlowingAdversary",
     "flip_bit",
     "EqualizingMpAdversary",

@@ -15,10 +15,19 @@ complexity experiments:
   value, never speaks out of turn (limited malicious).
 * :class:`JammingAdversary` — radio-only: faulty nodes transmit noise
   out of turn, manufacturing collisions (full malicious).
+* :class:`RadioWorstCaseAdversary` — the coordinated radio attack of
+  the Theorem 2.4 analysis: when the scheduled transmitter is faulty
+  its bit is flipped and all other faulty nodes stay silent so the lie
+  is delivered; when it is fault-free every faulty node jams.
 * :class:`SlowingAdversary` — the proofs' failure-rate *slowing*
   reduction: a wrapper that lets a faulty node behave fault-free with
   the right probability so the effective malicious rate drops from
   ``p`` to a chosen target.
+
+All adversaries here decide from the current round's intents alone
+(``requires_history`` is ``False``), so trace-free engine executions
+can skip history bookkeeping; the adaptive equalizing adversaries live
+in :mod:`repro.failures.equalizing` and keep the default ``True``.
 """
 
 from __future__ import annotations
@@ -35,9 +44,18 @@ __all__ = [
     "RandomFlipAdversary",
     "GarbageAdversary",
     "JammingAdversary",
+    "RadioWorstCaseAdversary",
     "SlowingAdversary",
     "flip_bit",
 ]
+
+
+class _ObliviousAdversary(Adversary):
+    """Base for adversaries that never consult the execution history."""
+
+    @property
+    def requires_history(self) -> bool:
+        return False
 
 
 def flip_bit(payload: Any) -> Any:
@@ -53,7 +71,7 @@ def flip_bit(payload: Any) -> Any:
     return payload
 
 
-class SilentAdversary(Adversary):
+class SilentAdversary(_ObliviousAdversary):
     """Faulty nodes transmit nothing — malicious degraded to omission."""
 
     def rewrite(self, round_index: int, faulty: FrozenSet[int],
@@ -61,7 +79,7 @@ class SilentAdversary(Adversary):
         return {}
 
 
-class ComplementAdversary(Adversary):
+class ComplementAdversary(_ObliviousAdversary):
     """Flip every bit a faulty node intended to transmit.
 
     For majority-vote protocols this is the most detrimental
@@ -86,7 +104,7 @@ class ComplementAdversary(Adversary):
         return replacements
 
 
-class RandomFlipAdversary(Adversary):
+class RandomFlipAdversary(_ObliviousAdversary):
     """Kučera's flip model: a faulty transmission's bit is always flipped.
 
     Identical to :class:`ComplementAdversary` in action but kept as a
@@ -111,7 +129,7 @@ class RandomFlipAdversary(Adversary):
         return replacements
 
 
-class GarbageAdversary(Adversary):
+class GarbageAdversary(_ObliviousAdversary):
     """Replace every intended payload with a fixed garbage value.
 
     Never speaks out of turn, so it is legal under the *limited*
@@ -138,7 +156,7 @@ class GarbageAdversary(Adversary):
         return replacements
 
 
-class JammingAdversary(Adversary):
+class JammingAdversary(_ObliviousAdversary):
     """Radio: faulty nodes always transmit noise, manufacturing collisions.
 
     Speaking out of turn is the radio adversary's signature weapon (it
@@ -155,6 +173,51 @@ class JammingAdversary(Adversary):
     def rewrite(self, round_index: int, faulty: FrozenSet[int],
                 intents: Dict[int, Any], view) -> Dict[int, Any]:
         return {node: self._noise for node in faulty}
+
+
+class RadioWorstCaseAdversary(_ObliviousAdversary):
+    """The coordinated radio attack behind the Theorem 2.4 analysis.
+
+    Against a single-transmitter schedule (the tree-phase algorithms)
+    the most detrimental radio behaviour coordinates the faulty set:
+
+    * scheduled transmitter faulty — its bit is flipped and every other
+      faulty node stays *silent*, so the lie is actually delivered;
+    * scheduled transmitter fault-free — every faulty node jams,
+      destroying the reception of any listener adjacent to (or being)
+      a faulty node.
+
+    A listener of degree ``d`` then hears the correct bit per step with
+    probability ``(1-p)^{d+1}`` (its whole closed neighbourhood
+    fault-free) and the flipped bit with probability ``p`` — exactly
+    the trinomial of the Theorem 2.4 proof that
+    :func:`repro.fastsim.tree_chain.sample_simple_malicious_radio`
+    samples.  When several nodes intend to transmit at once (not a
+    tree-phase schedule) the attack degrades gracefully: intended
+    transmissions of faulty nodes are flipped and faulty silent nodes
+    jam.
+    """
+
+    def __init__(self, noise: Any = "JAM"):
+        if noise is None:
+            raise ValueError("noise payload must not be None (None is silence)")
+        self._noise = noise
+
+    def rewrite(self, round_index: int, faulty: FrozenSet[int],
+                intents: Dict[int, Any], view) -> Dict[int, Any]:
+        replacements: Dict[int, Any] = {}
+        if len(intents) == 1:
+            (transmitter, intent), = intents.items()
+            if transmitter in faulty:
+                # Deliver the flip: all other faulty nodes keep quiet.
+                return {transmitter: flip_bit(intent)}
+            return {node: self._noise for node in faulty}
+        for node in faulty:
+            intent = intents.get(node)
+            replacements[node] = (
+                self._noise if intent is None else flip_bit(intent)
+            )
+        return replacements
 
 
 class SlowingAdversary(Adversary):
@@ -187,6 +250,10 @@ class SlowingAdversary(Adversary):
     def effective_rate(self) -> float:
         """The effective malicious failure probability after slowing."""
         return self._target
+
+    @property
+    def requires_history(self) -> bool:
+        return self._inner.requires_history
 
     def rewrite(self, round_index: int, faulty: FrozenSet[int],
                 intents: Dict[int, Any], view) -> Dict[int, Any]:

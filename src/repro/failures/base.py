@@ -50,6 +50,19 @@ class FailureModel(ABC):
         """The per-round failure probability."""
         return self._p
 
+    @property
+    def requires_history(self) -> bool:
+        """Whether :meth:`apply` consults the execution trace.
+
+        The engine builds its internal round-by-round trace only when
+        the failure model (or its adversary) declares it needs history;
+        history-oblivious models let trace-free executions skip that
+        bookkeeping entirely.  The base class answers ``True`` — the
+        safe default for arbitrary subclasses — and the built-in
+        oblivious models override it.
+        """
+        return True
+
     def sample_faulty(self, stream: RngStream, order: int) -> FrozenSet[int]:
         """Sample the faulty-transmitter set for one round."""
         if self._p == 0.0:
@@ -92,6 +105,10 @@ class FaultFree(FailureModel):
     def __init__(self):
         super().__init__(0.0)
 
+    @property
+    def requires_history(self) -> bool:
+        return False
+
     def apply(self, round_index: int, faulty: FrozenSet[int],
               intents: Dict[int, Any], view) -> Dict[int, Any]:
         return dict(intents)
@@ -105,6 +122,10 @@ class OmissionFailures(FailureModel):
     neighbours at once, matching the paper's single per-node transmitter
     component.
     """
+
+    @property
+    def requires_history(self) -> bool:
+        return False
 
     def apply(self, round_index: int, faulty: FrozenSet[int],
               intents: Dict[int, Any], view) -> Dict[int, Any]:

@@ -61,6 +61,17 @@ class Adversary(ABC):
                 intents: Dict[int, Any], view) -> Dict[int, Any]:
         """Return ``node -> transmission`` for (a subset of) ``faulty``."""
 
+    @property
+    def requires_history(self) -> bool:
+        """Whether :meth:`rewrite` consults ``view.trace``.
+
+        Adaptive adversaries (the equalizing constructions) need the
+        round-by-round history; history-oblivious adversaries override
+        this to ``False`` so trace-free executions can skip building
+        the internal trace.  The conservative default is ``True``.
+        """
+        return True
+
     def describe(self) -> str:
         """One-line description for experiment tables."""
         return type(self).__name__
@@ -151,6 +162,10 @@ class MaliciousFailures(FailureModel):
     def restriction(self) -> Restriction:
         """The enforced power level."""
         return self._restriction
+
+    @property
+    def requires_history(self) -> bool:
+        return self._adversary.requires_history
 
     def apply(self, round_index: int, faulty: FrozenSet[int],
               intents: Dict[int, Any], view) -> Dict[int, Any]:

@@ -12,10 +12,12 @@ from repro.fastsim.tree_chain import (
     sample_flooding_times,
     sample_simple_malicious_mp,
     sample_simple_malicious_radio,
+    sample_simple_omission,
 )
 
 __all__ = [
     "simple_omission_success_probability",
+    "sample_simple_omission",
     "internal_node_count",
     "line_flooding_success_probability",
     "flooding_success_lower_bound",

@@ -5,6 +5,10 @@ correctness, far too slow for 10⁴-trial sweeps over dozens of
 parameter points.  These samplers exploit the algorithms' structure to
 sample the *success event* directly:
 
+* **Simple-Omission** (either model) — success factorises into one
+  independent event per internal node: its ``m``-step phase delivers
+  unless all ``m`` transmissions fail, so per (trial, internal node)
+  one Bernoulli(``1 - p^m``) draw suffices.
 * **Simple-Malicious** (either model) — correctness propagates down
   the tree as a Markov chain: conditioned on the parent's decided
   value, a node's vote outcome depends only on its own phase's fault
@@ -16,7 +20,9 @@ sample the *success event* directly:
   ancestor path.
 
 Every sampler is cross-validated against the reference engine in
-``tests/test_fastsim_agreement.py``.
+``tests/test_fastsim_agreement.py``, which pins the exact scenario
+shapes the :mod:`repro.montecarlo` dispatch registry may hand to each
+sampler.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.graphs.bfs import SpanningTree
 from repro.rng import as_stream
 
 __all__ = [
+    "sample_simple_omission",
     "sample_simple_malicious_mp",
     "sample_simple_malicious_radio",
     "sample_flooding_times",
@@ -40,6 +47,31 @@ __all__ = [
 def _nodes_in_topdown_order(tree: SpanningTree):
     """Non-root nodes ordered so parents precede children."""
     return [node for node in tree.order if node != tree.root]
+
+
+def sample_simple_omission(tree: SpanningTree, phase_length: int, p: float,
+                           trials: int, seed_or_stream=0) -> np.ndarray:
+    """Success indicators for Simple-Omission (either model).
+
+    The schedule activates one transmitter per step, so the radio and
+    message-passing executions coincide.  A node is informed with the
+    true message iff every ancestor's phase delivered; the broadcast
+    therefore succeeds iff *every internal node's* phase contains at
+    least one non-faulty step — independent events of probability
+    ``1 - p^m``, matching the exact closed form
+    :func:`repro.fastsim.closed_forms.simple_omission_success_probability`.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    internals = sum(1 for node in tree.order if not tree.is_leaf(node))
+    if internals == 0:
+        return np.ones(trials, dtype=bool)
+    all_faulty = p ** phase_length
+    draws = generator.random((trials, internals))
+    return (draws >= all_faulty).all(axis=1)
 
 
 def sample_simple_malicious_mp(tree: SpanningTree, phase_length: int, p: float,

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro._validation import check_node, check_positive_int
 
 __all__ = ["Topology"]
@@ -30,7 +32,8 @@ class Topology:
         Optional human-readable label used in experiment tables.
     """
 
-    __slots__ = ("_order", "_adjacency", "_edges", "_name")
+    __slots__ = ("_order", "_adjacency", "_edges", "_name",
+                 "_neighbor_sets", "_csr")
 
     def __init__(self, order: int, edges: Iterable[Tuple[int, int]],
                  name: str = "graph"):
@@ -50,6 +53,9 @@ class Topology:
         )
         self._edges: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
         self._name = str(name)
+        # Lazily built caches shared by batched Monte-Carlo executions.
+        self._neighbor_sets: Tuple[FrozenSet[int], ...] = None
+        self._csr: Tuple[np.ndarray, np.ndarray] = None
 
     # -- basic accessors -------------------------------------------------
     @property
@@ -88,6 +94,39 @@ class Topology:
     def max_degree(self) -> int:
         """Maximum degree ``Δ`` of the network (0 for a single node)."""
         return max((len(adj) for adj in self._adjacency), default=0)
+
+    def neighbor_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """Per-node neighbour sets, built once and cached.
+
+        Membership-heavy hot paths (radio collision resolution, batched
+        Monte-Carlo trials) share this cache across executions instead
+        of rebuilding per-round set structures.
+        """
+        if self._neighbor_sets is None:
+            self._neighbor_sets = tuple(
+                frozenset(neighbours) for neighbours in self._adjacency
+            )
+        return self._neighbor_sets
+
+    def csr_neighbors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Adjacency in CSR form ``(indptr, indices)``, cached.
+
+        ``indices[indptr[v]:indptr[v+1]]`` are the sorted neighbours of
+        ``v`` — the layout vectorised samplers consume directly.
+        """
+        if self._csr is None:
+            degrees = np.fromiter(
+                (len(adj) for adj in self._adjacency), dtype=np.int64,
+                count=self._order,
+            )
+            indptr = np.zeros(self._order + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (v for adj in self._adjacency for v in adj), dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            self._csr = (indptr, indices)
+        return self._csr
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""

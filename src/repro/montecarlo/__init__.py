@@ -1,0 +1,30 @@
+"""Batched Monte-Carlo trial subsystem with fastsim auto-dispatch.
+
+The shared harness behind every success-probability experiment:
+:class:`TrialRunner` batches reference-engine executions (shared
+algorithm state, trace-free fast path, optional process sharding with
+reproducible per-trial streams) and auto-dispatches to a registered
+:mod:`repro.fastsim` vectorised sampler when one provably matches the
+scenario.
+"""
+
+from repro.montecarlo.dispatch import (
+    SamplerEntry,
+    find_sampler,
+    register_sampler,
+    registered_samplers,
+    unregister_sampler,
+)
+from repro.montecarlo import samplers as _builtin_samplers  # noqa: F401  (registers)
+from repro.montecarlo.trials import RunningTally, TrialResult, TrialRunner
+
+__all__ = [
+    "TrialRunner",
+    "TrialResult",
+    "RunningTally",
+    "SamplerEntry",
+    "register_sampler",
+    "unregister_sampler",
+    "find_sampler",
+    "registered_samplers",
+]

@@ -1,0 +1,97 @@
+"""Fastsim sampler registry and auto-dispatch.
+
+The engine is the semantic ground truth but simulates every round of
+every node; the :mod:`repro.fastsim` samplers exploit algorithm
+structure to draw the success event directly, thousands of trials per
+numpy call.  This module is the bridge: a registry mapping *scenario
+shapes* — an (algorithm, failure model) combination recognised by a
+matcher predicate — to the vectorised sampler that reproduces the
+engine's success law for that shape.
+
+:class:`repro.montecarlo.trials.TrialRunner` consults the registry and
+transparently dispatches to a matching sampler, falling back to batched
+engine executions otherwise.  Matchers must be *conservative*: a
+sampler is only offered when its distribution provably coincides with
+the engine's (see ``tests/test_fastsim_agreement.py``), so dispatch
+never changes what is being estimated, only how fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.protocol import Algorithm
+from repro.failures.base import FailureModel
+from repro.rng import RngStream
+
+__all__ = [
+    "SamplerEntry",
+    "register_sampler",
+    "unregister_sampler",
+    "find_sampler",
+    "registered_samplers",
+]
+
+Matcher = Callable[[Algorithm, FailureModel], bool]
+Sampler = Callable[[Algorithm, FailureModel, int, RngStream], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SamplerEntry:
+    """One registered vectorised sampler.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also reported as ``TrialResult.backend``
+        (``"fastsim:<name>"``).
+    matches:
+        Predicate deciding whether this sampler reproduces the engine's
+        success distribution for a given (algorithm, failure model).
+    sample:
+        ``(algorithm, failure, trials, stream) -> bool ndarray`` of
+        per-trial success indicators.
+    """
+
+    name: str
+    matches: Matcher
+    sample: Sampler
+
+
+_REGISTRY: Dict[str, SamplerEntry] = {}
+
+
+def register_sampler(name: str, matches: Matcher, sample: Sampler) -> SamplerEntry:
+    """Register a vectorised sampler under ``name``.
+
+    Registration order is lookup order; the first matching entry wins.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"duplicate sampler name {name!r}")
+    entry = SamplerEntry(name=name, matches=matches, sample=sample)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def unregister_sampler(name: str) -> None:
+    """Remove a registered sampler (primarily for tests)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown sampler {name!r}")
+    del _REGISTRY[name]
+
+
+def find_sampler(algorithm: Algorithm,
+                 failure_model: FailureModel) -> Optional[SamplerEntry]:
+    """First registered sampler matching the scenario, or ``None``."""
+    for entry in _REGISTRY.values():
+        if entry.matches(algorithm, failure_model):
+            return entry
+    return None
+
+
+def registered_samplers() -> List[SamplerEntry]:
+    """All registered samplers in lookup order."""
+    return list(_REGISTRY.values())

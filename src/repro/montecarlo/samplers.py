@@ -1,0 +1,139 @@
+"""Built-in fastsim dispatch entries.
+
+Each entry pairs a conservative matcher with the
+:mod:`repro.fastsim.tree_chain` sampler whose success distribution
+coincides with the reference engine's for that scenario shape; the
+agreement is asserted sampler-by-sampler in
+``tests/test_fastsim_agreement.py``.  Importing this module (done by
+``repro.montecarlo``) registers all entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flooding import FastFlooding
+from repro.core.simple_malicious import SimpleMalicious
+from repro.core.simple_omission import SimpleOmission
+from repro.engine.protocol import MESSAGE_PASSING, RADIO, Algorithm
+from repro.failures.adversaries import (
+    ComplementAdversary,
+    RadioWorstCaseAdversary,
+    RandomFlipAdversary,
+)
+from repro.failures.base import FailureModel, OmissionFailures
+from repro.failures.malicious import MaliciousFailures, Restriction
+from repro.fastsim.tree_chain import (
+    sample_flooding_success,
+    sample_simple_malicious_mp,
+    sample_simple_malicious_radio,
+    sample_simple_omission,
+)
+from repro.montecarlo.dispatch import register_sampler
+from repro.rng import RngStream
+
+__all__ = ["register_builtin_samplers"]
+
+
+def _is_chain(tree) -> bool:
+    """Whether every node has at most one child (a rooted path).
+
+    The radio worst-case sampler draws per-node trinomials
+    independently; with siblings the engine's listeners share their
+    parent's phase faults and the joint success law differs, so the
+    sampler is only offered on chains.
+    """
+    return all(
+        len(tree.children(node)) <= 1 for node in tree.topology.nodes
+    )
+
+
+def _match_simple_omission(algorithm: Algorithm,
+                           failure: FailureModel) -> bool:
+    return (
+        isinstance(algorithm, SimpleOmission)
+        and type(failure) is OmissionFailures
+        and algorithm.source_message != algorithm.default
+    )
+
+
+def _sample_simple_omission(algorithm: Algorithm, failure: FailureModel,
+                            trials: int, stream: RngStream) -> np.ndarray:
+    return sample_simple_omission(
+        algorithm.tree, algorithm.phase_length, failure.p, trials, stream
+    )
+
+
+def _match_simple_malicious_mp(algorithm: Algorithm,
+                               failure: FailureModel) -> bool:
+    return (
+        isinstance(algorithm, SimpleMalicious)
+        and algorithm.model == MESSAGE_PASSING
+        and isinstance(failure, MaliciousFailures)
+        and type(failure.adversary) in (ComplementAdversary, RandomFlipAdversary)
+        and algorithm.source_message == 1
+        and algorithm.default == 0
+    )
+
+
+def _sample_simple_malicious_mp(algorithm: Algorithm, failure: FailureModel,
+                                trials: int, stream: RngStream) -> np.ndarray:
+    return sample_simple_malicious_mp(
+        algorithm.tree, algorithm.phase_length, failure.p, trials, stream
+    )
+
+
+def _match_simple_malicious_radio(algorithm: Algorithm,
+                                  failure: FailureModel) -> bool:
+    return (
+        isinstance(algorithm, SimpleMalicious)
+        and algorithm.model == RADIO
+        and isinstance(failure, MaliciousFailures)
+        and type(failure.adversary) is RadioWorstCaseAdversary
+        and failure.restriction is Restriction.FULL
+        and algorithm.source_message == 1
+        and algorithm.default == 0
+        and _is_chain(algorithm.tree)
+    )
+
+
+def _sample_simple_malicious_radio(algorithm: Algorithm,
+                                   failure: FailureModel, trials: int,
+                                   stream: RngStream) -> np.ndarray:
+    return sample_simple_malicious_radio(
+        algorithm.tree, algorithm.phase_length, failure.p, trials, stream
+    )
+
+
+def _match_flooding(algorithm: Algorithm, failure: FailureModel) -> bool:
+    return (
+        isinstance(algorithm, FastFlooding)
+        and type(failure) is OmissionFailures
+        and algorithm.source_message != algorithm.default
+    )
+
+
+def _sample_flooding(algorithm: Algorithm, failure: FailureModel,
+                     trials: int, stream: RngStream) -> np.ndarray:
+    return sample_flooding_success(
+        algorithm.tree, algorithm.rounds, failure.p, trials, stream
+    )
+
+
+def register_builtin_samplers() -> None:
+    """Register every built-in (algorithm, failure) -> sampler entry."""
+    register_sampler(
+        "simple-omission", _match_simple_omission, _sample_simple_omission
+    )
+    register_sampler(
+        "simple-malicious-mp", _match_simple_malicious_mp,
+        _sample_simple_malicious_mp,
+    )
+    register_sampler(
+        "simple-malicious-radio", _match_simple_malicious_radio,
+        _sample_simple_malicious_radio,
+    )
+    register_sampler("flooding", _match_flooding, _sample_flooding)
+
+
+register_builtin_samplers()

@@ -1,0 +1,394 @@
+"""Batched Monte-Carlo trial running with reproducible sharding.
+
+Every feasibility theorem in the paper is a statement about a success
+*probability*, so each experiment ends up running the same loop: derive
+a per-trial random stream, execute, count successes.  This module
+centralises that loop and makes it fast:
+
+* the algorithm is instantiated **once per shard** and shared across
+  its trials (protocols carry all per-run state), so spanning trees,
+  schedules and topology caches are not rebuilt per trial;
+* trace-free executions take the engine's no-history fast path
+  whenever the failure model is history-oblivious;
+* trials can be sharded across processes; trial ``i`` always draws
+  from the child stream ``root.child("mc", i)``, so the per-trial
+  indicator vector is **bit-identical for any worker count** — and
+  identical to :func:`repro.analysis.estimation.estimate_success`
+  under the same root stream;
+* when a registered fastsim sampler matches the scenario (see
+  :mod:`repro.montecarlo.dispatch`), the whole batch collapses into
+  one vectorised draw.
+
+Example::
+
+    runner = TrialRunner(lambda: SimpleOmission(g, 0, 1, RADIO, p=0.3),
+                         OmissionFailures(0.3))
+    result = runner.run(trials=10_000, seed_or_stream=7)
+    result.estimate, result.stats().describe(), result.backend
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_probability
+from repro.analysis.estimation import (
+    MonteCarloResult,
+    clopper_pearson,
+    hoeffding_interval,
+    wilson_interval,
+)
+from repro.engine.protocol import Algorithm
+from repro.engine.simulator import ExecutionResult, run_execution
+from repro.failures.base import FailureModel, FaultFree
+from repro.montecarlo.dispatch import SamplerEntry, find_sampler
+from repro.rng import RngStream, as_stream, derive_seed
+
+__all__ = ["TrialRunner", "TrialResult", "RunningTally"]
+
+AlgorithmFactory = Callable[[], Algorithm]
+SuccessPredicate = Callable[[ExecutionResult], bool]
+
+ENGINE_BACKEND = "engine"
+
+
+class RunningTally:
+    """Streaming success/trial counts with on-demand intervals.
+
+    Shards report in as they complete; the tally can answer the point
+    estimate and Wilson / Chernoff–Hoeffding / Clopper–Pearson
+    intervals at any moment without storing indicators.
+    """
+
+    __slots__ = ("_successes", "_trials")
+
+    def __init__(self) -> None:
+        self._successes = 0
+        self._trials = 0
+
+    def update(self, indicators: np.ndarray) -> None:
+        """Fold one batch of boolean indicators into the tally."""
+        self._successes += int(np.count_nonzero(indicators))
+        self._trials += int(len(indicators))
+
+    @property
+    def successes(self) -> int:
+        """Successful trials so far."""
+        return self._successes
+
+    @property
+    def trials(self) -> int:
+        """Trials folded in so far."""
+        return self._trials
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate ``successes / trials`` (0.0 before any trial)."""
+        return self._successes / self._trials if self._trials else 0.0
+
+    def wilson(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Wilson score interval on the current counts."""
+        return wilson_interval(self._successes, self._trials, confidence)
+
+    def hoeffding(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Chernoff–Hoeffding interval on the current counts."""
+        return hoeffding_interval(self._successes, self._trials, confidence)
+
+    def clopper_pearson(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Exact Clopper–Pearson interval on the current counts."""
+        return clopper_pearson(self._successes, self._trials, confidence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningTally({self._successes}/{self._trials})"
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one :meth:`TrialRunner.run` batch.
+
+    Attributes
+    ----------
+    indicators:
+        Per-trial success booleans, in trial order (trial ``i`` always
+        used stream ``root.child("mc", i)``).
+    backend:
+        ``"engine"`` or ``"fastsim:<sampler name>"``.
+    workers:
+        Process count the batch ran with (1 = in-process).
+    seed:
+        Root seed the per-trial streams were derived from.
+    """
+
+    indicators: np.ndarray
+    backend: str
+    workers: int
+    seed: int
+    confidence: float = 0.99
+
+    @property
+    def trials(self) -> int:
+        """Number of trials run."""
+        return int(len(self.indicators))
+
+    @property
+    def successes(self) -> int:
+        """Number of successful trials."""
+        return int(np.count_nonzero(self.indicators))
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate of the success probability."""
+        return self.successes / self.trials
+
+    def stats(self, confidence: Optional[float] = None) -> MonteCarloResult:
+        """Counts plus exact Clopper–Pearson interval."""
+        confidence = self.confidence if confidence is None else confidence
+        lower, upper = clopper_pearson(self.successes, self.trials, confidence)
+        return MonteCarloResult(
+            successes=self.successes, trials=self.trials,
+            confidence=confidence, lower=lower, upper=upper,
+        )
+
+    def wilson(self, confidence: Optional[float] = None) -> Tuple[float, float]:
+        """Wilson score interval on the batch counts."""
+        confidence = self.confidence if confidence is None else confidence
+        return wilson_interval(self.successes, self.trials, confidence)
+
+    def hoeffding(self, confidence: Optional[float] = None) -> Tuple[float, float]:
+        """Chernoff–Hoeffding interval on the batch counts."""
+        confidence = self.confidence if confidence is None else confidence
+        return hoeffding_interval(self.successes, self.trials, confidence)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables and logs."""
+        return f"{self.stats().describe()} [{self.backend}]"
+
+
+def _default_metadata(algorithm: Algorithm) -> Dict[str, Any]:
+    """``algorithm.metadata()`` when offered, else empty."""
+    metadata = getattr(algorithm, "metadata", None)
+    if callable(metadata):
+        return metadata()
+    return {}
+
+
+def _trial_stream(root_seed: int, index: int) -> RngStream:
+    """The canonical stream of trial ``index`` — ``root.child("mc", i)``."""
+    return RngStream(derive_seed(root_seed, "mc", index), ("mc", index))
+
+
+def _run_shard(factory: AlgorithmFactory,
+               failure_model: Optional[FailureModel],
+               metadata: Optional[Dict[str, Any]],
+               success: Optional[SuccessPredicate],
+               root_seed: int,
+               start: int, stop: int,
+               algorithm: Optional[Algorithm] = None) -> np.ndarray:
+    """Run trials ``start..stop-1`` serially and return their indicators.
+
+    Top-level (picklable) so process pools can call it; the algorithm
+    is built once and reused for every trial of the shard (in-process
+    callers may hand over an already-built instance instead).
+    """
+    if algorithm is None:
+        algorithm = factory()
+    if metadata is None:
+        metadata = _default_metadata(algorithm)
+    indicators = np.empty(stop - start, dtype=bool)
+    for offset, index in enumerate(range(start, stop)):
+        result = run_execution(
+            algorithm, failure_model, _trial_stream(root_seed, index),
+            metadata=metadata, record_trace=False,
+        )
+        if success is None:
+            indicators[offset] = result.is_successful_broadcast()
+        else:
+            indicators[offset] = success(result)
+    return indicators
+
+
+def _shard_bounds(trials: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(trials)`` into ``shards`` contiguous near-even runs."""
+    bounds = np.linspace(0, trials, shards + 1, dtype=int)
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
+class TrialRunner:
+    """Batched Monte-Carlo runner with fastsim auto-dispatch.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Zero-argument callable building the algorithm under test.  It
+        is invoked once per shard (not per trial); with ``workers > 1``
+        it must be picklable (a module-level function or class, not a
+        lambda).
+    failure_model:
+        The failure model shared by all trials (default
+        :class:`~repro.failures.base.FaultFree`).  Failure randomness
+        comes from the per-trial streams, so sharing the instance keeps
+        trials independent.
+    success:
+        Optional predicate mapping an :class:`ExecutionResult` to a
+        success boolean.  Default: ``result.is_successful_broadcast()``.
+        Supplying a custom predicate disables fastsim dispatch — the
+        samplers only reproduce the broadcast-success law.
+    metadata:
+        Execution metadata override; default is the factory
+        algorithm's ``metadata()`` (so ``is_successful_broadcast`` can
+        read the source message).
+    workers:
+        Process count for the engine path.  ``1`` runs in-process; the
+        per-trial indicators are identical either way.
+    use_fastsim:
+        Allow dispatching to a registered vectorised sampler when one
+        matches the scenario.  Engine fallback is automatic.
+    """
+
+    def __init__(self, algorithm_factory: AlgorithmFactory,
+                 failure_model: Optional[FailureModel] = None,
+                 *,
+                 success: Optional[SuccessPredicate] = None,
+                 metadata: Optional[Dict[str, Any]] = None,
+                 workers: int = 1,
+                 use_fastsim: bool = True):
+        if not callable(algorithm_factory):
+            raise TypeError(
+                f"algorithm_factory must be callable, got "
+                f"{type(algorithm_factory).__name__}"
+            )
+        if failure_model is not None and not isinstance(failure_model, FailureModel):
+            raise TypeError(
+                f"failure_model must be a FailureModel, got "
+                f"{type(failure_model).__name__}"
+            )
+        self._factory = algorithm_factory
+        self._failure_model = failure_model if failure_model is not None else FaultFree()
+        self._success = success
+        self._metadata = dict(metadata) if metadata is not None else None
+        self._workers = check_positive_int(workers, "workers")
+        self._use_fastsim = bool(use_fastsim)
+        self._probe: Optional[Tuple[Optional[SamplerEntry],
+                                    Optional[Algorithm]]] = None
+
+    @property
+    def failure_model(self) -> FailureModel:
+        """The shared failure model."""
+        return self._failure_model
+
+    @property
+    def workers(self) -> int:
+        """Engine-path process count."""
+        return self._workers
+
+    def dispatch_entry(self) -> Optional[SamplerEntry]:
+        """The fastsim sampler this runner would dispatch to, if any."""
+        entry, _ = self._probe_dispatch()
+        return entry
+
+    def _probe_dispatch(self) -> Tuple[Optional[SamplerEntry],
+                                       Optional[Algorithm]]:
+        """Match a sampler, returning the probe algorithm for reuse.
+
+        The (entry, algorithm) pair is cached on the runner, so the
+        factory and the registry scan run once per runner no matter how
+        many times ``dispatch_entry()`` / ``run()`` are called —
+        algorithms are immutable (all per-run state lives in their
+        protocols) and safe to share across batches.
+        """
+        if not self._use_fastsim or self._success is not None:
+            return None, None
+        if self._probe is None:
+            algorithm = self._factory()
+            self._probe = (
+                find_sampler(algorithm, self._failure_model), algorithm
+            )
+        return self._probe
+
+    def run(self, trials: int, seed_or_stream=0,
+            confidence: float = 0.99,
+            progress: Optional[Callable[[RunningTally], None]] = None
+            ) -> TrialResult:
+        """Run ``trials`` independent trials and collect the indicators.
+
+        Parameters
+        ----------
+        trials:
+            Number of independent trials.
+        seed_or_stream:
+            Root randomness; trial ``i`` draws from
+            ``root.child("mc", i)`` regardless of backend/worker count.
+        confidence:
+            Default confidence level stored on the result.
+        progress:
+            Optional callback receiving the :class:`RunningTally` after
+            every completed shard (engine path) or once (fastsim path).
+        """
+        trials = check_positive_int(trials, "trials")
+        confidence = check_probability(confidence, "confidence",
+                                       allow_zero=False)
+        stream = as_stream(seed_or_stream)
+        root_seed = stream.seed
+        tally = RunningTally()
+
+        entry, algorithm = self._probe_dispatch()
+        if entry is not None:
+            indicators = np.asarray(
+                entry.sample(algorithm, self._failure_model, trials, stream),
+                dtype=bool,
+            )
+            tally.update(indicators)
+            if progress is not None:
+                progress(tally)
+            return TrialResult(
+                indicators=indicators, backend=f"fastsim:{entry.name}",
+                workers=1, seed=root_seed, confidence=confidence,
+            )
+
+        shards = _shard_bounds(trials, self._effective_shards(trials))
+        if len(shards) <= 1 or self._workers == 1:
+            parts = []
+            for start, stop in shards:
+                part = _run_shard(
+                    self._factory, self._failure_model, self._metadata,
+                    self._success, root_seed, start, stop,
+                    algorithm=algorithm,
+                )
+                tally.update(part)
+                if progress is not None:
+                    progress(tally)
+                parts.append(part)
+            indicators = np.concatenate(parts)
+        else:
+            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard, self._factory, self._failure_model,
+                        self._metadata, self._success, root_seed, start, stop,
+                    )
+                    for start, stop in shards
+                ]
+                parts = []
+                for future in futures:
+                    part = future.result()
+                    tally.update(part)
+                    if progress is not None:
+                        progress(tally)
+                    parts.append(part)
+            indicators = np.concatenate(parts)
+        return TrialResult(
+            indicators=indicators, backend=ENGINE_BACKEND,
+            workers=self._workers, seed=root_seed, confidence=confidence,
+        )
+
+    def _effective_shards(self, trials: int) -> int:
+        """Shard count: a few shards per worker, never exceeding trials."""
+        if self._workers == 1:
+            return 1
+        return min(trials, self._workers * 4)

@@ -1,0 +1,260 @@
+"""Engine agreement suite for every exported fastsim sampler.
+
+Each vectorised sampler in :mod:`repro.fastsim` promises to reproduce
+the reference engine's success law for its scenario shape.  This module
+holds one agreement test per exported sampler: the sampler's success
+(or completion-time) estimate must fall inside a Clopper–Pearson
+interval of a modest engine Monte-Carlo run with the same parameters,
+padded by a small binomial tolerance.  The engine side always goes
+through :class:`repro.montecarlo.TrialRunner` with dispatch disabled,
+so this suite also pins the exact scenarios the dispatch matchers in
+``repro/montecarlo/samplers.py`` are allowed to claim.
+"""
+
+from functools import partial
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
+from repro.engine import RADIO
+from repro.engine.protocol import MESSAGE_PASSING, Algorithm, Protocol
+from repro.failures import (
+    ComplementAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+    RadioWorstCaseAdversary,
+)
+from repro.fastsim import (
+    layered_success_estimate,
+    sample_flooding_success,
+    sample_flooding_times,
+    sample_layered_omission,
+    sample_simple_malicious_mp,
+    sample_simple_malicious_radio,
+    sample_simple_omission,
+)
+from repro.graphs import bfs_tree, binary_tree, layered_graph, line
+from repro.montecarlo import TrialRunner
+
+SAMPLER_TRIALS = 20000
+ENGINE_TRIALS = 400
+TOLERANCE = 0.04  # CI padding: CP at 99% on 400 trials is ~±0.07 already
+
+
+def engine_estimate(factory, failure, trials=ENGINE_TRIALS, seed=11):
+    """Engine Monte-Carlo interval via TrialRunner (dispatch disabled)."""
+    runner = TrialRunner(factory, failure, use_fastsim=False)
+    return runner.run(trials, seed).stats()
+
+
+def assert_agrees(sampled: float, engine_stats) -> None:
+    """The sampler estimate must sit inside the padded engine interval."""
+    assert engine_stats.lower - TOLERANCE <= sampled <= \
+        engine_stats.upper + TOLERANCE, (
+            f"sampler {sampled:.4f} outside engine CI "
+            f"[{engine_stats.lower:.4f}, {engine_stats.upper:.4f}] ± {TOLERANCE}"
+        )
+
+
+class TestSampleSimpleOmission:
+    def test_message_passing_agreement(self):
+        topology, p, m = binary_tree(3), 0.4, 3
+        sampled = sample_simple_omission(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 3
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleOmission, topology, 0, 1, MESSAGE_PASSING, m),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_radio_agreement(self):
+        # One transmitter per step: the radio execution must coincide.
+        topology, p, m = binary_tree(3), 0.5, 4
+        sampled = sample_simple_omission(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 5
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleOmission, topology, 0, 1, RADIO, m),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleSimpleMaliciousMp:
+    def test_complement_adversary_agreement(self):
+        topology, p, m = binary_tree(2), 0.35, 5
+        sampled = sample_simple_malicious_mp(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 3
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 1, MESSAGE_PASSING, m),
+            MaliciousFailures(p, ComplementAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleSimpleMaliciousRadio:
+    def test_worst_case_adversary_agreement_on_chain(self):
+        # The sampler draws the per-node trinomial of the Theorem 2.4
+        # analysis; RadioWorstCaseAdversary realises exactly that law
+        # in the engine.  On a chain the per-node events use disjoint
+        # phases, so the joint distributions coincide (with siblings
+        # only the marginals would).
+        topology, p, m = line(4), 0.15, 9
+        sampled = sample_simple_malicious_radio(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 7
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, m),
+            MaliciousFailures(p, RadioWorstCaseAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleFloodingTimes:
+    def test_completion_law_agreement(self):
+        # P[time <= R] from the sampler vs engine success at budget R.
+        topology, p, rounds = binary_tree(3), 0.4, 12
+        times = sample_flooding_times(
+            bfs_tree(topology, 0), p, SAMPLER_TRIALS, 9
+        )
+        sampled = float((times <= rounds).mean())
+        stats = engine_estimate(
+            partial(FastFlooding, topology, 0, 1, None, rounds),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleFloodingSuccess:
+    def test_fixed_budget_agreement(self):
+        topology, p, rounds = binary_tree(3), 0.3, 10
+        sampled = sample_flooding_success(
+            bfs_tree(topology, 0), rounds, p, SAMPLER_TRIALS, 5
+        ).mean()
+        stats = engine_estimate(
+            partial(FastFlooding, topology, 0, 1, None, rounds),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+
+# -- engine twin of the layered-schedule sampler ------------------------
+
+
+class _LayeredProtocol(Protocol):
+    """Radio program of one node under an explicit layered schedule."""
+
+    def __init__(self, algorithm: "_LayeredScheduleAlgorithm", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._message = initial_message
+
+    def intent(self, round_index: int):
+        algorithm = self._algorithm
+        if self._node == algorithm.graph.source:
+            if round_index < algorithm.source_steps:
+                return algorithm.source_message
+            return None
+        if round_index < algorithm.source_steps:
+            return None
+        step = algorithm.steps[round_index - algorithm.source_steps]
+        if self._node in algorithm.graph.bit_nodes and self._node in step:
+            # An uninformed bit node still transmits (the default), so
+            # it occupies the medium exactly as the sampler assumes.
+            return self._message if self._message is not None else \
+                algorithm.default
+        return None
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._message is None and received is not None:
+            self._message = received
+
+    def output(self) -> Any:
+        if self._message is not None:
+            return self._message
+        return self._algorithm.default
+
+
+class _LayeredScheduleAlgorithm(Algorithm):
+    """Source phase + explicit layer-2 steps on ``G(m)``, radio model.
+
+    The engine ground truth for :func:`sample_layered_omission`: the
+    source transmits alone for ``source_steps`` rounds (all bit nodes
+    hear any non-faulty one), then step ``t`` activates the bit nodes
+    in ``steps[t]``; a layer-3 value node adopts the payload of any
+    round in which exactly one of its bit neighbours survives omission.
+    """
+
+    def __init__(self, graph, steps, source_steps: int,
+                 source_message: Any = 1, default: Any = 0):
+        super().__init__(graph.topology, RADIO)
+        self.graph = graph
+        self.steps = [
+            {graph.bit_node(position) for position in step} for step in steps
+        ]
+        self.source_steps = source_steps
+        self.source_message = source_message
+        self.default = default
+
+    @property
+    def rounds(self) -> int:
+        return self.source_steps + len(self.steps)
+
+    def protocol(self, node: int) -> Protocol:
+        initial = self.source_message if node == self.graph.source else None
+        return _LayeredProtocol(self, node, initial)
+
+    def metadata(self):
+        return {
+            "source": self.graph.source,
+            "source_message": self.source_message,
+        }
+
+
+class TestSampleLayeredOmission:
+    GRAPH = layered_graph(3)
+    STEPS = [{1}, {2}, {3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}]
+    P = 0.4
+    SOURCE_STEPS = 2
+
+    def test_engine_agreement(self):
+        sampled = sample_layered_omission(
+            self.GRAPH, self.STEPS, self.P, SAMPLER_TRIALS, 3,
+            source_steps=self.SOURCE_STEPS,
+        ).mean()
+        stats = engine_estimate(
+            partial(_LayeredScheduleAlgorithm, self.GRAPH, self.STEPS,
+                    self.SOURCE_STEPS),
+            OmissionFailures(self.P),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_layered_success_estimate_is_the_mean(self):
+        estimate = layered_success_estimate(
+            self.GRAPH, self.STEPS, self.P, 4000, 9,
+            source_steps=self.SOURCE_STEPS,
+        )
+        indicators = sample_layered_omission(
+            self.GRAPH, self.STEPS, self.P, 4000, 9,
+            source_steps=self.SOURCE_STEPS,
+        )
+        assert estimate == indicators.mean()
+
+
+class TestDispatchedScenariosStayHonest:
+    """The dispatch matchers claim exactly the scenarios tested above."""
+
+    def test_every_builtin_sampler_has_an_agreement_test(self):
+        from repro.montecarlo import registered_samplers
+        covered = {
+            "simple-omission", "simple-malicious-mp",
+            "simple-malicious-radio", "flooding",
+        }
+        builtin = {entry.name for entry in registered_samplers()}
+        # Equality both ways: a newly registered sampler must add an
+        # agreement test here (and this set) before it may dispatch.
+        assert builtin == covered

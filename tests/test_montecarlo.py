@@ -1,0 +1,286 @@
+"""Tests for the batched Monte-Carlo trial subsystem.
+
+Covers the TrialRunner determinism contract (bit-identical indicators
+for any worker count, and agreement with ``estimate_success`` under the
+same root stream), fastsim auto-dispatch vs engine fallback, the
+sampler registry, and the streaming statistics.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimation import (
+    clopper_pearson,
+    estimate_success,
+    hoeffding_interval,
+    wilson_interval,
+)
+from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
+from repro.core.radio_repeat import ADOPT_ANY, RadioRepeat
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    ComplementAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+    RadioWorstCaseAdversary,
+)
+from repro.fastsim import sample_simple_omission
+from repro.graphs import bfs_tree, binary_tree, line
+from repro.montecarlo import (
+    RunningTally,
+    TrialRunner,
+    find_sampler,
+    register_sampler,
+    registered_samplers,
+    unregister_sampler,
+)
+from repro.radio.closed_form import line_schedule
+from repro.rng import RngStream
+
+
+TREE = binary_tree(3)
+OMISSION = OmissionFailures(0.4)
+
+# functools.partial over library callables stays picklable, so the same
+# factory serves the in-process and the multi-process paths.
+mp_factory = partial(SimpleOmission, TREE, 0, 1, MESSAGE_PASSING, 2)
+radio_factory = partial(SimpleOmission, TREE, 0, 1, RADIO, 2)
+
+
+class TestDeterminism:
+    def test_single_vs_many_workers_bit_identical(self):
+        serial = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             workers=1).run(90, 13)
+        sharded = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                              workers=3).run(90, 13)
+        assert serial.backend == "engine" and sharded.backend == "engine"
+        np.testing.assert_array_equal(serial.indicators, sharded.indicators)
+
+    def test_worker_count_does_not_leak_into_result_streams(self):
+        two = TrialRunner(radio_factory, OMISSION, use_fastsim=False,
+                          workers=2).run(60, 5)
+        four = TrialRunner(radio_factory, OMISSION, use_fastsim=False,
+                           workers=4).run(60, 5)
+        np.testing.assert_array_equal(two.indicators, four.indicators)
+
+    def test_matches_estimate_success_bit_for_bit(self):
+        # Same root stream -> same per-trial child streams as the
+        # historical estimate_success loop.
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False)
+        batch = runner.run(50, RngStream(21))
+
+        algorithm = mp_factory()
+
+        def trial(stream):
+            result = run_execution(
+                algorithm, OMISSION, stream,
+                metadata=algorithm.metadata(), record_trace=False,
+            )
+            return result.is_successful_broadcast()
+
+        legacy = estimate_success(trial, 50, RngStream(21))
+        assert legacy.successes == batch.successes
+        assert legacy.trials == batch.trials
+
+    def test_same_seed_same_indicators(self):
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False)
+        np.testing.assert_array_equal(
+            runner.run(40, 9).indicators, runner.run(40, 9).indicators
+        )
+        assert not np.array_equal(
+            runner.run(40, 9).indicators, runner.run(40, 10).indicators
+        )
+
+
+class TestDispatch:
+    def test_simple_omission_dispatches(self):
+        runner = TrialRunner(mp_factory, OMISSION)
+        entry = runner.dispatch_entry()
+        assert entry is not None and entry.name == "simple-omission"
+        result = runner.run(2000, 3)
+        assert result.backend == "fastsim:simple-omission"
+
+    def test_dispatch_matches_direct_sampler_call(self):
+        result = TrialRunner(mp_factory, OMISSION).run(500, RngStream(17))
+        direct = sample_simple_omission(
+            bfs_tree(TREE, 0), 2, OMISSION.p, 500, RngStream(17)
+        )
+        np.testing.assert_array_equal(result.indicators, direct)
+
+    def test_dispatch_agrees_with_engine_fallback(self):
+        # Statistical, not bit-level: the sampler draws the success
+        # event directly, the engine simulates every round.
+        fast = TrialRunner(mp_factory, OMISSION).run(20000, 3)
+        slow = TrialRunner(mp_factory, OMISSION, use_fastsim=False).run(400, 7)
+        stats = slow.stats()
+        assert stats.lower - 0.03 <= fast.estimate <= stats.upper + 0.03
+
+    def test_malicious_scenarios_dispatch(self):
+        mp = TrialRunner(
+            partial(SimpleMalicious, TREE, 0, 1, MESSAGE_PASSING, 5),
+            MaliciousFailures(0.3, ComplementAdversary()),
+        )
+        assert mp.dispatch_entry().name == "simple-malicious-mp"
+        chain = line(4)
+        radio = TrialRunner(
+            partial(SimpleMalicious, chain, 0, 1, RADIO, 5),
+            MaliciousFailures(0.1, RadioWorstCaseAdversary()),
+        )
+        assert radio.dispatch_entry().name == "simple-malicious-radio"
+        # Siblings correlate in the engine: trees must not dispatch.
+        tree_radio = TrialRunner(
+            partial(SimpleMalicious, TREE, 0, 1, RADIO, 5),
+            MaliciousFailures(0.1, RadioWorstCaseAdversary()),
+        )
+        assert tree_radio.dispatch_entry() is None
+
+    def test_flooding_dispatches(self):
+        runner = TrialRunner(
+            partial(FastFlooding, TREE, 0, 1, 0.3),
+            OmissionFailures(0.3),
+        )
+        assert runner.dispatch_entry().name == "flooding"
+
+    def test_unmatched_scenario_falls_back_to_engine(self):
+        schedule = line_schedule(line(4))
+        runner = TrialRunner(
+            partial(RadioRepeat, schedule, 1, ADOPT_ANY, 3),
+            OmissionFailures(0.3),
+        )
+        assert runner.dispatch_entry() is None
+        assert runner.run(10, 3).backend == "engine"
+
+    def test_degenerate_message_convention_blocks_dispatch(self):
+        # Ms == default would make every failed run look successful to
+        # the engine; the sampler matcher must refuse the scenario.
+        runner = TrialRunner(
+            partial(SimpleOmission, TREE, 0, 0, MESSAGE_PASSING, 2),
+            OMISSION,
+        )
+        assert runner.dispatch_entry() is None
+
+    def test_custom_success_predicate_disables_dispatch(self):
+        runner = TrialRunner(
+            mp_factory, OMISSION,
+            success=lambda result: 0 in result.correct_nodes(1),
+        )
+        assert runner.dispatch_entry() is None
+        result = runner.run(20, 3)
+        assert result.backend == "engine"
+        assert result.successes == 20  # the source always knows Ms
+
+    def test_use_fastsim_false_disables_dispatch(self):
+        assert TrialRunner(mp_factory, OMISSION,
+                           use_fastsim=False).dispatch_entry() is None
+
+
+class TestRegistry:
+    def test_builtin_entries_present(self):
+        names = [entry.name for entry in registered_samplers()]
+        assert names[:4] == [
+            "simple-omission", "simple-malicious-mp",
+            "simple-malicious-radio", "flooding",
+        ]
+
+    def test_register_find_unregister_roundtrip(self):
+        entry = register_sampler(
+            "test-always-true",
+            lambda algorithm, failure: getattr(
+                algorithm, "phase_length", None
+            ) == 99,
+            lambda algorithm, failure, trials, stream:
+                np.ones(trials, dtype=bool),
+        )
+        try:
+            probe = SimpleOmission(TREE, 0, 1, MESSAGE_PASSING,
+                                   phase_length=99)
+            assert find_sampler(probe, OMISSION) is not None
+            runner = TrialRunner(
+                partial(SimpleOmission, TREE, 0, 1, MESSAGE_PASSING, 99),
+                OMISSION,
+            )
+            # Registration order: the built-in omission matcher wins
+            # first, so dispatch still lands there.
+            assert runner.dispatch_entry().name == "simple-omission"
+            assert entry.name == "test-always-true"
+        finally:
+            unregister_sampler("test-always-true")
+        assert "test-always-true" not in [
+            e.name for e in registered_samplers()
+        ]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_sampler(
+                "simple-omission", lambda a, f: False,
+                lambda a, f, t, s: np.zeros(t, dtype=bool),
+            )
+
+    def test_unknown_unregister_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            unregister_sampler("no-such-sampler")
+
+
+class TestStatistics:
+    def test_running_tally_streams_counts(self):
+        tally = RunningTally()
+        tally.update(np.array([True, False, True]))
+        tally.update(np.array([True]))
+        assert tally.successes == 3 and tally.trials == 4
+        assert tally.estimate == 0.75
+        assert tally.wilson() == wilson_interval(3, 4)
+        assert tally.hoeffding() == hoeffding_interval(3, 4)
+        assert tally.clopper_pearson() == clopper_pearson(3, 4)
+
+    def test_progress_callback_sees_growing_tally(self):
+        seen = []
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             workers=2)
+        result = runner.run(40, 3, progress=lambda t: seen.append(t.trials))
+        assert seen[-1] == 40 == result.trials
+        assert seen == sorted(seen)
+
+    def test_result_intervals_match_analysis_functions(self):
+        result = TrialRunner(mp_factory, OMISSION).run(300, 5)
+        stats = result.stats()
+        assert (stats.lower, stats.upper) == clopper_pearson(
+            result.successes, result.trials, 0.99
+        )
+        assert result.wilson() == wilson_interval(
+            result.successes, result.trials, 0.99
+        )
+        assert result.hoeffding() == hoeffding_interval(
+            result.successes, result.trials, 0.99
+        )
+        assert stats.lower <= result.estimate <= stats.upper
+
+    def test_hoeffding_interval_properties(self):
+        lower, upper = hoeffding_interval(80, 100, confidence=0.95)
+        assert lower <= 0.8 <= upper
+        wider = hoeffding_interval(80, 100, confidence=0.999)
+        assert wider[0] <= lower and upper <= wider[1]
+        assert hoeffding_interval(0, 10)[0] == 0.0
+        assert hoeffding_interval(10, 10)[1] == 1.0
+        with pytest.raises(ValueError, match="exceed"):
+            hoeffding_interval(5, 4)
+
+
+class TestValidation:
+    def test_rejects_non_callable_factory(self):
+        with pytest.raises(TypeError, match="callable"):
+            TrialRunner("not-a-factory", OMISSION)
+
+    def test_rejects_non_failure_model(self):
+        with pytest.raises(TypeError, match="FailureModel"):
+            TrialRunner(mp_factory, failure_model="omission")
+
+    def test_rejects_bad_trial_count(self):
+        runner = TrialRunner(mp_factory, OMISSION)
+        with pytest.raises(ValueError):
+            runner.run(0, 3)
+
+    def test_default_failure_model_is_fault_free(self):
+        result = TrialRunner(radio_factory).run(5, 3)
+        assert result.estimate == 1.0

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.radio",
     "repro.analysis",
     "repro.fastsim",
+    "repro.montecarlo",
     "repro.experiments",
 ]
 

@@ -1,5 +1,7 @@
 """Tests for the synchronous engine: delivery semantics, traces, results."""
 
+from typing import Any, Dict, FrozenSet
+
 import pytest
 
 from repro.engine import (
@@ -9,10 +11,21 @@ from repro.engine import (
     deliver_radio,
     run_execution,
 )
-from repro.failures import FaultFree, OmissionFailures
+from repro.failures import FailureModel, FaultFree, OmissionFailures
 from repro.graphs import Topology, line, star
 
 from tests.helpers import ScriptedAlgorithm
+
+
+class _NoneEmittingFailures(FailureModel):
+    """A buggy failure model that maps intents to None transmissions."""
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def apply(self, round_index: int, faulty: FrozenSet[int],
+              intents: Dict[int, Any], view) -> Dict[int, Any]:
+        return {node: None for node in intents}
 
 
 class TestMessagePassingDelivery:
@@ -155,6 +168,48 @@ class TestExecutionResult:
         result = run_execution(algo, FaultFree(), 0)
         with pytest.raises(ValueError, match="metadata"):
             result.is_successful_broadcast()
+
+    def test_success_error_names_both_missing_pieces(self):
+        # No explicit expectation AND no recorded source message: the
+        # error must point at the metadata key, not crash elsewhere.
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {})
+        result = run_execution(algo, FaultFree(), 0,
+                               metadata={"source": 0})  # note: no message
+        with pytest.raises(ValueError,
+                           match="no expected message.*none recorded"):
+            result.is_successful_broadcast()
+
+    def test_success_with_explicit_expected_skips_metadata(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "m"}]})
+        result = run_execution(algo, FaultFree(), 0)
+        # Scripted outputs are delivery logs; both nodes would have to
+        # match for a "successful broadcast" of that exact log.
+        assert not result.is_successful_broadcast(expected=[{0: "m"}])
+        assert result.correct_nodes([{0: "m"}]) == {1}
+
+    def test_success_reads_metadata_when_present(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {})
+        result = run_execution(algo, FaultFree(), 0,
+                               metadata={"source_message": []})
+        # every scripted node outputs its (empty) delivery log == []
+        assert result.is_successful_broadcast()
+
+    def test_validate_actual_rejects_none_transmission(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, MESSAGE_PASSING, {0: [{1: "a"}]})
+        with pytest.raises(ValueError,
+                           match="None transmission for node 0.*omitted"):
+            run_execution(algo, _NoneEmittingFailures(), 0)
+
+    def test_validate_actual_rejects_none_transmission_radio(self):
+        g = line(1)
+        algo = ScriptedAlgorithm(g, RADIO, {1: ["z"]})
+        with pytest.raises(ValueError,
+                           match="None transmission for node 1"):
+            run_execution(algo, _NoneEmittingFailures(), 0)
 
     def test_determinism_same_seed(self):
         g = line(1)
