@@ -1,0 +1,110 @@
+"""Soft benchmark-regression gate for the CI trajectory tracking.
+
+Compares two pytest-benchmark JSON files (previous run vs current run)
+and emits one GitHub Actions ``::warning::`` annotation per benchmark
+whose mean wall-clock regressed by more than the threshold.  The gate
+is *soft*: the exit code is always 0 — quick-mode benchmarks on shared
+CI runners are noisy, so a regression is a prompt to look at the
+trajectory, not a build failure.
+
+Usage::
+
+    python benchmarks/diff_bench.py PREVIOUS.json CURRENT.json
+    python benchmarks/diff_bench.py --threshold 0.3 PREV.json CURR.json
+
+A missing/unreadable previous file (first run on a branch, expired
+artifact) prints a notice and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_means(path: str) -> Optional[Dict[str, float]]:
+    """``benchmark fullname -> mean seconds`` from a pytest-benchmark JSON.
+
+    Returns ``None`` when the file is missing or not benchmark JSON.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        return None
+    means: Dict[str, float] = {}
+    for entry in benchmarks:
+        name = entry.get("fullname") or entry.get("name")
+        stats = entry.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[str(name)] = float(mean)
+    return means
+
+
+def compare(previous: Dict[str, float], current: Dict[str, float],
+            threshold: float = DEFAULT_THRESHOLD
+            ) -> List[Tuple[str, float, float, float]]:
+    """Benchmarks slower than ``(1 + threshold) * previous``.
+
+    Returns ``(name, previous mean, current mean, relative change)``
+    rows sorted by relative regression, worst first.  Benchmarks
+    present on only one side are ignored — renames and new benchmarks
+    have no baseline to regress against.
+    """
+    regressions = []
+    for name, now in current.items():
+        before = previous.get(name)
+        if before is None:
+            continue
+        change = now / before - 1.0
+        if change > threshold:
+            regressions.append((name, before, now, change))
+    regressions.sort(key=lambda row: row[3], reverse=True)
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", help="previous run's benchmark JSON")
+    parser.add_argument("current", help="current run's benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative mean increase treated as a "
+                             "regression (default 0.20 = +20%%)")
+    args = parser.parse_args(argv)
+
+    previous = load_means(args.previous)
+    if previous is None:
+        print(f"::notice::no previous benchmark JSON at {args.previous}; "
+              f"skipping the regression diff")
+        return 0
+    current = load_means(args.current)
+    if current is None:
+        print(f"::warning::current benchmark JSON at {args.current} is "
+              f"missing or malformed; nothing to diff")
+        return 0
+
+    regressions = compare(previous, current, args.threshold)
+    shared = len(set(previous) & set(current))
+    if not regressions:
+        print(f"benchmark diff: {shared} shared benchmarks, none regressed "
+              f"beyond {args.threshold:.0%}")
+        return 0
+    for name, before, now, change in regressions:
+        print(f"::warning title=benchmark regression::{name}: mean "
+              f"{before * 1000:.1f}ms -> {now * 1000:.1f}ms "
+              f"({change:+.1%}, threshold {args.threshold:.0%})")
+    print(f"benchmark diff: {len(regressions)}/{shared} shared benchmarks "
+          f"regressed beyond {args.threshold:.0%} (soft gate, not failing)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

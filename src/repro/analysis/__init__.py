@@ -16,6 +16,7 @@ from repro.analysis.estimation import (
     clopper_pearson,
     estimate_success,
     hoeffding_interval,
+    hoeffding_margin,
     wilson_interval,
 )
 from repro.analysis.thresholds import (
@@ -42,6 +43,7 @@ __all__ = [
     "clopper_pearson",
     "wilson_interval",
     "hoeffding_interval",
+    "hoeffding_margin",
     "estimate_success",
     "MP_MALICIOUS_THRESHOLD",
     "radio_malicious_threshold",

@@ -21,6 +21,7 @@ from repro.rng import RngStream, as_stream
 __all__ = [
     "clopper_pearson",
     "wilson_interval",
+    "hoeffding_margin",
     "hoeffding_interval",
     "MonteCarloResult",
     "estimate_success",
@@ -65,6 +66,20 @@ def wilson_interval(successes: int, trials: int,
     return max(0.0, center - margin), min(1.0, center + margin)
 
 
+def hoeffding_margin(trials: int, confidence: float = 0.99) -> float:
+    """The Chernoff–Hoeffding two-sided half-width ``sqrt(ln(2/α)/2t)``.
+
+    Depends only on the trial count, which is what makes it the right
+    slack for experiment pass criteria: a Monte-Carlo estimate may sit
+    this far from the true (or closed-form) value before the deviation
+    is evidence of a broken claim rather than sampling noise.
+    """
+    trials = check_positive_int(trials, "trials")
+    confidence = check_probability(confidence, "confidence", allow_zero=False)
+    alpha = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / alpha) / (2.0 * trials))
+
+
 def hoeffding_interval(successes: int, trials: int,
                        confidence: float = 0.99) -> Tuple[float, float]:
     """Chernoff–Hoeffding two-sided interval ``p̂ ± sqrt(ln(2/α)/2t)``.
@@ -77,10 +92,8 @@ def hoeffding_interval(successes: int, trials: int,
     trials = check_positive_int(trials, "trials")
     if successes > trials:
         raise ValueError(f"successes {successes} exceed trials {trials}")
-    confidence = check_probability(confidence, "confidence", allow_zero=False)
-    alpha = 1.0 - confidence
     phat = successes / trials
-    margin = math.sqrt(math.log(2.0 / alpha) / (2.0 * trials))
+    margin = hoeffding_margin(trials, confidence)
     return max(0.0, phat - margin), min(1.0, phat + margin)
 
 

@@ -7,6 +7,7 @@ from repro.engine.simulator import (
     ExecutionView,
     deliver_message_passing,
     deliver_radio,
+    deliver_radio_batch,
     run_execution,
 )
 from repro.engine.trace import RoundRecord, Trace
@@ -22,6 +23,7 @@ __all__ = [
     "run_execution",
     "deliver_message_passing",
     "deliver_radio",
+    "deliver_radio_batch",
     "RoundRecord",
     "Trace",
 ]

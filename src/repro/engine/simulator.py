@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
+import numpy as np
+
 from repro.engine.protocol import (
     MESSAGE_PASSING,
     RADIO,
@@ -48,7 +50,12 @@ __all__ = [
     "run_execution",
     "deliver_message_passing",
     "deliver_radio",
+    "deliver_radio_batch",
 ]
+
+# Transmitter count from which the CSR/bincount delivery path beats the
+# per-listener membership scan (numpy call overhead amortises).
+_DENSE_RADIO_TRANSMITTERS = 8
 
 
 def deliver_message_passing(topology: Topology,
@@ -66,12 +73,17 @@ def deliver_radio(topology: Topology,
                   actual: Dict[int, Any]) -> Dict[int, Any]:
     """Radio delivery with collision-as-silence semantics.
 
-    Per listener, the speaking-neighbour scan iterates whichever is
-    smaller — the transmitter set (sparse rounds: single-transmitter
-    schedules) or the listener's neighbour list (dense rounds: jamming
-    adversaries) — against the cached neighbour sets, so a round costs
-    ``O(min(n · #transmitters, E))`` membership probes.
+    Sparse rounds (single-transmitter schedules) scan, per listener,
+    whichever is smaller — the transmitter set or the listener's
+    neighbour list — against the cached neighbour sets, so a round
+    costs ``O(min(n · #transmitters, E))`` membership probes.  Dense
+    rounds (jamming adversaries) switch to one vectorised pass over the
+    cached :meth:`~repro.graphs.topology.Topology.csr_neighbors`
+    arrays, counting speaking neighbours with ``bincount`` in
+    ``O(Σ deg(transmitter))``.
     """
+    if len(actual) >= _DENSE_RADIO_TRANSMITTERS:
+        return _deliver_radio_dense(topology, actual)
     transmitters = list(actual)
     neighbor_sets = topology.neighbor_sets()
     heard: Dict[int, Any] = {}
@@ -99,6 +111,90 @@ def deliver_radio(topology: Topology,
         else:
             heard[node] = None
     return heard
+
+
+def _deliver_radio_dense(topology: Topology,
+                         actual: Dict[int, Any]) -> Dict[int, Any]:
+    """CSR/bincount radio delivery for rounds with many transmitters."""
+    indptr, indices = topology.csr_neighbors()
+    transmitters = np.fromiter(actual, dtype=np.int64, count=len(actual))
+    degrees = indptr[1:] - indptr[:-1]
+    out_degrees = degrees[transmitters]
+    # Concatenated neighbour lists of all transmitters, each entry
+    # paired with the transmitter it came from.
+    ends = np.cumsum(out_degrees)
+    offsets = np.arange(int(ends[-1])) - np.repeat(ends - out_degrees,
+                                                   out_degrees)
+    reached = indices[np.repeat(indptr[transmitters], out_degrees) + offsets]
+    speakers = np.repeat(transmitters, out_degrees)
+    speaking_count = np.bincount(reached, minlength=topology.order)
+    # With exactly one speaking neighbour the weighted sum *is* its id.
+    speaker_sum = np.bincount(
+        reached, weights=speakers, minlength=topology.order
+    )
+    heard: Dict[int, Any] = {}
+    for node in topology.nodes:
+        if node in actual or speaking_count[node] != 1:
+            heard[node] = None
+        else:
+            heard[node] = actual[int(speaker_sum[node])]
+    return heard
+
+
+def deliver_radio_batch(topology: Topology,
+                        transmitting: np.ndarray) -> np.ndarray:
+    """Vectorised radio delivery for a whole batch of rounds at once.
+
+    The trial axis is what the scalar :func:`deliver_radio` cannot
+    exploit: Monte-Carlo batches re-deliver on the same topology with
+    different transmitter sets, so the per-listener neighbour reduction
+    is done for all rows in one ``reduceat`` over the cached CSR
+    arrays.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    transmitting:
+        Boolean array of shape ``(batch, n)``; ``transmitting[b, v]``
+        marks ``v`` as actually transmitting in row ``b``.
+
+    Returns
+    -------
+    ``int64`` array of shape ``(batch, n)``: the unique speaking
+    neighbour each node hears, or ``-1`` for silence (no speaking
+    neighbour, a collision, or the node itself transmitting — the
+    collision-as-silence semantics of the scalar path).
+    """
+    transmitting = np.asarray(transmitting, dtype=bool)
+    if transmitting.ndim != 2 or transmitting.shape[1] != topology.order:
+        raise ValueError(
+            f"transmitting must have shape (batch, {topology.order}), "
+            f"got {transmitting.shape}"
+        )
+    batch = transmitting.shape[0]
+    silence = np.full((batch, topology.order), -1, dtype=np.int64)
+    indptr, indices = topology.csr_neighbors()
+    if batch == 0 or indices.size == 0:
+        return silence
+    degrees = indptr[1:] - indptr[:-1]
+    # Reduce only over nodes that have neighbours: their starts are
+    # strictly increasing and in bounds (a trailing isolated node's
+    # start would point one past the end, and clamping it would
+    # truncate the previous node's reduction region), and consecutive
+    # regions abut exactly because zero-degree nodes add nothing.
+    connected = degrees > 0
+    starts = indptr[:-1][connected]
+    speaking_neighbors = transmitting[:, indices]
+    counts = np.zeros((batch, topology.order), dtype=np.int64)
+    counts[:, connected] = np.add.reduceat(
+        speaking_neighbors.astype(np.int64), starts, axis=1
+    )
+    speaker_sum = np.zeros((batch, topology.order), dtype=np.int64)
+    speaker_sum[:, connected] = np.add.reduceat(
+        speaking_neighbors * indices[np.newaxis, :], starts, axis=1
+    )
+    return np.where((counts == 1) & ~transmitting, speaker_sum, silence)
 
 
 @dataclass

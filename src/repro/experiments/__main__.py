@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments run E05 [--quick] [--seed N]
-    python -m repro.experiments run-all [--quick] [--seed N]
+    python -m repro.experiments run E05 [--quick] [--seed N] [--workers N]
+    python -m repro.experiments run-all [--quick] [--seed N] [--workers N]
 """
 
 from __future__ import annotations
@@ -35,6 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="smaller sizes / fewer trials")
         command.add_argument("--seed", type=int, default=2007,
                              help="root seed (default 2007)")
+        command.add_argument("--workers", type=int, default=1,
+                             help="process count for engine Monte-Carlo "
+                                  "batches; results are bit-identical for "
+                                  "any value (default 1)")
     return parser
 
 
@@ -46,7 +50,8 @@ def main(argv=None) -> int:
             print(f"{experiment.experiment_id}  {experiment.title}")
             print(f"      {experiment.paper_claim}")
         return 0
-    config = ExperimentConfig(seed=args.seed, quick=args.quick)
+    config = ExperimentConfig(seed=args.seed, quick=args.quick,
+                              workers=args.workers)
     if args.command == "run":
         report = run_experiment(args.experiment_id.upper(), config)
         print(report.render())

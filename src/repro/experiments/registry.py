@@ -37,10 +37,18 @@ class ExperimentConfig:
         Root seed; every experiment derives all randomness from it.
     quick:
         Smaller sizes / fewer trials (used by the benchmark harness).
+    workers:
+        Process count handed to the Monte-Carlo
+        :class:`~repro.montecarlo.TrialRunner` batches.  Reports are
+        bit-identical for any worker count (per-trial streams are
+        derived by trial index), so this is purely a wall-clock knob
+        for the engine-fallback sweeps; fastsim-dispatched batches
+        ignore it.
     """
 
     seed: int = 2007  # the journal year, for flavour
     quick: bool = False
+    workers: int = 1
 
 
 @dataclass

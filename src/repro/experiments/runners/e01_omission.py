@@ -13,6 +13,8 @@ two models execute identically).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.parameters import omission_phase_length
 from repro.core.simple_omission import SimpleOmission
 from repro.engine.protocol import MESSAGE_PASSING, RADIO
@@ -26,17 +28,20 @@ from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
-def _engine_success_rate(topology, source, p, m, model, trials, stream) -> float:
+def _engine_success_rate(topology, source, p, m, model, trials, stream,
+                         workers=1) -> float:
     """Monte-Carlo success rate of the reference engine.
 
     ``use_fastsim=False``: this column exists to validate the closed
     form against the *engine*, so dispatching to the vectorised
-    omission sampler would defeat its purpose.
+    omission sampler would defeat its purpose.  The factory is a
+    picklable partial so the batch can shard across processes.
     """
     runner = TrialRunner(
-        lambda: SimpleOmission(topology, source, 1, model=model, phase_length=m),
+        partial(SimpleOmission, topology, source, 1, model, m),
         OmissionFailures(p),
         use_fastsim=False,
+        workers=workers,
     )
     return runner.run(trials, stream).estimate
 
@@ -67,6 +72,7 @@ def _run(config: ExperimentConfig, model: str, experiment_id: str) -> Experiment
                 engine_mc = _engine_success_rate(
                     topology, 0, p, m, model, engine_trials,
                     stream.child("engine", depth, p),
+                    workers=config.workers,
                 )
             table.add_row(
                 n=n, p=p, m=m, rounds=n * m, exact_success=exact,

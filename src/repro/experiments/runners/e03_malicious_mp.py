@@ -16,6 +16,8 @@ collapses far below the almost-safe bar.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.chernoff import majority_error_probability
 from repro.core.parameters import mp_malicious_phase_length
 from repro.core.simple_malicious import SimpleMalicious
@@ -31,19 +33,19 @@ from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
-def _runner(topology, m: int, p: float, use_fastsim: bool = True) -> TrialRunner:
+def _runner(topology, m: int, p: float, use_fastsim: bool = True,
+            workers: int = 1) -> TrialRunner:
     """Trial runner for Simple-Malicious + complement adversary (MP).
 
     With dispatch enabled this lands on the ``simple-malicious-mp``
     fastsim sampler; with it disabled it batches reference-engine
-    executions (the spot-check column).
+    executions (the spot-check column, shardable across processes).
     """
     return TrialRunner(
-        lambda: SimpleMalicious(
-            topology, 0, 1, model=MESSAGE_PASSING, phase_length=m
-        ),
+        partial(SimpleMalicious, topology, 0, 1, MESSAGE_PASSING, m),
         MaliciousFailures(p, ComplementAdversary()),
         use_fastsim=use_fastsim,
+        workers=workers,
     )
 
 
@@ -96,7 +98,8 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
     engine_p = feasible_ps[1]
     engine_m = mp_malicious_phase_length(n, engine_p)
     engine_trials = 40 if config.quick else 120
-    engine_rate = _runner(topology, engine_m, engine_p, use_fastsim=False).run(
+    engine_rate = _runner(topology, engine_m, engine_p, use_fastsim=False,
+                          workers=config.workers).run(
         engine_trials, stream.child("engine")
     ).estimate
     notes = [

@@ -7,28 +7,38 @@ The binding node is the star root of a leaf-sourced star: it listens to
 the source's phase with ``Δ - 1`` other (potentially jamming) leaf
 neighbours.  For each ``Δ`` the experiment computes the exact threshold
 ``p*(Δ)`` (root of ``p = (1-p)^{Δ+1}``), then evaluates the exact
-per-node signed-majority chain success of Simple-Malicious just below
+per-node signed-majority success product of Simple-Malicious just below
 (``0.75·p*``) and just above (``1.25·p*``) the threshold, cross-checked
-by the vectorised radio sampler.
+by Monte-Carlo through the :class:`~repro.montecarlo.TrialRunner` —
+which dispatches to the engine-exact ``simple-malicious-radio`` tree
+sampler (the per-node product ignores the sibling correlation induced
+by the shared source phase, so the two columns agree closely but not
+exactly; both sit on the same side of the threshold).
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.analysis.thresholds import radio_malicious_threshold
 from repro.core.parameters import (
     radio_malicious_phase_length,
     signed_majority_error,
 )
-from repro.fastsim.tree_chain import sample_simple_malicious_radio
-from repro.graphs.bfs import bfs_tree
+from repro.core.simple_malicious import SimpleMalicious
+from repro.engine.protocol import RADIO
+from repro.failures.adversaries import RadioWorstCaseAdversary
+from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import star
+from repro.graphs.bfs import bfs_tree
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
 def _exact_chain_success(tree, m: int, p: float) -> float:
-    """Exact success of the radio voting chain (worst-case adversary)."""
+    """Exact per-node success product (worst-case adversary marginals)."""
     success = 1.0
     for node in tree.topology.nodes:
         if node == tree.root:
@@ -43,6 +53,15 @@ def _exact_chain_success(tree, m: int, p: float) -> float:
     return success
 
 
+def _runner(topology, m: int, p: float, workers: int) -> TrialRunner:
+    """Monte-Carlo runner; dispatches to the radio tree sampler."""
+    return TrialRunner(
+        partial(SimpleMalicious, topology, 0, 1, RADIO, m),
+        MaliciousFailures(p, RadioWorstCaseAdversary()),
+        workers=workers,
+    )
+
+
 @register(
     "E05",
     "Radio malicious threshold p*(delta)",
@@ -51,12 +70,13 @@ def _exact_chain_success(tree, m: int, p: float) -> float:
 def run_e05(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E05")
     degrees = [2, 4] if config.quick else [2, 4, 8, 16]
-    trials = 2000 if config.quick else 5000
+    trials = 4000 if config.quick else 20000
     table = Table([
         "delta", "n", "p_star", "side", "p", "m", "exact_success",
         "fastsim_mc", "target", "almost_safe",
     ])
     passed = True
+    backends = set()
     for delta in degrees:
         topology = star(delta, source_is_center=False)
         tree = bfs_tree(topology, 0)
@@ -67,32 +87,32 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         p_low = 0.75 * p_star
         m_low = radio_malicious_phase_length(n, p_low, delta)
         exact_low = _exact_chain_success(tree, m_low, p_low)
-        mc_low = float(
-            sample_simple_malicious_radio(
-                tree, m_low, p_low, trials, stream.child("low", delta)
-            ).mean()
+        low = _runner(topology, m_low, p_low, config.workers).run(
+            trials, stream.child("low", delta)
         )
+        backends.add(low.backend)
         feasible_ok = exact_low >= target
         table.add_row(
             delta=delta, n=n, p_star=p_star, side="below", p=p_low, m=m_low,
-            exact_success=exact_low, fastsim_mc=mc_low, target=target,
+            exact_success=exact_low, fastsim_mc=low.estimate, target=target,
             almost_safe=feasible_ok,
         )
         # Infeasible side: same repetition budget, p beyond the threshold.
         p_high = min(0.99, 1.25 * p_star)
         exact_high = _exact_chain_success(tree, m_low, p_high)
-        mc_high = float(
-            sample_simple_malicious_radio(
-                tree, m_low, p_high, trials, stream.child("high", delta)
-            ).mean()
+        high = _runner(topology, m_low, p_high, config.workers).run(
+            trials, stream.child("high", delta)
         )
+        backends.add(high.backend)
         collapse_ok = exact_high < 0.5
         table.add_row(
             delta=delta, n=n, p_star=p_star, side="above", p=p_high, m=m_low,
-            exact_success=exact_high, fastsim_mc=mc_high, target=target,
+            exact_success=exact_high, fastsim_mc=high.estimate, target=target,
             almost_safe=exact_high >= target,
         )
-        passed = passed and feasible_ok and collapse_ok and mc_low >= target - 0.05
+        passed = passed and feasible_ok and collapse_ok
+        passed = passed and low.estimate >= target - 0.05
+        passed = passed and high.estimate < 0.6
     notes = [
         "topology: star with the source at a leaf — the star root (degree "
         "delta) is the binding receiver of the threshold condition",
@@ -100,6 +120,9 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         "other faulty closed-neighbourhood member destroys the reception — "
         "good = (1-p)^(delta+1), bad = p per step",
         "p*(delta) solved by Brent root finding on p - (1-p)^(delta+1)",
+        f"fastsim_mc backends: {', '.join(sorted(backends))} — the engine-"
+        f"exact tree sampler (shared source-phase faults correlate the "
+        f"leaves), vs the independent per-node product in exact_success",
     ]
     return ExperimentReport(
         experiment_id="E05",

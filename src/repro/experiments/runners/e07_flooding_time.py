@@ -14,6 +14,7 @@ evaluate the closed form ``p^R`` for a sub-logarithmic budget ``R``.
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
@@ -59,8 +60,9 @@ def run_e07(config: ExperimentConfig) -> ExperimentReport:
         # the same derivation so both statistics describe the identical
         # sampled executions.
         runner = TrialRunner(
-            lambda t=topology, r=safe_rounds: FastFlooding(t, 0, 1, rounds=r),
+            partial(FastFlooding, topology, 0, 1, None, safe_rounds),
             OmissionFailures(p),
+            workers=config.workers,
         )
         success = runner.run(
             trials, stream.child("times", topology.name)

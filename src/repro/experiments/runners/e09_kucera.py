@@ -8,12 +8,16 @@ malicious (here: flip) failures whenever ``p < 1/2``.
 The experiment (a) verifies the planner's exact guarantees scale
 linearly in the line length with super-polynomially shrinking failure,
 and (b) runs the compiled algorithm end to end in the engine under the
-flip adversary on lines and trees, checking empirical success.
+flip adversary on lines and trees (batched through the
+:class:`~repro.montecarlo.TrialRunner`; per-trial streams match the
+historical ``estimate_success`` loop bit for bit), checking empirical
+success.
 """
 
 from __future__ import annotations
 
-from repro.analysis.estimation import estimate_success
+from functools import partial
+
 from repro.core.kucera import (
     KuceraBroadcast,
     build_plan,
@@ -21,9 +25,9 @@ from repro.core.kucera import (
     describe_plan,
     guarantee,
 )
-from repro.engine.simulator import run_execution
 from repro.failures.adversaries import RandomFlipAdversary
 from repro.failures.malicious import MaliciousFailures, Restriction
+from repro.montecarlo import TrialRunner
 from repro.graphs.builders import binary_tree, line
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
@@ -64,23 +68,13 @@ def run_e09(config: ExperimentConfig) -> ExperimentReport:
     for topology in graphs:
         algorithm = KuceraBroadcast(topology, 0, 1, p=p)
         g = guarantee(algorithm.plan, p)
-
-        def trial(trial_stream: RngStream) -> bool:
-            algo = KuceraBroadcast(
-                topology, 0, 1, p=p, plan=algorithm.plan
-            )
-            failure = MaliciousFailures(
-                p, RandomFlipAdversary(), Restriction.FLIP
-            )
-            result = run_execution(
-                algo, failure, trial_stream,
-                metadata=algo.metadata(), record_trace=False,
-            )
-            return result.is_successful_broadcast()
-
-        outcome = estimate_success(
-            trial, trials, stream.child("mc", topology.name)
+        runner = TrialRunner(
+            partial(KuceraBroadcast, topology, 0, 1, p=p,
+                    plan=algorithm.plan),
+            MaliciousFailures(p, RandomFlipAdversary(), Restriction.FLIP),
+            workers=config.workers,
         )
+        outcome = runner.run(trials, stream.child("mc", topology.name))
         runs.add_row(
             graph=topology.name, n=topology.order,
             D=max(algorithm.tree.height, 1),

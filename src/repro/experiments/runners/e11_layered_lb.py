@@ -20,6 +20,7 @@ Reproduced two ways:
 from __future__ import annotations
 
 import math
+from functools import partial
 
 from repro.analysis.hitcount import (
     analyze_layer2_schedule,
@@ -27,11 +28,29 @@ from repro.analysis.hitcount import (
     min_hits_required,
 )
 from repro.core.parameters import omission_phase_length
-from repro.fastsim.layered import layered_success_estimate
+from repro.failures.base import OmissionFailures
 from repro.graphs.layered import layered_graph
+from repro.montecarlo import TrialRunner
+from repro.radio.layered_broadcast import LayeredScheduleBroadcast
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _schedule_success(graph, steps, source_steps, p, trials, stream,
+                      workers) -> float:
+    """Monte-Carlo success of an explicit layered schedule.
+
+    Runs through the :class:`TrialRunner`, which dispatches to the
+    ``layered-omission`` fastsim sampler — same stream, same draws,
+    same estimate as calling the sampler directly.
+    """
+    runner = TrialRunner(
+        partial(LayeredScheduleBroadcast, graph, steps, source_steps),
+        OmissionFailures(p),
+        workers=workers,
+    )
+    return runner.run(trials, stream).estimate
 
 
 def _uniform_schedule(m: int, budget: int):
@@ -75,9 +94,9 @@ def run_e11(config: ExperimentConfig) -> ExperimentReport:
         short_budget = opt + math.ceil(math.log2(n)) - 1
         short_steps = _uniform_schedule(m, short_budget)
         short_analysis = analyze_layer2_schedule(graph, short_steps)
-        short_success = layered_success_estimate(
-            graph, short_steps, p, trials, stream.child("short", m),
-            source_steps=max(1, short_budget // m),
+        short_success = _schedule_success(
+            graph, short_steps, max(1, short_budget // m), p, trials,
+            stream.child("short", m), config.workers,
         )
         short_fails = short_success < target
         table.add_row(
@@ -92,9 +111,9 @@ def run_e11(config: ExperimentConfig) -> ExperimentReport:
         for position in range(1, m + 1):
             long_steps.extend([{position}] * repeat)
         long_analysis = analyze_layer2_schedule(graph, long_steps)
-        long_success = layered_success_estimate(
-            graph, long_steps, p, trials, stream.child("long", m),
-            source_steps=repeat,
+        long_success = _schedule_success(
+            graph, long_steps, repeat, p, trials,
+            stream.child("long", m), config.workers,
         )
         long_ok = long_success >= target - 2.0 / math.sqrt(trials)
         table.add_row(

@@ -8,22 +8,31 @@ when no two consecutive rounds survive, with probability
 ``e^{-Θ(m)}``.
 
 The experiment compares the exact recurrence value with engine
-Monte-Carlo under a payload-corrupting limited-malicious adversary
-(content is irrelevant — only timing matters), and exhibits the
-exponential decay in ``m``.
+Monte-Carlo (batched through the :class:`~repro.montecarlo.TrialRunner`
+with a custom decode predicate; per-trial streams match the historical
+``estimate_success`` loop bit for bit) under a payload-corrupting
+limited-malicious adversary (content is irrelevant — only timing
+matters), and exhibits the exponential decay in ``m``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.estimation import estimate_success
+from functools import partial
+
 from repro.core.hello import HelloProtocolAlgorithm, hello_success_probability
-from repro.engine.simulator import run_execution
+from repro.engine.simulator import ExecutionResult
 from repro.failures.adversaries import GarbageAdversary, SilentAdversary
 from repro.failures.malicious import MaliciousFailures, Restriction
 from repro.graphs.builders import two_node
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _receiver_decoded(message: int, result: ExecutionResult) -> bool:
+    """Whether node 1 decoded the transmitted bit (module level: picklable)."""
+    return result.outputs[1] == message
 
 
 @register(
@@ -60,22 +69,16 @@ def run_e13(config: ExperimentConfig) -> ExperimentReport:
                         hello_success_probability(p, m, message)
                         if adversary_name == "drop" else 1.0
                     )
-
-                    def trial(trial_stream: RngStream) -> bool:
-                        algo = HelloProtocolAlgorithm(topology, message, m=m)
-                        failure = MaliciousFailures(
-                            p, adversary, Restriction.LIMITED
-                        )
-                        result = run_execution(
-                            algo, failure, trial_stream,
-                            metadata=algo.metadata(), record_trace=False,
-                        )
-                        return result.outputs[1] == message
-
-                    outcome = estimate_success(
-                        trial, trials,
-                        stream.child("mc", p, m, message, adversary_name),
+                    runner = TrialRunner(
+                        partial(HelloProtocolAlgorithm, topology, message, m),
+                        MaliciousFailures(p, adversary, Restriction.LIMITED),
+                        success=partial(_receiver_decoded, message),
+                        workers=config.workers,
                     )
+                    outcome = runner.run(
+                        trials,
+                        stream.child("mc", p, m, message, adversary_name),
+                    ).stats()
                     agrees = (
                         outcome.lower - 0.02 <= exact <= outcome.upper + 0.02
                     )

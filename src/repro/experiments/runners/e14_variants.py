@@ -11,19 +11,26 @@ Three remarks made executable:
 * **prime-power schedule** — unknown label range ``K``: label ``i``
   transmits at rounds ``p_i^k``; collision-free by unique
   factorisation, demonstrated on a small line.
+
+All three run as engine batches through the
+:class:`~repro.montecarlo.TrialRunner` (no fastsim sampler covers these
+variants); the per-trial streams match the historical
+``estimate_success`` loop bit for bit, and ``config.workers`` shards
+the full-size sweeps across processes.
 """
 
 from __future__ import annotations
 
-from repro.analysis.estimation import estimate_success
+from functools import partial
+
 from repro.core.flooding import flooding_rounds
 from repro.core.labels import PrimeScheduleBroadcast, RoundRobinBroadcast
 from repro.core.windowed import WindowedMalicious
-from repro.engine.simulator import run_execution
 from repro.failures.adversaries import ComplementAdversary
 from repro.failures.base import OmissionFailures
 from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import binary_tree, grid, line
+from repro.montecarlo import TrialRunner
 from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
 from repro.experiments.tables import Table
 from repro.rng import RngStream
@@ -47,17 +54,12 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
     # 1. Windowed malicious on a grid.
     topology = grid(3, 4) if config.quick else grid(4, 5)
     p = 0.25
-
-    def windowed_trial(trial_stream: RngStream) -> bool:
-        algo = WindowedMalicious(topology, 0, 1, p=p)
-        failure = MaliciousFailures(p, ComplementAdversary())
-        result = run_execution(
-            algo, failure, trial_stream,
-            metadata=algo.metadata(), record_trace=False,
-        )
-        return result.is_successful_broadcast()
-
-    outcome = estimate_success(windowed_trial, trials, stream.child("win"))
+    runner = TrialRunner(
+        partial(WindowedMalicious, topology, 0, 1, p=p),
+        MaliciousFailures(p, ComplementAdversary()),
+        workers=config.workers,
+    )
+    outcome = runner.run(trials, stream.child("win"))
     reference = WindowedMalicious(topology, 0, 1, p=p)
     target = 1.0 - 1.0 / topology.order
     ok = outcome.estimate >= target - 2.0 / trials
@@ -72,16 +74,12 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
     tree_topology = binary_tree(3)
     p = 0.5
     cycles = flooding_rounds(tree_topology.order, 3, p)
-
-    def robin_trial(trial_stream: RngStream) -> bool:
-        algo = RoundRobinBroadcast(tree_topology, 0, 1, cycles=cycles)
-        result = run_execution(
-            algo, OmissionFailures(p), trial_stream,
-            metadata=algo.metadata(), record_trace=False,
-        )
-        return result.is_successful_broadcast()
-
-    outcome = estimate_success(robin_trial, trials, stream.child("robin"))
+    runner = TrialRunner(
+        partial(RoundRobinBroadcast, tree_topology, 0, 1, cycles=cycles),
+        OmissionFailures(p),
+        workers=config.workers,
+    )
+    outcome = runner.run(trials, stream.child("robin"))
     reference = RoundRobinBroadcast(tree_topology, 0, 1, cycles=cycles)
     target = 1.0 - 1.0 / tree_topology.order
     ok = outcome.estimate >= target - 2.0 / trials
@@ -96,16 +94,12 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
     line_topology = line(3)
     p = 0.3
     horizon = 2500
-
-    def prime_trial(trial_stream: RngStream) -> bool:
-        algo = PrimeScheduleBroadcast(line_topology, 0, 1, rounds=horizon)
-        result = run_execution(
-            algo, OmissionFailures(p), trial_stream,
-            metadata=algo.metadata(), record_trace=False,
-        )
-        return result.is_successful_broadcast()
-
-    outcome = estimate_success(prime_trial, trials, stream.child("prime"))
+    runner = TrialRunner(
+        partial(PrimeScheduleBroadcast, line_topology, 0, 1, rounds=horizon),
+        OmissionFailures(p),
+        workers=config.workers,
+    )
+    outcome = runner.run(trials, stream.child("prime"))
     target = 1.0 - 1.0 / line_topology.order
     ok = outcome.estimate >= target - 2.0 / trials
     passed = passed and ok

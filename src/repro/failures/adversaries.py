@@ -247,6 +247,16 @@ class SlowingAdversary(Adversary):
         self._keep_probability = target / p
 
     @property
+    def inner(self) -> Adversary:
+        """The wrapped adversary that handles the surviving faulty set."""
+        return self._inner
+
+    @property
+    def raw_rate(self) -> float:
+        """The raw fault probability ``p`` the slowing was derived for."""
+        return self._p
+
+    @property
     def effective_rate(self) -> float:
         """The effective malicious failure probability after slowing."""
         return self._target

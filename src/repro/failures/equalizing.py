@@ -55,11 +55,15 @@ class CounterfactualTwin:
     ``< t`` (read from the trace) are replayed into it.
     """
 
-    def __init__(self, twin: Protocol, source: int, model: str):
+    def __init__(self, twin: Protocol, source: int, model: str,
+                 trace=None):
         self._twin = twin
         self._source = source
         self._model = model
         self._rounds_fed = 0
+        #: The execution trace this twin replays (identity marks the
+        #: execution the twin belongs to; see ``_ensure_twin``).
+        self.trace = trace
 
     def intent(self, round_index: int, view) -> Any:
         """The twin's intent for ``round_index`` (``A_{1-Ms}(σ)``)."""
@@ -104,19 +108,13 @@ class EqualizingMpAdversary(Adversary):
         self._source = source
         self._twin: Optional[CounterfactualTwin] = None
 
+    @property
+    def source(self) -> int:
+        """The twinned source node."""
+        return self._source
+
     def _ensure_twin(self, view) -> CounterfactualTwin:
-        if self._twin is None:
-            algorithm = view.algorithm
-            if not hasattr(algorithm, "counterfactual_source"):
-                raise TypeError(
-                    f"{type(algorithm).__name__} does not support "
-                    f"counterfactual twinning (needs counterfactual_source())"
-                )
-            true_message = view.metadata["source_message"]
-            twin_protocol = algorithm.counterfactual_source(
-                _flip(true_message)
-            )
-            self._twin = CounterfactualTwin(twin_protocol, self._source, view.model)
+        self._twin = _fresh_twin_for(self._twin, self._source, view)
         return self._twin
 
     def rewrite(self, round_index: int, faulty: FrozenSet[int],
@@ -169,17 +167,18 @@ class EqualizingStarAdversary(Adversary):
         self._noise = noise
         self._twin: Optional[CounterfactualTwin] = None
 
+    @property
+    def source(self) -> int:
+        """The leaf source ``s`` the attack twins."""
+        return self._source
+
+    @property
+    def center(self) -> int:
+        """The star root ``v`` whose posterior the attack pins."""
+        return self._center
+
     def _ensure_twin(self, view) -> CounterfactualTwin:
-        if self._twin is None:
-            algorithm = view.algorithm
-            if not hasattr(algorithm, "counterfactual_source"):
-                raise TypeError(
-                    f"{type(algorithm).__name__} does not support "
-                    f"counterfactual twinning (needs counterfactual_source())"
-                )
-            true_message = view.metadata["source_message"]
-            twin_protocol = algorithm.counterfactual_source(_flip(true_message))
-            self._twin = CounterfactualTwin(twin_protocol, self._source, view.model)
+        self._twin = _fresh_twin_for(self._twin, self._source, view)
         return self._twin
 
     def _in_critical_set(self, intents: Dict[int, Any], view) -> bool:
@@ -217,6 +216,31 @@ class EqualizingStarAdversary(Adversary):
             for node in faulty:
                 replacements[node] = self._noise
         return replacements
+
+
+def _fresh_twin_for(current: Optional[CounterfactualTwin], source: int,
+                    view) -> CounterfactualTwin:
+    """``current`` if it belongs to this execution, else a new twin.
+
+    One adversary instance may serve a whole Monte-Carlo batch (the
+    :class:`repro.montecarlo.TrialRunner` shares the failure model
+    across trials), so the twin must restart whenever a new execution
+    begins.  Executions are told apart by the identity of their trace
+    object; the twin keeps a strong reference to it, so the id cannot
+    be recycled while the comparison matters.
+    """
+    if current is not None and current.trace is view.trace:
+        return current
+    algorithm = view.algorithm
+    if not hasattr(algorithm, "counterfactual_source"):
+        raise TypeError(
+            f"{type(algorithm).__name__} does not support "
+            f"counterfactual twinning (needs counterfactual_source())"
+        )
+    true_message = view.metadata["source_message"]
+    twin_protocol = algorithm.counterfactual_source(_flip(true_message))
+    return CounterfactualTwin(twin_protocol, source, view.model,
+                              trace=view.trace)
 
 
 def _flip(message: Any) -> Any:

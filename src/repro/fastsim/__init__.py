@@ -6,12 +6,19 @@ from repro.fastsim.closed_forms import (
     line_flooding_success_probability,
     simple_omission_success_probability,
 )
+from repro.fastsim.equalizing import sample_equalizing_star
 from repro.fastsim.layered import layered_success_estimate, sample_layered_omission
+from repro.fastsim.schedule_repeat import (
+    informing_groups,
+    sample_radio_repeat_malicious,
+    sample_radio_repeat_omission,
+)
 from repro.fastsim.tree_chain import (
     sample_flooding_success,
     sample_flooding_times,
     sample_simple_malicious_mp,
     sample_simple_malicious_radio,
+    sample_simple_malicious_radio_tree,
     sample_simple_omission,
 )
 
@@ -23,8 +30,13 @@ __all__ = [
     "flooding_success_lower_bound",
     "sample_simple_malicious_mp",
     "sample_simple_malicious_radio",
+    "sample_simple_malicious_radio_tree",
     "sample_flooding_times",
     "sample_flooding_success",
     "sample_layered_omission",
     "layered_success_estimate",
+    "informing_groups",
+    "sample_radio_repeat_omission",
+    "sample_radio_repeat_malicious",
+    "sample_equalizing_star",
 ]

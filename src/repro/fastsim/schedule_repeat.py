@@ -1,0 +1,124 @@
+"""Vectorised samplers for the Theorem 3.4 schedule-repetition algorithms.
+
+:class:`~repro.core.radio_repeat.RadioRepeat` repeats every step ``i``
+of a fault-free radio schedule in a series ``S_i`` of ``m`` consecutive
+rounds.  A node ``v`` listens only during the series of the step at
+which the fault-free simulation informs it, and the only neighbour of
+``v`` scheduled in that step is ``p(v)`` (were there two, ``v`` would
+have heard a collision and not been informed).  The success event
+therefore factorises over *informing groups* — the distinct pairs
+``(p(v), informed_step(v))``: every node of a group listens to the same
+transmitter during the same ``m`` rounds, so the whole group shares one
+fault pattern, and groups occupy disjoint (round, transmitter) pairs,
+making them independent.
+
+* **Omission-Radio** (``ADOPT_ANY`` + omission failures) — a group is
+  served iff its transmitter is non-faulty in at least one of the ``m``
+  rounds (probability ``1 - p^m``); the broadcast succeeds iff every
+  group is served, because a served node adopts exactly its parent's
+  settled value ``M_{p(v)}`` and correctness telescopes to ``Ms``.
+* **Malicious-Radio** (``ADOPT_MAJORITY`` + the complement adversary) —
+  every scheduled transmitter transmits in every round (faulty rounds
+  flip the bit), so a group's ``m`` votes are its parent's value with
+  ``Bin(m, p)`` of them flipped; conditioned on the parent being
+  correct the group errs when flips reach half of the window (a tie
+  falls to the default 0, wrong for ``Ms = 1``), and when the parent is
+  wrong only ``> m/2`` flips rescue it — a Markov chain over the
+  informing-group forest, exactly as in the engine.
+
+Both samplers are pinned against the reference engine in
+``tests/test_fastsim_agreement.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_probability
+from repro.radio.schedule import RadioSchedule
+from repro.rng import as_stream
+
+__all__ = [
+    "informing_groups",
+    "sample_radio_repeat_omission",
+    "sample_radio_repeat_malicious",
+]
+
+
+def informing_groups(schedule: RadioSchedule
+                     ) -> Dict[Tuple[int, int], List[int]]:
+    """The distinct ``(p(v), informed_step(v))`` pairs of a schedule.
+
+    Maps each pair to the (sorted) nodes it informs in the fault-free
+    simulation.  Raises if the schedule does not inform every node —
+    the repetition algorithms require a valid base schedule.
+    """
+    simulation = schedule.simulate()
+    if not simulation.covers(schedule.topology):
+        raise ValueError(
+            f"schedule on {schedule.topology.name!r} does not inform every "
+            f"node; the repetition samplers need a valid base schedule"
+        )
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for node in sorted(simulation.informed_step):
+        step = simulation.informed_step[node]
+        if step < 0:  # the source starts informed
+            continue
+        groups.setdefault((simulation.parent[node], step), []).append(node)
+    return groups
+
+
+def sample_radio_repeat_omission(schedule: RadioSchedule, phase_length: int,
+                                 p: float, trials: int,
+                                 seed_or_stream=0) -> np.ndarray:
+    """Success indicators for Omission-Radio (Theorem 3.4, any rule).
+
+    One Bernoulli(``1 - p^m``) event per informing group: omission
+    failures can only silence transmitters (never create collisions),
+    so a listening node hears its schedule parent in every round the
+    parent is non-faulty, and adopting *any* heard payload telescopes
+    the parent's settled value down the schedule.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    groups = informing_groups(schedule)
+    if not groups:
+        return np.ones(trials, dtype=bool)
+    all_faulty = p ** phase_length
+    draws = stream.generator.random((trials, len(groups)))
+    return (draws >= all_faulty).all(axis=1)
+
+
+def sample_radio_repeat_malicious(schedule: RadioSchedule, phase_length: int,
+                                  p: float, trials: int,
+                                  seed_or_stream=0) -> np.ndarray:
+    """Success indicators for Malicious-Radio + complement adversary.
+
+    Message convention: ``Ms = 1``, default ``0`` (a vote tie falls to
+    the wrong value under a correct parent).  Per informing group one
+    shared ``Bin(m, p)`` flip count decides all of its members at once;
+    groups are processed in step order so the transmitter's own
+    correctness is settled before its group votes.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    groups = informing_groups(schedule)
+    m = phase_length
+    half = m / 2.0
+    correct = {schedule.source: np.ones(trials, dtype=bool)}
+    result = np.ones(trials, dtype=bool)
+    for transmitter, step in sorted(groups, key=lambda pair: (pair[1], pair[0])):
+        flips = generator.binomial(m, p, size=trials)
+        parent_correct = correct[transmitter]
+        group_correct = np.where(parent_correct, flips < half, flips > half)
+        result &= group_correct
+        for node in groups[(transmitter, step)]:
+            correct[node] = group_correct
+    return result

@@ -39,6 +39,7 @@ __all__ = [
     "sample_simple_omission",
     "sample_simple_malicious_mp",
     "sample_simple_malicious_radio",
+    "sample_simple_malicious_radio_tree",
     "sample_flooding_times",
     "sample_flooding_success",
 ]
@@ -158,6 +159,64 @@ def sample_simple_malicious_radio(tree: SpanningTree, phase_length: int,
     for node in topology.nodes:
         if node != tree.root:
             result &= correct[node]
+    return result
+
+
+def sample_simple_malicious_radio_tree(tree: SpanningTree, phase_length: int,
+                                       p: float, trials: int,
+                                       seed_or_stream=0) -> np.ndarray:
+    """Engine-exact Simple-Malicious radio success on tree *topologies*.
+
+    Requires the topology itself to be a tree (so the spanning tree is
+    the whole graph).  Under the worst-case radio adversary a phase of
+    internal node ``q`` behaves, per step:
+
+    * ``q`` faulty (probability ``p``) — the flipped bit is delivered
+      to *every* listening child at once (all other faulty nodes keep
+      silent so the lie lands);
+    * ``q`` non-faulty — each child ``ℓ`` independently hears the true
+      bit iff the rest of its closed neighbourhood ``{ℓ} ∪ children(ℓ)``
+      is fault-free (probability ``(1-p)^{deg(ℓ)}``; any faulty member
+      jams, a faulty ``ℓ`` is itself transmitting noise), else silence.
+
+    On a tree those closed-neighbourhood remainders are pairwise
+    disjoint across siblings, so conditioned on ``q``'s shared flip
+    count the children decide independently — exactly the engine's
+    joint law, sibling correlations included (which the independent
+    per-node trinomial of :func:`sample_simple_malicious_radio` ignores;
+    on chains the two coincide).  Message convention: ``Ms = 1``,
+    default ``0``.
+    """
+    phase_length = check_positive_int(phase_length, "phase_length")
+    p = check_probability(p, "p", allow_zero=True)
+    trials = check_positive_int(trials, "trials")
+    topology = tree.topology
+    if topology.size != topology.order - 1:
+        raise ValueError(
+            f"{topology.name!r} is not a tree ({topology.size} edges on "
+            f"{topology.order} nodes); sibling listeners would share "
+            f"neighbours and the per-phase factorisation breaks"
+        )
+    stream = as_stream(seed_or_stream)
+    generator = stream.generator
+    m = phase_length
+    correct = {tree.root: np.ones(trials, dtype=bool)}
+    result = np.ones(trials, dtype=bool)
+    for node in tree.order:
+        children = tree.children(node)
+        if not children:
+            continue
+        flips = generator.binomial(m, p, size=trials)
+        clear = m - flips
+        parent_correct = correct[node]
+        for child in children:
+            rest_fault_free = (1.0 - p) ** topology.degree(child)
+            true_votes = generator.binomial(clear, rest_fault_free)
+            child_correct = np.where(
+                parent_correct, true_votes > flips, flips > true_votes
+            )
+            result &= child_correct
+            correct[child] = child_correct
     return result
 
 

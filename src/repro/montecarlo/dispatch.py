@@ -14,6 +14,44 @@ engine executions otherwise.  Matchers must be *conservative*: a
 sampler is only offered when its distribution provably coincides with
 the engine's (see ``tests/test_fastsim_agreement.py``), so dispatch
 never changes what is being estimated, only how fast.
+
+Built-in entries (registered by :mod:`repro.montecarlo.samplers`, in
+lookup order):
+
+========================  ==================================================
+entry                     scenario shape it matches
+========================  ==================================================
+simple-omission           ``SimpleOmission`` (either model) + plain
+                          ``OmissionFailures``, ``Ms != default``
+simple-malicious-mp       ``SimpleMalicious`` (message passing) +
+                          ``MaliciousFailures`` with the complement or
+                          random-flip adversary, ``Ms = 1``, default 0
+simple-malicious-radio    ``SimpleMalicious`` (radio) +
+                          ``MaliciousFailures(RadioWorstCaseAdversary)``,
+                          full restriction, ``Ms = 1``, default 0, on a
+                          *tree topology* (sibling listeners share their
+                          parent's phase faults; non-tree edges would
+                          correlate their remaining neighbourhoods)
+flooding                  ``FastFlooding`` + plain ``OmissionFailures``,
+                          ``Ms != default``
+radio-repeat-omission     ``RadioRepeat`` with the ``any`` adoption rule
+                          (Omission-Radio, Thm 3.4) + plain
+                          ``OmissionFailures``, ``Ms != default``
+radio-repeat-malicious    ``RadioRepeat`` with the ``majority`` rule
+                          (Malicious-Radio, Thm 3.4) +
+                          ``MaliciousFailures`` with the complement or
+                          random-flip adversary, ``Ms = 1``, default 0
+equalizing-star           ``SimpleMalicious`` (radio) on a star whose
+                          source is a leaf +
+                          ``EqualizingStarAdversary`` targeting that
+                          source/center — native, or wrapped in the
+                          matching ``SlowingAdversary`` reduction
+                          (Thm 2.4 impossibility); bit messages,
+                          default 0, full restriction
+layered-omission          ``LayeredScheduleBroadcast`` on ``G(m)``
+                          (Lemma 3.4 / Thm 3.3 schedules) + plain
+                          ``OmissionFailures``, ``Ms != default``
+========================  ==================================================
 """
 
 from __future__ import annotations

@@ -10,14 +10,17 @@ centralises that loop and makes it fast:
   schedules and topology caches are not rebuilt per trial;
 * trace-free executions take the engine's no-history fast path
   whenever the failure model is history-oblivious;
-* trials can be sharded across processes; trial ``i`` always draws
-  from the child stream ``root.child("mc", i)``, so the per-trial
-  indicator vector is **bit-identical for any worker count** — and
-  identical to :func:`repro.analysis.estimation.estimate_success`
-  under the same root stream;
+* trials can be sharded across processes; on the engine path trial
+  ``i`` always draws from the child stream ``root.child("mc", i)``, so
+  the per-trial indicator vector is **bit-identical for any worker
+  count** — and identical to
+  :func:`repro.analysis.estimation.estimate_success` under the same
+  root stream;
 * when a registered fastsim sampler matches the scenario (see
   :mod:`repro.montecarlo.dispatch`), the whole batch collapses into
-  one vectorised draw.
+  one vectorised draw — the sampler consumes the *root* stream
+  directly (deterministic per root seed and identical to calling the
+  sampler by hand, but a different bit pattern than the engine path).
 
 Example::
 
@@ -113,8 +116,10 @@ class TrialResult:
     Attributes
     ----------
     indicators:
-        Per-trial success booleans, in trial order (trial ``i`` always
-        used stream ``root.child("mc", i)``).
+        Per-trial success booleans, in trial order.  On the engine
+        backend trial ``i`` used stream ``root.child("mc", i)``; a
+        fastsim backend drew the whole vector from the root stream in
+        one vectorised call (same law, different bit pattern).
     backend:
         ``"engine"`` or ``"fastsim:<sampler name>"``.
     workers:
@@ -322,8 +327,10 @@ class TrialRunner:
         trials:
             Number of independent trials.
         seed_or_stream:
-            Root randomness; trial ``i`` draws from
-            ``root.child("mc", i)`` regardless of backend/worker count.
+            Root randomness.  On the engine path trial ``i`` draws
+            from ``root.child("mc", i)`` regardless of worker count;
+            a dispatched sampler consumes the root stream directly.
+            Either way the result is a pure function of the root seed.
         confidence:
             Default confidence level stored on the result.
         progress:

@@ -13,11 +13,13 @@ from repro.radio.exact import (
     optimal_schedule,
 )
 from repro.radio.greedy import greedy_schedule
+from repro.radio.layered_broadcast import LayeredScheduleBroadcast
 from repro.radio.schedule import RadioSchedule, ScheduleSimulation
 
 __all__ = [
     "RadioSchedule",
     "ScheduleSimulation",
+    "LayeredScheduleBroadcast",
     "greedy_schedule",
     "optimal_schedule",
     "optimal_broadcast_time",

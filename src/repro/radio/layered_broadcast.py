@@ -1,0 +1,108 @@
+"""Explicit layer-2 schedule broadcast on the layered graph ``G(m)``.
+
+The engine-executable counterpart of the Lemma 3.4 / Theorem 3.3
+experiments: the source transmits alone for ``source_steps`` rounds
+(every bit node hears any non-faulty one), then round ``t`` activates
+the layer-2 bit nodes listed in ``steps[t]``; a layer-3 value node
+adopts the payload of any round in which exactly one of its bit
+neighbours survives omission.  Uninformed bit nodes still occupy the
+medium with the default payload when scheduled — the pessimistic
+reading the lower-bound analysis (and the vectorised
+:func:`repro.fastsim.layered.sample_layered_omission` sampler, whose
+engine agreement is pinned in ``tests/test_fastsim_agreement.py``)
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Set
+
+from repro._validation import check_positive_int
+from repro.engine.protocol import RADIO, Algorithm, Protocol
+from repro.graphs.layered import LayeredGraph
+
+__all__ = ["LayeredScheduleBroadcast"]
+
+
+class LayeredScheduleProtocol(Protocol):
+    """Radio program of one node under an explicit layered schedule."""
+
+    def __init__(self, algorithm: "LayeredScheduleBroadcast", node: int,
+                 initial_message: Optional[Any]):
+        self._algorithm = algorithm
+        self._node = node
+        self._message = initial_message
+
+    def intent(self, round_index: int):
+        algorithm = self._algorithm
+        if self._node == algorithm.graph.source:
+            if round_index < algorithm.source_steps:
+                return algorithm.source_message
+            return None
+        if round_index < algorithm.source_steps:
+            return None
+        step = algorithm.step_nodes[round_index - algorithm.source_steps]
+        if self._node in step:
+            # An uninformed bit node still transmits (the default), so
+            # it occupies the medium exactly as the sampler assumes.
+            return self._message if self._message is not None else \
+                self._algorithm.default
+        return None
+
+    def deliver(self, round_index: int, received) -> None:
+        if self._message is None and received is not None:
+            self._message = received
+
+    def output(self) -> Any:
+        if self._message is not None:
+            return self._message
+        return self._algorithm.default
+
+
+class LayeredScheduleBroadcast(Algorithm):
+    """Source phase + explicit layer-2 steps on ``G(m)``, radio model.
+
+    Parameters
+    ----------
+    graph:
+        The layered graph ``G(m)``.
+    steps:
+        Layer-2 transmitter sets as 1-based bit *positions*, one set
+        per step — the shape the schedule analyses and the fastsim
+        sampler consume.
+    source_steps:
+        Dedicated source rounds before the layer-2 steps begin.
+    source_message, default:
+        The broadcast payload and the uninformed fallback.
+    """
+
+    def __init__(self, graph: LayeredGraph, steps: Sequence[Set[int]],
+                 source_steps: int = 1, source_message: Any = 1,
+                 default: Any = 0):
+        super().__init__(graph.topology, RADIO)
+        if source_message is None:
+            raise ValueError("source_message must not be None (None is silence)")
+        self.graph = graph
+        #: The schedule in bit positions (what the sampler consumes).
+        self.step_positions: List[Set[int]] = [set(step) for step in steps]
+        #: The same schedule resolved to topology node ids.
+        self.step_nodes: List[Set[int]] = [
+            {graph.bit_node(position) for position in step} for step in steps
+        ]
+        self.source_steps = check_positive_int(source_steps, "source_steps")
+        self.source_message = source_message
+        self.default = default
+
+    @property
+    def rounds(self) -> int:
+        return self.source_steps + len(self.step_nodes)
+
+    def protocol(self, node: int) -> Protocol:
+        initial = self.source_message if node == self.graph.source else None
+        return LayeredScheduleProtocol(self, node, initial)
+
+    def metadata(self):
+        return {
+            "source": self.graph.source,
+            "source_message": self.source_message,
+        }

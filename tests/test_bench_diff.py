@@ -1,0 +1,89 @@
+"""Tests for the soft benchmark-regression diff used by CI."""
+
+import json
+
+from benchmarks.diff_bench import DEFAULT_THRESHOLD, compare, load_means, main
+
+
+def _bench_json(means):
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestLoadMeans:
+    def test_reads_fullname_and_mean(self, tmp_path):
+        path = _write(tmp_path, "bench.json",
+                      _bench_json({"bench_a": 0.5, "bench_b": 0.01}))
+        assert load_means(path) == {"bench_a": 0.5, "bench_b": 0.01}
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_means(str(tmp_path / "nope.json")) is None
+
+    def test_malformed_json_is_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert load_means(str(path)) is None
+        other = _write(tmp_path, "wrong.json", {"something": "else"})
+        assert load_means(other) is None
+
+
+class TestCompare:
+    def test_flags_only_regressions_beyond_threshold(self):
+        previous = {"fast": 1.0, "steady": 1.0, "improved": 1.0}
+        current = {"fast": 1.5, "steady": 1.1, "improved": 0.5}
+        rows = compare(previous, current, threshold=0.2)
+        assert [row[0] for row in rows] == ["fast"]
+        name, before, now, change = rows[0]
+        assert (before, now) == (1.0, 1.5)
+        assert abs(change - 0.5) < 1e-12
+
+    def test_sorted_worst_first(self):
+        rows = compare({"a": 1.0, "b": 1.0}, {"a": 1.3, "b": 2.0}, 0.2)
+        assert [row[0] for row in rows] == ["b", "a"]
+
+    def test_unmatched_benchmarks_ignored(self):
+        assert compare({"gone": 1.0}, {"new": 9.0}) == []
+
+    def test_default_threshold_is_twenty_percent(self):
+        assert compare({"x": 1.0}, {"x": 1.19})  == []
+        assert DEFAULT_THRESHOLD == 0.20
+        assert compare({"x": 1.0}, {"x": 1.21}) != []
+
+
+class TestMain:
+    def test_regression_warns_but_exits_zero(self, tmp_path, capsys):
+        prev = _write(tmp_path, "prev.json", _bench_json({"bench": 0.1}))
+        curr = _write(tmp_path, "curr.json", _bench_json({"bench": 0.2}))
+        assert main([prev, curr]) == 0
+        out = capsys.readouterr().out
+        assert "::warning title=benchmark regression::bench" in out
+        assert "+100.0%" in out
+
+    def test_missing_previous_is_soft(self, tmp_path, capsys):
+        curr = _write(tmp_path, "curr.json", _bench_json({"bench": 0.1}))
+        assert main([str(tmp_path / "absent.json"), curr]) == 0
+        assert "::notice::" in capsys.readouterr().out
+
+    def test_clean_run_reports_counts(self, tmp_path, capsys):
+        prev = _write(tmp_path, "prev.json", _bench_json({"bench": 0.1}))
+        curr = _write(tmp_path, "curr.json", _bench_json({"bench": 0.105}))
+        assert main([prev, curr]) == 0
+        assert "none regressed" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        prev = _write(tmp_path, "prev.json", _bench_json({"bench": 0.1}))
+        curr = _write(tmp_path, "curr.json", _bench_json({"bench": 0.125}))
+        assert main(["--threshold", "0.5", prev, curr]) == 0
+        assert "none regressed" in capsys.readouterr().out
+        assert main(["--threshold", "0.2", prev, curr]) == 0
+        assert "::warning" in capsys.readouterr().out

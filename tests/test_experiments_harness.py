@@ -91,6 +91,15 @@ class TestCli:
         assert code == 0
         assert "REPRODUCED" in out
 
+    def test_workers_flag_changes_nothing_but_wall_clock(self, capsys):
+        code = main(["run", "e11", "--quick", "--seed", "1"])
+        serial = capsys.readouterr().out
+        assert code == 0
+        code = main(["run", "e11", "--quick", "--seed", "1", "--workers", "3"])
+        sharded = capsys.readouterr().out
+        assert code == 0
+        assert serial == sharded
+
 
 class TestQuickReproductions:
     """Every experiment must reproduce its claim in quick mode.

@@ -12,30 +12,37 @@ so this suite also pins the exact scenarios the dispatch matchers in
 """
 
 from functools import partial
-from typing import Any, Optional
 
-import numpy as np
-
+from repro.analysis.thresholds import radio_malicious_threshold
 from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
+from repro.core.radio_repeat import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
 from repro.engine import RADIO
-from repro.engine.protocol import MESSAGE_PASSING, Algorithm, Protocol
+from repro.engine.protocol import MESSAGE_PASSING
 from repro.failures import (
     ComplementAdversary,
     MaliciousFailures,
     OmissionFailures,
     RadioWorstCaseAdversary,
+    SlowingAdversary,
 )
+from repro.failures import EqualizingStarAdversary
 from repro.fastsim import (
     layered_success_estimate,
+    sample_equalizing_star,
     sample_flooding_success,
     sample_flooding_times,
     sample_layered_omission,
+    sample_radio_repeat_malicious,
+    sample_radio_repeat_omission,
     sample_simple_malicious_mp,
     sample_simple_malicious_radio,
+    sample_simple_malicious_radio_tree,
     sample_simple_omission,
 )
-from repro.graphs import bfs_tree, binary_tree, layered_graph, line
+from repro.graphs import bfs_tree, binary_tree, layered_graph, line, spider, star
 from repro.montecarlo import TrialRunner
+from repro.radio.closed_form import line_schedule, spider_schedule
+from repro.radio.layered_broadcast import LayeredScheduleBroadcast
 
 SAMPLER_TRIALS = 20000
 ENGINE_TRIALS = 400
@@ -113,6 +120,145 @@ class TestSampleSimpleMaliciousRadio:
         assert_agrees(sampled, stats)
 
 
+class TestSampleSimpleMaliciousRadioTree:
+    """The engine-exact tree sampler (what dispatch actually offers)."""
+
+    def test_leaf_sourced_star_agreement(self):
+        # Siblings share the root's phase faults: the joint law the
+        # independent trinomial sampler cannot reproduce.
+        topology, p, m = star(3, source_is_center=False), 0.15, 7
+        sampled = sample_simple_malicious_radio_tree(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 7
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, m),
+            MaliciousFailures(p, RadioWorstCaseAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_binary_tree_agreement(self):
+        topology, p, m = binary_tree(2), 0.2, 5
+        sampled = sample_simple_malicious_radio_tree(
+            bfs_tree(topology, 0), m, p, SAMPLER_TRIALS, 9
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, m),
+            MaliciousFailures(p, RadioWorstCaseAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_chain_law_matches_trinomial_sampler(self):
+        # On chains both radio samplers are engine-exact; their
+        # estimates must agree with each other too.
+        tree = bfs_tree(line(5), 0)
+        trinomial = sample_simple_malicious_radio(
+            tree, 9, 0.15, SAMPLER_TRIALS, 3
+        ).mean()
+        shared = sample_simple_malicious_radio_tree(
+            tree, 9, 0.15, SAMPLER_TRIALS, 5
+        ).mean()
+        assert abs(trinomial - shared) < 0.02
+
+    def test_rejects_non_tree_topology(self):
+        cyclic = line(3).with_extra_edges([(0, 3)], name="cycle")
+        import pytest
+        with pytest.raises(ValueError, match="not a tree"):
+            sample_simple_malicious_radio_tree(
+                bfs_tree(cyclic, 0), 3, 0.2, 10, 1
+            )
+
+
+class TestSampleRadioRepeatOmission:
+    def test_line_schedule_agreement(self):
+        schedule, p, m = line_schedule(line(5)), 0.4, 3
+        sampled = sample_radio_repeat_omission(
+            schedule, m, p, SAMPLER_TRIALS, 3
+        ).mean()
+        stats = engine_estimate(
+            partial(RadioRepeat, schedule, 1, ADOPT_ANY, m),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_multi_transmitter_schedule_agreement(self):
+        # Spider schedules activate several legs at once: informing
+        # groups with distinct parents share rounds but not fault draws.
+        schedule, p, m = spider_schedule(spider(3, 3), 3, 3), 0.4, 3
+        sampled = sample_radio_repeat_omission(
+            schedule, m, p, SAMPLER_TRIALS, 5
+        ).mean()
+        stats = engine_estimate(
+            partial(RadioRepeat, schedule, 1, ADOPT_ANY, m),
+            OmissionFailures(p),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleRadioRepeatMalicious:
+    def test_complement_adversary_agreement(self):
+        schedule, p, m = line_schedule(line(4)), 0.25, 5
+        sampled = sample_radio_repeat_malicious(
+            schedule, m, p, SAMPLER_TRIALS, 3
+        ).mean()
+        stats = engine_estimate(
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, m),
+            MaliciousFailures(p, ComplementAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_multi_transmitter_schedule_agreement(self):
+        schedule, p, m = spider_schedule(spider(3, 2), 3, 2), 0.2, 5
+        sampled = sample_radio_repeat_malicious(
+            schedule, m, p, SAMPLER_TRIALS, 7
+        ).mean()
+        stats = engine_estimate(
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, m),
+            MaliciousFailures(p, ComplementAdversary()),
+        )
+        assert_agrees(sampled, stats)
+
+
+class TestSampleEqualizingStar:
+    """Engine twins for the Theorem 2.4 impossibility sampler.
+
+    The engine side shares one adversary instance across the whole
+    TrialRunner batch, which also pins the per-execution twin rebuild
+    of the equalizing adversaries.
+    """
+
+    def test_native_rate_agreement(self):
+        delta, m = 2, 15
+        topology = star(delta, source_is_center=False)
+        q = radio_malicious_threshold(delta)
+        sampled = sample_equalizing_star(
+            topology.order, m, q, 1, SAMPLER_TRIALS, 3
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, m),
+            MaliciousFailures(q, EqualizingStarAdversary(source=0, center=1)),
+        )
+        assert_agrees(sampled, stats)
+
+    def test_slowing_reduction_agreement(self):
+        delta, m = 3, 9
+        topology = star(delta, source_is_center=False)
+        q = radio_malicious_threshold(delta)
+        p = q + 0.1
+        sampled = sample_equalizing_star(
+            topology.order, m, q, 0, SAMPLER_TRIALS, 5
+        ).mean()
+        stats = engine_estimate(
+            partial(SimpleMalicious, topology, 0, 0, RADIO, m),
+            MaliciousFailures(
+                p,
+                SlowingAdversary(
+                    EqualizingStarAdversary(source=0, center=1), p, q
+                ),
+            ),
+        )
+        assert_agrees(sampled, stats)
+
+
 class TestSampleFloodingTimes:
     def test_completion_law_agreement(self):
         # P[time <= R] from the sampler vs engine success at budget R.
@@ -141,78 +287,7 @@ class TestSampleFloodingSuccess:
         assert_agrees(sampled, stats)
 
 
-# -- engine twin of the layered-schedule sampler ------------------------
-
-
-class _LayeredProtocol(Protocol):
-    """Radio program of one node under an explicit layered schedule."""
-
-    def __init__(self, algorithm: "_LayeredScheduleAlgorithm", node: int,
-                 initial_message: Optional[Any]):
-        self._algorithm = algorithm
-        self._node = node
-        self._message = initial_message
-
-    def intent(self, round_index: int):
-        algorithm = self._algorithm
-        if self._node == algorithm.graph.source:
-            if round_index < algorithm.source_steps:
-                return algorithm.source_message
-            return None
-        if round_index < algorithm.source_steps:
-            return None
-        step = algorithm.steps[round_index - algorithm.source_steps]
-        if self._node in algorithm.graph.bit_nodes and self._node in step:
-            # An uninformed bit node still transmits (the default), so
-            # it occupies the medium exactly as the sampler assumes.
-            return self._message if self._message is not None else \
-                algorithm.default
-        return None
-
-    def deliver(self, round_index: int, received) -> None:
-        if self._message is None and received is not None:
-            self._message = received
-
-    def output(self) -> Any:
-        if self._message is not None:
-            return self._message
-        return self._algorithm.default
-
-
-class _LayeredScheduleAlgorithm(Algorithm):
-    """Source phase + explicit layer-2 steps on ``G(m)``, radio model.
-
-    The engine ground truth for :func:`sample_layered_omission`: the
-    source transmits alone for ``source_steps`` rounds (all bit nodes
-    hear any non-faulty one), then step ``t`` activates the bit nodes
-    in ``steps[t]``; a layer-3 value node adopts the payload of any
-    round in which exactly one of its bit neighbours survives omission.
-    """
-
-    def __init__(self, graph, steps, source_steps: int,
-                 source_message: Any = 1, default: Any = 0):
-        super().__init__(graph.topology, RADIO)
-        self.graph = graph
-        self.steps = [
-            {graph.bit_node(position) for position in step} for step in steps
-        ]
-        self.source_steps = source_steps
-        self.source_message = source_message
-        self.default = default
-
-    @property
-    def rounds(self) -> int:
-        return self.source_steps + len(self.steps)
-
-    def protocol(self, node: int) -> Protocol:
-        initial = self.source_message if node == self.graph.source else None
-        return _LayeredProtocol(self, node, initial)
-
-    def metadata(self):
-        return {
-            "source": self.graph.source,
-            "source_message": self.source_message,
-        }
+# -- the layered-schedule sampler vs its engine algorithm ----------------
 
 
 class TestSampleLayeredOmission:
@@ -227,7 +302,7 @@ class TestSampleLayeredOmission:
             source_steps=self.SOURCE_STEPS,
         ).mean()
         stats = engine_estimate(
-            partial(_LayeredScheduleAlgorithm, self.GRAPH, self.STEPS,
+            partial(LayeredScheduleBroadcast, self.GRAPH, self.STEPS,
                     self.SOURCE_STEPS),
             OmissionFailures(self.P),
         )
@@ -253,6 +328,8 @@ class TestDispatchedScenariosStayHonest:
         covered = {
             "simple-omission", "simple-malicious-mp",
             "simple-malicious-radio", "flooding",
+            "radio-repeat-omission", "radio-repeat-malicious",
+            "equalizing-star", "layered-omission",
         }
         builtin = {entry.name for entry in registered_samplers()}
         # Equality both ways: a newly registered sampler must add an

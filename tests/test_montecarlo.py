@@ -17,17 +17,21 @@ from repro.analysis.estimation import (
     hoeffding_interval,
     wilson_interval,
 )
+from repro.analysis.thresholds import radio_malicious_threshold
 from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
-from repro.core.radio_repeat import ADOPT_ANY, RadioRepeat
+from repro.core.radio_repeat import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
 from repro.engine import MESSAGE_PASSING, RADIO, run_execution
 from repro.failures import (
     ComplementAdversary,
+    EqualizingStarAdversary,
     MaliciousFailures,
     OmissionFailures,
     RadioWorstCaseAdversary,
+    SilentAdversary,
+    SlowingAdversary,
 )
 from repro.fastsim import sample_simple_omission
-from repro.graphs import bfs_tree, binary_tree, line
+from repro.graphs import bfs_tree, binary_tree, line, star
 from repro.montecarlo import (
     RunningTally,
     TrialRunner,
@@ -129,12 +133,20 @@ class TestDispatch:
             MaliciousFailures(0.1, RadioWorstCaseAdversary()),
         )
         assert radio.dispatch_entry().name == "simple-malicious-radio"
-        # Siblings correlate in the engine: trees must not dispatch.
+        # The shared-phase sampler is exact on any tree topology ...
         tree_radio = TrialRunner(
             partial(SimpleMalicious, TREE, 0, 1, RADIO, 5),
             MaliciousFailures(0.1, RadioWorstCaseAdversary()),
         )
-        assert tree_radio.dispatch_entry() is None
+        assert tree_radio.dispatch_entry().name == "simple-malicious-radio"
+        # ... but non-tree edges correlate the listeners' neighbourhoods,
+        # so graphs with cycles must not dispatch.
+        cyclic = line(3).with_extra_edges([(0, 3)], name="cycle")
+        cyclic_radio = TrialRunner(
+            partial(SimpleMalicious, cyclic, 0, 1, RADIO, 5),
+            MaliciousFailures(0.1, RadioWorstCaseAdversary()),
+        )
+        assert cyclic_radio.dispatch_entry() is None
 
     def test_flooding_dispatches(self):
         runner = TrialRunner(
@@ -143,11 +155,71 @@ class TestDispatch:
         )
         assert runner.dispatch_entry().name == "flooding"
 
+    def test_radio_repeat_scenarios_dispatch(self):
+        schedule = line_schedule(line(4))
+        omission = TrialRunner(
+            partial(RadioRepeat, schedule, 1, ADOPT_ANY, 3),
+            OmissionFailures(0.3),
+        )
+        assert omission.dispatch_entry().name == "radio-repeat-omission"
+        malicious = TrialRunner(
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 3),
+            MaliciousFailures(0.2, ComplementAdversary()),
+        )
+        assert malicious.dispatch_entry().name == "radio-repeat-malicious"
+        # Rule/failure cross-pairings have no sampler.
+        crossed = TrialRunner(
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 3),
+            OmissionFailures(0.3),
+        )
+        assert crossed.dispatch_entry() is None
+
+    def test_equalizing_star_scenarios_dispatch(self):
+        topology = star(4, source_is_center=False)
+        q = radio_malicious_threshold(4)
+        native = TrialRunner(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, 15),
+            MaliciousFailures(
+                q, EqualizingStarAdversary(source=0, center=1)
+            ),
+        )
+        assert native.dispatch_entry().name == "equalizing-star"
+        slowed = TrialRunner(
+            partial(SimpleMalicious, topology, 0, 0, RADIO, 15),
+            MaliciousFailures(
+                q + 0.1,
+                SlowingAdversary(
+                    EqualizingStarAdversary(source=0, center=1), q + 0.1, q
+                ),
+            ),
+        )
+        assert slowed.dispatch_entry().name == "equalizing-star"
+        # A slowing wrapper derived for a different raw rate would
+        # realise a different effective rate: no dispatch.
+        mismatched = TrialRunner(
+            partial(SimpleMalicious, topology, 0, 1, RADIO, 15),
+            MaliciousFailures(
+                q + 0.1,
+                SlowingAdversary(
+                    EqualizingStarAdversary(source=0, center=1), 0.9, q
+                ),
+            ),
+        )
+        assert mismatched.dispatch_entry() is None
+        # The attack must target the algorithm's actual source.
+        wrong_source = TrialRunner(
+            partial(SimpleMalicious, topology, 2, 1, RADIO, 15),
+            MaliciousFailures(
+                q, EqualizingStarAdversary(source=0, center=1)
+            ),
+        )
+        assert wrong_source.dispatch_entry() is None
+
     def test_unmatched_scenario_falls_back_to_engine(self):
         schedule = line_schedule(line(4))
         runner = TrialRunner(
-            partial(RadioRepeat, schedule, 1, ADOPT_ANY, 3),
-            OmissionFailures(0.3),
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 3),
+            MaliciousFailures(0.2, SilentAdversary()),
         )
         assert runner.dispatch_entry() is None
         assert runner.run(10, 3).backend == "engine"

@@ -1,0 +1,154 @@
+"""Property tests for radio delivery: CSR cache and batched semantics.
+
+Two invariants:
+
+* ``Topology.csr_neighbors()`` is just another view of ``neighbors()``
+  — round-trip equality on every graph family the experiments use;
+* ``deliver_radio_batch`` (and the dense CSR path inside the scalar
+  ``deliver_radio``) reproduces the scalar collision-as-silence
+  semantics exactly, for random transmitter sets of every density.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import deliver_radio, deliver_radio_batch
+from repro.engine.simulator import _deliver_radio_dense
+from repro.graphs import (
+    bfs_tree,
+    binary_tree,
+    erdos_renyi,
+    grid,
+    layered_graph,
+    line,
+    random_tree,
+    ring,
+    star,
+)
+from repro.graphs.topology import Topology
+from repro.rng import RngStream, derive_seed
+
+
+def _graph_zoo():
+    stream = RngStream(20070)
+    return [
+        line(1),
+        line(7),
+        ring(5),
+        star(6),
+        star(4, source_is_center=False),
+        binary_tree(3),
+        grid(3, 5),
+        layered_graph(3).topology,
+        random_tree(14, stream.child("rt"), max_degree=4),
+        erdos_renyi(16, 0.25, stream.child("er")),
+        # Degenerate shapes the CSR/reduceat path must survive.  The
+        # triangle with a trailing isolated node is the regression
+        # case where clamping the isolated node's reduceat start
+        # truncated the last connected node's collision count.
+        Topology(5, [(0, 1), (1, 2)], name="isolated-tail"),
+        Topology(4, [(1, 2), (2, 3)], name="isolated-head"),
+        Topology(4, [(0, 1), (0, 2), (1, 2)], name="triangle-isolated"),
+        Topology(3, [], name="edgeless"),
+    ]
+
+
+@pytest.mark.parametrize("topology", _graph_zoo(), ids=lambda t: t.name)
+class TestCsrNeighbors:
+    def test_round_trips_against_neighbors(self, topology):
+        indptr, indices = topology.csr_neighbors()
+        assert indptr.shape == (topology.order + 1,)
+        assert indptr[0] == 0 and indptr[-1] == indices.size
+        for node in topology.nodes:
+            csr_neighbors = tuple(indices[indptr[node]:indptr[node + 1]])
+            assert csr_neighbors == topology.neighbors(node)
+
+    def test_tree_topologies_round_trip_through_bfs(self, topology):
+        if topology.size != topology.order - 1 or not topology.is_connected():
+            pytest.skip("tree check needs a connected tree")
+        tree = bfs_tree(topology, 0)
+        indptr, indices = topology.csr_neighbors()
+        for node in topology.nodes:
+            neighbours = set(indices[indptr[node]:indptr[node + 1]])
+            expected = set(tree.children(node))
+            if tree.parent[node] is not None:
+                expected.add(tree.parent[node])
+            assert neighbours == expected
+
+
+@pytest.mark.parametrize("topology", _graph_zoo(), ids=lambda t: t.name)
+@pytest.mark.parametrize("density", [0.0, 0.1, 0.5, 0.9])
+class TestBatchedDeliveryMatchesScalar:
+    def test_batch_equals_scalar_path(self, topology, density):
+        rng = np.random.default_rng(
+            derive_seed(20070, topology.name, density)
+        )
+        batch = 24
+        transmitting = rng.random((batch, topology.order)) < density
+        heard_from = deliver_radio_batch(topology, transmitting)
+        for row in range(batch):
+            actual = {
+                int(node): f"payload-{node}"
+                for node in np.nonzero(transmitting[row])[0]
+            }
+            scalar = deliver_radio(topology, actual)
+            for node in topology.nodes:
+                if scalar[node] is None:
+                    assert heard_from[row, node] == -1
+                else:
+                    speaker = int(heard_from[row, node])
+                    assert actual[speaker] == scalar[node]
+
+
+class TestScalarDensePath:
+    """The CSR/bincount branch of deliver_radio vs the membership scan."""
+
+    @pytest.mark.parametrize("topology", _graph_zoo(), ids=lambda t: t.name)
+    def test_dense_helper_matches_sparse_scan(self, topology):
+        rng = np.random.default_rng(7)
+        for density in (0.2, 0.6, 1.0):
+            mask = rng.random(topology.order) < density
+            actual = {
+                int(node): ("msg", int(node))
+                for node in np.nonzero(mask)[0]
+            }
+            if not actual:
+                continue
+            dense = _deliver_radio_dense(topology, actual)
+            # Reference: the sparse membership scan (force it by
+            # feeding transmitters one below the dense threshold is not
+            # possible for big sets, so re-derive from first principles).
+            for node in topology.nodes:
+                speaking = [
+                    neighbour for neighbour in topology.neighbors(node)
+                    if neighbour in actual
+                ]
+                if node in actual or len(speaking) != 1:
+                    assert dense[node] is None
+                else:
+                    assert dense[node] == actual[speaking[0]]
+
+    def test_public_function_uses_both_paths_consistently(self):
+        topology = grid(4, 4)
+        sparse_round = {0: "a", 5: "b"}            # below the threshold
+        dense_round = {node: "x" for node in range(12)}  # above it
+        assert deliver_radio(topology, sparse_round) == \
+            _deliver_radio_dense(topology, sparse_round)
+        assert deliver_radio(topology, dense_round) == \
+            _deliver_radio_dense(topology, dense_round)
+
+
+class TestBatchValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            deliver_radio_batch(line(3), np.zeros((2, 7), dtype=bool))
+        with pytest.raises(ValueError, match="shape"):
+            deliver_radio_batch(line(3), np.zeros(4, dtype=bool))
+
+    def test_empty_batch_and_edgeless_graph(self):
+        assert deliver_radio_batch(
+            line(3), np.zeros((0, 4), dtype=bool)
+        ).shape == (0, 4)
+        edgeless = Topology(3, [], name="edgeless")
+        out = deliver_radio_batch(edgeless, np.ones((2, 3), dtype=bool))
+        assert (out == -1).all()
