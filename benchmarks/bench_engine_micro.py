@@ -52,9 +52,10 @@ def test_full_broadcast_batch_binary_tree(benchmark):
     runner = TrialRunner(
         lambda: SimpleOmission(topology, 0, 1, MESSAGE_PASSING, p=0.3),
         OmissionFailures(0.3),
-        # The engine path is what this micro-benchmark times; dispatch
-        # would collapse the batch into one vectorised draw.
+        # The scalar engine path is what this micro-benchmark times;
+        # either vectorised tier would collapse the batch.
         use_fastsim=False,
+        use_batchsim=False,
     )
 
     result = benchmark(lambda: runner.run(10, 11))

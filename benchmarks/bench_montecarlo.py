@@ -6,6 +6,9 @@ Several claims are asserted, not just timed:
   pattern every experiment runner used before ``TrialRunner``) by at
   least 5x on a covered scenario — including the Theorem 3.4
   radio-repeat scenarios and the Theorem 2.4 equalizing-star attack;
+* the batchsim tier (the vectorised multi-trial engine) beats the
+  scalar engine loop by at least 3x on a scenario with **no**
+  registered fastsim sampler, while staying bit-identical to it;
 * the trace-free engine fast path (skipping the internal trace when the
   failure model is history-oblivious) beats the always-trace execution
   the seed engine performed;
@@ -98,9 +101,10 @@ def test_dispatch_beats_naive_engine_loop(benchmark):
 
 def _assert_dispatch_speedup(factory, failure, expected_backend, trials,
                              seed, benchmark, factor=5):
-    """Dispatched run must beat the engine fallback by ``factor``x."""
+    """Dispatched run must beat the *scalar* engine fallback by ``factor``x."""
     runner = TrialRunner(factory, failure)
-    fallback = TrialRunner(factory, failure, use_fastsim=False)
+    fallback = TrialRunner(factory, failure, use_fastsim=False,
+                           use_batchsim=False)
     entry = runner.dispatch_entry()
     assert entry is not None and f"fastsim:{entry.name}" == expected_backend
 
@@ -155,6 +159,47 @@ def test_equalizing_star_dispatch_beats_engine(benchmark):
         MaliciousFailures(q, EqualizingStarAdversary(source=0, center=1)),
         "fastsim:equalizing-star", 120, 11, benchmark,
     )
+
+
+def test_batchsim_beats_scalar_engine_loop(benchmark):
+    """The batchsim tier >= 3x over the scalar engine, bit-identically.
+
+    Majority adoption under plain omission failures has no registered
+    fastsim sampler (the Theorem 3.4 laws cover any+omission and
+    majority+malicious), so before the batchsim tier this scenario —
+    like every future uncovered one — paid the full per-round Python
+    interpretation.
+    """
+    schedule = line_schedule(line(10))
+    trials = 200
+    factory = partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 6)
+    failure = OmissionFailures(0.3)
+    runner = TrialRunner(factory, failure)
+    scalar = TrialRunner(factory, failure, use_fastsim=False,
+                         use_batchsim=False)
+    assert runner.dispatch_entry() is None
+    assert runner.dispatch_backend() == "batchsim"
+
+    def batched():
+        return runner.run(trials, 7)
+
+    def engine():
+        return scalar.run(trials, 7)
+
+    batched()
+    engine()  # warm caches before timing
+    batch_time = _best_of(batched)
+    engine_time = _best_of(engine)
+    assert batch_time * 3 < engine_time, (
+        f"batchsim {batch_time:.4f}s vs engine {engine_time:.4f}s "
+        f"({engine_time / batch_time:.1f}x)"
+    )
+    result = benchmark(batched)
+    assert result.backend == "batchsim"
+    assert result.trials == trials
+    # Not merely the same law: the same per-trial streams, so the
+    # indicator vectors agree trial for trial.
+    np.testing.assert_array_equal(result.indicators, engine().indicators)
 
 
 def test_batched_radio_delivery_beats_scalar_loop(benchmark):
@@ -227,8 +272,9 @@ def test_trial_runner_engine_batch(benchmark):
     runner = TrialRunner(
         lambda: SimpleOmission(topology, 0, 1, RADIO, phase_length=2),
         failure,
-        # Force the fallback so this measures the batched engine.
+        # Force the scalar fallback so this measures the shard loop.
         use_fastsim=False,
+        use_batchsim=False,
     )
 
     result = benchmark(lambda: runner.run(25, 11))

@@ -1,29 +1,45 @@
 """Soft benchmark-regression gate for the CI trajectory tracking.
 
-Compares two pytest-benchmark JSON files (previous run vs current run)
-and emits one GitHub Actions ``::warning::`` annotation per benchmark
-whose mean wall-clock regressed by more than the threshold.  The gate
-is *soft*: the exit code is always 0 — quick-mode benchmarks on shared
-CI runners are noisy, so a regression is a prompt to look at the
-trajectory, not a build failure.
+Two modes, both *soft* (the exit code is always 0 — quick-mode
+benchmarks on shared CI runners are noisy, so a regression is a prompt
+to look at the trajectory, not a build failure):
+
+* **single-step diff** — compare two pytest-benchmark JSON files
+  (previous run vs current run) and emit one GitHub Actions
+  ``::warning::`` annotation per benchmark whose mean wall-clock
+  regressed by more than the threshold;
+* **rolling history** — with ``--history PATH``, append the current
+  run's per-benchmark means to a persisted rolling series (last
+  ``--max-runs`` runs, carried across CI runs as an artifact) and warn
+  on *trend* regressions: the current mean against the median of the
+  stored runs, which single-step diffs cannot see (a slow 5%-per-PR
+  drift never trips a 20% one-step gate).
 
 Usage::
 
     python benchmarks/diff_bench.py PREVIOUS.json CURRENT.json
     python benchmarks/diff_bench.py --threshold 0.3 PREV.json CURR.json
+    python benchmarks/diff_bench.py --history bench-history.json \
+        --run-id abc1234 CURRENT.json
 
 A missing/unreadable previous file (first run on a branch, expired
-artifact) prints a notice and exits 0.
+artifact) prints a notice and exits 0; a missing history file starts a
+fresh series.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 DEFAULT_THRESHOLD = 0.20
+
+#: Rolling-history depth: enough runs for a stable median without the
+#: artifact growing unboundedly.
+DEFAULT_MAX_RUNS = 30
 
 
 def load_means(path: str) -> Optional[Dict[str, float]]:
@@ -71,38 +87,150 @@ def compare(previous: Dict[str, float], current: Dict[str, float],
     return regressions
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("previous", help="previous run's benchmark JSON")
-    parser.add_argument("current", help="current run's benchmark JSON")
-    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
-                        help="relative mean increase treated as a "
-                             "regression (default 0.20 = +20%%)")
-    args = parser.parse_args(argv)
+def load_history(path: str) -> Dict[str, Any]:
+    """The rolling series at ``path`` (``{"runs": [...]}``; empty if new).
 
-    previous = load_means(args.previous)
+    Each run entry is ``{"run_id": str, "means": {name: seconds}}``,
+    oldest first.  A missing or malformed file starts a fresh series.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {"runs": []}
+    runs = payload.get("runs") if isinstance(payload, dict) else None
+    if not isinstance(runs, list):
+        return {"runs": []}
+    cleaned = [
+        run for run in runs
+        if isinstance(run, dict) and isinstance(run.get("means"), dict)
+    ]
+    return {"runs": cleaned}
+
+
+def append_history(history: Dict[str, Any], run_id: str,
+                   means: Dict[str, float],
+                   max_runs: int = DEFAULT_MAX_RUNS) -> Dict[str, Any]:
+    """Append one run to the series, trimming to the last ``max_runs``."""
+    runs = list(history.get("runs", []))
+    runs.append({"run_id": str(run_id), "means": dict(means)})
+    return {"runs": runs[-max_runs:]}
+
+
+def trend_regressions(history: Dict[str, Any],
+                      threshold: float = DEFAULT_THRESHOLD
+                      ) -> List[Tuple[str, float, float, float, int]]:
+    """Benchmarks whose latest mean beats the series median by ``threshold``.
+
+    Compares the newest run against the per-benchmark median of all
+    *earlier* stored runs — the smoothed baseline a one-step diff lacks.
+    Returns ``(name, median, current, relative change, samples)`` rows
+    sorted worst first; benchmarks with no earlier samples are skipped.
+    """
+    runs = history.get("runs", [])
+    if len(runs) < 2:
+        return []
+    current = runs[-1]["means"]
+    regressions = []
+    for name, now in current.items():
+        baseline = [
+            float(run["means"][name]) for run in runs[:-1]
+            if isinstance(run["means"].get(name), (int, float))
+            and run["means"][name] > 0
+        ]
+        if not baseline or not isinstance(now, (int, float)) or now <= 0:
+            continue
+        median = statistics.median(baseline)
+        change = float(now) / median - 1.0
+        if change > threshold:
+            regressions.append((name, median, float(now), change,
+                                len(baseline)))
+    regressions.sort(key=lambda row: row[3], reverse=True)
+    return regressions
+
+
+def _report_pairwise(previous_path: str, current: Dict[str, float],
+                     threshold: float) -> None:
+    """The original single-step diff against one previous JSON file."""
+    previous = load_means(previous_path)
     if previous is None:
-        print(f"::notice::no previous benchmark JSON at {args.previous}; "
+        print(f"::notice::no previous benchmark JSON at {previous_path}; "
               f"skipping the regression diff")
-        return 0
-    current = load_means(args.current)
-    if current is None:
-        print(f"::warning::current benchmark JSON at {args.current} is "
-              f"missing or malformed; nothing to diff")
-        return 0
-
-    regressions = compare(previous, current, args.threshold)
+        return
+    regressions = compare(previous, current, threshold)
     shared = len(set(previous) & set(current))
     if not regressions:
         print(f"benchmark diff: {shared} shared benchmarks, none regressed "
-              f"beyond {args.threshold:.0%}")
-        return 0
+              f"beyond {threshold:.0%}")
+        return
     for name, before, now, change in regressions:
         print(f"::warning title=benchmark regression::{name}: mean "
               f"{before * 1000:.1f}ms -> {now * 1000:.1f}ms "
-              f"({change:+.1%}, threshold {args.threshold:.0%})")
+              f"({change:+.1%}, threshold {threshold:.0%})")
     print(f"benchmark diff: {len(regressions)}/{shared} shared benchmarks "
-          f"regressed beyond {args.threshold:.0%} (soft gate, not failing)")
+          f"regressed beyond {threshold:.0%} (soft gate, not failing)")
+
+
+def _report_trend(history_path: str, run_id: str,
+                  current: Dict[str, float], threshold: float,
+                  max_runs: int) -> None:
+    """Append the run to the rolling series and warn on trend drifts."""
+    history = append_history(load_history(history_path), run_id, current,
+                             max_runs)
+    with open(history_path, "w") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+    depth = len(history["runs"])
+    regressions = trend_regressions(history, threshold)
+    if not regressions:
+        print(f"benchmark trend: {depth} run(s) in {history_path}, no "
+              f"benchmark above its series median by {threshold:.0%}")
+        return
+    for name, median, now, change, samples in regressions:
+        print(f"::warning title=benchmark trend regression::{name}: mean "
+              f"{now * 1000:.1f}ms vs median {median * 1000:.1f}ms over "
+              f"{samples} run(s) ({change:+.1%}, threshold "
+              f"{threshold:.0%})")
+    print(f"benchmark trend: {len(regressions)} benchmark(s) above the "
+          f"rolling median by {threshold:.0%} (soft gate, not failing)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", metavar="JSON",
+                        help="PREVIOUS.json CURRENT.json for the one-step "
+                             "diff; just CURRENT.json with --history")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative mean increase treated as a "
+                             "regression (default 0.20 = +20%%)")
+    parser.add_argument("--history", metavar="PATH",
+                        help="rolling series JSON to append the current "
+                             "run to (created when missing)")
+    parser.add_argument("--run-id", default="unknown", dest="run_id",
+                        help="label for the appended history entry "
+                             "(commit SHA)")
+    parser.add_argument("--max-runs", type=int, default=DEFAULT_MAX_RUNS,
+                        dest="max_runs",
+                        help=f"history depth to retain (default "
+                             f"{DEFAULT_MAX_RUNS})")
+    args = parser.parse_args(argv)
+    if args.history is None and len(args.files) != 2:
+        parser.error("the one-step diff takes exactly PREVIOUS.json "
+                     "CURRENT.json")
+    if args.history is not None and len(args.files) > 2:
+        parser.error("give at most CURRENT.json plus an optional "
+                     "PREVIOUS.json with --history")
+
+    current_path = args.files[-1]
+    current = load_means(current_path)
+    if current is None:
+        print(f"::warning::current benchmark JSON at {current_path} is "
+              f"missing or malformed; nothing to diff")
+        return 0
+    if len(args.files) == 2:
+        _report_pairwise(args.files[0], current, args.threshold)
+    if args.history is not None:
+        _report_trend(args.history, args.run_id, current, args.threshold,
+                      args.max_runs)
     return 0
 
 

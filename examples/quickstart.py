@@ -4,8 +4,9 @@ Runs Algorithm Simple-Omission (Theorem 2.1) on a binary tree in the
 message-passing and radio models, estimates the success probability
 against the almost-safe bar ``1 - 1/n`` with the batched
 :class:`~repro.montecarlo.TrialRunner` (vectorised fastsim dispatch
-plus a reference-engine cross-check), and prints the feasibility map
-of the paper's four scenarios for this network.
+plus a reference-engine cross-check), demonstrates all three dispatch
+tiers via ``result.backend``, and prints the feasibility map of the
+paper's four scenarios for this network.
 
 Run:  python examples/quickstart.py
 """
@@ -13,8 +14,10 @@ Run:  python examples/quickstart.py
 from repro import MESSAGE_PASSING, RADIO, TrialRunner, run_execution
 from repro.analysis import radio_malicious_threshold
 from repro.core import SimpleOmission
+from repro.core.radio_repeat import ADOPT_MAJORITY, RadioRepeat
 from repro.failures import OmissionFailures
-from repro.graphs import binary_tree
+from repro.graphs import binary_tree, line
+from repro.radio.closed_form import line_schedule
 
 
 def main() -> None:
@@ -47,13 +50,14 @@ def main() -> None:
             OmissionFailures(p),
         )
         fast = runner.run(trials=20_000, seed_or_stream=42)
-        # Engine cross-check: same per-trial streams, dispatch disabled.
-        # (To shard engine trials across processes, pass workers=N and
-        # a picklable factory — functools.partial(SimpleOmission, ...)
-        # instead of this lambda.)
+        # Scalar engine cross-check: same per-trial streams, both
+        # vectorised tiers disabled.  (To shard engine trials across
+        # processes, pass workers=N and a picklable factory —
+        # functools.partial(SimpleOmission, ...) instead of this
+        # lambda.)
         engine = TrialRunner(
             lambda m=model: SimpleOmission(topology, 0, 1, model=m, p=p),
-            OmissionFailures(p), use_fastsim=False,
+            OmissionFailures(p), use_fastsim=False, use_batchsim=False,
         ).run(trials=150, seed_or_stream=42)
         outcome = fast.stats()
         bar = 1 - 1 / topology.order
@@ -62,6 +66,32 @@ def main() -> None:
         print(f"  almost-safe bar 1 - 1/n = {bar:.4f} -> "
               f"{outcome.almost_safe_verdict(topology.order)}")
         print()
+
+    # The three dispatch tiers, told apart by result.backend: a
+    # registered closed-form sampler wins when one matches; otherwise
+    # an eligible history-oblivious scenario runs on the vectorised
+    # batchsim engine (bit-identical to the scalar engine, only
+    # faster); anything else — here a custom success predicate — falls
+    # through to scalar engine executions.
+    print("dispatch tiers (result.backend):")
+    covered = TrialRunner(
+        lambda: SimpleOmission(topology, 0, 1, MESSAGE_PASSING, p=p),
+        OmissionFailures(p),
+    ).run(2_000, seed_or_stream=7)
+    print(f"  matched scenario        -> {covered.backend}")
+    schedule = line_schedule(line(8))
+    uncovered = TrialRunner(
+        lambda: RadioRepeat(schedule, 1, ADOPT_MAJORITY, phase_length=4),
+        OmissionFailures(p),  # majority + omission: no sampler law
+    ).run(2_000, seed_or_stream=7)
+    print(f"  uncovered, oblivious    -> {uncovered.backend}")
+    custom = TrialRunner(
+        lambda: SimpleOmission(topology, 0, 1, MESSAGE_PASSING, p=p),
+        OmissionFailures(p),
+        success=lambda result: 1 in result.correct_nodes(1),
+    ).run(50, seed_or_stream=7)
+    print(f"  custom success predicate-> {custom.backend}")
+    print()
 
     delta = topology.max_degree()
     print("feasibility map for this network (the paper's four scenarios):")

@@ -24,7 +24,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the per-theorem reproduction results.
 """
 
-from repro import analysis, core, engine, failures, graphs, montecarlo
+from repro import analysis, batchsim, core, engine, failures, graphs, montecarlo
 from repro.engine import (
     MESSAGE_PASSING,
     RADIO,
@@ -39,6 +39,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "batchsim",
     "core",
     "engine",
     "failures",

@@ -1,0 +1,126 @@
+"""Payload codec: hashable payloads <-> small integer codes.
+
+The batched engine stores every per-(trial, node) value — intents,
+actual transmissions, deliveries, adopted messages, votes — as an
+``int64`` code so whole trial batches move through numpy in one
+operation.  Code ``-1`` (:data:`SILENCE`) is reserved for "no payload"
+and mirrors the scalar engine's ``None``; payload codes are
+``0..size-1`` in registration order.
+
+The alphabet of a scenario is closed under :func:`~repro.failures.
+adversaries.flip_bit` so bit-flipping adversaries are a table lookup
+(:meth:`PayloadCodec.flip_codes`).  Payload equality follows Python
+``==`` semantics exactly (the code table is a dict, so ``1``, ``True``
+and ``1.0`` share a code just as they satisfy the scalar engine's
+output comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.failures.adversaries import flip_bit
+
+__all__ = ["SILENCE", "PayloadCodec"]
+
+SILENCE = -1
+"""The reserved code for "no payload" (the scalar engine's ``None``)."""
+
+
+class PayloadCodec:
+    """Bijection between a finite payload alphabet and ``0..K-1`` codes.
+
+    Parameters
+    ----------
+    payloads:
+        The alphabet, in code order.  Duplicates (under ``==``) collapse
+        onto the first occurrence; ``None`` is rejected (silence is not
+        a payload).  Every payload must be hashable, and the alphabet
+        must be closed under :func:`~repro.failures.adversaries.
+        flip_bit` (so the flip table is total) — build through
+        :meth:`for_scenario` to get the closure added automatically.
+    """
+
+    __slots__ = ("_payloads", "_codes", "_flip_table")
+
+    def __init__(self, payloads: Iterable[Any]):
+        self._payloads: List[Any] = []
+        self._codes: Dict[Any, int] = {}
+        for payload in payloads:
+            if payload is None:
+                raise ValueError("None is silence, not a payload")
+            if payload not in self._codes:
+                self._codes[payload] = len(self._payloads)
+                self._payloads.append(payload)
+        if not self._payloads:
+            raise ValueError("payload alphabet must not be empty")
+        # flip table padded with a trailing SILENCE so that indexing
+        # with code -1 (numpy negative indexing hits the last slot)
+        # maps silence to silence in the same lookup.
+        table = np.empty(len(self._payloads) + 1, dtype=np.int64)
+        for code, payload in enumerate(self._payloads):
+            flipped = flip_bit(payload)
+            if flipped not in self._codes:
+                raise ValueError(
+                    f"alphabet is not closed under flip_bit: "
+                    f"{payload!r} flips to {flipped!r}, which is not a "
+                    f"payload; build through PayloadCodec.for_scenario"
+                )
+            table[code] = self._codes[flipped]
+        table[-1] = SILENCE
+        self._flip_table = table
+
+    @classmethod
+    def for_scenario(cls, algorithm_payloads: Iterable[Any],
+                     failure_payloads: Iterable[Any] = ()) -> "PayloadCodec":
+        """Build the closed alphabet of one batched scenario.
+
+        Collects the algorithm's payloads (default + source message),
+        the failure model's extras (adversary noise / garbage values)
+        and the bit-flips of all of them, so every transformation a
+        supported oblivious adversary can apply stays inside the
+        alphabet.
+        """
+        base = [*algorithm_payloads, *failure_payloads]
+        return cls(base + [flip_bit(payload) for payload in base])
+
+    @property
+    def size(self) -> int:
+        """Number of distinct payloads ``K``."""
+        return len(self._payloads)
+
+    @property
+    def payloads(self) -> List[Any]:
+        """The alphabet in code order (copy)."""
+        return list(self._payloads)
+
+    def code_of(self, payload: Any) -> int:
+        """The code of ``payload``; raises ``KeyError`` when unknown."""
+        return self._codes[payload]
+
+    def try_code(self, payload: Any) -> Optional[int]:
+        """The code of ``payload``, or ``None`` when outside the alphabet."""
+        try:
+            return self._codes.get(payload)
+        except TypeError:  # unhashable payload
+            return None
+
+    def decode(self, code: int) -> Any:
+        """The payload of ``code`` (``None`` for :data:`SILENCE`)."""
+        if code == SILENCE:
+            return None
+        return self._payloads[code]
+
+    def flip_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised bit flip: ``code -> code_of(flip_bit(payload))``.
+
+        Non-bit payloads map to themselves (matching
+        :func:`~repro.failures.adversaries.flip_bit`) and silence stays
+        silence.
+        """
+        return self._flip_table[codes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PayloadCodec({self._payloads!r})"

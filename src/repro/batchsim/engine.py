@@ -1,0 +1,191 @@
+"""The vectorised multi-trial execution engine (batchsim tier).
+
+Where the scalar :class:`~repro.engine.simulator.Execution` interprets
+one trial round by round, this engine advances a whole batch of ``B``
+trials together: per round it takes the program's ``(B, n)`` intent
+codes, applies the failure model's pre-sampled ``(B, n)`` faulty masks
+through its vectorised ``apply_batch`` hook, delivers through
+:func:`~repro.engine.simulator.deliver_radio_batch` /
+:func:`~repro.engine.simulator.deliver_mp_batch`, and hands the
+deliveries back to the program.  Nothing touches Python-level per-node
+state, so the per-trial cost collapses to a handful of numpy
+operations per round.
+
+Stream contract (what makes the tier safe to auto-dispatch): trial
+``i`` consumes the stream ``root.child("mc", i)`` — the
+:mod:`repro.montecarlo` per-trial convention — and the failure model's
+``sample_failures_batch`` drains each trial's ``child("faults")``
+stream exactly as the scalar engine's round-by-round ``sample_faulty``
+calls would.  The supported oblivious adversaries consume no
+randomness at all, so the batched per-trial success indicators are
+**bit-identical** to the scalar engine's on matched streams
+(property-tested in ``tests/test_batchsim.py``), for any worker count
+and any chunk size.
+
+Eligibility (:func:`batch_execution` returns ``None`` otherwise):
+
+* the failure model is history-oblivious (``requires_history`` False)
+  and answers ``True`` from ``supports_batch(model)`` — fault-free,
+  omission (scalar ``p`` or per-node ``p_v``), and simple-malicious
+  models driven by a batchable oblivious adversary;
+* the algorithm implements the batch interface — ``batch_payloads()``
+  (its payload alphabet) and ``batch_program(codec)`` (its
+  :class:`~repro.batchsim.programs.BatchProgram`), both returning
+  non-``None``;
+* the run estimates the standard broadcast-success event (the
+  execution metadata carries a hashable ``source_message``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro._validation import check_positive_int
+from repro.batchsim.codec import SILENCE, PayloadCodec
+from repro.batchsim.programs import BatchProgram
+from repro.engine.protocol import MESSAGE_PASSING, Algorithm
+from repro.engine.simulator import deliver_mp_batch, deliver_radio_batch
+from repro.failures.base import FailureModel
+from repro.rng import RngStream, derive_seed
+
+__all__ = ["BatchExecution", "batch_execution", "supports_batchsim"]
+
+#: Trials advanced together per chunk: large enough to amortise numpy
+#: call overhead, small enough to keep the (chunk, rounds, n) fault
+#: masks and (chunk, n, K) vote counters cache-friendly.
+DEFAULT_CHUNK = 512
+
+
+class BatchExecution:
+    """A dispatchable batched scenario: algorithm + failures + program.
+
+    Build through :func:`batch_execution`, which performs the
+    eligibility checks; :meth:`run` then produces per-trial success
+    indicators bit-identical to scalar engine executions on the
+    per-trial streams ``root.child("mc", i)``.
+    """
+
+    def __init__(self, algorithm: Algorithm, failure_model: FailureModel,
+                 program: BatchProgram, codec: PayloadCodec,
+                 expected_code: Optional[int]):
+        self._algorithm = algorithm
+        self._failure_model = failure_model
+        self._program = program
+        self._codec = codec
+        self._expected_code = expected_code
+
+    @property
+    def algorithm(self) -> Algorithm:
+        """The algorithm under test."""
+        return self._algorithm
+
+    @property
+    def codec(self) -> PayloadCodec:
+        """The scenario's payload codec."""
+        return self._codec
+
+    def run(self, trials: int, root_seed: int,
+            chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+        """Success indicators of trials ``0..trials-1`` under ``root_seed``.
+
+        The result is a pure function of the root seed: chunking is
+        invisible because every trial draws only from its own
+        ``root.child("mc", i)`` stream.
+        """
+        trials = check_positive_int(trials, "trials")
+        chunk = check_positive_int(chunk, "chunk")
+        indicators = np.empty(trials, dtype=bool)
+        if self._expected_code is None:
+            # The expected message lies outside the payload alphabet,
+            # so no trial can output it anywhere (the scalar engine's
+            # outputs are drawn from the same alphabet).
+            indicators[:] = False
+            return indicators
+        for start in range(0, trials, chunk):
+            stop = min(start + chunk, trials)
+            indicators[start:stop] = self._run_chunk(root_seed, start, stop)
+        return indicators
+
+    def _run_chunk(self, root_seed: int, start: int, stop: int) -> np.ndarray:
+        algorithm = self._algorithm
+        topology = algorithm.topology
+        rounds = algorithm.rounds
+        program = self._program
+        streams = [
+            RngStream(derive_seed(root_seed, "mc", index), ("mc", index))
+            for index in range(start, stop)
+        ]
+        masks = self._failure_model.sample_failures_batch(
+            streams, rounds, topology.order
+        )
+        program.reset(stop - start)
+        radio = algorithm.model != MESSAGE_PASSING
+        targets = None if radio else program.mp_targets()
+        for round_index in range(rounds):
+            intents = program.intent_codes(round_index)
+            actual = self._failure_model.apply_batch(
+                round_index, masks[:, round_index, :], intents, self._codec,
+                algorithm.model,
+            )
+            if radio:
+                heard_from = deliver_radio_batch(topology, actual != SILENCE)
+                received = np.where(
+                    heard_from >= 0,
+                    np.take_along_axis(
+                        actual, np.maximum(heard_from, 0), axis=1
+                    ),
+                    np.int64(SILENCE),
+                )
+            else:
+                received = deliver_mp_batch(topology, actual, targets)
+            program.observe(round_index, received)
+        outputs = program.output_codes()
+        return (outputs == self._expected_code).all(axis=1)
+
+
+def batch_execution(algorithm: Algorithm, failure_model: FailureModel,
+                    metadata: Optional[Dict[str, Any]] = None
+                    ) -> Optional[BatchExecution]:
+    """Build the batched execution for a scenario, or ``None``.
+
+    ``None`` means the scenario is outside the batchsim tier's
+    eligibility envelope (see the module docstring) and the caller
+    should fall back to scalar engine trials.
+    """
+    if failure_model.requires_history:
+        return None
+    if not failure_model.supports_batch(algorithm.model):
+        return None
+    payload_hook = getattr(algorithm, "batch_payloads", None)
+    program_hook = getattr(algorithm, "batch_program", None)
+    if not callable(payload_hook) or not callable(program_hook):
+        return None
+    payloads = payload_hook()
+    if payloads is None:
+        return None
+    if metadata is None:
+        metadata_hook = getattr(algorithm, "metadata", None)
+        metadata = metadata_hook() if callable(metadata_hook) else {}
+    if "source_message" not in metadata:
+        return None
+    try:
+        codec = PayloadCodec.for_scenario(
+            payloads, failure_model.batch_payloads()
+        )
+        expected_code = codec.try_code(metadata["source_message"])
+    except (TypeError, ValueError):
+        return None  # unhashable payloads: leave the scenario to the engine
+    program = program_hook(codec)
+    if program is None:
+        return None
+    return BatchExecution(
+        algorithm, failure_model, program, codec, expected_code
+    )
+
+
+def supports_batchsim(algorithm: Algorithm,
+                      failure_model: FailureModel) -> bool:
+    """Whether the batchsim tier can execute this scenario exactly."""
+    return batch_execution(algorithm, failure_model) is not None

@@ -1,0 +1,409 @@
+"""Batched protocol programs: whole trial batches stepped per round.
+
+The scalar engine interprets one :class:`~repro.engine.protocol.
+Protocol` instance per node per trial; this module replaces the
+per-trial interpretation with one *program* object per scenario that
+advances ``B`` trials at once on ``(B, n)`` code arrays.
+
+The workhorse is :class:`ScheduleLift` — the adapter the batchsim
+design builds on: every natively batchable algorithm in the library is
+a *relay* protocol whose transmission timetable is deterministic (a
+pure function of the round index, never of what was delivered), so the
+schedule can be replayed **once** into ``(rounds, n)`` boolean masks
+and broadcast across the whole trial batch.  What varies per trial is
+only each node's adopted value, which the lift tracks as a code array
+under one of two adoption rules:
+
+* ``first`` — adopt the first payload heard inside the listening
+  schedule (Simple-Omission, flooding, the layered schedule,
+  Omission-Radio);
+* ``majority`` — collect every payload heard inside the listening
+  schedule and relay/output the majority, default on a tie
+  (Simple-Malicious, Malicious-Radio).
+
+The family-specific :func:`lift_tree_phase` / :func:`lift_radio_repeat`
+/ :func:`lift_flooding` / :func:`lift_layered_schedule` builders do the
+one-off schedule replay; algorithms expose them through their
+``batch_program(codec)`` hook (see :mod:`repro.batchsim.engine` for the
+eligibility contract).  Each builder mirrors its scalar protocol's
+semantics *exactly* — same listening windows, same tie handling, same
+uninformed-transmitter behaviour — which is what makes batched per-trial
+indicators bit-identical to the scalar engine on matched streams
+(property-tested in ``tests/test_batchsim.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.batchsim.codec import SILENCE, PayloadCodec
+from repro.engine.protocol import MESSAGE_PASSING
+
+__all__ = [
+    "ADOPT_FIRST",
+    "ADOPT_MAJORITY",
+    "BatchProgram",
+    "ScheduleLift",
+    "lift_tree_phase",
+    "lift_radio_repeat",
+    "lift_flooding",
+    "lift_layered_schedule",
+]
+
+ADOPT_FIRST = "first"
+ADOPT_MAJORITY = "majority"
+
+
+class BatchProgram(ABC):
+    """The vectorised counterpart of one scenario's per-node protocols.
+
+    One program instance serves many chunks: :meth:`reset` reallocates
+    the per-trial state, then the engine alternates
+    :meth:`intent_codes` / :meth:`observe` for every round and reads
+    :meth:`output_codes` at the end.
+    """
+
+    #: Communication model the program targets (engine picks delivery).
+    model: str
+
+    @abstractmethod
+    def reset(self, batch: int) -> None:
+        """Initialise state for a fresh batch of ``batch`` trials."""
+
+    @abstractmethod
+    def intent_codes(self, round_index: int) -> np.ndarray:
+        """``(B, n)`` transmission intents (codes, ``SILENCE`` = quiet)."""
+
+    def mp_targets(self) -> Optional[np.ndarray]:
+        """Static per-slot target mask for message-passing delivery.
+
+        Aligned with the receiver CSR of
+        :func:`~repro.engine.simulator.deliver_mp_batch`: entry ``j``
+        says whether the sender of inbox slot ``j`` addresses the
+        slot's owner.  ``None`` means every sender addresses all of its
+        neighbours.  Radio programs never consult this.
+        """
+        return None
+
+    @abstractmethod
+    def observe(self, round_index: int, received: np.ndarray) -> None:
+        """Fold one round's deliveries into the per-trial state.
+
+        ``received`` is the ``(B, n)`` heard-code array in the radio
+        model, or the ``(B, E)`` inbox-code array of
+        :func:`~repro.engine.simulator.deliver_mp_batch` in message
+        passing.
+        """
+
+    @abstractmethod
+    def output_codes(self) -> np.ndarray:
+        """``(B, n)`` final outputs (the scalar protocols' ``output()``)."""
+
+
+class ScheduleLift(BatchProgram):
+    """Generic relay program over a replayed deterministic schedule.
+
+    Parameters
+    ----------
+    model:
+        Communication model (fixes the delivery shape).
+    codec:
+        The scenario's payload codec.
+    transmit_schedule:
+        ``(rounds, n)`` bool — which nodes are scheduled to transmit.
+    listen_schedule:
+        ``(rounds, n)`` bool — which nodes accept deliveries when.
+    initial_codes:
+        ``(n,)`` codes; non-``SILENCE`` entries are initially-informed
+        nodes (the source's ``Ms``) whose value never changes.
+    default_code:
+        The fallback payload code (the paper's ``0``).
+    adoption:
+        :data:`ADOPT_FIRST` or :data:`ADOPT_MAJORITY`.
+    requires_message:
+        When True a scheduled node stays silent until informed
+        (flooding); when False it transmits its current value, i.e. the
+        default while uninformed (the tree-phase/layered pessimistic
+        reading).
+    watch:
+        Message passing only: ``(n,)`` node each listener accepts
+        payloads from (its tree parent), ``-1`` for nobody.
+    topology:
+        Required with ``watch`` to resolve inbox slots.
+    """
+
+    def __init__(self, *, model: str, codec: PayloadCodec,
+                 transmit_schedule: np.ndarray, listen_schedule: np.ndarray,
+                 initial_codes: np.ndarray, default_code: int,
+                 adoption: str, requires_message: bool = False,
+                 watch: Optional[np.ndarray] = None, topology=None):
+        if adoption not in (ADOPT_FIRST, ADOPT_MAJORITY):
+            raise ValueError(f"unknown adoption rule {adoption!r}")
+        self.model = model
+        self._codec = codec
+        self._transmit = np.asarray(transmit_schedule, dtype=bool)
+        self._listen = np.asarray(listen_schedule, dtype=bool)
+        if self._transmit.shape != self._listen.shape:
+            raise ValueError("transmit and listen schedules disagree in shape")
+        self._order = self._transmit.shape[1]
+        self._initial = np.asarray(initial_codes, dtype=np.int64)
+        self._default = int(default_code)
+        self._adoption = adoption
+        self._requires_message = bool(requires_message)
+        self._watch_slots: Optional[np.ndarray] = None
+        self._watch_mask: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+        if model == MESSAGE_PASSING:
+            if watch is None or topology is None:
+                raise ValueError(
+                    "message-passing lifts need a watch map and topology"
+                )
+            self._build_mp_views(topology, np.asarray(watch, dtype=np.int64))
+        # Per-batch state, allocated by reset().
+        self._batch = 0
+        self._adopted: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+
+    def _build_mp_views(self, topology, watch: np.ndarray) -> None:
+        """Resolve each listener's watched sender into an inbox slot.
+
+        Slot ``indptr[v] + k`` of the delivery inbox carries what
+        neighbour ``indices[indptr[v] + k]`` sent to ``v``; the watch
+        slot of ``v`` is the one whose sender is ``watch[v]``.  The
+        static target mask marks, per slot, whether the slot's sender
+        addresses the owner — which for the tree relays is exactly
+        "the owner watches the sender" (parents transmit to all of
+        their children at once).
+        """
+        indptr, indices = topology.csr_neighbors()
+        owners = np.repeat(np.arange(topology.order), np.diff(indptr))
+        self._targets = watch[owners] == indices
+        slots = np.zeros(topology.order, dtype=np.int64)
+        mask = np.zeros(topology.order, dtype=bool)
+        for node in range(topology.order):
+            if watch[node] < 0:
+                continue
+            lo, hi = int(indptr[node]), int(indptr[node + 1])
+            matches = np.nonzero(indices[lo:hi] == watch[node])[0]
+            if matches.size:
+                slots[node] = lo + int(matches[0])
+                mask[node] = True
+        self._watch_slots = slots
+        self._watch_mask = mask
+
+    @property
+    def rounds(self) -> int:
+        """Length of the replayed schedule."""
+        return self._transmit.shape[0]
+
+    @property
+    def order(self) -> int:
+        """Number of nodes ``n``."""
+        return self._order
+
+    def mp_targets(self) -> Optional[np.ndarray]:
+        return self._targets
+
+    def reset(self, batch: int) -> None:
+        self._batch = int(batch)
+        self._adopted = np.broadcast_to(
+            self._initial, (self._batch, self._order)
+        ).copy()
+        if self._adoption == ADOPT_MAJORITY:
+            self._counts = np.zeros(
+                (self._batch, self._order, self._codec.size), dtype=np.int64
+            )
+
+    def _values(self) -> np.ndarray:
+        """``(B, n)`` current relay values (the scalar ``output()``)."""
+        if self._adoption == ADOPT_FIRST:
+            return np.where(self._adopted != SILENCE, self._adopted,
+                            np.int64(self._default))
+        # Majority with ties (and no votes) falling to the default;
+        # initially-informed nodes always relay their own message.
+        best = self._counts.max(axis=2)
+        tied = (self._counts == best[..., np.newaxis]).sum(axis=2)
+        decided = np.where(
+            (best > 0) & (tied == 1),
+            self._counts.argmax(axis=2), np.int64(self._default),
+        )
+        return np.where(self._initial != SILENCE, self._initial, decided)
+
+    def intent_codes(self, round_index: int) -> np.ndarray:
+        scheduled = self._transmit[round_index]
+        values = self._values()
+        intents = np.where(scheduled, values, np.int64(SILENCE))
+        if self._requires_message:
+            informed = (self._adopted != SILENCE) | (self._initial != SILENCE)
+            intents = np.where(informed, intents, np.int64(SILENCE))
+        return intents
+
+    def observe(self, round_index: int, received: np.ndarray) -> None:
+        if self.model == MESSAGE_PASSING:
+            # Gather each listener's watched inbox slot; nodes watching
+            # nobody (the source) hear silence.
+            if received.shape[1] == 0:  # edgeless graph: nothing arrives
+                heard = np.full((received.shape[0], self._order),
+                                SILENCE, dtype=np.int64)
+            else:
+                heard = received[:, self._watch_slots]
+                heard[:, ~self._watch_mask] = SILENCE
+        else:
+            heard = received
+        listening = self._listen[round_index]
+        if self._adoption == ADOPT_FIRST:
+            adopt = listening & (heard != SILENCE) & (self._adopted == SILENCE)
+            np.copyto(self._adopted, heard, where=adopt)
+            return
+        votes = listening & (heard != SILENCE)
+        rows, nodes = np.nonzero(votes)
+        # One heard payload per (trial, node) per round, so the index
+        # triples are unique and a fancy-indexed increment is exact.
+        self._counts[rows, nodes, heard[rows, nodes]] += 1
+
+    def output_codes(self) -> np.ndarray:
+        return self._values()
+
+
+def _initial_codes(order: int, source: int, message_code: int) -> np.ndarray:
+    codes = np.full(order, SILENCE, dtype=np.int64)
+    codes[source] = message_code
+    return codes
+
+
+def lift_tree_phase(algorithm, codec: PayloadCodec,
+                    adoption: str) -> ScheduleLift:
+    """Replay a :class:`~repro.core.tree_phase.PhaseSchedule` timetable.
+
+    Covers Simple-Omission (``first``) and Simple-Malicious
+    (``majority``) in both models: node ``v_i`` transmits its current
+    value throughout its own phase (message passing: only to its tree
+    children, and not at all when it has none) and listens throughout
+    its parent's phase.
+    """
+    schedule = algorithm.schedule
+    tree = algorithm.tree
+    order = algorithm.topology.order
+    rounds = schedule.total_rounds
+    transmit = np.zeros((rounds, order), dtype=bool)
+    listen = np.zeros((rounds, order), dtype=bool)
+    watch = np.full(order, -1, dtype=np.int64)
+    for node in range(order):
+        start, end = schedule.window_of(node)
+        transmit[start:end, node] = True
+        if algorithm.model == MESSAGE_PASSING and not tree.children(node):
+            transmit[:, node] = False  # leaves have nobody to address
+        window = schedule.listening_window(node)
+        if window is not None:
+            listen[window[0]:window[1], node] = True
+        parent = tree.parent[node]
+        if parent is not None:
+            watch[node] = parent
+    return ScheduleLift(
+        model=algorithm.model, codec=codec,
+        transmit_schedule=transmit, listen_schedule=listen,
+        initial_codes=_initial_codes(
+            order, algorithm.source, codec.code_of(algorithm.source_message)
+        ),
+        default_code=codec.code_of(algorithm.default), adoption=adoption,
+        watch=watch if algorithm.model == MESSAGE_PASSING else None,
+        topology=algorithm.topology,
+    )
+
+
+def lift_radio_repeat(algorithm, codec: PayloadCodec) -> ScheduleLift:
+    """Replay a :class:`~repro.core.radio_repeat.RadioRepeat` timetable.
+
+    Series ``s`` of the repeated base schedule occupies rounds
+    ``[s·m, (s+1)·m)``; its transmitters relay their current value and
+    each node listens exactly during the series in which the fault-free
+    schedule informs it (the source listens never).
+    """
+    from repro.core.radio_repeat import ADOPT_ANY
+
+    base = algorithm.base_schedule
+    order = algorithm.topology.order
+    m = algorithm.phase_length
+    rounds = algorithm.rounds
+    transmit = np.zeros((rounds, order), dtype=bool)
+    listen = np.zeros((rounds, order), dtype=bool)
+    for series in range(base.length):
+        window = slice(series * m, (series + 1) * m)
+        for node in base.transmitters(series):
+            transmit[window, node] = True
+    for node in range(order):
+        series = algorithm.listening_series(node)
+        if series >= 0:
+            listen[series * m:(series + 1) * m, node] = True
+    adoption = ADOPT_FIRST if algorithm.rule == ADOPT_ANY else ADOPT_MAJORITY
+    return ScheduleLift(
+        model=algorithm.model, codec=codec,
+        transmit_schedule=transmit, listen_schedule=listen,
+        initial_codes=_initial_codes(
+            order, algorithm.source, codec.code_of(algorithm.source_message)
+        ),
+        default_code=codec.code_of(algorithm.default), adoption=adoption,
+    )
+
+
+def lift_flooding(algorithm, codec: PayloadCodec) -> ScheduleLift:
+    """Replay :class:`~repro.core.flooding.FastFlooding` (Theorem 3.1).
+
+    Every node with tree children re-sends its adopted message to them
+    in every round — but only once informed — and every non-root node
+    listens to its tree parent throughout.
+    """
+    order = algorithm.topology.order
+    rounds = algorithm.rounds
+    tree = algorithm.tree
+    has_children = np.array(
+        [bool(tree.children(node)) for node in range(order)], dtype=bool
+    )
+    transmit = np.broadcast_to(has_children, (rounds, order)).copy()
+    watch = np.array(
+        [-1 if tree.parent[node] is None else tree.parent[node]
+         for node in range(order)],
+        dtype=np.int64,
+    )
+    listen = np.broadcast_to(watch >= 0, (rounds, order)).copy()
+    return ScheduleLift(
+        model=algorithm.model, codec=codec,
+        transmit_schedule=transmit, listen_schedule=listen,
+        initial_codes=_initial_codes(
+            order, algorithm.source, codec.code_of(algorithm.source_message)
+        ),
+        default_code=codec.code_of(algorithm.default),
+        adoption=ADOPT_FIRST, requires_message=True,
+        watch=watch, topology=algorithm.topology,
+    )
+
+
+def lift_layered_schedule(algorithm, codec: PayloadCodec) -> ScheduleLift:
+    """Replay a :class:`~repro.radio.layered_broadcast.
+    LayeredScheduleBroadcast` step list.
+
+    The source transmits alone for ``source_steps`` rounds, then round
+    ``t`` activates the listed layer-2 bit nodes — which occupy the
+    medium with the default payload even while uninformed — and every
+    node adopts the first payload it hears in any round.
+    """
+    order = algorithm.topology.order
+    rounds = algorithm.rounds
+    transmit = np.zeros((rounds, order), dtype=bool)
+    transmit[:algorithm.source_steps, algorithm.graph.source] = True
+    for offset, step in enumerate(algorithm.step_nodes):
+        for node in step:
+            transmit[algorithm.source_steps + offset, node] = True
+    listen = np.ones((rounds, order), dtype=bool)
+    return ScheduleLift(
+        model=algorithm.model, codec=codec,
+        transmit_schedule=transmit, listen_schedule=listen,
+        initial_codes=_initial_codes(
+            order, algorithm.graph.source,
+            codec.code_of(algorithm.source_message),
+        ),
+        default_code=codec.code_of(algorithm.default), adoption=ADOPT_FIRST,
+    )

@@ -181,3 +181,14 @@ class FastFlooding(Algorithm):
     def counterfactual_source(self, flipped_message: Any) -> Protocol:
         """Source twin for the impossibility adversaries."""
         return FastFloodingProtocol(self, self._source, flipped_message)
+
+    # -- batched execution ---------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised program: informed nodes re-send to children."""
+        from repro.batchsim.programs import lift_flooding
+
+        return lift_flooding(self, codec)

@@ -192,3 +192,14 @@ class RadioRepeat(Algorithm):
     def counterfactual_source(self, flipped_message: Any) -> Protocol:
         """Source twin for the impossibility adversaries."""
         return RadioRepeatProtocol(self, self.source, flipped_message)
+
+    # -- batched execution ---------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised program replaying the repeated base schedule once."""
+        from repro.batchsim.programs import lift_radio_repeat
+
+        return lift_radio_repeat(self, codec)

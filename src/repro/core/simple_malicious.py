@@ -109,6 +109,10 @@ class SimpleMalicious(TreePhaseAlgorithm):
     impossibility experiments must pass an explicit ``phase_length``.
     """
 
+    #: Received payloads cannot be trusted, so the batched program
+    #: majority-votes over the listening window, default on ties.
+    _batch_adoption = "majority"
+
     def __init__(self, topology: Topology, source: int, source_message: Any,
                  model: str, phase_length: Optional[int] = None,
                  p: Optional[float] = None,

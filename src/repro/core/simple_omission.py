@@ -91,6 +91,10 @@ class SimpleOmission(TreePhaseAlgorithm):
     ``1/n²`` budget is computed.
     """
 
+    #: Receipts are trustworthy under omission failures, so the batched
+    #: program adopts the first payload heard in the listening window.
+    _batch_adoption = "first"
+
     def __init__(self, topology: Topology, source: int, source_message: Any,
                  model: str, phase_length: Optional[int] = None,
                  p: Optional[float] = None,

@@ -138,6 +138,12 @@ class TreePhaseAlgorithm(Algorithm):
         The fallback payload ("0" in the paper).
     """
 
+    #: Adoption rule for the vectorised :mod:`repro.batchsim` engine —
+    #: ``"first"`` (Simple-Omission trusts any receipt), ``"majority"``
+    #: (Simple-Malicious votes), or ``None`` when the subclass has no
+    #: batched counterpart.
+    _batch_adoption: Optional[str] = None
+
     def __init__(self, topology: Topology, source: int, source_message: Any,
                  model: str, phase_length: int,
                  tree: Optional[SpanningTree] = None, default: Any = 0):
@@ -209,6 +215,21 @@ class TreePhaseAlgorithm(Algorithm):
 
     def _make_protocol(self, node: int, initial_message: Optional[Any]) -> Protocol:
         raise NotImplementedError
+
+    # -- batched execution -------------------------------------------------
+    def batch_payloads(self) -> Optional[Tuple[Any, Any]]:
+        """Payload alphabet for :mod:`repro.batchsim` (``None`` = opt out)."""
+        if self._batch_adoption is None:
+            return None
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised program replaying the phase schedule once."""
+        if self._batch_adoption is None:
+            return None
+        from repro.batchsim.programs import lift_tree_phase
+
+        return lift_tree_phase(self, codec, self._batch_adoption)
 
     # -- helpers shared by protocols --------------------------------------
     def payload_targets(self, node: int) -> Tuple[int, ...]:

@@ -6,6 +6,7 @@ from repro.engine.simulator import (
     ExecutionResult,
     ExecutionView,
     deliver_message_passing,
+    deliver_mp_batch,
     deliver_radio,
     deliver_radio_batch,
     run_execution,
@@ -22,6 +23,7 @@ __all__ = [
     "ExecutionView",
     "run_execution",
     "deliver_message_passing",
+    "deliver_mp_batch",
     "deliver_radio",
     "deliver_radio_batch",
     "RoundRecord",

@@ -51,6 +51,7 @@ __all__ = [
     "deliver_message_passing",
     "deliver_radio",
     "deliver_radio_batch",
+    "deliver_mp_batch",
 ]
 
 # Transmitter count from which the CSR/bincount delivery path beats the
@@ -195,6 +196,56 @@ def deliver_radio_batch(topology: Topology,
         speaking_neighbors * indices[np.newaxis, :], starts, axis=1
     )
     return np.where((counts == 1) & ~transmitting, speaker_sum, silence)
+
+
+def deliver_mp_batch(topology: Topology, codes: np.ndarray,
+                     targets: Optional[np.ndarray] = None) -> np.ndarray:
+    """Vectorised message-passing delivery for a batch of rounds.
+
+    The batched counterpart of :func:`deliver_message_passing` for the
+    broadcast-style senders the batchsim tier executes: each
+    transmitting node offers **one** payload per round, addressed to a
+    *static* subset of its neighbours (all of them by default, or the
+    slots marked in ``targets`` — e.g. a node's tree children).
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    codes:
+        ``int64`` array of shape ``(batch, n)``: the payload code node
+        ``v`` transmits in row ``b``, or ``-1`` for silence.
+    targets:
+        Optional ``(E,)`` boolean mask over the receiver-aligned CSR
+        slots of :meth:`~repro.graphs.topology.Topology.csr_neighbors`:
+        entry ``j`` (owned by the node whose CSR row contains ``j``)
+        says whether sender ``indices[j]`` addresses that owner.
+
+    Returns
+    -------
+    ``int64`` inbox array of shape ``(batch, E)``: slot ``j`` of row
+    ``b`` holds the payload code the slot's owner received from
+    neighbour ``indices[j]``, or ``-1`` when that neighbour stayed
+    silent or does not address the owner — exactly the scalar inboxes
+    ``inbox[v] = {sender: payload}`` flattened along the CSR layout.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 2 or codes.shape[1] != topology.order:
+        raise ValueError(
+            f"codes must have shape (batch, {topology.order}), "
+            f"got {codes.shape}"
+        )
+    indptr, indices = topology.csr_neighbors()
+    inbox = codes[:, indices]
+    if targets is not None:
+        targets = np.asarray(targets, dtype=bool)
+        if targets.shape != indices.shape:
+            raise ValueError(
+                f"targets must have shape {indices.shape}, "
+                f"got {targets.shape}"
+            )
+        inbox = np.where(targets[np.newaxis, :], inbox, np.int64(-1))
+    return inbox
 
 
 @dataclass

@@ -39,6 +39,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="process count for engine Monte-Carlo "
                                   "batches; results are bit-identical for "
                                   "any value (default 1)")
+        command.add_argument("--trials-scale", type=float, default=1.0,
+                             dest="trials_scale", metavar="FACTOR",
+                             help="multiply every runner's Monte-Carlo "
+                                  "trial budget by FACTOR so sweeps "
+                                  "stretch with the hardware (default 1.0)")
     return parser
 
 
@@ -51,7 +56,8 @@ def main(argv=None) -> int:
             print(f"      {experiment.paper_claim}")
         return 0
     config = ExperimentConfig(seed=args.seed, quick=args.quick,
-                              workers=args.workers)
+                              workers=args.workers,
+                              trials_scale=args.trials_scale)
     if args.command == "run":
         report = run_experiment(args.experiment_id.upper(), config)
         print(report.render())

@@ -32,15 +32,17 @@ def _engine_success_rate(topology, source, p, m, model, trials, stream,
                          workers=1) -> float:
     """Monte-Carlo success rate of the reference engine.
 
-    ``use_fastsim=False``: this column exists to validate the closed
-    form against the *engine*, so dispatching to the vectorised
-    omission sampler would defeat its purpose.  The factory is a
-    picklable partial so the batch can shard across processes.
+    ``use_fastsim=False`` / ``use_batchsim=False``: this column exists
+    to validate the closed form against the *scalar engine*, so
+    dispatching to either vectorised tier would defeat its purpose.
+    The factory is a picklable partial so the batch can shard across
+    processes.
     """
     runner = TrialRunner(
         partial(SimpleOmission, topology, source, 1, model, m),
         OmissionFailures(p),
         use_fastsim=False,
+        use_batchsim=False,
         workers=workers,
     )
     return runner.run(trials, stream).estimate
@@ -50,7 +52,7 @@ def _run(config: ExperimentConfig, model: str, experiment_id: str) -> Experiment
     stream = RngStream(config.seed).child(experiment_id)
     depths = [3, 5] if config.quick else [3, 5, 7]
     probabilities = [0.1, 0.5, 0.9] if config.quick else [0.1, 0.3, 0.5, 0.7, 0.9, 0.95]
-    engine_trials = 60 if config.quick else 200
+    engine_trials = config.scaled_trials(60 if config.quick else 200)
     table = Table([
         "n", "p", "m", "rounds", "exact_success", "target", "almost_safe",
         "engine_mc",

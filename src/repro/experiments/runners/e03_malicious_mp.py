@@ -38,13 +38,16 @@ def _runner(topology, m: int, p: float, use_fastsim: bool = True,
     """Trial runner for Simple-Malicious + complement adversary (MP).
 
     With dispatch enabled this lands on the ``simple-malicious-mp``
-    fastsim sampler; with it disabled it batches reference-engine
-    executions (the spot-check column, shardable across processes).
+    fastsim sampler; with it disabled it batches *scalar*
+    reference-engine executions (the spot-check column, shardable
+    across processes) — the batchsim tier is switched off alongside so
+    the column keeps validating the engine itself.
     """
     return TrialRunner(
         partial(SimpleMalicious, topology, 0, 1, MESSAGE_PASSING, m),
         MaliciousFailures(p, ComplementAdversary()),
         use_fastsim=use_fastsim,
+        use_batchsim=use_fastsim,
         workers=workers,
     )
 
@@ -62,7 +65,7 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
     n = topology.order
     internals = internal_node_count(tree)
     target = 1.0 - 1.0 / n
-    trials = 2000 if config.quick else 6000
+    trials = config.scaled_trials(2000 if config.quick else 6000)
     feasible_ps = [0.1, 0.3, 0.45] if config.quick else [0.05, 0.1, 0.2, 0.3, 0.4, 0.45]
     table = Table([
         "p", "feasible", "m", "exact_success", "fastsim_mc", "target",
@@ -97,7 +100,7 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
     # (dispatch disabled so the engine itself is exercised).
     engine_p = feasible_ps[1]
     engine_m = mp_malicious_phase_length(n, engine_p)
-    engine_trials = 40 if config.quick else 120
+    engine_trials = config.scaled_trials(40 if config.quick else 120)
     engine_rate = _runner(topology, engine_m, engine_p, use_fastsim=False,
                           workers=config.workers).run(
         engine_trials, stream.child("engine")

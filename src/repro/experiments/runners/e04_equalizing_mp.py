@@ -40,7 +40,7 @@ from repro.rng import RngStream
 )
 def run_e04(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E04")
-    trials = 200 if config.quick else 800
+    trials = config.scaled_trials(200 if config.quick else 800)
     phase_length = 15
     topology = two_node()
     probabilities = [0.5, 0.6] if config.quick else [0.5, 0.6, 0.75]

@@ -70,7 +70,7 @@ def _runner(topology, m: int, p: float, workers: int) -> TrialRunner:
 def run_e05(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E05")
     degrees = [2, 4] if config.quick else [2, 4, 8, 16]
-    trials = 4000 if config.quick else 20000
+    trials = config.scaled_trials(4000 if config.quick else 20000)
     table = Table([
         "delta", "n", "p_star", "side", "p", "m", "exact_success",
         "fastsim_mc", "target", "almost_safe",

@@ -45,7 +45,7 @@ from repro.rng import RngStream
 )
 def run_e06(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E06")
-    trials = 4000 if config.quick else 20000
+    trials = config.scaled_trials(4000 if config.quick else 20000)
     phase_length = 15
     cases = [(2, 0.0), (4, 0.0)] if config.quick else [(2, 0.0), (4, 0.0), (2, 0.15), (4, 0.1)]
     table = Table([

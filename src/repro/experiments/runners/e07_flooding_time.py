@@ -39,7 +39,7 @@ from repro.rng import RngStream
 def run_e07(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E07")
     p = 0.3
-    trials = 1500 if config.quick else 4000
+    trials = config.scaled_trials(1500 if config.quick else 4000)
     graphs = [line(8), line(32), grid(4, 8), binary_tree(5)]
     if not config.quick:
         graphs += [line(128), grid(8, 16), binary_tree(8), grid(3, 40)]

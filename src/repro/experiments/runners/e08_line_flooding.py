@@ -48,7 +48,7 @@ def run_e08(config: ExperimentConfig) -> ExperimentReport:
     p = 0.3
     lengths = [8, 16, 32, 64] if config.quick else [8, 16, 32, 64, 128, 256, 512]
     constants = [1.8, 2.5]
-    trials = 4000 if config.quick else 20000
+    trials = config.scaled_trials(4000 if config.quick else 20000)
     # Two-sided 99.9% Chernoff-Hoeffding margin for the MC cross-check.
     mc_margin = hoeffding_margin(trials, confidence=0.999)
     table = Table([

@@ -62,7 +62,7 @@ def run_e09(config: ExperimentConfig) -> ExperimentReport:
     graphs = [line(6), binary_tree(3)] if config.quick else [
         line(6), line(12), binary_tree(3), binary_tree(4),
     ]
-    trials = 12 if config.quick else 40
+    trials = config.scaled_trials(12 if config.quick else 40)
     runs = Table(["graph", "n", "D", "plan", "rounds", "q_bound", "mc_success"])
     passed = linear_time_ok
     for topology in graphs:

@@ -70,7 +70,7 @@ def _uniform_schedule(m: int, budget: int):
 def run_e11(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E11")
     p = 0.5
-    trials = 2500 if config.quick else 8000
+    trials = config.scaled_trials(2500 if config.quick else 8000)
     ms = [5, 6] if config.quick else [5, 6, 8]
     table = Table([
         "m", "n", "opt", "budget", "budget_kind", "min_hits", "need_hits",

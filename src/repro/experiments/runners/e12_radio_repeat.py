@@ -66,7 +66,7 @@ def _schedules(config: ExperimentConfig, stream: RngStream):
 )
 def run_e12(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E12")
-    trials = 2000 if config.quick else 20000
+    trials = config.scaled_trials(2000 if config.quick else 20000)
     # 99.9% Hoeffding slack on the Monte-Carlo estimate: the per-run
     # success is >= target by construction, so falling further than
     # the sampling margin below it means the claim broke.

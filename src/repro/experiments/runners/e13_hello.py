@@ -44,7 +44,7 @@ def _receiver_decoded(message: int, result: ExecutionResult) -> bool:
 def run_e13(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E13")
     topology = two_node()
-    trials = 150 if config.quick else 600
+    trials = config.scaled_trials(150 if config.quick else 600)
     probabilities = [0.2, 0.6] if config.quick else [0.2, 0.5, 0.8]
     ms = [8, 32] if config.quick else [8, 16, 32, 64]
     table = Table([

@@ -44,7 +44,7 @@ from repro.rng import RngStream
 )
 def run_e14(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E14")
-    trials = 25 if config.quick else 80
+    trials = config.scaled_trials(25 if config.quick else 80)
     table = Table([
         "variant", "graph", "n", "p", "rounds", "mc_success", "target",
         "almost_safe",

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from functools import partial
 
+import numpy as np
+
 from repro.analysis.chernoff import (
     majority_error_probability,
     repetitions_for_all_silent,
@@ -78,7 +80,7 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
     mc_topology = binary_tree(5)
     mc_p = 0.5
     mc_m = omission_phase_length(mc_topology.order, mc_p)
-    mc_trials = 20000 if config.quick else 80000
+    mc_trials = config.scaled_trials(20000 if config.quick else 80000)
     mc_margin = hoeffding_margin(mc_trials, confidence=0.999)
     runner = TrialRunner(
         partial(SimpleOmission, mc_topology, 0, 1, MESSAGE_PASSING, mc_m),
@@ -101,6 +103,50 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
         saving=f"|diff| {abs(outcome.estimate - closed_form):.4f} "
                f"<= {mc_margin:.4f}",
     )
+    # 1c. Heterogeneous per-node rates (PAPERS.md: Censor-Hillel et
+    # al.'s noisy-broadcast direction): a deterministic ramp of
+    # per-node omission rates on the same tree, exercised end to end
+    # through *both* vectorised tiers — the p_v-threaded fastsim
+    # sampler and the batchsim engine — against the per-node closed
+    # form ∏(1 - p_v^m).
+    hetero_rates = np.round(
+        np.linspace(0.15, 0.75, mc_topology.order), 4
+    )
+    # Deliberately short phases so the success probability sits well
+    # inside (0, 1) and the agreement check has teeth.
+    hetero_m = 4
+    hetero_factory = partial(
+        SimpleOmission, mc_topology, 0, 1, MESSAGE_PASSING, hetero_m
+    )
+    hetero_closed = simple_omission_success_probability(
+        bfs_tree(mc_topology, 0), hetero_m, hetero_rates
+    )
+    hetero_trials = config.scaled_trials(10000 if config.quick else 40000)
+    hetero_margin = hoeffding_margin(hetero_trials, confidence=0.999)
+    for label, use_fastsim in (("fastsim", True), ("batchsim", False)):
+        hetero_runner = TrialRunner(
+            hetero_factory, OmissionFailures(p_v=hetero_rates),
+            use_fastsim=use_fastsim, workers=config.workers,
+        )
+        hetero_outcome = hetero_runner.run(
+            hetero_trials, stream.child("hetero-mc", label)
+        )
+        hetero_ok = (
+            abs(hetero_outcome.estimate - hetero_closed) <= hetero_margin
+            and hetero_outcome.backend == (
+                "fastsim:simple-omission" if use_fastsim else "batchsim"
+            )
+        )
+        passed = passed and hetero_ok
+        table.add_row(
+            ablation="omission p_v (mc)",
+            setting=f"TrialRunner [{hetero_outcome.backend}]",
+            n_or_L=mc_topology.order,
+            p=f"{hetero_rates.min():g}..{hetero_rates.max():g}",
+            exact=hetero_closed, naive=hetero_outcome.estimate,
+            saving=f"|diff| {abs(hetero_outcome.estimate - hetero_closed):.4f} "
+                   f"<= {hetero_margin:.4f}",
+        )
     for n in ([64] if config.quick else [64, 4096]):
         p = 0.4
         exact_m = repetitions_for_majority(p, 1.0 / n ** 2)
@@ -148,6 +194,9 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
         "c = 2/ln(1/p) to within a step",
         "omission m (mc): dispatched TrialRunner estimate at the exact m "
         "vs the closed form, 99.9% Hoeffding margin",
+        "omission p_v (mc): heterogeneous per-node rates (linear ramp) "
+        "through the fastsim sampler and the batchsim engine tier, both "
+        "vs the per-node closed form",
         "majority m: exact binomial tails vs the 2ln(n^2)/(1-2p)^2 "
         "Chernoff bound — the classical bound over-provisions heavily",
         "plan shape: naive per-edge repetition costs Θ(L log L) and its "

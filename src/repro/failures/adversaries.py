@@ -34,8 +34,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Optional
 
+import numpy as np
+
 from repro._validation import check_probability
-from repro.engine.protocol import MESSAGE_PASSING
+from repro.engine.protocol import MESSAGE_PASSING, RADIO
 from repro.failures.malicious import Adversary
 
 __all__ = [
@@ -51,7 +53,12 @@ __all__ = [
 
 
 class _ObliviousAdversary(Adversary):
-    """Base for adversaries that never consult the execution history."""
+    """Base for adversaries that never consult the execution history.
+
+    All of them are also randomness-free (only :class:`SlowingAdversary`
+    tosses coins), so the batched rewrites below consume no streams and
+    batched executions stay bit-identical to scalar ones.
+    """
 
     @property
     def requires_history(self) -> bool:
@@ -78,6 +85,13 @@ class SilentAdversary(_ObliviousAdversary):
                 intents: Dict[int, Any], view) -> Dict[int, Any]:
         return {}
 
+    def supports_batch(self, model: str) -> bool:
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        return np.full_like(codes, -1)
+
 
 class ComplementAdversary(_ObliviousAdversary):
     """Flip every bit a faulty node intended to transmit.
@@ -103,6 +117,15 @@ class ComplementAdversary(_ObliviousAdversary):
                 replacements[node] = flip_bit(intent)
         return replacements
 
+    def supports_batch(self, model: str) -> bool:
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        # Flip intended transmissions; silence stays silence (the flip
+        # table maps -1 to -1), matching the scalar per-node loop.
+        return codec.flip_codes(codes)
+
 
 class RandomFlipAdversary(_ObliviousAdversary):
     """Kučera's flip model: a faulty transmission's bit is always flipped.
@@ -127,6 +150,13 @@ class RandomFlipAdversary(_ObliviousAdversary):
             else:
                 replacements[node] = flip_bit(intent)
         return replacements
+
+    def supports_batch(self, model: str) -> bool:
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        return codec.flip_codes(codes)
 
 
 class GarbageAdversary(_ObliviousAdversary):
@@ -155,6 +185,21 @@ class GarbageAdversary(_ObliviousAdversary):
                 replacements[node] = self._garbage
         return replacements
 
+    def supports_batch(self, model: str) -> bool:
+        try:
+            hash(self._garbage)
+        except TypeError:
+            return False
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        garbage = np.int64(codec.code_of(self._garbage))
+        return np.where(codes == -1, np.int64(-1), garbage)
+
+    def batch_payloads(self) -> tuple:
+        return (self._garbage,)
+
 
 class JammingAdversary(_ObliviousAdversary):
     """Radio: faulty nodes always transmit noise, manufacturing collisions.
@@ -173,6 +218,22 @@ class JammingAdversary(_ObliviousAdversary):
     def rewrite(self, round_index: int, faulty: FrozenSet[int],
                 intents: Dict[int, Any], view) -> Dict[int, Any]:
         return {node: self._noise for node in faulty}
+
+    def supports_batch(self, model: str) -> bool:
+        if model != RADIO:  # out-of-turn noise is a radio-only weapon
+            return False
+        try:
+            hash(self._noise)
+        except TypeError:
+            return False
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        return np.full_like(codes, codec.code_of(self._noise))
+
+    def batch_payloads(self) -> tuple:
+        return (self._noise,)
 
 
 class RadioWorstCaseAdversary(_ObliviousAdversary):
@@ -218,6 +279,43 @@ class RadioWorstCaseAdversary(_ObliviousAdversary):
                 self._noise if intent is None else flip_bit(intent)
             )
         return replacements
+
+    def supports_batch(self, model: str) -> bool:
+        if model != RADIO:
+            return False
+        try:
+            hash(self._noise)
+        except TypeError:
+            return False
+        return True
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        noise = np.int64(codec.code_of(self._noise))
+        # General (multi-intent) attack: flip intended transmissions,
+        # jam from intended silence.
+        replacements = np.where(codes == -1, noise, codec.flip_codes(codes))
+        transmitting = codes != -1
+        single = transmitting.sum(axis=1) == 1
+        if single.any():
+            rows = np.nonzero(single)[0]
+            speaker = np.argmax(transmitting[rows], axis=1)
+            speaker_faulty = faulty[rows, speaker]
+            # Scheduled transmitter faulty: its flip is delivered and
+            # every other faulty node keeps quiet so the lie lands.
+            lie_rows = rows[speaker_faulty]
+            lie_speakers = speaker[speaker_faulty]
+            flipped = replacements[lie_rows, lie_speakers]
+            replacements[lie_rows, :] = -1
+            replacements[lie_rows, lie_speakers] = flipped
+            # Scheduled transmitter fault-free: every faulty node jams
+            # (the composition keeps fault-free intents untouched).
+            jam_rows = rows[~speaker_faulty]
+            replacements[jam_rows, :] = noise
+        return replacements
+
+    def batch_payloads(self) -> tuple:
+        return (self._noise,)
 
 
 class SlowingAdversary(Adversary):

@@ -31,6 +31,8 @@ import enum
 from abc import ABC, abstractmethod
 from typing import Any, Dict, FrozenSet, Optional
 
+import numpy as np
+
 from repro.engine.protocol import MESSAGE_PASSING, RADIO
 from repro.failures.base import FailureModel
 
@@ -71,6 +73,32 @@ class Adversary(ABC):
         the internal trace.  The conservative default is ``True``.
         """
         return True
+
+    # -- batched-execution hooks ----------------------------------------
+    def supports_batch(self, model: str) -> bool:
+        """Whether :meth:`batch_rewrite` reproduces this adversary exactly.
+
+        Answered per communication model (the jamming attacks only
+        exist in radio).  Conservative default: ``False``.
+        """
+        return False
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        """Vectorised :meth:`rewrite` over ``(batch, n)`` payload codes.
+
+        Returns the replacement codes of the *faulty* positions (the
+        caller composes them with the untouched fault-free intents);
+        entries at fault-free positions are ignored.  ``-1`` silences a
+        faulty node, matching a missing scalar replacement.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched execution"
+        )
+
+    def batch_payloads(self) -> tuple:
+        """Payloads :meth:`batch_rewrite` can inject (noise, garbage)."""
+        return ()
 
     def describe(self) -> str:
         """One-line description for experiment tables."""
@@ -166,6 +194,26 @@ class MaliciousFailures(FailureModel):
     @property
     def requires_history(self) -> bool:
         return self._adversary.requires_history
+
+    def supports_batch(self, model: str) -> bool:
+        # The batched path skips the scalar engine's restriction
+        # enforcement, so it is only offered for the FULL level where
+        # every adversary behaviour is legal by definition; the
+        # adversary itself must also be vectorisable in this model.
+        return (
+            self._restriction is Restriction.FULL
+            and self._adversary.supports_batch(model)
+        )
+
+    def apply_batch(self, round_index: int, faulty: np.ndarray,
+                    codes: np.ndarray, codec, model: str) -> np.ndarray:
+        replacements = self._adversary.batch_rewrite(
+            round_index, faulty, codes, codec, model
+        )
+        return np.where(faulty, replacements, codes)
+
+    def batch_payloads(self) -> tuple:
+        return self._adversary.batch_payloads()
 
     def apply(self, round_index: int, faulty: FrozenSet[int],
               intents: Dict[int, Any], view) -> Dict[int, Any]:

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro._validation import check_positive_int, check_probability
 from repro.analysis.chernoff import binomial_tail_le
 from repro.core.flooding import flooding_line_length
@@ -32,7 +34,7 @@ def internal_node_count(tree: SpanningTree) -> int:
 
 
 def simple_omission_success_probability(tree: SpanningTree, phase_length: int,
-                                        p: float) -> float:
+                                        p) -> float:
     """Exact success probability of Simple-Omission on ``tree``.
 
     A child is informed iff its parent's phase contains at least one
@@ -40,11 +42,26 @@ def simple_omission_success_probability(tree: SpanningTree, phase_length: int,
     node* (all children of a node share their parent's phase), each
     succeeding with probability ``1 - p^m``.  Success is the
     conjunction: ``(1 - p^m)^{#internal}``.
+
+    ``p`` may also be an ``(n,)`` per-node rate vector (heterogeneous
+    omission rates): the conjunction then runs over each internal
+    node's own rate, ``∏ (1 - p_v[v]^m)``.
     """
+    from repro.fastsim.tree_chain import node_rates
+
     phase_length = check_positive_int(phase_length, "phase_length")
-    p = check_probability(p, "p", allow_zero=True)
-    internals = internal_node_count(tree)
-    return (1.0 - p ** phase_length) ** internals
+    if np.ndim(p) == 0:
+        # Scalar fast path, kept bit-exact with the historical formula
+        # (a ** power and an equal-factor product can differ in ulps).
+        p = check_probability(p, "p", allow_zero=True)
+        internals = internal_node_count(tree)
+        return (1.0 - p ** phase_length) ** internals
+    rates = node_rates(p, tree.topology.order)
+    product = 1.0
+    for node in tree.topology.nodes:
+        if not tree.is_leaf(node):
+            product *= 1.0 - float(rates[node]) ** phase_length
+    return product
 
 
 def line_flooding_success_probability(length: int, rounds: int,

@@ -36,6 +36,7 @@ from repro.graphs.bfs import SpanningTree
 from repro.rng import as_stream
 
 __all__ = [
+    "node_rates",
     "sample_simple_omission",
     "sample_simple_malicious_mp",
     "sample_simple_malicious_radio",
@@ -50,7 +51,28 @@ def _nodes_in_topdown_order(tree: SpanningTree):
     return [node for node in tree.order if node != tree.root]
 
 
-def sample_simple_omission(tree: SpanningTree, phase_length: int, p: float,
+def node_rates(p, order: int) -> np.ndarray:
+    """Validate scalar or per-node omission rates as an ``(order,)`` array.
+
+    The heterogeneous workload (``OmissionFailures(p_v=...)``) hands
+    the factorising samplers one Bernoulli rate per transmitter; a
+    scalar ``p`` broadcasts to every node.  Every rate must lie in
+    ``[0, 1)``.
+    """
+    rates = np.asarray(p, dtype=float)
+    if rates.ndim == 0:
+        check_probability(float(rates), "p", allow_zero=True, allow_one=False)
+        return np.full(order, float(rates))
+    if rates.shape != (order,):
+        raise ValueError(
+            f"per-node rates must have shape ({order},), got {rates.shape}"
+        )
+    if not ((rates >= 0.0) & (rates < 1.0)).all():
+        raise ValueError("every per-node rate must lie in [0, 1)")
+    return rates
+
+
+def sample_simple_omission(tree: SpanningTree, phase_length: int, p,
                            trials: int, seed_or_stream=0) -> np.ndarray:
     """Success indicators for Simple-Omission (either model).
 
@@ -61,17 +83,23 @@ def sample_simple_omission(tree: SpanningTree, phase_length: int, p: float,
     least one non-faulty step — independent events of probability
     ``1 - p^m``, matching the exact closed form
     :func:`repro.fastsim.closed_forms.simple_omission_success_probability`.
+
+    ``p`` may be a scalar or an ``(n,)`` per-node rate vector (the
+    heterogeneous workload): the success law factorises per internal
+    node, so node ``v``'s event simply uses its own ``p_v[v]^m``.  The
+    draw pattern is rate-independent, keeping the scalar case
+    bit-compatible.
     """
     phase_length = check_positive_int(phase_length, "phase_length")
-    p = check_probability(p, "p", allow_zero=True)
     trials = check_positive_int(trials, "trials")
+    rates = node_rates(p, tree.topology.order)
     stream = as_stream(seed_or_stream)
     generator = stream.generator
-    internals = sum(1 for node in tree.order if not tree.is_leaf(node))
-    if internals == 0:
+    internal_nodes = [node for node in tree.order if not tree.is_leaf(node)]
+    if not internal_nodes:
         return np.ones(trials, dtype=bool)
-    all_faulty = p ** phase_length
-    draws = generator.random((trials, internals))
+    all_faulty = rates[internal_nodes] ** phase_length
+    draws = generator.random((trials, len(internal_nodes)))
     return (draws >= all_faulty).all(axis=1)
 
 
@@ -220,7 +248,7 @@ def sample_simple_malicious_radio_tree(tree: SpanningTree, phase_length: int,
     return result
 
 
-def sample_flooding_times(tree: SpanningTree, p: float, trials: int,
+def sample_flooding_times(tree: SpanningTree, p, trials: int,
                           seed_or_stream=0) -> np.ndarray:
     """Broadcast completion times of flooding (rounds until all informed).
 
@@ -229,9 +257,14 @@ def sample_flooding_times(tree: SpanningTree, p: float, trials: int,
     ancestor path (one shared delay per internal node, drawn after that
     node becomes informed — valid by memorylessness of the i.i.d.
     per-round faults).
+
+    ``p`` may be a scalar or an ``(n,)`` per-node rate vector: the
+    relay delay of internal node ``v`` is then geometric with its own
+    success rate ``1 - p_v[v]`` (its transmitter is the only one that
+    matters for the front crossing ``v``).
     """
-    p = check_probability(p, "p", allow_zero=True)
     trials = check_positive_int(trials, "trials")
+    rates = node_rates(p, tree.topology.order)
     stream = as_stream(seed_or_stream)
     generator = stream.generator
     informed_time = {tree.root: np.zeros(trials, dtype=np.int64)}
@@ -240,10 +273,12 @@ def sample_flooding_times(tree: SpanningTree, p: float, trials: int,
     for node in tree.order:
         if tree.is_leaf(node):
             continue
-        if p == 0.0:
+        node_rate = float(rates[node])
+        if node_rate == 0.0:
             relay_delay[node] = np.ones(trials, dtype=np.int64)
         else:
-            relay_delay[node] = generator.geometric(1.0 - p, size=trials)
+            relay_delay[node] = generator.geometric(1.0 - node_rate,
+                                                    size=trials)
     for node in _nodes_in_topdown_order(tree):
         parent = tree.parent[node]
         informed_time[node] = informed_time[parent] + relay_delay[parent]
@@ -251,7 +286,7 @@ def sample_flooding_times(tree: SpanningTree, p: float, trials: int,
     return completion
 
 
-def sample_flooding_success(tree: SpanningTree, rounds: int, p: float,
+def sample_flooding_success(tree: SpanningTree, rounds: int, p,
                             trials: int, seed_or_stream=0) -> np.ndarray:
     """Success indicators for flooding run for a fixed round budget."""
     rounds = check_positive_int(rounds, "rounds")

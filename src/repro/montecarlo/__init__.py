@@ -1,13 +1,16 @@
-"""Batched Monte-Carlo trial subsystem with fastsim auto-dispatch.
+"""Batched Monte-Carlo trial subsystem with three-tier auto-dispatch.
 
 The shared harness behind every success-probability experiment:
-:class:`TrialRunner` batches reference-engine executions (shared
-algorithm state, trace-free fast path, optional process sharding with
-reproducible per-trial streams) and auto-dispatches to a registered
-:mod:`repro.fastsim` vectorised sampler when one provably matches the
-scenario.
+:class:`TrialRunner` dispatches each batch to the fastest backend that
+provably reproduces the scenario's success law — a registered
+:mod:`repro.fastsim` closed-form sampler, the vectorised
+:mod:`repro.batchsim` multi-trial engine, or scalar reference-engine
+executions (shared algorithm state, trace-free fast path, optional
+process sharding with reproducible per-trial streams).  See
+:mod:`repro.montecarlo.dispatch` for the tier table.
 """
 
+from repro.batchsim.engine import supports_batchsim
 from repro.montecarlo.dispatch import (
     SamplerEntry,
     find_sampler,
@@ -16,7 +19,13 @@ from repro.montecarlo.dispatch import (
     unregister_sampler,
 )
 from repro.montecarlo import samplers as _builtin_samplers  # noqa: F401  (registers)
-from repro.montecarlo.trials import RunningTally, TrialResult, TrialRunner
+from repro.montecarlo.trials import (
+    BATCHSIM_BACKEND,
+    ENGINE_BACKEND,
+    RunningTally,
+    TrialResult,
+    TrialRunner,
+)
 
 __all__ = [
     "TrialRunner",
@@ -27,4 +36,7 @@ __all__ = [
     "unregister_sampler",
     "find_sampler",
     "registered_samplers",
+    "supports_batchsim",
+    "BATCHSIM_BACKEND",
+    "ENGINE_BACKEND",
 ]

@@ -9,11 +9,48 @@ matcher predicate — to the vectorised sampler that reproduces the
 engine's success law for that shape.
 
 :class:`repro.montecarlo.trials.TrialRunner` consults the registry and
-transparently dispatches to a matching sampler, falling back to batched
-engine executions otherwise.  Matchers must be *conservative*: a
+transparently dispatches to a matching sampler, falling back to the
+next backend tier otherwise.  Matchers must be *conservative*: a
 sampler is only offered when its distribution provably coincides with
 the engine's (see ``tests/test_fastsim_agreement.py``), so dispatch
 never changes what is being estimated, only how fast.
+
+Backend tiers
+-------------
+Dispatch walks three tiers, most specialised first; the tier taken is
+reported as ``TrialResult.backend``:
+
+==================  ==============================  ====================
+tier / backend tag  eligibility                     what runs
+==================  ==============================  ====================
+``fastsim:<name>``  first registry entry whose      one closed-form
+                    matcher accepts the scenario    vectorised draw of
+                    (table below); default success  the success law
+                    predicate only                  (root stream)
+``batchsim``        no sampler matched; failure     the vectorised
+                    model is history-oblivious      multi-trial engine:
+                    and ``supports_batch(model)``   all trials advance
+                    (fault-free, omission with      together on stacked
+                    ``p`` or per-node ``p_v``,      ``(B, n)`` arrays;
+                    simple-malicious with a         indicators are
+                    batchable oblivious adversary   **bit-identical**
+                    at FULL restriction); the       to the engine tier
+                    algorithm implements            (per-trial streams
+                    ``batch_program()`` /           ``root.child("mc",
+                    ``batch_payloads()``; default   i)``)
+                    success predicate only
+``engine``          always eligible (custom         scalar reference
+                    success predicates, adaptive    executions, one
+                    adversaries, algorithms         trial at a time,
+                    without a batch program)        optionally sharded
+                                                    across processes
+==================  ==============================  ====================
+
+The batchsim tier's trial-for-trial agreement with the engine is
+property-tested in ``tests/test_batchsim.py``; because the two tiers
+share per-trial streams, promoting a scenario from ``engine`` to
+``batchsim`` can never change an experiment's numbers, only its
+wall-clock.
 
 Built-in entries (registered by :mod:`repro.montecarlo.samplers`, in
 lookup order):

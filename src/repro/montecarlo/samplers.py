@@ -45,6 +45,23 @@ from repro.rng import RngStream
 __all__ = ["register_builtin_samplers"]
 
 
+def _omission_rates(failure: FailureModel):
+    """Scalar ``p`` or the per-node ``p_v`` vector of an omission model.
+
+    The samplers whose success law factorises per node (simple
+    omission, flooding) consume either form directly; matchers that
+    cannot handle heterogeneous rates gate on :func:`_uniform_p`
+    instead.
+    """
+    vector = failure.p_vector
+    return failure.p if vector is None else vector
+
+
+def _uniform_p(failure: FailureModel):
+    """The uniform rate, or ``None`` when the model carries ``p_v``."""
+    return None if failure.p_vector is not None else failure.p
+
+
 def _is_tree_topology(algorithm: Algorithm) -> bool:
     """Whether the algorithm's topology is itself a tree.
 
@@ -68,7 +85,8 @@ def _match_simple_omission(algorithm: Algorithm,
 def _sample_simple_omission(algorithm: Algorithm, failure: FailureModel,
                             trials: int, stream: RngStream) -> np.ndarray:
     return sample_simple_omission(
-        algorithm.tree, algorithm.phase_length, failure.p, trials, stream
+        algorithm.tree, algorithm.phase_length, _omission_rates(failure),
+        trials, stream,
     )
 
 
@@ -124,16 +142,20 @@ def _match_flooding(algorithm: Algorithm, failure: FailureModel) -> bool:
 def _sample_flooding(algorithm: Algorithm, failure: FailureModel,
                      trials: int, stream: RngStream) -> np.ndarray:
     return sample_flooding_success(
-        algorithm.tree, algorithm.rounds, failure.p, trials, stream
+        algorithm.tree, algorithm.rounds, _omission_rates(failure), trials,
+        stream,
     )
 
 
 def _match_radio_repeat_omission(algorithm: Algorithm,
                                  failure: FailureModel) -> bool:
+    # The informing-group law is derived for one shared rate; a
+    # heterogeneous model falls through to the batchsim tier.
     return (
         isinstance(algorithm, RadioRepeat)
         and algorithm.rule == ADOPT_ANY
         and type(failure) is OmissionFailures
+        and _uniform_p(failure) is not None
         and algorithm.source_message != algorithm.default
     )
 
@@ -229,9 +251,12 @@ def _sample_equalizing_star(algorithm: Algorithm, failure: FailureModel,
 
 def _match_layered_omission(algorithm: Algorithm,
                             failure: FailureModel) -> bool:
+    # Per-step survivor counts are binomial in one shared rate; a
+    # heterogeneous model falls through to the batchsim tier.
     return (
         isinstance(algorithm, LayeredScheduleBroadcast)
         and type(failure) is OmissionFailures
+        and _uniform_p(failure) is not None
         and algorithm.source_message != algorithm.default
     )
 

@@ -3,24 +3,28 @@
 Every feasibility theorem in the paper is a statement about a success
 *probability*, so each experiment ends up running the same loop: derive
 a per-trial random stream, execute, count successes.  This module
-centralises that loop and makes it fast:
+centralises that loop and makes it fast through a three-tier dispatch
+(``fastsim sampler → batchsim → scalar engine``; see
+:mod:`repro.montecarlo.dispatch` for the tier table):
 
-* the algorithm is instantiated **once per shard** and shared across
-  its trials (protocols carry all per-run state), so spanning trees,
-  schedules and topology caches are not rebuilt per trial;
-* trace-free executions take the engine's no-history fast path
-  whenever the failure model is history-oblivious;
-* trials can be sharded across processes; on the engine path trial
-  ``i`` always draws from the child stream ``root.child("mc", i)``, so
-  the per-trial indicator vector is **bit-identical for any worker
-  count** — and identical to
+* when a registered fastsim sampler matches the scenario, the whole
+  batch collapses into one vectorised draw — the sampler consumes the
+  *root* stream directly (deterministic per root seed and identical to
+  calling the sampler by hand, but a different bit pattern than the
+  engine path);
+* otherwise, when the scenario is history-oblivious and the algorithm
+  implements the batch interface, the :mod:`repro.batchsim` engine
+  executes all trials together on stacked ``(B, n)`` arrays — trial
+  ``i`` still consumes ``root.child("mc", i)``, so the indicators are
+  **bit-identical** to the scalar engine path;
+* the scalar engine fallback instantiates the algorithm **once per
+  shard** (protocols carry all per-run state), takes the engine's
+  trace-free no-history fast path, and can shard across processes;
+  trial ``i`` always draws from ``root.child("mc", i)``, so the
+  per-trial indicator vector is bit-identical for any worker count —
+  and identical to
   :func:`repro.analysis.estimation.estimate_success` under the same
-  root stream;
-* when a registered fastsim sampler matches the scenario (see
-  :mod:`repro.montecarlo.dispatch`), the whole batch collapses into
-  one vectorised draw — the sampler consumes the *root* stream
-  directly (deterministic per root seed and identical to calling the
-  sampler by hand, but a different bit pattern than the engine path).
+  root stream.
 
 Example::
 
@@ -45,18 +49,21 @@ from repro.analysis.estimation import (
     hoeffding_interval,
     wilson_interval,
 )
+from repro.batchsim.engine import BatchExecution, batch_execution
 from repro.engine.protocol import Algorithm
 from repro.engine.simulator import ExecutionResult, run_execution
 from repro.failures.base import FailureModel, FaultFree
 from repro.montecarlo.dispatch import SamplerEntry, find_sampler
 from repro.rng import RngStream, as_stream, derive_seed
 
-__all__ = ["TrialRunner", "TrialResult", "RunningTally"]
+__all__ = ["TrialRunner", "TrialResult", "RunningTally",
+           "ENGINE_BACKEND", "BATCHSIM_BACKEND"]
 
 AlgorithmFactory = Callable[[], Algorithm]
 SuccessPredicate = Callable[[ExecutionResult], bool]
 
 ENGINE_BACKEND = "engine"
+BATCHSIM_BACKEND = "batchsim"
 
 
 class RunningTally:
@@ -116,12 +123,13 @@ class TrialResult:
     Attributes
     ----------
     indicators:
-        Per-trial success booleans, in trial order.  On the engine
-        backend trial ``i`` used stream ``root.child("mc", i)``; a
-        fastsim backend drew the whole vector from the root stream in
-        one vectorised call (same law, different bit pattern).
+        Per-trial success booleans, in trial order.  On the engine and
+        batchsim backends trial ``i`` used stream
+        ``root.child("mc", i)`` (the two are bit-identical); a fastsim
+        backend drew the whole vector from the root stream in one
+        vectorised call (same law, different bit pattern).
     backend:
-        ``"engine"`` or ``"fastsim:<sampler name>"``.
+        ``"engine"``, ``"batchsim"`` or ``"fastsim:<sampler name>"``.
     workers:
         Process count the batch ran with (1 = in-process).
     seed:
@@ -225,7 +233,7 @@ def _shard_bounds(trials: int, shards: int) -> List[Tuple[int, int]]:
 
 
 class TrialRunner:
-    """Batched Monte-Carlo runner with fastsim auto-dispatch.
+    """Batched Monte-Carlo runner with three-tier auto-dispatch.
 
     Parameters
     ----------
@@ -253,7 +261,13 @@ class TrialRunner:
         per-trial indicators are identical either way.
     use_fastsim:
         Allow dispatching to a registered vectorised sampler when one
-        matches the scenario.  Engine fallback is automatic.
+        matches the scenario.  Fallback to the next tier is automatic.
+    use_batchsim:
+        Allow dispatching to the vectorised :mod:`repro.batchsim`
+        engine when the scenario is eligible and no fastsim sampler
+        matched.  Its indicators are bit-identical to the scalar
+        engine's, so disabling it (together with ``use_fastsim``) is
+        only needed to time or pin the scalar path itself.
     """
 
     def __init__(self, algorithm_factory: AlgorithmFactory,
@@ -262,7 +276,8 @@ class TrialRunner:
                  success: Optional[SuccessPredicate] = None,
                  metadata: Optional[Dict[str, Any]] = None,
                  workers: int = 1,
-                 use_fastsim: bool = True):
+                 use_fastsim: bool = True,
+                 use_batchsim: bool = True):
         if not callable(algorithm_factory):
             raise TypeError(
                 f"algorithm_factory must be callable, got "
@@ -279,7 +294,9 @@ class TrialRunner:
         self._metadata = dict(metadata) if metadata is not None else None
         self._workers = check_positive_int(workers, "workers")
         self._use_fastsim = bool(use_fastsim)
+        self._use_batchsim = bool(use_batchsim)
         self._probe: Optional[Tuple[Optional[SamplerEntry],
+                                    Optional[BatchExecution],
                                     Optional[Algorithm]]] = None
 
     @property
@@ -294,26 +311,45 @@ class TrialRunner:
 
     def dispatch_entry(self) -> Optional[SamplerEntry]:
         """The fastsim sampler this runner would dispatch to, if any."""
-        entry, _ = self._probe_dispatch()
+        entry, _, _ = self._probe_dispatch()
         return entry
 
-    def _probe_dispatch(self) -> Tuple[Optional[SamplerEntry],
-                                       Optional[Algorithm]]:
-        """Match a sampler, returning the probe algorithm for reuse.
+    def dispatch_backend(self) -> str:
+        """The backend tag ``run()`` would report for this scenario."""
+        entry, batch, _ = self._probe_dispatch()
+        if entry is not None:
+            return f"fastsim:{entry.name}"
+        if batch is not None:
+            return BATCHSIM_BACKEND
+        return ENGINE_BACKEND
 
-        The (entry, algorithm) pair is cached on the runner, so the
-        factory and the registry scan run once per runner no matter how
-        many times ``dispatch_entry()`` / ``run()`` are called —
-        algorithms are immutable (all per-run state lives in their
-        protocols) and safe to share across batches.
+    def _probe_dispatch(self) -> Tuple[Optional[SamplerEntry],
+                                       Optional[BatchExecution],
+                                       Optional[Algorithm]]:
+        """Probe the dispatch tiers, returning the probe algorithm too.
+
+        The (entry, batch execution, algorithm) triple is cached on the
+        runner, so the factory, the registry scan and the batchsim
+        eligibility check run once per runner no matter how many times
+        ``dispatch_entry()`` / ``run()`` are called — algorithms are
+        immutable (all per-run state lives in their protocols) and safe
+        to share across batches.  A custom success predicate disables
+        both vectorised tiers: they only reproduce the
+        broadcast-success law.
         """
-        if not self._use_fastsim or self._success is not None:
-            return None, None
+        if self._success is not None or not (self._use_fastsim
+                                             or self._use_batchsim):
+            return None, None, None
         if self._probe is None:
             algorithm = self._factory()
-            self._probe = (
-                find_sampler(algorithm, self._failure_model), algorithm
-            )
+            entry = (find_sampler(algorithm, self._failure_model)
+                     if self._use_fastsim else None)
+            batch = None
+            if entry is None and self._use_batchsim:
+                batch = batch_execution(
+                    algorithm, self._failure_model, metadata=self._metadata
+                )
+            self._probe = (entry, batch, algorithm)
         return self._probe
 
     def run(self, trials: int, seed_or_stream=0,
@@ -327,10 +363,11 @@ class TrialRunner:
         trials:
             Number of independent trials.
         seed_or_stream:
-            Root randomness.  On the engine path trial ``i`` draws
-            from ``root.child("mc", i)`` regardless of worker count;
-            a dispatched sampler consumes the root stream directly.
-            Either way the result is a pure function of the root seed.
+            Root randomness.  On the engine and batchsim paths trial
+            ``i`` draws from ``root.child("mc", i)`` regardless of
+            worker count or batch chunking; a dispatched fastsim
+            sampler consumes the root stream directly.  Either way the
+            result is a pure function of the root seed.
         confidence:
             Default confidence level stored on the result.
         progress:
@@ -344,7 +381,7 @@ class TrialRunner:
         root_seed = stream.seed
         tally = RunningTally()
 
-        entry, algorithm = self._probe_dispatch()
+        entry, batch, algorithm = self._probe_dispatch()
         if entry is not None:
             indicators = np.asarray(
                 entry.sample(algorithm, self._failure_model, trials, stream),
@@ -355,6 +392,15 @@ class TrialRunner:
                 progress(tally)
             return TrialResult(
                 indicators=indicators, backend=f"fastsim:{entry.name}",
+                workers=1, seed=root_seed, confidence=confidence,
+            )
+        if batch is not None:
+            indicators = batch.run(trials, root_seed)
+            tally.update(indicators)
+            if progress is not None:
+                progress(tally)
+            return TrialResult(
+                indicators=indicators, backend=BATCHSIM_BACKEND,
                 workers=1, seed=root_seed, confidence=confidence,
             )
 

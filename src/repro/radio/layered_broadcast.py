@@ -106,3 +106,14 @@ class LayeredScheduleBroadcast(Algorithm):
             "source": self.graph.source,
             "source_message": self.source_message,
         }
+
+    # -- batched execution ---------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self.default, self.source_message)
+
+    def batch_program(self, codec):
+        """Vectorised program replaying the explicit step list once."""
+        from repro.batchsim.programs import lift_layered_schedule
+
+        return lift_layered_schedule(self, codec)

@@ -1,0 +1,289 @@
+"""Property tests pinning the batchsim tier to the scalar engine.
+
+The batchsim contract is stronger than statistical agreement: on the
+per-trial streams ``root.child("mc", i)`` the vectorised engine must
+reproduce the scalar engine's success indicator **trial for trial** —
+across both communication models, all supported failure models
+(fault-free, omission with scalar ``p`` and per-node ``p_v``,
+simple-malicious under every batchable oblivious adversary), and
+topologies where radio collisions actually happen.  That identity is
+what lets :class:`~repro.montecarlo.TrialRunner` promote a scenario
+from the ``engine`` tier to ``batchsim`` without changing any
+experiment's numbers.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.batchsim import PayloadCodec, batch_execution, supports_batchsim
+from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
+from repro.core.radio_repeat import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
+from repro.engine import MESSAGE_PASSING, RADIO, run_execution
+from repro.failures import (
+    ComplementAdversary,
+    EqualizingStarAdversary,
+    FaultFree,
+    GarbageAdversary,
+    JammingAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+    RadioWorstCaseAdversary,
+    Restriction,
+    SilentAdversary,
+    SlowingAdversary,
+)
+from repro.graphs import binary_tree, grid, layered_graph, line, star
+from repro.montecarlo import TrialRunner
+from repro.radio.closed_form import line_schedule
+from repro.radio.layered_broadcast import LayeredScheduleBroadcast
+from repro.rng import RngStream, derive_seed
+
+TRIALS = 48
+SEED = 20070
+
+
+def scalar_indicators(algorithm, failure, trials=TRIALS, seed=SEED):
+    """The ground truth: one scalar engine execution per trial stream."""
+    out = np.empty(trials, dtype=bool)
+    for index in range(trials):
+        stream = RngStream(derive_seed(seed, "mc", index), ("mc", index))
+        result = run_execution(
+            algorithm, failure, stream,
+            metadata=algorithm.metadata(), record_trace=False,
+        )
+        out[index] = result.is_successful_broadcast()
+    return out
+
+
+def batch_indicators(algorithm, failure, trials=TRIALS, seed=SEED, chunk=13):
+    execution = batch_execution(algorithm, failure)
+    assert execution is not None, "scenario unexpectedly ineligible"
+    return execution.run(trials, seed, chunk=chunk)
+
+
+def _tree():
+    return binary_tree(3)
+
+
+def _layered():
+    graph = layered_graph(4)
+    steps = [{1, 2}, {3}, {1, 4}, {2, 3, 4}, {1}, {2}, {3}, {4}]
+    return LayeredScheduleBroadcast(graph, steps)
+
+
+#: (label, algorithm factory, failure factory) — every supported
+#: protocol family x model x failure model combination, including
+#: shapes with real radio collisions (grids, jamming, layered steps).
+AGREEMENT_SCENARIOS = [
+    ("omission-mp-tree",
+     lambda: SimpleOmission(_tree(), 0, 1, MESSAGE_PASSING, 2),
+     lambda: OmissionFailures(0.4)),
+    ("omission-radio-grid",
+     lambda: SimpleOmission(grid(3, 3), 0, 1, RADIO, 2),
+     lambda: OmissionFailures(0.4)),
+    ("fault-free-radio",
+     lambda: SimpleOmission(_tree(), 0, 1, RADIO, 1),
+     lambda: FaultFree()),
+    ("omission-pv-mp",
+     lambda: SimpleOmission(_tree(), 0, 1, MESSAGE_PASSING, 2),
+     lambda: OmissionFailures(p_v=np.linspace(0.1, 0.8, _tree().order))),
+    ("malicious-mp-complement",
+     lambda: SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3),
+     lambda: MaliciousFailures(0.3, ComplementAdversary())),
+    ("malicious-mp-garbage",
+     lambda: SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3),
+     lambda: MaliciousFailures(0.35, GarbageAdversary())),
+    ("malicious-radio-worstcase-tree",
+     lambda: SimpleMalicious(_tree(), 0, 1, RADIO, 5),
+     lambda: MaliciousFailures(0.15, RadioWorstCaseAdversary())),
+    ("malicious-radio-worstcase-grid",
+     lambda: SimpleMalicious(grid(3, 3), 0, 1, RADIO, 5),
+     lambda: MaliciousFailures(0.15, RadioWorstCaseAdversary())),
+    ("malicious-radio-jamming-grid",
+     lambda: SimpleMalicious(grid(3, 3), 0, 1, RADIO, 5),
+     lambda: MaliciousFailures(0.2, JammingAdversary())),
+    ("malicious-radio-silent-star",
+     lambda: SimpleMalicious(star(5), 0, 1, RADIO, 4),
+     lambda: MaliciousFailures(0.3, SilentAdversary())),
+    ("flooding-omission",
+     lambda: FastFlooding(grid(3, 4), 0, 1, p=0.4),
+     lambda: OmissionFailures(0.4)),
+    ("flooding-pv",
+     lambda: FastFlooding(_tree(), 0, 1, rounds=12),
+     lambda: OmissionFailures(p_v=np.linspace(0.05, 0.6, _tree().order))),
+    ("radio-repeat-any-omission",
+     lambda: RadioRepeat(line_schedule(line(6)), 1, ADOPT_ANY, 3),
+     lambda: OmissionFailures(0.4)),
+    ("radio-repeat-majority-omission",
+     lambda: RadioRepeat(line_schedule(line(6)), 1, ADOPT_MAJORITY, 5),
+     lambda: OmissionFailures(0.3)),
+    ("radio-repeat-majority-complement",
+     lambda: RadioRepeat(line_schedule(line(6)), 1, ADOPT_MAJORITY, 5),
+     lambda: MaliciousFailures(0.2, ComplementAdversary())),
+    ("layered-omission",
+     _layered,
+     lambda: OmissionFailures(0.35)),
+]
+
+
+@pytest.mark.parametrize(
+    "make_algorithm,make_failure",
+    [pytest.param(algo, fail, id=label)
+     for label, algo, fail in AGREEMENT_SCENARIOS],
+)
+class TestTrialForTrialAgreement:
+    def test_batch_equals_scalar_engine(self, make_algorithm, make_failure):
+        algorithm = make_algorithm()
+        failure = make_failure()
+        np.testing.assert_array_equal(
+            batch_indicators(algorithm, failure),
+            scalar_indicators(algorithm, failure),
+        )
+
+    def test_chunking_is_invisible(self, make_algorithm, make_failure):
+        algorithm = make_algorithm()
+        failure = make_failure()
+        whole = batch_indicators(algorithm, failure, chunk=TRIALS)
+        slivers = batch_indicators(algorithm, failure, chunk=5)
+        np.testing.assert_array_equal(whole, slivers)
+
+
+class TestEligibility:
+    def test_supported_scenarios(self):
+        assert supports_batchsim(
+            SimpleOmission(_tree(), 0, 1, RADIO, 2), OmissionFailures(0.3)
+        )
+        assert supports_batchsim(_layered(), OmissionFailures(0.3))
+
+    def test_adaptive_adversary_is_rejected(self):
+        topology = star(4, source_is_center=False)
+        algorithm = SimpleMalicious(topology, 0, 1, RADIO, 5)
+        adaptive = MaliciousFailures(
+            0.3, EqualizingStarAdversary(source=0, center=1)
+        )
+        assert adaptive.requires_history
+        assert not supports_batchsim(algorithm, adaptive)
+
+    def test_randomised_slowing_adversary_is_rejected(self):
+        algorithm = SimpleMalicious(_tree(), 0, 1, RADIO, 5)
+        slowing = MaliciousFailures(
+            0.4, SlowingAdversary(SilentAdversary(), 0.4, 0.2)
+        )
+        assert not slowing.requires_history
+        assert not supports_batchsim(algorithm, slowing)
+
+    def test_non_full_restriction_is_rejected(self):
+        algorithm = SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3)
+        limited = MaliciousFailures(
+            0.3, ComplementAdversary(), Restriction.LIMITED
+        )
+        assert not supports_batchsim(algorithm, limited)
+
+    def test_radio_only_adversaries_rejected_in_mp(self):
+        algorithm = SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3)
+        jamming = MaliciousFailures(0.3, JammingAdversary())
+        assert not supports_batchsim(algorithm, jamming)
+
+    def test_algorithm_without_batch_interface_is_rejected(self):
+        from repro.core.labels import RoundRobinBroadcast
+
+        algorithm = RoundRobinBroadcast(_tree(), 0, 1, cycles=4)
+        assert not supports_batchsim(algorithm, OmissionFailures(0.3))
+
+
+class TestDispatchTier:
+    def test_trial_runner_reports_batchsim_backend(self):
+        runner = TrialRunner(
+            partial(RadioRepeat, line_schedule(line(5)), 1, ADOPT_MAJORITY, 3),
+            OmissionFailures(0.3),
+        )
+        assert runner.dispatch_entry() is None
+        assert runner.dispatch_backend() == "batchsim"
+        result = runner.run(30, 5)
+        assert result.backend == "batchsim"
+        assert result.trials == 30
+
+    def test_fastsim_still_wins_the_first_tier(self):
+        runner = TrialRunner(
+            partial(SimpleOmission, _tree(), 0, 1, MESSAGE_PASSING, 2),
+            OmissionFailures(0.3),
+        )
+        assert runner.dispatch_backend() == "fastsim:simple-omission"
+
+    def test_custom_success_predicate_disables_batchsim(self):
+        runner = TrialRunner(
+            partial(RadioRepeat, line_schedule(line(5)), 1, ADOPT_MAJORITY, 3),
+            OmissionFailures(0.3),
+            success=lambda result: True,
+        )
+        assert runner.dispatch_backend() == "engine"
+        assert runner.run(5, 3).backend == "engine"
+
+    def test_batchsim_indicators_match_engine_workers(self):
+        # The tier promotion must be invisible: same indicators as the
+        # scalar engine path, for any worker count.
+        factory = partial(
+            RadioRepeat, line_schedule(line(5)), 1, ADOPT_MAJORITY, 3
+        )
+        batch = TrialRunner(factory, OmissionFailures(0.3)).run(40, 11)
+        sharded = TrialRunner(
+            factory, OmissionFailures(0.3),
+            use_fastsim=False, use_batchsim=False, workers=3,
+        ).run(40, 11)
+        assert batch.backend == "batchsim" and sharded.backend == "engine"
+        np.testing.assert_array_equal(batch.indicators, sharded.indicators)
+
+    def test_heterogeneous_rates_reach_batchsim_when_fastsim_off(self):
+        rates = np.linspace(0.1, 0.7, _tree().order)
+        runner = TrialRunner(
+            partial(SimpleOmission, _tree(), 0, 1, MESSAGE_PASSING, 2),
+            OmissionFailures(p_v=rates),
+            use_fastsim=False,
+        )
+        assert runner.dispatch_backend() == "batchsim"
+        engine = TrialRunner(
+            partial(SimpleOmission, _tree(), 0, 1, MESSAGE_PASSING, 2),
+            OmissionFailures(p_v=rates),
+            use_fastsim=False, use_batchsim=False,
+        )
+        np.testing.assert_array_equal(
+            runner.run(40, 9).indicators, engine.run(40, 9).indicators
+        )
+
+
+class TestPayloadCodec:
+    def test_round_trip_and_silence(self):
+        codec = PayloadCodec([0, 1, "JAM"])
+        assert codec.size == 3
+        assert codec.decode(codec.code_of("JAM")) == "JAM"
+        assert codec.decode(-1) is None
+        assert codec.try_code("unknown") is None
+
+    def test_equality_semantics_follow_python(self):
+        codec = PayloadCodec([0, 1])
+        # 1, True and 1.0 are one payload, as under the scalar engine's
+        # output comparison.
+        assert codec.code_of(True) == codec.code_of(1) == codec.code_of(1.0)
+
+    def test_flip_codes_closed_alphabet(self):
+        codec = PayloadCodec.for_scenario([0, 1], ["JAM"])
+        flipped = codec.flip_codes(np.array(
+            [codec.code_of(0), codec.code_of(1), codec.code_of("JAM"), -1]
+        ))
+        assert flipped[0] == codec.code_of(1)
+        assert flipped[1] == codec.code_of(0)
+        assert flipped[2] == codec.code_of("JAM")  # non-bits map to self
+        assert flipped[3] == -1                    # silence stays silence
+
+    def test_rejects_none_and_empty(self):
+        with pytest.raises(ValueError):
+            PayloadCodec([None])
+        with pytest.raises(ValueError):
+            PayloadCodec([])
+
+    def test_rejects_non_flip_closed_alphabet(self):
+        with pytest.raises(ValueError, match="flip_bit"):
+            PayloadCodec([0])  # flip_bit(0) = 1 is missing
+        assert PayloadCodec.for_scenario([0]).size == 2  # closure added

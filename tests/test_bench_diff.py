@@ -87,3 +87,97 @@ class TestMain:
         assert "none regressed" in capsys.readouterr().out
         assert main(["--threshold", "0.2", prev, curr]) == 0
         assert "::warning" in capsys.readouterr().out
+
+
+class TestHistory:
+    def _history(self, *means_list):
+        from benchmarks.diff_bench import append_history, load_history
+
+        history = {"runs": []}
+        for index, means in enumerate(means_list):
+            history = append_history(history, f"run{index}", means)
+        return history
+
+    def test_load_missing_or_malformed_starts_fresh(self, tmp_path):
+        from benchmarks.diff_bench import load_history
+
+        assert load_history(str(tmp_path / "nope.json")) == {"runs": []}
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_history(str(bad)) == {"runs": []}
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"runs": "not-a-list"}))
+        assert load_history(str(wrong)) == {"runs": []}
+
+    def test_append_trims_to_max_runs(self):
+        from benchmarks.diff_bench import append_history
+
+        history = {"runs": []}
+        for index in range(10):
+            history = append_history(
+                history, f"sha{index}", {"bench": 0.1}, max_runs=4
+            )
+        assert len(history["runs"]) == 4
+        assert [run["run_id"] for run in history["runs"]] == [
+            "sha6", "sha7", "sha8", "sha9",
+        ]
+
+    def test_trend_flags_drift_above_median(self):
+        from benchmarks.diff_bench import trend_regressions
+
+        history = self._history(
+            {"bench_a": 0.10, "bench_b": 0.10},
+            {"bench_a": 0.11, "bench_b": 0.10},
+            {"bench_a": 0.09, "bench_b": 0.10},
+            {"bench_a": 0.30, "bench_b": 0.11},  # a drifted 3x, b is noise
+        )
+        rows = trend_regressions(history, threshold=0.2)
+        assert [row[0] for row in rows] == ["bench_a"]
+        name, median, now, change, samples = rows[0]
+        assert median == 0.10 and now == 0.30 and samples == 3
+        assert abs(change - 2.0) < 1e-9
+
+    def test_trend_needs_at_least_two_runs(self):
+        from benchmarks.diff_bench import trend_regressions
+
+        assert trend_regressions(self._history({"bench": 1.0})) == []
+
+    def test_new_benchmarks_are_skipped(self):
+        from benchmarks.diff_bench import trend_regressions
+
+        history = self._history({"old": 0.1}, {"old": 0.1, "new": 9.0})
+        assert trend_regressions(history, threshold=0.2) == []
+
+
+class TestHistoryCli:
+    def test_history_mode_appends_and_persists(self, tmp_path, capsys):
+        current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.1}))
+        history_path = str(tmp_path / "history.json")
+        assert main(["--history", history_path, "--run-id", "abc",
+                     current]) == 0
+        assert main(["--history", history_path, "--run-id", "def",
+                     current]) == 0
+        with open(history_path) as handle:
+            history = json.load(handle)
+        assert [run["run_id"] for run in history["runs"]] == ["abc", "def"]
+        out = capsys.readouterr().out
+        assert "benchmark trend" in out
+
+    def test_history_mode_warns_on_trend(self, tmp_path, capsys):
+        from benchmarks.diff_bench import append_history
+
+        history_path = tmp_path / "history.json"
+        seeded = {"runs": []}
+        for index in range(3):
+            seeded = append_history(seeded, f"sha{index}", {"bench": 0.1})
+        history_path.write_text(json.dumps(seeded))
+        current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.5}))
+        assert main(["--history", str(history_path), current]) == 0
+        assert "trend regression" in capsys.readouterr().out
+
+    def test_pairwise_mode_still_requires_two_files(self, tmp_path):
+        current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.1}))
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([current])

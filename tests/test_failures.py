@@ -190,3 +190,71 @@ class TestGarbageAdversary:
     def test_garbage_payload_validation(self):
         with pytest.raises(ValueError, match="silence"):
             GarbageAdversary(None)
+
+
+class TestHeterogeneousRates:
+    """OmissionFailures(p_v=...) — the per-node rate workload."""
+
+    def test_exactly_one_of_p_and_p_v(self):
+        with pytest.raises(ValueError):
+            OmissionFailures()
+        with pytest.raises(ValueError):
+            OmissionFailures(0.3, p_v=[0.1, 0.2])
+
+    def test_p_v_validation(self):
+        with pytest.raises(ValueError):
+            OmissionFailures(p_v=[])
+        with pytest.raises(ValueError):
+            OmissionFailures(p_v=[[0.1, 0.2]])
+        with pytest.raises(ValueError):
+            OmissionFailures(p_v=[0.1, 1.0])
+        with pytest.raises(ValueError):
+            OmissionFailures(p_v=[-0.1, 0.5])
+
+    def test_p_property_guards_heterogeneous_models(self):
+        model = OmissionFailures(p_v=[0.1, 0.2, 0.3])
+        with pytest.raises(ValueError, match="p_vector"):
+            model.p
+        assert list(model.p_vector) == [0.1, 0.2, 0.3]
+        assert OmissionFailures(0.25).p_vector is None
+
+    def test_rates_checks_network_order(self):
+        model = OmissionFailures(p_v=[0.1, 0.2, 0.3])
+        assert list(model.rates(3)) == [0.1, 0.2, 0.3]
+        with pytest.raises(ValueError, match="3 entries"):
+            model.rates(5)
+        assert OmissionFailures(0.25).rates(7) == 0.25
+
+    def test_p_vector_is_immutable(self):
+        model = OmissionFailures(p_v=[0.1, 0.2])
+        with pytest.raises(ValueError):
+            model.p_vector[0] = 0.9
+
+    def test_per_node_rates_statistical(self):
+        model = OmissionFailures(p_v=[0.0, 0.2, 0.8])
+        stream = RngStream(5)
+        counts = [0, 0, 0]
+        rounds = 4000
+        for _ in range(rounds):
+            for node in model.sample_faulty(stream, 3):
+                counts[node] += 1
+        assert counts[0] == 0
+        assert abs(counts[1] / rounds - 0.2) < 0.03
+        assert abs(counts[2] / rounds - 0.8) < 0.03
+
+    def test_scalar_and_vector_share_stream_consumption(self):
+        # A constant vector must reproduce the scalar model's faulty
+        # sets bit for bit (both draw one uniform per node per round).
+        uniform = OmissionFailures(0.4)
+        vector = OmissionFailures(p_v=[0.4, 0.4, 0.4, 0.4])
+        uniform_stream = RngStream(9)
+        vector_stream = RngStream(9)
+        assert [
+            uniform.sample_faulty(uniform_stream, 4) for _ in range(5)
+        ] == [
+            vector.sample_faulty(vector_stream, 4) for _ in range(5)
+        ]
+
+    def test_describe_summarises_the_ramp(self):
+        text = OmissionFailures(p_v=[0.1, 0.2, 0.5]).describe()
+        assert "0.1" in text and "0.5" in text and "n=3" in text

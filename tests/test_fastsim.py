@@ -18,6 +18,7 @@ from repro.fastsim import (
     sample_layered_omission,
     sample_simple_malicious_mp,
     sample_simple_malicious_radio,
+    sample_simple_omission,
     simple_omission_success_probability,
 )
 from repro.graphs import bfs_tree, binary_tree, layered_graph, line, star
@@ -196,3 +197,50 @@ class TestLayeredSampler:
         a = sample_layered_omission(graph, steps, 0.3, 500, 11)
         b = sample_layered_omission(graph, steps, 0.3, 500, 11)
         np.testing.assert_array_equal(a, b)
+
+
+class TestHeterogeneousRateSamplers:
+    """p_v threading through the per-node-factorising samplers."""
+
+    def test_omission_sampler_matches_per_node_closed_form(self):
+        topology = binary_tree(4)
+        tree = bfs_tree(topology, 0)
+        rates = np.linspace(0.1, 0.8, topology.order)
+        m = 3
+        expected = simple_omission_success_probability(tree, m, rates)
+        draws = sample_simple_omission(tree, m, rates, 60000, RngStream(3))
+        assert abs(draws.mean() - expected) < 0.01
+
+    def test_constant_vector_is_bit_identical_to_scalar(self):
+        topology = binary_tree(3)
+        tree = bfs_tree(topology, 0)
+        rates = np.full(topology.order, 0.45)
+        np.testing.assert_array_equal(
+            sample_simple_omission(tree, 4, 0.45, 500, RngStream(11)),
+            sample_simple_omission(tree, 4, rates, 500, RngStream(11)),
+        )
+        np.testing.assert_array_equal(
+            sample_flooding_times(tree, 0.45, 500, RngStream(12)),
+            sample_flooding_times(tree, rates, 500, RngStream(12)),
+        )
+
+    def test_flooding_sampler_respects_per_node_rates(self):
+        # A fault-free line except one near-certainly failing relay:
+        # the completion time is dominated by that node's delay.
+        topology = line(4)  # 4 edges, 5 nodes
+        tree = bfs_tree(topology, 0)
+        rates = np.array([0.0, 0.9, 0.0, 0.0, 0.0])
+        times = sample_flooding_times(tree, rates, 4000, RngStream(5))
+        # every relay forwards instantly except node 1, whose delay is
+        # geometric(0.1): completion = 3 + geom, mean 3 + 10.
+        assert times.min() >= 4
+        assert abs(times.mean() - 13.0) < 1.0
+
+    def test_closed_form_rejects_bad_vectors(self):
+        tree = bfs_tree(binary_tree(2), 0)
+        with pytest.raises(ValueError):
+            simple_omission_success_probability(tree, 2, np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            sample_simple_omission(
+                tree, 2, np.full(tree.topology.order, 1.0), 10, RngStream(0)
+            )

@@ -56,17 +56,17 @@ radio_factory = partial(SimpleOmission, TREE, 0, 1, RADIO, 2)
 class TestDeterminism:
     def test_single_vs_many_workers_bit_identical(self):
         serial = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
-                             workers=1).run(90, 13)
+                             use_batchsim=False, workers=1).run(90, 13)
         sharded = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
-                              workers=3).run(90, 13)
+                              use_batchsim=False, workers=3).run(90, 13)
         assert serial.backend == "engine" and sharded.backend == "engine"
         np.testing.assert_array_equal(serial.indicators, sharded.indicators)
 
     def test_worker_count_does_not_leak_into_result_streams(self):
         two = TrialRunner(radio_factory, OMISSION, use_fastsim=False,
-                          workers=2).run(60, 5)
+                          use_batchsim=False, workers=2).run(60, 5)
         four = TrialRunner(radio_factory, OMISSION, use_fastsim=False,
-                           workers=4).run(60, 5)
+                           use_batchsim=False, workers=4).run(60, 5)
         np.testing.assert_array_equal(two.indicators, four.indicators)
 
     def test_matches_estimate_success_bit_for_bit(self):
@@ -215,14 +215,28 @@ class TestDispatch:
         )
         assert wrong_source.dispatch_entry() is None
 
-    def test_unmatched_scenario_falls_back_to_engine(self):
+    def test_unmatched_scenario_falls_back_to_batchsim_then_engine(self):
+        # No fastsim sampler covers majority adoption under a silent
+        # (omission-like) adversary; the scenario is history-oblivious,
+        # so the next tier is the vectorised batch engine — and with
+        # that tier disabled too, the scalar engine.
         schedule = line_schedule(line(4))
         runner = TrialRunner(
             partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 3),
             MaliciousFailures(0.2, SilentAdversary()),
         )
         assert runner.dispatch_entry() is None
-        assert runner.run(10, 3).backend == "engine"
+        assert runner.run(10, 3).backend == "batchsim"
+        scalar = TrialRunner(
+            partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 3),
+            MaliciousFailures(0.2, SilentAdversary()),
+            use_batchsim=False,
+        )
+        result = scalar.run(10, 3)
+        assert result.backend == "engine"
+        np.testing.assert_array_equal(
+            result.indicators, runner.run(10, 3).indicators
+        )
 
     def test_degenerate_message_convention_blocks_dispatch(self):
         # Ms == default would make every failed run look successful to
@@ -309,7 +323,7 @@ class TestStatistics:
     def test_progress_callback_sees_growing_tally(self):
         seen = []
         runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
-                             workers=2)
+                             use_batchsim=False, workers=2)
         result = runner.run(40, 3, progress=lambda t: seen.append(t.trials))
         assert seen[-1] == 40 == result.trials
         assert seen == sorted(seen)

@@ -1,0 +1,167 @@
+"""Property tests for batched message-passing delivery.
+
+Mirror of ``tests/test_radio_delivery.py`` for the new
+:func:`~repro.engine.simulator.deliver_mp_batch`: the ``(batch, E)``
+inbox array must agree with the scalar
+:func:`~repro.engine.simulator.deliver_message_passing` routing on
+every graph family the experiments use, for random transmitter sets of
+every density, both in broadcast-to-all-neighbours form and under a
+static target mask (the tree-children pattern the batch programs use).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import deliver_message_passing, deliver_mp_batch
+from repro.graphs import (
+    bfs_tree,
+    binary_tree,
+    erdos_renyi,
+    grid,
+    layered_graph,
+    line,
+    random_tree,
+    ring,
+    star,
+)
+from repro.graphs.topology import Topology
+from repro.rng import RngStream, derive_seed
+
+
+def _graph_zoo():
+    stream = RngStream(20071)
+    return [
+        line(1),
+        line(7),
+        ring(5),
+        star(6),
+        binary_tree(3),
+        grid(3, 5),
+        layered_graph(3).topology,
+        random_tree(14, stream.child("rt"), max_degree=4),
+        erdos_renyi(16, 0.25, stream.child("er")),
+        Topology(5, [(0, 1), (1, 2)], name="isolated-tail"),
+        Topology(3, [], name="edgeless"),
+    ]
+
+
+def _slot_owners(topology):
+    indptr, _ = topology.csr_neighbors()
+    return np.repeat(np.arange(topology.order), np.diff(indptr))
+
+
+def _scalar_inboxes(topology, codes_row, targets=None):
+    """Scalar reference: route one row through deliver_message_passing."""
+    indptr, indices = topology.csr_neighbors()
+    owners = _slot_owners(topology)
+    actual = {}
+    for sender in topology.nodes:
+        if codes_row[sender] < 0:
+            continue
+        if targets is None:
+            receivers = topology.neighbors(sender)
+        else:
+            receivers = [
+                int(owners[slot])
+                for slot in range(indices.size)
+                if indices[slot] == sender and targets[slot]
+            ]
+        per_target = {
+            receiver: int(codes_row[sender]) for receiver in receivers
+        }
+        if per_target:
+            actual[sender] = per_target
+    return deliver_message_passing(topology, actual)
+
+
+@pytest.mark.parametrize("topology", _graph_zoo(), ids=lambda t: t.name)
+@pytest.mark.parametrize("density", [0.0, 0.3, 0.7, 1.0])
+class TestBatchedMpMatchesScalar:
+    def test_broadcast_to_all_neighbours(self, topology, density):
+        rng = np.random.default_rng(
+            derive_seed(20071, topology.name, density)
+        )
+        batch = 16
+        transmitting = rng.random((batch, topology.order)) < density
+        codes = np.where(
+            transmitting, rng.integers(0, 5, (batch, topology.order)), -1
+        )
+        inbox = deliver_mp_batch(topology, codes)
+        indptr, indices = topology.csr_neighbors()
+        owners = _slot_owners(topology)
+        for row in range(batch):
+            scalar = _scalar_inboxes(topology, codes[row])
+            for slot in range(indices.size):
+                receiver = int(owners[slot])
+                sender = int(indices[slot])
+                expected = scalar[receiver].get(sender)
+                if expected is None:
+                    assert inbox[row, slot] == -1
+                else:
+                    assert inbox[row, slot] == expected
+
+    def test_static_target_mask(self, topology, density):
+        rng = np.random.default_rng(
+            derive_seed(20071, "targets", topology.name, density)
+        )
+        batch = 12
+        transmitting = rng.random((batch, topology.order)) < density
+        codes = np.where(
+            transmitting, rng.integers(0, 4, (batch, topology.order)), -1
+        )
+        indptr, indices = topology.csr_neighbors()
+        owners = _slot_owners(topology)
+        targets = rng.random(indices.size) < 0.5
+        inbox = deliver_mp_batch(topology, codes, targets)
+        for row in range(batch):
+            scalar = _scalar_inboxes(topology, codes[row], targets)
+            for slot in range(indices.size):
+                receiver = int(owners[slot])
+                sender = int(indices[slot])
+                expected = scalar[receiver].get(sender)
+                if expected is None:
+                    assert inbox[row, slot] == -1
+                else:
+                    assert inbox[row, slot] == expected
+
+
+class TestTreeChildrenPattern:
+    def test_watch_parent_slots_deliver_tree_payloads(self):
+        # The batch programs' pattern: parents address their children;
+        # each child's watched slot must carry the parent's payload.
+        topology = grid(3, 4)
+        tree = bfs_tree(topology, 0)
+        indptr, indices = topology.csr_neighbors()
+        owners = _slot_owners(topology)
+        parent = np.array(
+            [-1 if tree.parent[v] is None else tree.parent[v]
+             for v in topology.nodes]
+        )
+        targets = parent[owners] == indices
+        codes = np.arange(topology.order, dtype=np.int64)[np.newaxis, :]
+        inbox = deliver_mp_batch(topology, codes, targets)
+        for node in topology.nodes:
+            for slot in range(int(indptr[node]), int(indptr[node + 1])):
+                if targets[slot]:
+                    assert inbox[0, slot] == parent[node]
+                else:
+                    assert inbox[0, slot] == -1
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            deliver_mp_batch(line(3), np.zeros((2, 7), dtype=np.int64))
+        with pytest.raises(ValueError, match="shape"):
+            deliver_mp_batch(
+                line(3), np.zeros((2, 4), dtype=np.int64),
+                targets=np.ones(99, dtype=bool),
+            )
+
+    def test_empty_batch_and_edgeless_graph(self):
+        assert deliver_mp_batch(
+            line(3), np.zeros((0, 4), dtype=np.int64)
+        ).shape == (0, 6)
+        edgeless = Topology(3, [], name="edgeless")
+        out = deliver_mp_batch(edgeless, np.zeros((2, 3), dtype=np.int64))
+        assert out.shape == (2, 0)
