@@ -7,8 +7,12 @@ Several claims are asserted, not just timed:
   least 5x on a covered scenario — including the Theorem 3.4
   radio-repeat scenarios and the Theorem 2.4 equalizing-star attack;
 * the batchsim tier (the vectorised multi-trial engine) beats the
-  scalar engine loop by at least 3x on a scenario with **no**
-  registered fastsim sampler, while staying bit-identical to it;
+  scalar engine loop by at least 3x on scenarios with **no**
+  registered fastsim sampler, while staying bit-identical to it —
+  covering the majority+omission repetition gap, a Kučera compiled
+  plan under the flip adversary (``PlanLift``) and the windowed
+  Simple-Malicious variant (``WindowedProgram``), i.e. exactly the
+  schedule-heavy workloads that used to pay the scalar engine;
 * the trace-free engine fast path (skipping the internal trace when the
   failure model is history-oblivious) beats the always-trace execution
   the seed engine performed;
@@ -161,6 +165,37 @@ def test_equalizing_star_dispatch_beats_engine(benchmark):
     )
 
 
+def _assert_batchsim_speedup(factory, failure, trials, seed, benchmark,
+                             factor=3):
+    """Batchsim must beat the scalar engine ``factor``x, bit-identically."""
+    runner = TrialRunner(factory, failure)
+    scalar = TrialRunner(factory, failure, use_fastsim=False,
+                         use_batchsim=False)
+    assert runner.dispatch_entry() is None
+    assert runner.dispatch_backend() == "batchsim"
+
+    def batched():
+        return runner.run(trials, seed)
+
+    def engine():
+        return scalar.run(trials, seed)
+
+    batched()
+    engine()  # warm caches before timing
+    batch_time = _best_of(batched)
+    engine_time = _best_of(engine)
+    assert batch_time * factor < engine_time, (
+        f"batchsim {batch_time:.4f}s vs engine {engine_time:.4f}s "
+        f"({engine_time / batch_time:.1f}x)"
+    )
+    result = benchmark(batched)
+    assert result.backend == "batchsim"
+    assert result.trials == trials
+    # Not merely the same law: the same per-trial streams, so the
+    # indicator vectors agree trial for trial.
+    np.testing.assert_array_equal(result.indicators, engine().indicators)
+
+
 def test_batchsim_beats_scalar_engine_loop(benchmark):
     """The batchsim tier >= 3x over the scalar engine, bit-identically.
 
@@ -171,35 +206,43 @@ def test_batchsim_beats_scalar_engine_loop(benchmark):
     interpretation.
     """
     schedule = line_schedule(line(10))
-    trials = 200
-    factory = partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 6)
-    failure = OmissionFailures(0.3)
-    runner = TrialRunner(factory, failure)
-    scalar = TrialRunner(factory, failure, use_fastsim=False,
-                         use_batchsim=False)
-    assert runner.dispatch_entry() is None
-    assert runner.dispatch_backend() == "batchsim"
-
-    def batched():
-        return runner.run(trials, 7)
-
-    def engine():
-        return scalar.run(trials, 7)
-
-    batched()
-    engine()  # warm caches before timing
-    batch_time = _best_of(batched)
-    engine_time = _best_of(engine)
-    assert batch_time * 3 < engine_time, (
-        f"batchsim {batch_time:.4f}s vs engine {engine_time:.4f}s "
-        f"({engine_time / batch_time:.1f}x)"
+    _assert_batchsim_speedup(
+        partial(RadioRepeat, schedule, 1, ADOPT_MAJORITY, 6),
+        OmissionFailures(0.3), 200, 7, benchmark,
     )
-    result = benchmark(batched)
-    assert result.backend == "batchsim"
-    assert result.trials == trials
-    # Not merely the same law: the same per-trial streams, so the
-    # indicator vectors agree trial for trial.
-    np.testing.assert_array_equal(result.indicators, engine().indicators)
+
+
+def test_batchsim_kucera_plan_beats_scalar_engine(benchmark):
+    """Kučera plans via PlanLift: >= 3x over the scalar engine.
+
+    The compiled-plan interpreter was the costliest per-trial scenario
+    in the library (per-round context bookkeeping at every node); the
+    E09 sweeps ran it on the scalar engine before this lift.
+    """
+    from repro.core.kucera import KuceraBroadcast
+    from repro.failures import RandomFlipAdversary, Restriction
+
+    _assert_batchsim_speedup(
+        partial(KuceraBroadcast, line(8), 0, 1, p=0.25),
+        MaliciousFailures(0.25, RandomFlipAdversary(), Restriction.FLIP),
+        150, 9, benchmark,
+    )
+
+
+def test_batchsim_windowed_beats_scalar_engine(benchmark):
+    """Windowed Simple-Malicious: >= 3x over the scalar engine.
+
+    The sliding-window acceptance has no replayable timetable, so it
+    needed the dedicated ``WindowedProgram`` — the E14 variant sweep
+    ran on the scalar engine before it existed.
+    """
+    from repro.core.windowed import WindowedMalicious
+
+    _assert_batchsim_speedup(
+        partial(WindowedMalicious, grid(4, 4), 0, 1, p=0.25),
+        MaliciousFailures(0.25, ComplementAdversary()),
+        150, 11, benchmark,
+    )
 
 
 def test_batched_radio_delivery_beats_scalar_loop(benchmark):

@@ -1,0 +1,209 @@
+"""Render the rolling benchmark history as a gh-pages trend page.
+
+Consumes the ``bench-history.json`` series maintained by
+``diff_bench.py --history`` (last ~30 CI runs of per-benchmark mean
+wall-clock) and emits a static, dependency-free ``index.html`` of small
+multiples — one single-series line panel per benchmark — plus the raw
+JSON alongside it, so cross-branch trends are visible without
+downloading per-branch artifacts.
+
+Design notes (kept deliberately simple because the page must build from
+the Python stdlib alone): one panel per benchmark avoids multi-series
+hue collisions entirely; each panel is a 2px line with an end-point
+marker and a direct label on the latest value; per-point ``<title>``
+elements give native hover tooltips; a table view of the latest run is
+included for accessibility; light/dark both derive from CSS custom
+properties.
+
+Usage::
+
+    python benchmarks/plot_history.py bench-history.json site/
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import sys
+from pathlib import Path
+
+PANEL_WIDTH = 320
+PANEL_HEIGHT = 96
+PAD_LEFT, PAD_RIGHT, PAD_TOP, PAD_BOTTOM = 8, 64, 12, 8
+
+PAGE_STYLE = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #d9d8d3;
+  --series-1: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #3a3a38;
+    --series-1: #3987e5;
+  }
+}
+body {
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, sans-serif;
+  margin: 2rem auto;
+  max-width: 72rem;
+  padding: 0 1rem;
+}
+h1 { font-size: 1.25rem; }
+p, caption, th, td { color: var(--text-secondary); }
+.panels { display: flex; flex-wrap: wrap; gap: 1.5rem 2rem; }
+figure { margin: 0; }
+figcaption {
+  color: var(--text-primary);
+  font-size: 0.8rem;
+  margin-bottom: 0.25rem;
+  max-width: 320px;
+  overflow: hidden;
+  text-overflow: ellipsis;
+  white-space: nowrap;
+}
+table { border-collapse: collapse; margin-top: 2rem; }
+th, td { border: 1px solid var(--grid); padding: 0.25rem 0.6rem;
+         font-size: 0.8rem; text-align: left; }
+"""
+
+
+def _short_name(fullname: str) -> str:
+    """``bench_montecarlo.py::test_x`` -> ``test_x`` (keep it scannable)."""
+    return fullname.rsplit("::", 1)[-1]
+
+
+def _series(history: dict) -> dict:
+    """``name -> [(run_id, mean_seconds), ...]`` oldest first."""
+    series: dict = {}
+    for run in history.get("runs", []):
+        run_id = str(run.get("run_id", "?"))
+        for name, mean in run.get("means", {}).items():
+            if isinstance(mean, (int, float)) and mean > 0:
+                series.setdefault(str(name), []).append((run_id, float(mean)))
+    return series
+
+
+def _panel(name: str, points) -> str:
+    """One small-multiple SVG: a single 2px trend line, latest value labeled."""
+    means = [mean for _, mean in points]
+    low, high = min(means), max(means)
+    span = (high - low) or high or 1.0
+    low -= 0.08 * span
+    high += 0.08 * span
+    inner_w = PANEL_WIDTH - PAD_LEFT - PAD_RIGHT
+    inner_h = PANEL_HEIGHT - PAD_TOP - PAD_BOTTOM
+
+    def x_of(index: int) -> float:
+        if len(points) == 1:
+            return PAD_LEFT + inner_w
+        return PAD_LEFT + inner_w * index / (len(points) - 1)
+
+    def y_of(mean: float) -> float:
+        return PAD_TOP + inner_h * (1.0 - (mean - low) / (high - low))
+
+    coords = [(x_of(i), y_of(mean)) for i, (_, mean) in enumerate(points)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    last_x, last_y = coords[-1]
+    last_run, last_mean = points[-1]
+    dots = "\n".join(
+        f'<circle cx="{x:.1f}" cy="{y:.1f}" r="7" fill="transparent">'
+        f"<title>{html.escape(run_id)}: {mean * 1000:.1f} ms</title></circle>"
+        for (x, y), (run_id, mean) in zip(coords, points)
+    )
+    label = (f"{last_mean * 1000:.1f} ms" if last_mean < 1
+             else f"{last_mean:.2f} s")
+    return f"""
+<figure>
+  <figcaption title="{html.escape(name)}">{html.escape(_short_name(name))}</figcaption>
+  <svg width="{PANEL_WIDTH}" height="{PANEL_HEIGHT}" role="img"
+       aria-label="{html.escape(_short_name(name))} mean wall-clock trend">
+    <line x1="{PAD_LEFT}" y1="{PANEL_HEIGHT - PAD_BOTTOM}"
+          x2="{PANEL_WIDTH - PAD_RIGHT}" y2="{PANEL_HEIGHT - PAD_BOTTOM}"
+          stroke="var(--grid)" stroke-width="1"/>
+    <polyline points="{polyline}" fill="none" stroke="var(--series-1)"
+              stroke-width="2" stroke-linejoin="round"
+              stroke-linecap="round"/>
+    <circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="3.5"
+            fill="var(--series-1)"/>
+    <text x="{last_x + 7:.1f}" y="{last_y + 4:.1f}"
+          fill="var(--text-primary)" font-size="12">{label}</text>
+    {dots}
+  </svg>
+</figure>"""
+
+
+def render(history: dict) -> str:
+    """The full ``index.html`` for a history series."""
+    series = _series(history)
+    runs = history.get("runs", [])
+    run_count = len(runs)
+    panels = "\n".join(
+        _panel(name, points) for name, points in sorted(series.items())
+    )
+    latest = runs[-1] if runs else {"run_id": "—", "means": {}}
+    table_rows = "\n".join(
+        f"<tr><td>{html.escape(_short_name(str(name)))}</td>"
+        f"<td>{float(mean) * 1000:.1f}</td></tr>"
+        for name, mean in sorted(latest.get("means", {}).items())
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Benchmark trends</title>
+<style>{PAGE_STYLE}</style>
+</head>
+<body>
+<h1>Benchmark trends — mean wall-clock, last {run_count} CI run(s)</h1>
+<p>One panel per benchmark; the label is the latest mean.  Hover a point
+for its run id.  Series: <code>bench-history.json</code> (same rolling
+file <code>benchmarks/diff_bench.py --history</code> soft-gates in CI).</p>
+<div class="panels">
+{panels}
+</div>
+<table>
+<caption>Latest run ({html.escape(str(latest.get("run_id", "—")))})</caption>
+<thead><tr><th>benchmark</th><th>mean (ms)</th></tr></thead>
+<tbody>
+{table_rows}
+</tbody>
+</table>
+</body>
+</html>
+"""
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python benchmarks/plot_history.py "
+              "BENCH_HISTORY.json OUTPUT_DIR", file=sys.stderr)
+        return 2
+    history_path, out_dir = Path(argv[0]), Path(argv[1])
+    try:
+        history = json.loads(history_path.read_text())
+    except (OSError, ValueError):
+        history = {"runs": []}
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "index.html").write_text(render(history))
+    (out_dir / "bench-history.json").write_text(
+        json.dumps(history, indent=2, sort_keys=True)
+    )
+    benchmarks = len(_series(history))
+    print(f"wrote {out_dir / 'index.html'} "
+          f"({len(history.get('runs', []))} run(s), {benchmarks} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,8 +71,9 @@ def main() -> None:
     # registered closed-form sampler wins when one matches; otherwise
     # an eligible history-oblivious scenario runs on the vectorised
     # batchsim engine (bit-identical to the scalar engine, only
-    # faster); anything else — here a custom success predicate — falls
-    # through to scalar engine executions.
+    # faster).  Every algorithm family implements the batch interface,
+    # so the scalar engine is only dispatched for history-dependent
+    # adversaries or — as here — a custom success predicate.
     print("dispatch tiers (result.backend):")
     covered = TrialRunner(
         lambda: SimpleOmission(topology, 0, 1, MESSAGE_PASSING, p=p),

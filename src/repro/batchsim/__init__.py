@@ -19,11 +19,17 @@ from repro.batchsim.programs import (
     ADOPT_FIRST,
     ADOPT_MAJORITY,
     BatchProgram,
+    HelloProgram,
+    LiftEntry,
+    PlanLift,
     ScheduleLift,
+    WindowedProgram,
     lift_flooding,
     lift_layered_schedule,
     lift_radio_repeat,
+    lift_slot_schedule,
     lift_tree_phase,
+    registered_lifts,
 )
 
 __all__ = [
@@ -34,10 +40,16 @@ __all__ = [
     "supports_batchsim",
     "BatchProgram",
     "ScheduleLift",
+    "HelloProgram",
+    "WindowedProgram",
+    "PlanLift",
+    "LiftEntry",
+    "registered_lifts",
     "ADOPT_FIRST",
     "ADOPT_MAJORITY",
     "lift_tree_phase",
     "lift_radio_repeat",
     "lift_flooding",
     "lift_layered_schedule",
+    "lift_slot_schedule",
 ]

@@ -16,8 +16,11 @@ Stream contract (what makes the tier safe to auto-dispatch): trial
 :mod:`repro.montecarlo` per-trial convention — and the failure model's
 ``sample_failures_batch`` drains each trial's ``child("faults")``
 stream exactly as the scalar engine's round-by-round ``sample_faulty``
-calls would.  The supported oblivious adversaries consume no
-randomness at all, so the batched per-trial success indicators are
+calls would.  The plain oblivious adversaries consume no randomness at
+all, and the randomised slowing reduction *replays* its coin tosses
+from each trial's ``child("adversary")`` stream
+(:meth:`~repro.failures.adversaries.SlowingAdversary.
+thin_faulty_batch`), so the batched per-trial success indicators are
 **bit-identical** to the scalar engine's on matched streams
 (property-tested in ``tests/test_batchsim.py``), for any worker count
 and any chunk size.
@@ -26,12 +29,18 @@ Eligibility (:func:`batch_execution` returns ``None`` otherwise):
 
 * the failure model is history-oblivious (``requires_history`` False)
   and answers ``True`` from ``supports_batch(model)`` — fault-free,
-  omission (scalar ``p`` or per-node ``p_v``), and simple-malicious
-  models driven by a batchable oblivious adversary;
+  omission (scalar ``p`` or per-node ``p_v``), and malicious models
+  whose adversary *certifies* the enforced restriction level for
+  batched execution (``Adversary.batch_restrictions``; see
+  :mod:`repro.failures.adversaries` — incl. LIMITED/FLIP levels and
+  slowing wrappers around randomness-free inners);
+* the scenario's flip-closed payload alphabet passes the model's
+  ``supports_batch_payloads`` check (the FLIP restriction demands an
+  all-bit alphabet, matching the scalar engine's enforcement);
 * the algorithm implements the batch interface — ``batch_payloads()``
   (its payload alphabet) and ``batch_program(codec)`` (its
   :class:`~repro.batchsim.programs.BatchProgram`), both returning
-  non-``None``;
+  non-``None`` — which every algorithm family in the library now does;
 * the run estimates the standard broadcast-success event (the
   execution metadata carries a hashable ``source_message``).
 """
@@ -177,6 +186,8 @@ def batch_execution(algorithm: Algorithm, failure_model: FailureModel,
         expected_code = codec.try_code(metadata["source_message"])
     except (TypeError, ValueError):
         return None  # unhashable payloads: leave the scenario to the engine
+    if not failure_model.supports_batch_payloads(codec.payloads):
+        return None
     program = program_hook(codec)
     if program is None:
         return None

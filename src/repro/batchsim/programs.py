@@ -22,20 +22,38 @@ under one of two adoption rules:
   (Simple-Malicious, Malicious-Radio).
 
 The family-specific :func:`lift_tree_phase` / :func:`lift_radio_repeat`
-/ :func:`lift_flooding` / :func:`lift_layered_schedule` builders do the
-one-off schedule replay; algorithms expose them through their
-``batch_program(codec)`` hook (see :mod:`repro.batchsim.engine` for the
-eligibility contract).  Each builder mirrors its scalar protocol's
-semantics *exactly* — same listening windows, same tie handling, same
-uninformed-transmitter behaviour — which is what makes batched per-trial
-indicators bit-identical to the scalar engine on matched streams
-(property-tested in ``tests/test_batchsim.py``).
+/ :func:`lift_flooding` / :func:`lift_layered_schedule` /
+:func:`lift_slot_schedule` builders do the one-off schedule replay;
+algorithms expose them through their ``batch_program(codec)`` hook (see
+:mod:`repro.batchsim.engine` for the eligibility contract).
+
+Three protocol families fall outside the adopt-a-value relay shape and
+get dedicated programs instead of a :class:`ScheduleLift`:
+
+* :class:`HelloProgram` — the Section 2.2.2 timing channel decodes
+  *when* transmissions arrive, not what they carry;
+* :class:`WindowedProgram` — the windowed Simple-Malicious variant's
+  transmission timetable depends on when each node's sliding window
+  accepts, so there is no schedule to replay up front;
+* :class:`PlanLift` — Kučera compiled plans keep one bit per
+  repetition-execution *context* per node and fold them with scheduled
+  copy/vote directives.
+
+Each program mirrors its scalar protocol's semantics *exactly* — same
+listening windows, same tie handling, same uninformed-transmitter
+behaviour — which is what makes batched per-trial indicators
+bit-identical to the scalar engine on matched streams (property-tested
+in ``tests/test_batchsim.py``).  Every lift/program family registers a
+:class:`LiftEntry` so the architecture docs and the
+``python -m repro.experiments describe`` registry dump can enumerate
+the coverage (pinned by ``tests/test_docs_sync.py``).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -47,14 +65,84 @@ __all__ = [
     "ADOPT_MAJORITY",
     "BatchProgram",
     "ScheduleLift",
+    "HelloProgram",
+    "WindowedProgram",
+    "PlanLift",
+    "LiftEntry",
+    "registered_lifts",
     "lift_tree_phase",
     "lift_radio_repeat",
     "lift_flooding",
     "lift_layered_schedule",
+    "lift_slot_schedule",
 ]
 
 ADOPT_FIRST = "first"
 ADOPT_MAJORITY = "majority"
+
+
+@dataclass(frozen=True)
+class LiftEntry:
+    """One documented batchsim lift/program family.
+
+    ``name`` is the stable identifier the architecture docs and the
+    ``describe`` registry dump must mention; ``description`` is the
+    one-line coverage summary shown there.
+    """
+
+    name: str
+    description: str
+
+
+_LIFTS: Dict[str, LiftEntry] = {}
+
+
+def _register_lift(name: str, description: str) -> None:
+    if name in _LIFTS:
+        raise ValueError(f"duplicate lift name {name!r}")
+    _LIFTS[name] = LiftEntry(name=name, description=description)
+
+
+def registered_lifts() -> List[LiftEntry]:
+    """All batchsim lift families, in registration order."""
+    return list(_LIFTS.values())
+
+
+_register_lift(
+    "tree-phase",
+    "SimpleOmission (first-heard) / SimpleMalicious (majority) phase "
+    "schedules, both models",
+)
+_register_lift(
+    "radio-repeat",
+    "RadioRepeat repeated base schedules, any/majority adoption (radio)",
+)
+_register_lift(
+    "flooding",
+    "FastFlooding tree relays, transmit-once-informed (message passing)",
+)
+_register_lift(
+    "layered-schedule",
+    "LayeredScheduleBroadcast explicit step lists on G(m) (radio)",
+)
+_register_lift(
+    "slot-schedule",
+    "Round-robin / prime-power label timetables, transmit-once-informed "
+    "(radio)",
+)
+_register_lift(
+    "hello",
+    "Hello timing-channel decode on the 2-node graph, either model",
+)
+_register_lift(
+    "windowed",
+    "WindowedMalicious sliding-window acceptance relays (message passing)",
+)
+_register_lift(
+    "kucera-plan",
+    "Kučera compiled plans: per-context bits + copy/vote directives "
+    "(message passing)",
+)
 
 
 class BatchProgram(ABC):
@@ -101,6 +189,54 @@ class BatchProgram(ABC):
     @abstractmethod
     def output_codes(self) -> np.ndarray:
         """``(B, n)`` final outputs (the scalar protocols' ``output()``)."""
+
+
+class WatchViews:
+    """Message-passing gather views for watched-parent listeners.
+
+    Resolves each listener's watched sender into an inbox slot of
+    :func:`~repro.engine.simulator.deliver_mp_batch`: slot
+    ``indptr[v] + k`` of the delivery inbox carries what neighbour
+    ``indices[indptr[v] + k]`` sent to ``v``; the watch slot of ``v``
+    is the one whose sender is ``watch[v]``.  The static target mask
+    marks, per slot, whether the slot's sender addresses the owner —
+    which for the tree relays is exactly "the owner watches the
+    sender" (parents transmit to all of their children at once).
+    """
+
+    __slots__ = ("_order", "_slots", "_mask", "targets")
+
+    def __init__(self, topology, watch: np.ndarray):
+        watch = np.asarray(watch, dtype=np.int64)
+        indptr, indices = topology.csr_neighbors()
+        owners = np.repeat(np.arange(topology.order), np.diff(indptr))
+        self.targets: np.ndarray = watch[owners] == indices
+        slots = np.zeros(topology.order, dtype=np.int64)
+        mask = np.zeros(topology.order, dtype=bool)
+        for node in range(topology.order):
+            if watch[node] < 0:
+                continue
+            lo, hi = int(indptr[node]), int(indptr[node + 1])
+            matches = np.nonzero(indices[lo:hi] == watch[node])[0]
+            if matches.size:
+                slots[node] = lo + int(matches[0])
+                mask[node] = True
+        self._order = topology.order
+        self._slots = slots
+        self._mask = mask
+
+    def gather(self, received: np.ndarray) -> np.ndarray:
+        """``(B, E)`` inbox codes -> ``(B, n)`` watched-sender codes.
+
+        Nodes watching nobody (the source, disconnected nodes) hear
+        silence.
+        """
+        if received.shape[1] == 0:  # edgeless graph: nothing arrives
+            return np.full((received.shape[0], self._order), SILENCE,
+                           dtype=np.int64)
+        heard = received[:, self._slots]
+        heard[:, ~self._mask] = SILENCE
+        return heard
 
 
 class ScheduleLift(BatchProgram):
@@ -153,46 +289,17 @@ class ScheduleLift(BatchProgram):
         self._default = int(default_code)
         self._adoption = adoption
         self._requires_message = bool(requires_message)
-        self._watch_slots: Optional[np.ndarray] = None
-        self._watch_mask: Optional[np.ndarray] = None
-        self._targets: Optional[np.ndarray] = None
+        self._views: Optional[WatchViews] = None
         if model == MESSAGE_PASSING:
             if watch is None or topology is None:
                 raise ValueError(
                     "message-passing lifts need a watch map and topology"
                 )
-            self._build_mp_views(topology, np.asarray(watch, dtype=np.int64))
+            self._views = WatchViews(topology, watch)
         # Per-batch state, allocated by reset().
         self._batch = 0
         self._adopted: Optional[np.ndarray] = None
         self._counts: Optional[np.ndarray] = None
-
-    def _build_mp_views(self, topology, watch: np.ndarray) -> None:
-        """Resolve each listener's watched sender into an inbox slot.
-
-        Slot ``indptr[v] + k`` of the delivery inbox carries what
-        neighbour ``indices[indptr[v] + k]`` sent to ``v``; the watch
-        slot of ``v`` is the one whose sender is ``watch[v]``.  The
-        static target mask marks, per slot, whether the slot's sender
-        addresses the owner — which for the tree relays is exactly
-        "the owner watches the sender" (parents transmit to all of
-        their children at once).
-        """
-        indptr, indices = topology.csr_neighbors()
-        owners = np.repeat(np.arange(topology.order), np.diff(indptr))
-        self._targets = watch[owners] == indices
-        slots = np.zeros(topology.order, dtype=np.int64)
-        mask = np.zeros(topology.order, dtype=bool)
-        for node in range(topology.order):
-            if watch[node] < 0:
-                continue
-            lo, hi = int(indptr[node]), int(indptr[node + 1])
-            matches = np.nonzero(indices[lo:hi] == watch[node])[0]
-            if matches.size:
-                slots[node] = lo + int(matches[0])
-                mask[node] = True
-        self._watch_slots = slots
-        self._watch_mask = mask
 
     @property
     def rounds(self) -> int:
@@ -205,7 +312,7 @@ class ScheduleLift(BatchProgram):
         return self._order
 
     def mp_targets(self) -> Optional[np.ndarray]:
-        return self._targets
+        return None if self._views is None else self._views.targets
 
     def reset(self, batch: int) -> None:
         self._batch = int(batch)
@@ -243,14 +350,7 @@ class ScheduleLift(BatchProgram):
 
     def observe(self, round_index: int, received: np.ndarray) -> None:
         if self.model == MESSAGE_PASSING:
-            # Gather each listener's watched inbox slot; nodes watching
-            # nobody (the source) hear silence.
-            if received.shape[1] == 0:  # edgeless graph: nothing arrives
-                heard = np.full((received.shape[0], self._order),
-                                SILENCE, dtype=np.int64)
-            else:
-                heard = received[:, self._watch_slots]
-                heard[:, ~self._watch_mask] = SILENCE
+            heard = self._views.gather(received)
         else:
             heard = received
         listening = self._listen[round_index]
@@ -407,3 +507,321 @@ def lift_layered_schedule(algorithm, codec: PayloadCodec) -> ScheduleLift:
         ),
         default_code=codec.code_of(algorithm.default), adoption=ADOPT_FIRST,
     )
+
+
+def lift_slot_schedule(algorithm, codec: PayloadCodec) -> ScheduleLift:
+    """Replay a label-timetable broadcast (Section 2.1 discussion).
+
+    Covers :class:`~repro.core.labels.RoundRobinBroadcast` and
+    :class:`~repro.core.labels.PrimeScheduleBroadcast` (any
+    ``owns_slot`` predicate): an informed node transmits its adopted
+    message in the rounds its label owns, an uninformed node keeps
+    silent, and every node adopts the first payload heard in any round.
+    """
+    order = algorithm.topology.order
+    rounds = algorithm.rounds
+    transmit = np.zeros((rounds, order), dtype=bool)
+    for node in algorithm.topology.nodes:
+        for round_index in range(rounds):
+            if algorithm.owns_slot(node, round_index):
+                transmit[round_index, node] = True
+    listen = np.ones((rounds, order), dtype=bool)
+    return ScheduleLift(
+        model=algorithm.model, codec=codec,
+        transmit_schedule=transmit, listen_schedule=listen,
+        initial_codes=_initial_codes(
+            order, algorithm.source, codec.code_of(algorithm.source_message)
+        ),
+        default_code=codec.code_of(algorithm.default),
+        adoption=ADOPT_FIRST, requires_message=True,
+    )
+
+
+class HelloProgram(BatchProgram):
+    """Batched :class:`~repro.core.hello.HelloProtocolAlgorithm`.
+
+    The timing channel falls outside :class:`ScheduleLift`: the
+    receiver decodes 0 iff transmissions arrived in two *consecutive*
+    rounds, so the per-trial state is the previous round's audibility
+    flag plus the decoded-zero latch — not an adopted value.  The
+    sender's timetable itself is deterministic (all rounds for 0, odd
+    rounds for 1) and replayed here exactly.
+    """
+
+    def __init__(self, algorithm, codec: PayloadCodec):
+        from repro.core.hello import HELLO
+
+        self.model = algorithm.model
+        self._order = algorithm.topology.order
+        self._sender = algorithm.sender
+        self._receiver = algorithm.receiver
+        self._message_zero = algorithm.source_message == 0
+        self._hello_code = np.int64(codec.code_of(HELLO))
+        self._message_code = np.int64(codec.code_of(algorithm.source_message))
+        self._zero_code = np.int64(codec.code_of(0))
+        self._one_code = np.int64(codec.code_of(1))
+        self._views: Optional[WatchViews] = None
+        if self.model == MESSAGE_PASSING:
+            watch = np.full(self._order, -1, dtype=np.int64)
+            watch[self._receiver] = self._sender
+            self._views = WatchViews(algorithm.topology, watch)
+        self._batch = 0
+        self._heard_previous: Optional[np.ndarray] = None
+        self._decoded_zero: Optional[np.ndarray] = None
+
+    def mp_targets(self) -> Optional[np.ndarray]:
+        return None if self._views is None else self._views.targets
+
+    def reset(self, batch: int) -> None:
+        self._batch = int(batch)
+        self._heard_previous = np.zeros(self._batch, dtype=bool)
+        self._decoded_zero = np.zeros(self._batch, dtype=bool)
+
+    def intent_codes(self, round_index: int) -> np.ndarray:
+        intents = np.full((self._batch, self._order), SILENCE, dtype=np.int64)
+        if self._message_zero or round_index % 2 == 1:
+            intents[:, self._sender] = self._hello_code
+        return intents
+
+    def observe(self, round_index: int, received: np.ndarray) -> None:
+        if self.model == MESSAGE_PASSING:
+            heard = self._views.gather(received)
+        else:
+            heard = received
+        audible = heard[:, self._receiver] != SILENCE
+        self._decoded_zero |= audible & self._heard_previous
+        self._heard_previous = audible
+
+    def output_codes(self) -> np.ndarray:
+        outputs = np.empty((self._batch, self._order), dtype=np.int64)
+        outputs[:, self._sender] = self._message_code
+        outputs[:, self._receiver] = np.where(
+            self._decoded_zero, self._zero_code, self._one_code
+        )
+        return outputs
+
+
+class WindowedProgram(BatchProgram):
+    """Batched :class:`~repro.core.windowed.WindowedMalicious`.
+
+    No replayable timetable exists — a node starts its ``m``-round
+    relay whenever its sliding window first shows ``⌈m/2⌉`` identical
+    copies from its parent — so the program carries the window as a
+    ``(B, n, m)`` circular code buffer.  The acceptance check needs
+    only the payload heard *this* round: counts can never reach the
+    threshold between checks without the newest arrival (evictions only
+    decrease counts, and an earlier crossing would already have
+    accepted), so the scalar protocol's in-order window scan reduces to
+    one membership count of the current payload.
+    """
+
+    model = MESSAGE_PASSING
+
+    def __init__(self, algorithm, codec: PayloadCodec):
+        tree = algorithm.tree
+        self._order = algorithm.topology.order
+        self._window_length = algorithm.window_length
+        self._threshold = algorithm.acceptance_threshold
+        self._source = algorithm.source
+        self._message_code = np.int64(codec.code_of(algorithm.source_message))
+        self._default_code = np.int64(codec.code_of(algorithm.default))
+        watch = np.array(
+            [-1 if tree.parent[node] is None else tree.parent[node]
+             for node in range(self._order)],
+            dtype=np.int64,
+        )
+        self._views = WatchViews(algorithm.topology, watch)
+        self._has_children = np.array(
+            [bool(tree.children(node)) for node in range(self._order)],
+            dtype=bool,
+        )
+        self._batch = 0
+        self._accepted: Optional[np.ndarray] = None
+        self._transmissions_left: Optional[np.ndarray] = None
+        self._window: Optional[np.ndarray] = None
+
+    def mp_targets(self) -> Optional[np.ndarray]:
+        return self._views.targets
+
+    def reset(self, batch: int) -> None:
+        self._batch = int(batch)
+        self._accepted = np.full((batch, self._order), SILENCE,
+                                 dtype=np.int64)
+        self._accepted[:, self._source] = self._message_code
+        self._transmissions_left = np.zeros((batch, self._order),
+                                            dtype=np.int64)
+        self._transmissions_left[:, self._source] = self._window_length
+        self._window = np.full((batch, self._order, self._window_length),
+                               SILENCE, dtype=np.int64)
+
+    def intent_codes(self, round_index: int) -> np.ndarray:
+        active = (self._accepted != SILENCE) & (self._transmissions_left > 0)
+        # The scalar protocol spends a relay round even when it has no
+        # children to address, so decrement before masking leaves out.
+        self._transmissions_left[active] -= 1
+        return np.where(active & self._has_children, self._accepted,
+                        np.int64(SILENCE))
+
+    def observe(self, round_index: int, received: np.ndarray) -> None:
+        heard = self._views.gather(received)
+        pending = self._accepted == SILENCE
+        slot = self._window[:, :, round_index % self._window_length]
+        np.copyto(slot, heard, where=pending)
+        copies = (self._window == heard[:, :, np.newaxis]).sum(axis=2)
+        accept = pending & (heard != SILENCE) & (copies >= self._threshold)
+        self._accepted[accept] = heard[accept]
+        self._transmissions_left[accept] = self._window_length
+
+    def output_codes(self) -> np.ndarray:
+        return np.where(self._accepted != SILENCE, self._accepted,
+                        self._default_code)
+
+
+class PlanLift(BatchProgram):
+    """Batched :class:`~repro.core.kucera.algorithm.KuceraBroadcast`.
+
+    A compiled plan's directives are indexed by line position — the
+    tree depth of the executing node — so all nodes of one depth share
+    their round schedule.  Per-trial state is the bit table
+    ``(B, n, contexts)``; transmissions and receptions are replayed
+    from the compiled ``(position, round) -> context`` maps, and the
+    copy/vote control directives run at the start of their scheduled
+    round (directives scheduled past the final round run at output
+    time), in the compiler's per-position execution order — exactly
+    the scalar :class:`~repro.core.kucera.algorithm.KuceraProtocol`
+    ordering.
+    """
+
+    model = MESSAGE_PASSING
+
+    def __init__(self, algorithm, codec: PayloadCodec):
+        compiled = algorithm.compiled
+        tree = algorithm.tree
+        topology = algorithm.topology
+        self._order = topology.order
+        self._rounds = algorithm.rounds
+        self._source = algorithm.source
+        self._codec = codec
+        self._message_code = np.int64(codec.code_of(algorithm.source_message))
+        self._default_code = np.int64(codec.code_of(algorithm.default))
+        depth = np.asarray(tree.depth, dtype=np.int64)
+        nodes_at = {
+            position: np.nonzero(depth == position)[0]
+            for position in range(int(depth.max()) + 1)
+        }
+        context_index: Dict[tuple, int] = {(): 0}
+
+        def index_of(context) -> int:
+            return context_index.setdefault(context, len(context_index))
+
+        transmit_ctx = np.full((self._rounds, self._order), -1,
+                               dtype=np.int64)
+        for position, by_round in compiled.transmissions.items():
+            nodes = nodes_at.get(position)
+            if nodes is None or not nodes.size:
+                continue
+            for round_index, context in by_round.items():
+                transmit_ctx[round_index, nodes] = index_of(context)
+        receive_ctx = np.full((self._rounds, self._order), -1,
+                              dtype=np.int64)
+        for position, by_round in compiled.receptions.items():
+            nodes = nodes_at.get(position)
+            if nodes is None or not nodes.size:
+                continue
+            for round_index, context in by_round.items():
+                if round_index < self._rounds:
+                    receive_ctx[round_index, nodes] = index_of(context)
+        # Controls, bucketed by execution round; compiled.controls is
+        # already in per-position execution order, and directives of
+        # different positions touch disjoint nodes, so concatenation
+        # preserves the scalar semantics.
+        self._controls_by_round: Dict[int, list] = {}
+        self._tail_controls: list = []
+        for position in sorted(compiled.controls):
+            nodes = nodes_at.get(position)
+            if nodes is None or not nodes.size:
+                continue
+            for directive in compiled.controls[position]:
+                entry = (
+                    directive.kind, nodes,
+                    index_of(directive.target_context),
+                    tuple(index_of(ctx)
+                          for ctx in directive.source_contexts),
+                )
+                if directive.round_index < self._rounds:
+                    self._controls_by_round.setdefault(
+                        directive.round_index, []
+                    ).append(entry)
+                else:
+                    self._tail_controls.append(entry)
+        self._transmit_ctx = transmit_ctx
+        self._receive_ctx = receive_ctx
+        self._contexts = len(context_index)
+        self._root_context = 0
+        watch = np.array(
+            [-1 if tree.parent[node] is None else tree.parent[node]
+             for node in range(self._order)],
+            dtype=np.int64,
+        )
+        self._views = WatchViews(topology, watch)
+        self._has_children = np.array(
+            [bool(tree.children(node)) for node in range(self._order)],
+            dtype=bool,
+        )
+        self._node_range = np.arange(self._order)
+        self._batch = 0
+        self._bits: Optional[np.ndarray] = None
+
+    def mp_targets(self) -> Optional[np.ndarray]:
+        return self._views.targets
+
+    def reset(self, batch: int) -> None:
+        self._batch = int(batch)
+        self._bits = np.full((batch, self._order, self._contexts), SILENCE,
+                             dtype=np.int64)
+        self._bits[:, self._source, self._root_context] = self._message_code
+
+    def _apply_control(self, kind: str, nodes: np.ndarray, target: int,
+                       sources: tuple) -> None:
+        bits = self._bits
+        current = bits[:, nodes, target]
+        if kind == "copy":
+            source = bits[:, nodes, sources[0]]
+            bits[:, nodes, target] = np.where(source != SILENCE, source,
+                                              current)
+            return
+        votes = bits[:, nodes][:, :, list(sources)]
+        counts = (
+            votes[..., np.newaxis] == np.arange(self._codec.size)
+        ).sum(axis=2)
+        best = counts.max(axis=2)
+        tied = (counts == best[..., np.newaxis]).sum(axis=2)
+        winner = np.where(
+            (best > 0) & (tied == 1),
+            counts.argmax(axis=2), self._default_code,
+        )
+        # Abstaining contexts are excluded; with no votes at all the
+        # target bit keeps its old value (possibly still unset).
+        bits[:, nodes, target] = np.where(best > 0, winner, current)
+
+    def intent_codes(self, round_index: int) -> np.ndarray:
+        for entry in self._controls_by_round.get(round_index, ()):
+            self._apply_control(*entry)
+        context = self._transmit_ctx[round_index]
+        values = self._bits[:, self._node_range, np.maximum(context, 0)]
+        payload = np.where(values != SILENCE, values, self._default_code)
+        scheduled = (context >= 0) & self._has_children
+        return np.where(scheduled, payload, np.int64(SILENCE))
+
+    def observe(self, round_index: int, received: np.ndarray) -> None:
+        heard = self._views.gather(received)
+        context = self._receive_ctx[round_index]
+        store = (context >= 0) & (heard != SILENCE)
+        rows, nodes = np.nonzero(store)
+        self._bits[rows, nodes, context[nodes]] = heard[rows, nodes]
+
+    def output_codes(self) -> np.ndarray:
+        for entry in self._tail_controls:
+            self._apply_control(*entry)
+        values = self._bits[:, :, self._root_context]
+        return np.where(values != SILENCE, values, self._default_code)

@@ -174,3 +174,18 @@ class HelloProtocolAlgorithm(Algorithm):
     def counterfactual_source(self, flipped_message: Any) -> Protocol:
         """Source twin (lets the equalizing adversary attack it in tests)."""
         return HelloSender(self, flipped_message)
+
+    # -- batched execution -------------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`.
+
+        Both decodable bits are listed (the receiver *outputs* a bit
+        even though only ``HELLO`` is ever transmitted).
+        """
+        return (0, 1, HELLO)
+
+    def batch_program(self, codec):
+        """Vectorised timing-channel program."""
+        from repro.batchsim.programs import HelloProgram
+
+        return HelloProgram(self, codec)

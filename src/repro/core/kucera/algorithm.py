@@ -214,3 +214,14 @@ class KuceraBroadcast(Algorithm):
     def counterfactual_source(self, flipped_message: Any) -> Protocol:
         """Source twin for the impossibility adversaries."""
         return KuceraProtocol(self, self._source, flipped_message)
+
+    # -- batched execution -------------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised compiled-plan program."""
+        from repro.batchsim.programs import PlanLift
+
+        return PlanLift(self, codec)

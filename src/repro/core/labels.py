@@ -138,6 +138,17 @@ class _SlotAlgorithm(Algorithm):
         """Source twin for the impossibility adversaries."""
         return _SlotProtocol(self, self._source, flipped_message)
 
+    # -- batched execution -------------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised program replaying the label timetable once."""
+        from repro.batchsim.programs import lift_slot_schedule
+
+        return lift_slot_schedule(self, codec)
+
 
 class RoundRobinBroadcast(_SlotAlgorithm):
     """Labelled round robin: label ``i`` owns rounds ``ℓK + i``.

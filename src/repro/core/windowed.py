@@ -173,3 +173,14 @@ class WindowedMalicious(Algorithm):
     def counterfactual_source(self, flipped_message: Any) -> Protocol:
         """Source twin for the impossibility adversaries."""
         return WindowedMaliciousProtocol(self, self._source, flipped_message)
+
+    # -- batched execution -------------------------------------------------
+    def batch_payloads(self):
+        """Payload alphabet for :mod:`repro.batchsim`."""
+        return (self._default, self._source_message)
+
+    def batch_program(self, codec):
+        """Vectorised sliding-window acceptance program."""
+        from repro.batchsim.programs import WindowedProgram
+
+        return WindowedProgram(self, codec)

@@ -3,8 +3,15 @@
 Usage::
 
     python -m repro.experiments list
+    python -m repro.experiments describe [--markdown]
     python -m repro.experiments run E05 [--quick] [--seed N] [--workers N]
     python -m repro.experiments run-all [--quick] [--seed N] [--workers N]
+
+``describe`` renders the registry-driven experiment table — paper
+claims, topologies, failure models, the *dispatched* backend per
+scenario, trial budgets and CLI invocations; ``--markdown`` emits the
+committed ``EXPERIMENTS.md`` (``--describe`` is accepted as an alias
+for the subcommand).
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list registered experiments")
+    describe = sub.add_parser(
+        "describe",
+        help="render the registry-driven experiment/backend table",
+    )
+    describe.add_argument("--markdown", action="store_true",
+                          help="emit the committed EXPERIMENTS.md content")
     run_one = sub.add_parser("run", help="run one experiment")
     run_one.add_argument("experiment_id", help="e.g. E05")
     run_everything = sub.add_parser("run-all", help="run every experiment")
@@ -49,7 +62,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # `--describe` flag spelling maps onto the subcommand.
+    argv = ["describe" if arg == "--describe" else arg for arg in argv]
     args = _build_parser().parse_args(argv)
+    if args.command == "describe":
+        from repro.experiments.describe import render_markdown, render_text
+
+        print(render_markdown() if args.markdown else render_text())
+        return 0
     if args.command == "list":
         for experiment in all_experiments():
             print(f"{experiment.experiment_id}  {experiment.title}")

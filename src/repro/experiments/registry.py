@@ -6,12 +6,20 @@ and a boolean ``passed`` verdict — "did the paper's qualitative claim
 hold in this run".  Runner modules register themselves at import time
 via :func:`register`; :func:`run_experiment` / :func:`run_all` drive
 them (used by the CLI, the benchmarks and EXPERIMENTS.md).
+
+Each registration also carries the experiment's representative
+Monte-Carlo :class:`ScenarioSpec` list.  A spec builds the *actual*
+:class:`~repro.montecarlo.TrialRunner` the runner uses, so the
+``python -m repro.experiments describe`` table (and the committed
+``EXPERIMENTS.md`` it generates) reads the dispatched backend straight
+from the live dispatch logic — the documentation cannot drift from the
+registry (pinned by ``tests/test_docs_sync.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.tables import Table
 
@@ -19,6 +27,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentReport",
     "Experiment",
+    "ScenarioSpec",
     "register",
     "get_experiment",
     "all_experiments",
@@ -111,6 +120,40 @@ class ExperimentReport:
 
 
 @dataclass(frozen=True)
+class ScenarioSpec:
+    """One representative Monte-Carlo scenario of an experiment.
+
+    Attributes
+    ----------
+    label:
+        Short scenario name shown in the describe table (e.g.
+        ``"windowed malicious"``).
+    build:
+        Zero-argument callable returning the experiment's
+        :class:`~repro.montecarlo.TrialRunner` for this scenario (with
+        quick-mode parameters).  The describe machinery reads
+        ``dispatch_backend()`` and ``failure_model.describe()`` off it,
+        so the documented backend is always the dispatched one.
+        ``None`` marks a non-Monte-Carlo (purely combinatorial)
+        scenario: the topology/trials strings are still rendered, the
+        backend and failure columns show ``—``.
+    topology:
+        Human-readable topology summary (e.g. ``"binary tree d=4"``).
+    trials:
+        Trial-budget summary, quick vs full (e.g. ``"2000 / 6000"``).
+    note:
+        Optional caveat (e.g. a deliberately pinned engine
+        cross-check column that bypasses dispatch).
+    """
+
+    label: str
+    build: Optional[Callable[[], object]]
+    topology: str
+    trials: str
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class Experiment:
     """A registered experiment."""
 
@@ -118,13 +161,20 @@ class Experiment:
     title: str
     paper_claim: str
     runner: Callable[[ExperimentConfig], ExperimentReport]
+    scenarios: Tuple[ScenarioSpec, ...] = ()
 
 
 _REGISTRY: Dict[str, Experiment] = {}
 
 
-def register(experiment_id: str, title: str, paper_claim: str):
-    """Decorator registering a runner under ``experiment_id``."""
+def register(experiment_id: str, title: str, paper_claim: str,
+             scenarios: Optional[List[ScenarioSpec]] = None):
+    """Decorator registering a runner under ``experiment_id``.
+
+    ``scenarios`` lists the experiment's representative Monte-Carlo
+    scenarios for the ``describe`` table; purely combinatorial
+    experiments (E10) register none.
+    """
 
     def decorate(runner: Callable[[ExperimentConfig], ExperimentReport]):
         if experiment_id in _REGISTRY:
@@ -134,6 +184,7 @@ def register(experiment_id: str, title: str, paper_claim: str):
             title=title,
             paper_claim=paper_claim,
             runner=runner,
+            scenarios=tuple(scenarios or ()),
         )
         return runner
 

@@ -23,7 +23,12 @@ from repro.fastsim.closed_forms import simple_omission_success_probability
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -97,10 +102,28 @@ def _run(config: ExperimentConfig, model: str, experiment_id: str) -> Experiment
     )
 
 
+def _describe_runner(model: str) -> TrialRunner:
+    """The representative scenario of the smallest sweep cell."""
+    topology = binary_tree(3)
+    m = omission_phase_length(topology.order, 0.1)
+    return TrialRunner(
+        partial(SimpleOmission, topology, 0, 1, model, m),
+        OmissionFailures(0.1),
+    )
+
+
 @register(
     "E01",
     "Simple-Omission feasibility (message passing)",
     "Theorem 2.1 — feasible for any p < 1 (message passing)",
+    scenarios=[ScenarioSpec(
+        label="simple-omission mp",
+        build=lambda: _describe_runner(MESSAGE_PASSING),
+        topology="binary trees d=3..7",
+        trials="60 / 200 per engine cell",
+        note="closed form carries the sweep; one deliberately pinned "
+             "scalar-engine validation column per depth",
+    )],
 )
 def run_e01(config: ExperimentConfig) -> ExperimentReport:
     return _run(config, MESSAGE_PASSING, "E01")
@@ -110,6 +133,14 @@ def run_e01(config: ExperimentConfig) -> ExperimentReport:
     "E02",
     "Simple-Omission feasibility (radio)",
     "Theorem 2.1 — feasible for any p < 1 (radio)",
+    scenarios=[ScenarioSpec(
+        label="simple-omission radio",
+        build=lambda: _describe_runner(RADIO),
+        topology="binary trees d=3..7",
+        trials="60 / 200 per engine cell",
+        note="closed form carries the sweep; one deliberately pinned "
+             "scalar-engine validation column per depth",
+    )],
 )
 def run_e02(config: ExperimentConfig) -> ExperimentReport:
     return _run(config, RADIO, "E02")

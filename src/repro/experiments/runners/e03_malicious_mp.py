@@ -28,7 +28,12 @@ from repro.fastsim.closed_forms import internal_node_count
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -56,6 +61,16 @@ def _runner(topology, m: int, p: float, use_fastsim: bool = True,
     "E03",
     "Simple-Malicious threshold (message passing)",
     "Theorem 2.2 — almost-safe iff p < 1/2 (message passing)",
+    scenarios=[ScenarioSpec(
+        label="simple-malicious mp + complement",
+        build=lambda: _runner(
+            binary_tree(4), mp_malicious_phase_length(31, 0.3), 0.3
+        ),
+        topology="binary tree d=4/5",
+        trials="2000 / 6000",
+        note="plus a pinned scalar-engine spot-check column (40 / 120 "
+             "trials)",
+    )],
 )
 def run_e03(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E03")

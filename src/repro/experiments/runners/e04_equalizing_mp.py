@@ -28,15 +28,35 @@ from repro.montecarlo import TrialRunner
 from repro.failures.equalizing import EqualizingMpAdversary
 from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import two_node
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_runner() -> TrialRunner:
+    return TrialRunner(
+        partial(SimpleMalicious, two_node(), 0, 1, MESSAGE_PASSING, 15),
+        MaliciousFailures(0.5, EqualizingMpAdversary(source=0)),
+    )
 
 
 @register(
     "E04",
     "Equalizing adversary pins error at 1/2 (message passing)",
     "Theorem 2.3 — not feasible for p >= 1/2 (message passing)",
+    scenarios=[ScenarioSpec(
+        label="equalizing mp adversary",
+        build=_describe_runner,
+        topology="2-node graph",
+        trials="200 / 800",
+        note="adaptive (history-dependent) adversary — the scalar "
+             "engine tier is the only exact backend",
+    )],
 )
 def run_e04(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E04")

@@ -32,7 +32,12 @@ from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import star
 from repro.graphs.bfs import bfs_tree
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -62,10 +67,24 @@ def _runner(topology, m: int, p: float, workers: int) -> TrialRunner:
     )
 
 
+def _describe_runner() -> TrialRunner:
+    delta = 2
+    topology = star(delta, source_is_center=False)
+    p = 0.75 * radio_malicious_threshold(delta)
+    m = radio_malicious_phase_length(topology.order, p, delta)
+    return _runner(topology, m, p, workers=1)
+
+
 @register(
     "E05",
     "Radio malicious threshold p*(delta)",
     "Theorem 2.4 — feasible iff p < (1-p)^(delta+1) (radio)",
+    scenarios=[ScenarioSpec(
+        label="simple-malicious radio worst case",
+        build=_describe_runner,
+        topology="leaf-sourced stars, delta=2..16",
+        trials="4000 / 20000",
+    )],
 )
 def run_e05(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E05")

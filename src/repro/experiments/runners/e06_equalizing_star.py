@@ -33,15 +33,40 @@ from repro.failures.equalizing import EqualizingStarAdversary
 from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import star
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_runner() -> TrialRunner:
+    delta = 2
+    return TrialRunner(
+        partial(SimpleMalicious, star(delta, source_is_center=False), 0, 1,
+                RADIO, 15),
+        MaliciousFailures(
+            radio_malicious_threshold(delta),
+            EqualizingStarAdversary(source=0, center=1),
+        ),
+    )
 
 
 @register(
     "E06",
     "Star equalizing adversary (radio impossibility)",
     "Theorem 2.4 — not feasible for p >= (1-p)^(delta+1) (radio)",
+    scenarios=[ScenarioSpec(
+        label="equalizing star attack",
+        build=_describe_runner,
+        topology="leaf-sourced stars, delta=2/4",
+        trials="4000 / 20000",
+        note="the adaptive attack has an exact fastsim law "
+             "(equalizing-star), incl. the slowed p > p* rows",
+    )],
 )
 def run_e06(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E06")

@@ -25,9 +25,23 @@ from repro.fastsim.tree_chain import sample_flooding_times
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree, grid, line
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_runner() -> TrialRunner:
+    topology = line(8)
+    rounds = flooding_rounds(topology.order, 7, 0.3)
+    return TrialRunner(
+        partial(FastFlooding, topology, 0, 1, None, rounds),
+        OmissionFailures(0.3),
+    )
 
 
 @register(
@@ -35,6 +49,12 @@ from repro.rng import RngStream
     "Flooding time Theta(D + log n)",
     "Theorem 3.1 — optimal almost-safe time Theta(D + log n) for omission "
     "failures (message passing)",
+    scenarios=[ScenarioSpec(
+        label="fast flooding + omission",
+        build=_describe_runner,
+        topology="lines, grids, binary trees (n up to 128)",
+        trials="1500 / 4000",
+    )],
 )
 def run_e07(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E07")

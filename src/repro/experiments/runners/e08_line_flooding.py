@@ -28,7 +28,12 @@ from repro.failures.base import OmissionFailures
 from repro.fastsim.closed_forms import line_flooding_success_probability
 from repro.graphs.builders import line
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -37,11 +42,24 @@ from repro.rng import RngStream
 _MC_LENGTHS = (8, 16, 32)
 
 
+def _describe_runner() -> TrialRunner:
+    return TrialRunner(
+        partial(FastFlooding, line(8), 0, 1, None, 15),
+        OmissionFailures(0.3),
+    )
+
+
 @register(
     "E08",
     "Line flooding exponential tail (Lemma 3.1)",
     "Lemma 3.1 — broadcast on a length-L line in O(L) rounds with "
     "probability 1 - e^{-cL}",
+    scenarios=[ScenarioSpec(
+        label="line flooding + omission",
+        build=_describe_runner,
+        topology="lines L=8..512",
+        trials="4000 / 20000 on the MC cross-check lengths",
+    )],
 )
 def run_e08(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E08")

@@ -7,11 +7,13 @@ malicious (here: flip) failures whenever ``p < 1/2``.
 
 The experiment (a) verifies the planner's exact guarantees scale
 linearly in the line length with super-polynomially shrinking failure,
-and (b) runs the compiled algorithm end to end in the engine under the
-flip adversary on lines and trees (batched through the
-:class:`~repro.montecarlo.TrialRunner`; per-trial streams match the
-historical ``estimate_success`` loop bit for bit), checking empirical
-success.
+and (b) runs the compiled algorithm end to end under the flip
+adversary on lines and trees, batched through the
+:class:`~repro.montecarlo.TrialRunner` — which dispatches to the
+batchsim tier's :class:`~repro.batchsim.programs.PlanLift` (the flip
+adversary certifies the FLIP restriction on bit alphabets).  Per-trial
+streams match the historical scalar-engine ``estimate_success`` loop
+bit for bit, so the pre-migration goldens still pin the results.
 """
 
 from __future__ import annotations
@@ -29,9 +31,21 @@ from repro.failures.adversaries import RandomFlipAdversary
 from repro.failures.malicious import MaliciousFailures, Restriction
 from repro.montecarlo import TrialRunner
 from repro.graphs.builders import binary_tree, line
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_runner() -> TrialRunner:
+    return TrialRunner(
+        partial(KuceraBroadcast, line(6), 0, 1, p=0.25),
+        MaliciousFailures(0.25, RandomFlipAdversary(), Restriction.FLIP),
+    )
 
 
 @register(
@@ -39,6 +53,12 @@ from repro.rng import RngStream
     "Kucera composition algorithm (Theorem 3.2)",
     "Theorem 3.2 — almost-safe in O(D + log^alpha n) for limited-malicious "
     "failures, p < 1/2",
+    scenarios=[ScenarioSpec(
+        label="kucera plan + flip adversary",
+        build=_describe_runner,
+        topology="lines L=6/12, binary trees d=3/4",
+        trials="12 / 40",
+    )],
 )
 def run_e09(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E09")

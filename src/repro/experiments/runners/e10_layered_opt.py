@@ -18,7 +18,12 @@ from repro.graphs.layered import layered_graph
 from repro.radio.closed_form import layered_schedule
 from repro.radio.exact import layered_min_layer2_steps, optimal_broadcast_time
 from repro.radio.greedy import greedy_schedule
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 
 
@@ -26,6 +31,12 @@ from repro.experiments.tables import Table
     "E10",
     "Layered graph fault-free optimum (Lemma 3.3)",
     "Lemma 3.3 — opt(G(m)) = m + 1 in the radio model",
+    scenarios=[ScenarioSpec(
+        label="exhaustive schedule search (no Monte-Carlo)",
+        build=None,
+        topology="layered graphs G(m), m=2..5",
+        trials="—",
+    )],
 )
 def run_e10(config: ExperimentConfig) -> ExperimentReport:
     ms = [2, 3] if config.quick else [2, 3, 4, 5]

@@ -32,7 +32,12 @@ from repro.failures.base import OmissionFailures
 from repro.graphs.layered import layered_graph
 from repro.montecarlo import TrialRunner
 from repro.radio.layered_broadcast import LayeredScheduleBroadcast
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -61,11 +66,26 @@ def _uniform_schedule(m: int, budget: int):
     return steps
 
 
+def _describe_runner() -> TrialRunner:
+    graph = layered_graph(5)
+    steps = _uniform_schedule(5, 8)
+    return TrialRunner(
+        partial(LayeredScheduleBroadcast, graph, steps, 1),
+        OmissionFailures(0.5),
+    )
+
+
 @register(
     "E11",
     "Layered-graph lower bound (Lemma 3.4 / Theorem 3.3)",
     "Theorem 3.3 — almost-safe radio broadcast on G(m) cannot run in "
     "O(opt + log n)",
+    scenarios=[ScenarioSpec(
+        label="layered schedule + omission",
+        build=_describe_runner,
+        topology="layered graphs G(m), m=5..8",
+        trials="2500 / 8000",
+    )],
 )
 def run_e11(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E11")

@@ -36,7 +36,12 @@ from repro.radio.closed_form import (
 )
 from repro.radio.greedy import greedy_schedule
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
 
@@ -58,11 +63,38 @@ def _schedules(config: ExperimentConfig, stream: RngStream):
     return zoo
 
 
+def _describe_runner(rule, p, failure_model) -> TrialRunner:
+    schedule = line_schedule(line(8))
+    algorithm = RadioRepeat(schedule, 1, rule=rule, p=p)
+    return TrialRunner(
+        partial(RadioRepeat, schedule, 1, rule, algorithm.phase_length),
+        failure_model,
+    )
+
+
 @register(
     "E12",
     "Schedule repetition: Omission-/Malicious-Radio (Theorem 3.4)",
     "Theorem 3.4 — almost-safe radio broadcast in O(opt * log n) on any "
     "graph",
+    scenarios=[
+        ScenarioSpec(
+            label="radio-repeat any + omission",
+            build=lambda: _describe_runner(ADOPT_ANY, 0.4,
+                                           OmissionFailures(0.4)),
+            topology="line/spider/star/layered/random tree",
+            trials="2000 / 20000",
+        ),
+        ScenarioSpec(
+            label="radio-repeat majority + complement",
+            build=lambda: _describe_runner(
+                ADOPT_MAJORITY, 0.1,
+                MaliciousFailures(0.1, ComplementAdversary()),
+            ),
+            topology="line/spider/star/layered/random tree",
+            trials="2000 / 20000",
+        ),
+    ],
 )
 def run_e12(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E12")

@@ -12,11 +12,12 @@ Three remarks made executable:
   transmits at rounds ``p_i^k``; collision-free by unique
   factorisation, demonstrated on a small line.
 
-All three run as engine batches through the
-:class:`~repro.montecarlo.TrialRunner` (no fastsim sampler covers these
-variants); the per-trial streams match the historical
-``estimate_success`` loop bit for bit, and ``config.workers`` shards
-the full-size sweeps across processes.
+All three run through the :class:`~repro.montecarlo.TrialRunner` and
+dispatch to the batchsim tier (no fastsim sampler covers these
+variants, but the windowed program and the slot-schedule lift do —
+see :mod:`repro.batchsim.programs`); the per-trial streams match the
+historical scalar-engine ``estimate_success`` loop bit for bit, so the
+pre-migration goldens still pin the results.
 """
 
 from __future__ import annotations
@@ -31,9 +32,37 @@ from repro.failures.base import OmissionFailures
 from repro.failures.malicious import MaliciousFailures
 from repro.graphs.builders import binary_tree, grid, line
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_windowed() -> TrialRunner:
+    return TrialRunner(
+        partial(WindowedMalicious, grid(3, 4), 0, 1, p=0.25),
+        MaliciousFailures(0.25, ComplementAdversary()),
+    )
+
+
+def _describe_round_robin() -> TrialRunner:
+    topology = binary_tree(3)
+    cycles = flooding_rounds(topology.order, 3, 0.5)
+    return TrialRunner(
+        partial(RoundRobinBroadcast, topology, 0, 1, cycles=cycles),
+        OmissionFailures(0.5),
+    )
+
+
+def _describe_prime() -> TrialRunner:
+    return TrialRunner(
+        partial(PrimeScheduleBroadcast, line(3), 0, 1, rounds=2500),
+        OmissionFailures(0.3),
+    )
 
 
 @register(
@@ -41,6 +70,26 @@ from repro.rng import RngStream
     "Discussion variants: windowed, round robin, prime schedules",
     "Sections 2.1/2.2.2 — index knowledge and global clocks can be "
     "discarded",
+    scenarios=[
+        ScenarioSpec(
+            label="windowed malicious",
+            build=_describe_windowed,
+            topology="grid 3x4 / 4x5",
+            trials="25 / 80",
+        ),
+        ScenarioSpec(
+            label="labelled round robin",
+            build=_describe_round_robin,
+            topology="binary tree d=3",
+            trials="25 / 80",
+        ),
+        ScenarioSpec(
+            label="prime-power schedule",
+            build=_describe_prime,
+            topology="line n=3, 2500-round horizon",
+            trials="25 / 80",
+        ),
+    ],
 )
 def run_e14(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E14")

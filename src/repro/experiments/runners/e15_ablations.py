@@ -45,9 +45,33 @@ from repro.fastsim.closed_forms import simple_omission_success_probability
 from repro.graphs.bfs import bfs_tree
 from repro.graphs.builders import binary_tree
 from repro.montecarlo import TrialRunner
-from repro.experiments.registry import ExperimentConfig, ExperimentReport, register
+from repro.experiments.registry import (
+    ExperimentConfig,
+    ExperimentReport,
+    ScenarioSpec,
+    register,
+)
 from repro.experiments.tables import Table
 from repro.rng import RngStream
+
+
+def _describe_exact_m() -> TrialRunner:
+    topology = binary_tree(5)
+    m = omission_phase_length(topology.order, 0.5)
+    return TrialRunner(
+        partial(SimpleOmission, topology, 0, 1, MESSAGE_PASSING, m),
+        OmissionFailures(0.5),
+    )
+
+
+def _describe_hetero() -> TrialRunner:
+    topology = binary_tree(5)
+    rates = np.round(np.linspace(0.15, 0.75, topology.order), 4)
+    return TrialRunner(
+        partial(SimpleOmission, topology, 0, 1, MESSAGE_PASSING, 4),
+        OmissionFailures(p_v=rates),
+        use_fastsim=False,
+    )
 
 
 @register(
@@ -55,6 +79,22 @@ from repro.rng import RngStream
     "Design-choice ablations",
     "DESIGN.md §6 — exact constants vs asymptotic prescriptions, adoption "
     "rules, plan shapes",
+    scenarios=[
+        ScenarioSpec(
+            label="exact-m omission check",
+            build=_describe_exact_m,
+            topology="binary tree d=5",
+            trials="20000 / 80000",
+        ),
+        ScenarioSpec(
+            label="heterogeneous p_v ramp (batchsim leg)",
+            build=_describe_hetero,
+            topology="binary tree d=5",
+            trials="10000 / 40000",
+            note="run twice: the p_v fastsim sampler and, with fastsim "
+                 "off, the batchsim tier — both vs ∏(1-p_v^m)",
+        ),
+    ],
 )
 def run_e15(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E15")

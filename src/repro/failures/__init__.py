@@ -1,4 +1,19 @@
-"""Failure substrate: omission and malicious transmission failures."""
+"""Failure substrate: omission and malicious transmission failures.
+
+The paper's fault model — each node's transmitter fails independently
+with probability ``p`` per round — is :class:`OmissionFailures`;
+``OmissionFailures(p_v=[...])`` replaces the uniform rate with one
+Bernoulli rate per transmitter (the heterogeneous noisy-broadcast
+workload of PAPERS.md), drawing through the same stream-consumption
+pattern so both forms stay bit-compatible with the engine's per-trial
+streams.  :class:`MaliciousFailures` drives an :class:`Adversary`
+(oblivious attacks, the coordinated radio worst case, the randomised
+:class:`SlowingAdversary` rate reduction, the adaptive equalizing
+constructions) under an enforced :class:`Restriction` level.  All
+history-oblivious models also implement the vectorised
+:mod:`repro.batchsim` hooks — see :mod:`repro.failures.base` and
+:mod:`repro.failures.malicious` for the batch contracts.
+"""
 
 from repro.failures.adversaries import (
     ComplementAdversary,

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro._validation import check_probability
 from repro.engine.protocol import MESSAGE_PASSING, RADIO
-from repro.failures.malicious import Adversary
+from repro.failures.malicious import Adversary, Restriction
 
 __all__ = [
     "SilentAdversary",
@@ -59,6 +59,8 @@ class _ObliviousAdversary(Adversary):
     tosses coins), so the batched rewrites below consume no streams and
     batched executions stay bit-identical to scalar ones.
     """
+
+    consumes_adversary_stream = False
 
     @property
     def requires_history(self) -> bool:
@@ -87,6 +89,11 @@ class SilentAdversary(_ObliviousAdversary):
 
     def supports_batch(self, model: str) -> bool:
         return True
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        # Stopping never speaks out of turn (LIMITED-legal) but always
+        # drops, which the flip restriction forbids.
+        return frozenset({Restriction.FULL, Restriction.LIMITED})
 
     def batch_rewrite(self, round_index: int, faulty: np.ndarray,
                       codes: np.ndarray, codec, model: str) -> np.ndarray:
@@ -119,6 +126,14 @@ class ComplementAdversary(_ObliviousAdversary):
 
     def supports_batch(self, model: str) -> bool:
         return True
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        # Flipping touches only intended transmissions (LIMITED-legal)
+        # and preserves the target set exactly (FLIP-legal on bit
+        # alphabets, which supports_batch_payloads separately enforces).
+        return frozenset(
+            {Restriction.FULL, Restriction.LIMITED, Restriction.FLIP}
+        )
 
     def batch_rewrite(self, round_index: int, faulty: np.ndarray,
                       codes: np.ndarray, codec, model: str) -> np.ndarray:
@@ -153,6 +168,13 @@ class RandomFlipAdversary(_ObliviousAdversary):
 
     def supports_batch(self, model: str) -> bool:
         return True
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        # Same action as the complement adversary — and the flip
+        # restriction is this adversary's native habitat.
+        return frozenset(
+            {Restriction.FULL, Restriction.LIMITED, Restriction.FLIP}
+        )
 
     def batch_rewrite(self, round_index: int, faulty: np.ndarray,
                       codes: np.ndarray, codec, model: str) -> np.ndarray:
@@ -191,6 +213,14 @@ class GarbageAdversary(_ObliviousAdversary):
         except TypeError:
             return False
         return True
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        if not self.supports_batch(model):
+            return frozenset()
+        # Corrupts only intended transmissions (LIMITED-legal by
+        # construction); the garbage payload is not a bit, so the flip
+        # restriction is out.
+        return frozenset({Restriction.FULL, Restriction.LIMITED})
 
     def batch_rewrite(self, round_index: int, faulty: np.ndarray,
                       codes: np.ndarray, codec, model: str) -> np.ndarray:
@@ -380,6 +410,58 @@ class SlowingAdversary(Adversary):
                 self._inner.rewrite(round_index, still_faulty, intents, view)
             )
         return replacements
+
+    # -- batched execution ----------------------------------------------
+    def supports_batch(self, model: str) -> bool:
+        return bool(self.batch_restrictions(model))
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        if self._inner.consumes_adversary_stream:
+            # The replay below reproduces only this wrapper's coin
+            # tosses; a randomised inner adversary (e.g. a nested
+            # slowing reduction) would interleave its own draws on the
+            # same stream, which the replay cannot reconstruct.
+            return frozenset()
+        # Releasing a node passes its intent through untouched — the
+        # fault-free behaviour, legal under every restriction — so the
+        # wrapper certifies exactly what the inner adversary certifies.
+        return self._inner.batch_restrictions(model)
+
+    def batch_payloads(self) -> tuple:
+        return self._inner.batch_payloads()
+
+    def thin_faulty_batch(self, trial_streams, masks):
+        """Replay the per-trial slowing coins onto the faulty masks.
+
+        The scalar :meth:`rewrite` draws one Bernoulli per faulty node
+        — in round order, then ascending node order, and only in rounds
+        with at least one faulty node — from the execution's
+        ``child("adversary")`` stream; that is exactly one draw per set
+        mask bit, in the row-major order of the ``(rounds, order)``
+        mask.  Numpy generators fill vector draws sequentially, so one
+        ``random(count)`` per trial replays those coins bit for bit,
+        and the released nodes simply drop out of the faulty masks
+        (their intents then pass through like any fault-free node's).
+        """
+        thinned = masks.copy()
+        for index, stream in enumerate(trial_streams):
+            flat = masks[index].reshape(-1)
+            count = int(np.count_nonzero(flat))
+            if count == 0:
+                continue
+            keep = (stream.child("adversary").generator.random(count)
+                    < self._keep_probability)
+            surviving = np.zeros(flat.shape, dtype=bool)
+            surviving[np.nonzero(flat)[0]] = keep
+            thinned[index] = surviving.reshape(masks[index].shape)
+        return thinned
+
+    def batch_rewrite(self, round_index: int, faulty: np.ndarray,
+                      codes: np.ndarray, codec, model: str) -> np.ndarray:
+        # thin_faulty_batch already released the lucky nodes from the
+        # masks, so the surviving faulty set goes straight through.
+        return self._inner.batch_rewrite(round_index, faulty, codes, codec,
+                                         model)
 
     def describe(self) -> str:
         return (f"SlowingAdversary({self._inner.describe()}, "

@@ -236,6 +236,17 @@ class FailureModel(ABC):
         """
         return ()
 
+    def supports_batch_payloads(self, payloads) -> bool:
+        """Whether batched execution stays exact on this payload alphabet.
+
+        Called with the scenario codec's full (flip-closed) alphabet
+        after :meth:`supports_batch` accepted the scenario shape.
+        Restriction-enforcing models override this — e.g. the flip
+        restriction requires an all-bit alphabet, since the scalar
+        engine would reject any other payload mid-execution.
+        """
+        return True
+
     def describe(self) -> str:
         """One-line description for experiment tables."""
         if self._p_v is not None:

@@ -74,6 +74,12 @@ class Adversary(ABC):
         """
         return True
 
+    #: Whether :meth:`rewrite` draws from ``view.adversary_stream``.
+    #: The conservative default is ``True``; randomness-free adversaries
+    #: override it so stream-replaying wrappers (the slowing reduction)
+    #: can certify batched bit-identity.
+    consumes_adversary_stream: bool = True
+
     # -- batched-execution hooks ----------------------------------------
     def supports_batch(self, model: str) -> bool:
         """Whether :meth:`batch_rewrite` reproduces this adversary exactly.
@@ -82,6 +88,35 @@ class Adversary(ABC):
         exist in radio).  Conservative default: ``False``.
         """
         return False
+
+    def batch_restrictions(self, model: str) -> frozenset:
+        """Restriction levels the batched rewrite is provably legal under.
+
+        The batched path skips the scalar engine's per-round
+        restriction enforcement, so an adversary must *certify* each
+        level: membership means every behaviour :meth:`batch_rewrite`
+        can produce would pass the scalar checks for that level (e.g.
+        a rewrite that never speaks out of turn is legal under
+        ``LIMITED``).  The default certifies only ``FULL`` — where all
+        behaviours are legal by definition — and only when
+        :meth:`supports_batch` holds.
+        """
+        if self.supports_batch(model):
+            return frozenset({Restriction.FULL})
+        return frozenset()
+
+    def thin_faulty_batch(self, trial_streams, masks):
+        """Hook for wrappers that release faulty nodes with private coins.
+
+        Called once per trial chunk by
+        :meth:`MaliciousFailures.sample_failures_batch` with the
+        per-trial root streams and the ``(batch, rounds, order)``
+        faulty masks; the returned masks replace them.  The slowing
+        reduction replays its Bernoulli releases here so batched
+        executions stay bit-identical; everything else passes the
+        masks through unchanged.
+        """
+        return masks
 
     def batch_rewrite(self, round_index: int, faulty: np.ndarray,
                       codes: np.ndarray, codec, model: str) -> np.ndarray:
@@ -196,14 +231,27 @@ class MaliciousFailures(FailureModel):
         return self._adversary.requires_history
 
     def supports_batch(self, model: str) -> bool:
-        # The batched path skips the scalar engine's restriction
-        # enforcement, so it is only offered for the FULL level where
-        # every adversary behaviour is legal by definition; the
-        # adversary itself must also be vectorisable in this model.
-        return (
-            self._restriction is Restriction.FULL
-            and self._adversary.supports_batch(model)
-        )
+        # The batched path skips the scalar engine's per-round
+        # restriction enforcement, so a restriction level is only
+        # offered when the adversary certifies its batched rewrite is
+        # legal under that level by construction (FULL is legal by
+        # definition; the flip level additionally needs an all-bit
+        # alphabet, checked by supports_batch_payloads once the
+        # scenario codec exists).
+        return self._restriction in self._adversary.batch_restrictions(model)
+
+    def supports_batch_payloads(self, payloads) -> bool:
+        if self._restriction is not Restriction.FLIP:
+            return True
+        # The scalar engine *raises* on non-bit payloads under the
+        # flip restriction; keep such scenarios on the engine tier so
+        # the error surfaces identically.
+        return all(payload == 0 or payload == 1 for payload in payloads)
+
+    def sample_failures_batch(self, trial_streams, rounds: int,
+                              order: int) -> np.ndarray:
+        masks = super().sample_failures_batch(trial_streams, rounds, order)
+        return self._adversary.thin_faulty_batch(trial_streams, masks)
 
     def apply_batch(self, round_index: int, faulty: np.ndarray,
                     codes: np.ndarray, codec, model: str) -> np.ndarray:

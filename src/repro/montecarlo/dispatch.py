@@ -34,17 +34,50 @@ tier / backend tag  eligibility                     what runs
                     ``p`` or per-node ``p_v``,      ``(B, n)`` arrays;
                     simple-malicious with a         indicators are
                     batchable oblivious adversary   **bit-identical**
-                    at FULL restriction); the       to the engine tier
-                    algorithm implements            (per-trial streams
-                    ``batch_program()`` /           ``root.child("mc",
-                    ``batch_payloads()``; default   i)``)
-                    success predicate only
-``engine``          always eligible (custom         scalar reference
-                    success predicates, adaptive    executions, one
-                    adversaries, algorithms         trial at a time,
-                    without a batch program)        optionally sharded
-                                                    across processes
+                    at every restriction level      to the engine tier
+                    the adversary *certifies* —     (per-trial streams
+                    incl. LIMITED/FLIP — and the    ``root.child("mc",
+                    slowing reduction via           i)``)
+                    per-trial adversary-stream
+                    replay); the algorithm
+                    implements ``batch_program()``
+                    / ``batch_payloads()`` (lift
+                    table below); default success
+                    predicate only
+``engine``          history-dependent failure       scalar reference
+                    models (the adaptive            executions, one
+                    equalizing adversaries,         trial at a time,
+                    nested slowing wrappers),       optionally sharded
+                    custom success predicates,      across processes
+                    algorithms without a batch
+                    program — or callers that
+                    deliberately pin it
+                    (``use_fastsim=False,
+                    use_batchsim=False``) for
+                    engine-validation columns
 ==================  ==============================  ====================
+
+Every algorithm family in the library implements the batch interface,
+so the engine tier is *only* auto-dispatched for history-dependent
+failure models and custom success predicates.  The batchsim lift
+families, by registered name and the algorithm classes they batch
+(behaviour summaries live in one place — the
+:func:`repro.batchsim.programs.registered_lifts` registry, rendered by
+``python -m repro.experiments describe``; this list is pinned against
+that registry by ``tests/test_docs_sync.py``):
+
+==================  ==================================================
+lift                algorithm classes
+==================  ==================================================
+tree-phase          ``SimpleOmission`` / ``SimpleMalicious``
+radio-repeat        ``RadioRepeat``
+flooding            ``FastFlooding``
+layered-schedule    ``LayeredScheduleBroadcast``
+slot-schedule       ``RoundRobinBroadcast`` / ``PrimeScheduleBroadcast``
+hello               ``HelloProtocolAlgorithm``
+windowed            ``WindowedMalicious``
+kucera-plan         ``KuceraBroadcast``
+==================  ==================================================
 
 The batchsim tier's trial-for-trial agreement with the engine is
 property-tested in ``tests/test_batchsim.py``; because the two tiers

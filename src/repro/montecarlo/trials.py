@@ -13,16 +13,19 @@ centralises that loop and makes it fast through a three-tier dispatch
   calling the sampler by hand, but a different bit pattern than the
   engine path);
 * otherwise, when the scenario is history-oblivious and the algorithm
-  implements the batch interface, the :mod:`repro.batchsim` engine
-  executes all trials together on stacked ``(B, n)`` arrays — trial
-  ``i`` still consumes ``root.child("mc", i)``, so the indicators are
-  **bit-identical** to the scalar engine path;
-* the scalar engine fallback instantiates the algorithm **once per
-  shard** (protocols carry all per-run state), takes the engine's
-  trace-free no-history fast path, and can shard across processes;
-  trial ``i`` always draws from ``root.child("mc", i)``, so the
-  per-trial indicator vector is bit-identical for any worker count —
-  and identical to
+  implements the batch interface (every algorithm family in the
+  library does), the :mod:`repro.batchsim` engine executes all trials
+  together on stacked ``(B, n)`` arrays — trial ``i`` still consumes
+  ``root.child("mc", i)``, so the indicators are **bit-identical** to
+  the scalar engine path;
+* the scalar engine fallback — reached only for history-dependent
+  failure models (the adaptive equalizing adversaries), custom success
+  predicates, or when a caller deliberately pins it — instantiates the
+  algorithm **once per shard** (protocols carry all per-run state),
+  takes the engine's trace-free no-history fast path, and can shard
+  across processes; trial ``i`` always draws from
+  ``root.child("mc", i)``, so the per-trial indicator vector is
+  bit-identical for any worker count — and identical to
   :func:`repro.analysis.estimation.estimate_success` under the same
   root stream.
 

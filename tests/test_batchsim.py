@@ -5,11 +5,15 @@ per-trial streams ``root.child("mc", i)`` the vectorised engine must
 reproduce the scalar engine's success indicator **trial for trial** —
 across both communication models, all supported failure models
 (fault-free, omission with scalar ``p`` and per-node ``p_v``,
-simple-malicious under every batchable oblivious adversary), and
-topologies where radio collisions actually happen.  That identity is
-what lets :class:`~repro.montecarlo.TrialRunner` promote a scenario
-from the ``engine`` tier to ``batchsim`` without changing any
-experiment's numbers.
+simple-malicious under every batchable oblivious adversary incl. the
+randomised slowing reduction's stream replay, and the LIMITED / FLIP
+restriction levels the adversaries certify), and every lifted protocol
+family: the replayed-schedule relays, the hello timing channel, the
+windowed sliding-window acceptance, the label timetables and the
+Kučera compiled plans.  That identity is what lets
+:class:`~repro.montecarlo.TrialRunner` promote a scenario from the
+``engine`` tier to ``batchsim`` without changing any experiment's
+numbers.
 """
 
 from functools import partial
@@ -19,7 +23,11 @@ import pytest
 
 from repro.batchsim import PayloadCodec, batch_execution, supports_batchsim
 from repro.core import FastFlooding, SimpleMalicious, SimpleOmission
+from repro.core.hello import HelloProtocolAlgorithm
+from repro.core.kucera import KuceraBroadcast
+from repro.core.labels import PrimeScheduleBroadcast, RoundRobinBroadcast
 from repro.core.radio_repeat import ADOPT_ANY, ADOPT_MAJORITY, RadioRepeat
+from repro.core.windowed import WindowedMalicious
 from repro.engine import MESSAGE_PASSING, RADIO, run_execution
 from repro.failures import (
     ComplementAdversary,
@@ -30,11 +38,12 @@ from repro.failures import (
     MaliciousFailures,
     OmissionFailures,
     RadioWorstCaseAdversary,
+    RandomFlipAdversary,
     Restriction,
     SilentAdversary,
     SlowingAdversary,
 )
-from repro.graphs import binary_tree, grid, layered_graph, line, star
+from repro.graphs import binary_tree, grid, layered_graph, line, star, two_node
 from repro.montecarlo import TrialRunner
 from repro.radio.closed_form import line_schedule
 from repro.radio.layered_broadcast import LayeredScheduleBroadcast
@@ -75,7 +84,10 @@ def _layered():
 
 #: (label, algorithm factory, failure factory) — every supported
 #: protocol family x model x failure model combination, including
-#: shapes with real radio collisions (grids, jamming, layered steps).
+#: shapes with real radio collisions (grids, jamming, layered steps),
+#: the hello / windowed / label-schedule / Kučera-plan lifts, the
+#: LIMITED and FLIP restriction levels, and the slowing reduction's
+#: adversary-stream replay.  The acceptance bar is >= 24 shapes.
 AGREEMENT_SCENARIOS = [
     ("omission-mp-tree",
      lambda: SimpleOmission(_tree(), 0, 1, MESSAGE_PASSING, 2),
@@ -125,6 +137,65 @@ AGREEMENT_SCENARIOS = [
     ("layered-omission",
      _layered,
      lambda: OmissionFailures(0.35)),
+    # -- hello timing channel (custom HelloProgram) -------------------
+    ("hello-mp-silent-limited-zero",
+     lambda: HelloProtocolAlgorithm(two_node(), 0, 8),
+     lambda: MaliciousFailures(0.5, SilentAdversary(), Restriction.LIMITED)),
+    ("hello-mp-garbage-limited-one",
+     lambda: HelloProtocolAlgorithm(two_node(), 1, 8),
+     lambda: MaliciousFailures(0.4, GarbageAdversary(), Restriction.LIMITED)),
+    ("hello-radio-omission-zero",
+     lambda: HelloProtocolAlgorithm(two_node(), 0, 6, RADIO),
+     lambda: OmissionFailures(0.6)),
+    # -- windowed simple-malicious (custom WindowedProgram) -----------
+    ("windowed-complement-grid",
+     lambda: WindowedMalicious(grid(3, 3), 0, 1, window_length=4),
+     lambda: MaliciousFailures(0.3, ComplementAdversary())),
+    ("windowed-garbage-limited-tree",
+     lambda: WindowedMalicious(_tree(), 0, 1, window_length=5),
+     lambda: MaliciousFailures(0.3, GarbageAdversary(), Restriction.LIMITED)),
+    ("windowed-omission-tree",
+     lambda: WindowedMalicious(_tree(), 0, 1, window_length=4),
+     lambda: OmissionFailures(0.35)),
+    # -- label timetables (slot-schedule lift) ------------------------
+    ("round-robin-omission-tree",
+     lambda: RoundRobinBroadcast(_tree(), 0, 1, cycles=8),
+     lambda: OmissionFailures(0.5)),
+    ("round-robin-pv-tree",
+     lambda: RoundRobinBroadcast(_tree(), 0, 1, cycles=8),
+     lambda: OmissionFailures(p_v=np.linspace(0.1, 0.7, _tree().order))),
+    ("prime-schedule-omission-line",
+     lambda: PrimeScheduleBroadcast(line(3), 0, 1, rounds=200),
+     lambda: OmissionFailures(0.3)),
+    # -- Kučera compiled plans (PlanLift), FLIP restriction -----------
+    ("kucera-flip-line",
+     lambda: KuceraBroadcast(line(6), 0, 1, p=0.25),
+     lambda: MaliciousFailures(0.25, RandomFlipAdversary(),
+                               Restriction.FLIP)),
+    ("kucera-flip-tree",
+     lambda: KuceraBroadcast(_tree(), 0, 1, p=0.25),
+     lambda: MaliciousFailures(0.25, RandomFlipAdversary(),
+                               Restriction.FLIP)),
+    ("kucera-complement-full-line",
+     lambda: KuceraBroadcast(line(5), 0, 1, p=0.3),
+     lambda: MaliciousFailures(0.3, ComplementAdversary())),
+    # -- slowing reduction (per-trial adversary-stream replay) --------
+    ("slowing-silent-radio-tree",
+     lambda: SimpleMalicious(_tree(), 0, 1, RADIO, 5),
+     lambda: MaliciousFailures(
+         0.4, SlowingAdversary(SilentAdversary(), 0.4, 0.2))),
+    ("slowing-complement-mp-tree",
+     lambda: SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3),
+     lambda: MaliciousFailures(
+         0.5, SlowingAdversary(ComplementAdversary(), 0.5, 0.3))),
+    ("slowing-worstcase-radio-grid",
+     lambda: SimpleMalicious(grid(3, 3), 0, 1, RADIO, 5),
+     lambda: MaliciousFailures(
+         0.3, SlowingAdversary(RadioWorstCaseAdversary(), 0.3, 0.15))),
+    ("slowing-windowed-mp",
+     lambda: WindowedMalicious(_tree(), 0, 1, window_length=4),
+     lambda: MaliciousFailures(
+         0.4, SlowingAdversary(GarbageAdversary(), 0.4, 0.25))),
 ]
 
 
@@ -156,6 +227,17 @@ class TestEligibility:
             SimpleOmission(_tree(), 0, 1, RADIO, 2), OmissionFailures(0.3)
         )
         assert supports_batchsim(_layered(), OmissionFailures(0.3))
+        assert supports_batchsim(
+            RoundRobinBroadcast(_tree(), 0, 1, cycles=4),
+            OmissionFailures(0.3),
+        )
+        assert supports_batchsim(
+            HelloProtocolAlgorithm(two_node(), 0, 4), OmissionFailures(0.3)
+        )
+        assert supports_batchsim(
+            KuceraBroadcast(line(4), 0, 1, p=0.25),
+            MaliciousFailures(0.25, RandomFlipAdversary(), Restriction.FLIP),
+        )
 
     def test_adaptive_adversary_is_rejected(self):
         topology = star(4, source_is_center=False)
@@ -166,20 +248,51 @@ class TestEligibility:
         assert adaptive.requires_history
         assert not supports_batchsim(algorithm, adaptive)
 
-    def test_randomised_slowing_adversary_is_rejected(self):
+    def test_slowing_adversary_is_accepted_via_stream_replay(self):
         algorithm = SimpleMalicious(_tree(), 0, 1, RADIO, 5)
         slowing = MaliciousFailures(
             0.4, SlowingAdversary(SilentAdversary(), 0.4, 0.2)
         )
         assert not slowing.requires_history
-        assert not supports_batchsim(algorithm, slowing)
+        assert supports_batchsim(algorithm, slowing)
 
-    def test_non_full_restriction_is_rejected(self):
+    def test_nested_slowing_is_rejected(self):
+        # A randomised inner adversary would interleave its own draws
+        # on the trial's adversary stream, which the replay cannot
+        # reconstruct — the scenario must stay on the scalar engine.
+        algorithm = SimpleMalicious(_tree(), 0, 1, RADIO, 5)
+        nested = MaliciousFailures(
+            0.4,
+            SlowingAdversary(
+                SlowingAdversary(SilentAdversary(), 0.4, 0.3), 0.4, 0.2
+            ),
+        )
+        assert not supports_batchsim(algorithm, nested)
+
+    def test_certified_restrictions_are_accepted(self):
         algorithm = SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3)
         limited = MaliciousFailures(
             0.3, ComplementAdversary(), Restriction.LIMITED
         )
-        assert not supports_batchsim(algorithm, limited)
+        assert supports_batchsim(algorithm, limited)
+
+    def test_out_of_turn_adversary_rejected_under_limited(self):
+        algorithm = SimpleMalicious(_tree(), 0, 1, RADIO, 3)
+        jamming = MaliciousFailures(
+            0.3, JammingAdversary(), Restriction.LIMITED
+        )
+        assert not supports_batchsim(algorithm, jamming)
+
+    def test_flip_restriction_needs_bit_alphabet(self):
+        # The scalar engine raises on non-bit payloads under FLIP; the
+        # batch tier must leave such scenarios to it.
+        algorithm = SimpleMalicious(
+            _tree(), 0, "msg", MESSAGE_PASSING, 3, default="fallback"
+        )
+        flip = MaliciousFailures(0.3, RandomFlipAdversary(), Restriction.FLIP)
+        assert not supports_batchsim(algorithm, flip)
+        bits = SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3)
+        assert supports_batchsim(bits, flip)
 
     def test_radio_only_adversaries_rejected_in_mp(self):
         algorithm = SimpleMalicious(_tree(), 0, 1, MESSAGE_PASSING, 3)
@@ -187,9 +300,18 @@ class TestEligibility:
         assert not supports_batchsim(algorithm, jamming)
 
     def test_algorithm_without_batch_interface_is_rejected(self):
-        from repro.core.labels import RoundRobinBroadcast
+        from repro.engine.protocol import Algorithm
 
-        algorithm = RoundRobinBroadcast(_tree(), 0, 1, cycles=4)
+        class Hookless(Algorithm):
+            rounds = 3
+
+            def metadata(self):
+                return {"source": 0, "source_message": 1}
+
+            def protocol(self, node):  # pragma: no cover - never executed
+                raise NotImplementedError
+
+        algorithm = Hookless(_tree(), RADIO)
         assert not supports_batchsim(algorithm, OmissionFailures(0.3))
 
 

@@ -1,0 +1,114 @@
+"""Docs-freshness pins: the registry is the source of truth.
+
+Three layers of protection against documentation drift:
+
+* the tier table in ``repro/montecarlo/dispatch.py``'s module docstring
+  and the ``describe`` output must name **every** registered fastsim
+  sampler and batchsim lift — registering a new entry without
+  documenting it fails here;
+* the committed ``EXPERIMENTS.md`` must be byte-identical to what
+  ``python -m repro.experiments describe --markdown`` regenerates from
+  the live registry (backends included, so a dispatch change that
+  silently demotes an experiment to a slower tier also fails here);
+* ``ARCHITECTURE.md``/``README.md`` exist, cross-link, name every
+  sampler/lift, and no top-level markdown file carries a broken
+  relative link.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.montecarlo.dispatch as dispatch_module
+from repro.batchsim.programs import registered_lifts
+from repro.experiments.describe import render_markdown, render_text
+from repro.montecarlo.dispatch import registered_samplers
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+from lint_docs import broken_links  # noqa: E402
+
+
+def sampler_names():
+    names = [entry.name for entry in registered_samplers()]
+    assert names, "sampler registry unexpectedly empty"
+    return names
+
+
+def lift_names():
+    names = [entry.name for entry in registered_lifts()]
+    assert names, "lift registry unexpectedly empty"
+    return names
+
+
+class TestDispatchDocstring:
+    def test_names_every_registered_sampler(self):
+        docstring = dispatch_module.__doc__
+        for name in sampler_names():
+            assert name in docstring, (
+                f"sampler {name!r} is registered but missing from the "
+                f"dispatch.py tier table docstring"
+            )
+
+    def test_names_every_registered_lift(self):
+        docstring = dispatch_module.__doc__
+        for name in lift_names():
+            assert name in docstring, (
+                f"batchsim lift {name!r} is registered but missing from "
+                f"the dispatch.py tier table docstring"
+            )
+
+
+class TestDescribeOutput:
+    def test_names_every_sampler_and_lift(self):
+        text = render_text()
+        for name in sampler_names() + lift_names():
+            assert name in text, (
+                f"registry entry {name!r} missing from the describe output"
+            )
+
+    def test_markdown_names_every_sampler_and_lift(self):
+        markdown = render_markdown()
+        for name in sampler_names() + lift_names():
+            assert f"`{name}`" in markdown
+
+    def test_cli_entrypoint_runs(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "describe",
+             "--markdown"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == render_markdown().strip()
+
+
+class TestCommittedDocs:
+    def test_experiments_md_matches_registry(self):
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        regenerated = render_markdown()
+        assert committed.strip() == regenerated.strip(), (
+            "EXPERIMENTS.md drifted from the registry — regenerate with "
+            "`PYTHONPATH=src python -m repro.experiments describe "
+            "--markdown > EXPERIMENTS.md`"
+        )
+
+    def test_architecture_md_names_every_sampler_and_lift(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        for name in sampler_names() + lift_names():
+            assert f"`{name}`" in architecture, (
+                f"registry entry {name!r} missing from ARCHITECTURE.md"
+            )
+
+    def test_readme_links_architecture_and_experiments(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "ARCHITECTURE.md" in readme
+        assert "EXPERIMENTS.md" in readme
+
+    @pytest.mark.parametrize("name", ["README.md", "ARCHITECTURE.md",
+                                      "EXPERIMENTS.md", "ROADMAP.md"])
+    def test_markdown_links_resolve(self, name):
+        assert broken_links([REPO_ROOT / name]) == []

@@ -32,11 +32,13 @@ ALL_EXPERIMENTS = [f"E{i:02d}" for i in range(1, 16)]
 #: these, golden equality certifies bit-exact stream preservation.
 PRE_MIGRATION_GOLDENS = {"E09", "E11", "E13", "E14"}
 
-#: Migrated runners cheap enough to re-run with a process pool.  E13
-#: and E14 take the engine fallback (custom predicate / no sampler), so
-#: they exercise the sharded path for real; the dispatched runners
-#: prove the worker knob cannot leak into the sampler draws.
-WORKER_INVARIANT_EXPERIMENTS = ["E05", "E06", "E08", "E11", "E13", "E14"]
+#: Migrated runners cheap enough to re-run with a process pool.  E04
+#: keeps the engine tier (its equalizing adversary is adaptive), so it
+#: exercises the sharded path for real; the vectorised runners — E13
+#: and E14 now dispatch to batchsim — prove the worker knob cannot
+#: leak into the sampler draws or the batched stream replay.
+WORKER_INVARIANT_EXPERIMENTS = ["E04", "E05", "E06", "E08", "E11", "E13",
+                                "E14"]
 
 
 def _render(experiment_id: str, workers: int = 1) -> str:

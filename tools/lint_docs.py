@@ -1,0 +1,67 @@
+"""Markdown link lint for the repo's documentation set.
+
+Checks every relative markdown link ``[text](target)`` in the tracked
+top-level ``*.md`` files against the filesystem: external URLs and
+in-page anchors are skipped, everything else must resolve to an
+existing file or directory (anchors on relative targets are stripped
+before the check).  Exit code 1 lists the broken links.
+
+Usage::
+
+    python tools/lint_docs.py            # lint the repo root's *.md
+    python tools/lint_docs.py DOC.md …   # lint specific files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax (with a leading ``!``)
+#: and are linted the same way.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(paths):
+    """``(file, target)`` pairs whose relative targets do not resolve."""
+    broken = []
+    for path in paths:
+        text = path.read_text()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((path, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted(root.glob("*.md"))
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    broken = broken_links(paths)
+    for path, target in broken:
+        print(f"{path}: broken link -> {target}")
+    if broken:
+        return 1
+    print(f"linted {len(paths)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
