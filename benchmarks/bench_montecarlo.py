@@ -13,6 +13,11 @@ Several claims are asserted, not just timed:
   plan under the flip adversary (``PlanLift``) and the windowed
   Simple-Malicious variant (``WindowedProgram``), i.e. exactly the
   schedule-heavy workloads that used to pay the scalar engine;
+* batchsim process sharding (``workers=4``) beats single-process
+  batchsim by at least 2x on a large windowed sweep — the
+  ``--trials-scale`` workload the ROADMAP targets — while staying
+  bit-identical (asserted on machines with >= 4 cores; sharding cannot
+  win on fewer);
 * the trace-free engine fast path (skipping the internal trace when the
   failure model is history-oblivious) beats the always-trace execution
   the seed engine performed;
@@ -20,10 +25,12 @@ Several claims are asserted, not just timed:
   per-round loop on a radio chain.
 """
 
+import os
 import time
 from functools import partial
 
 import numpy as np
+import pytest
 
 from repro.analysis import estimate_success
 from repro.analysis.thresholds import radio_malicious_threshold
@@ -243,6 +250,49 @@ def test_batchsim_windowed_beats_scalar_engine(benchmark):
         MaliciousFailures(0.25, ComplementAdversary()),
         150, 11, benchmark,
     )
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="process sharding cannot win on < 4 cores")
+def test_sharded_batchsim_beats_single_process(benchmark):
+    """Batchsim process sharding: >= 2x at 4 workers, bit-identically.
+
+    The scenario is a large ``--trials-scale``-style windowed
+    Simple-Malicious sweep (no fastsim sampler exists for it, so
+    batchsim is the fastest single-process tier) — exactly the
+    workload the ROADMAP's batchsim-internal sharding item targets.
+    The sharded run must also report the worker count it actually used
+    and stay bit-identical to the single-process batch.
+    """
+    from repro.core.windowed import WindowedMalicious
+
+    factory = partial(WindowedMalicious, grid(5, 5), 0, 1, p=0.25)
+    failure = MaliciousFailures(0.25, ComplementAdversary())
+    trials = 6000
+    single = TrialRunner(factory, failure)
+    sharded = TrialRunner(factory, failure, workers=4)
+    assert single.dispatch_entry() is None
+    assert sharded.dispatch_backend() == "batchsim"
+
+    def one_process():
+        return single.run(trials, 7)
+
+    def four_workers():
+        return sharded.run(trials, 7)
+
+    reference = one_process()
+    four_workers()  # warm caches (and the fork path) before timing
+    single_time = _best_of(one_process, repeats=2)
+    sharded_time = _best_of(four_workers, repeats=2)
+    assert sharded_time * 2 < single_time, (
+        f"sharded {sharded_time:.4f}s vs single-process "
+        f"{single_time:.4f}s ({single_time / sharded_time:.1f}x)"
+    )
+    result = benchmark(four_workers)
+    assert result.backend == "batchsim"
+    assert result.workers == 4
+    # Sharding is invisible: same per-trial streams, same indicators.
+    np.testing.assert_array_equal(result.indicators, reference.indicators)
 
 
 def test_batched_radio_delivery_beats_scalar_loop(benchmark):

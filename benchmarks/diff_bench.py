@@ -117,24 +117,28 @@ def append_history(history: Dict[str, Any], run_id: str,
     return {"runs": runs[-max_runs:]}
 
 
-def trend_regressions(history: Dict[str, Any],
+def trend_regressions(history: Dict[str, Any], current: Dict[str, float],
                       threshold: float = DEFAULT_THRESHOLD
                       ) -> List[Tuple[str, float, float, float, int]]:
-    """Benchmarks whose latest mean beats the series median by ``threshold``.
+    """Benchmarks whose current mean beats the series median by ``threshold``.
 
-    Compares the newest run against the per-benchmark median of all
-    *earlier* stored runs — the smoothed baseline a one-step diff lacks.
+    Compares the run being judged (``current``, **not yet appended** to
+    the series) against the per-benchmark median of the stored runs —
+    the smoothed baseline a one-step diff lacks.  Judging *before*
+    appending matters twice: the judged run can never sit inside its
+    own baseline, and at full ``--max-runs`` depth the append-trim
+    cannot evict the oldest (pre-drift) sample from under the median —
+    both effects dampen drift detection exactly when the history fills.
     Returns ``(name, median, current, relative change, samples)`` rows
-    sorted worst first; benchmarks with no earlier samples are skipped.
+    sorted worst first; benchmarks with no stored samples are skipped.
     """
     runs = history.get("runs", [])
-    if len(runs) < 2:
+    if not runs:
         return []
-    current = runs[-1]["means"]
     regressions = []
     for name, now in current.items():
         baseline = [
-            float(run["means"][name]) for run in runs[:-1]
+            float(run["means"][name]) for run in runs
             if isinstance(run["means"].get(name), (int, float))
             and run["means"][name] > 0
         ]
@@ -174,13 +178,17 @@ def _report_pairwise(previous_path: str, current: Dict[str, float],
 def _report_trend(history_path: str, run_id: str,
                   current: Dict[str, float], threshold: float,
                   max_runs: int) -> None:
-    """Append the run to the rolling series and warn on trend drifts."""
-    history = append_history(load_history(history_path), run_id, current,
-                             max_runs)
+    """Warn on trend drifts, then append the run to the rolling series.
+
+    The trend is judged against the stored series *before* the current
+    run is appended (see :func:`trend_regressions`).
+    """
+    stored = load_history(history_path)
+    regressions = trend_regressions(stored, current, threshold)
+    history = append_history(stored, run_id, current, max_runs)
     with open(history_path, "w") as handle:
         json.dump(history, handle, indent=2, sort_keys=True)
     depth = len(history["runs"])
-    regressions = trend_regressions(history, threshold)
     if not regressions:
         print(f"benchmark trend: {depth} run(s) in {history_path}, no "
               f"benchmark above its series median by {threshold:.0%}")

@@ -51,10 +51,10 @@ def main() -> None:
         )
         fast = runner.run(trials=20_000, seed_or_stream=42)
         # Scalar engine cross-check: same per-trial streams, both
-        # vectorised tiers disabled.  (To shard engine trials across
-        # processes, pass workers=N and a picklable factory —
-        # functools.partial(SimpleOmission, ...) instead of this
-        # lambda.)
+        # vectorised tiers disabled.  (To shard engine trials — or
+        # large batchsim batches — across processes, pass workers=N
+        # and a picklable factory: functools.partial(SimpleOmission,
+        # ...) instead of this lambda.)
         engine = TrialRunner(
             lambda m=model: SimpleOmission(topology, 0, 1, model=m, p=p),
             OmissionFailures(p), use_fastsim=False, use_batchsim=False,

@@ -47,7 +47,7 @@ Eligibility (:func:`batch_execution` returns ``None`` otherwise):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
@@ -59,7 +59,8 @@ from repro.engine.simulator import deliver_mp_batch, deliver_radio_batch
 from repro.failures.base import FailureModel
 from repro.rng import RngStream, derive_seed
 
-__all__ = ["BatchExecution", "batch_execution", "supports_batchsim"]
+__all__ = ["BatchExecution", "batch_execution", "run_batch_shard",
+           "supports_batchsim"]
 
 #: Trials advanced together per chunk: large enough to amortise numpy
 #: call overhead, small enough to keep the (chunk, rounds, n) fault
@@ -104,17 +105,34 @@ class BatchExecution:
         ``root.child("mc", i)`` stream.
         """
         trials = check_positive_int(trials, "trials")
+        return self.run_range(0, trials, root_seed, chunk=chunk)
+
+    def run_range(self, start: int, stop: int, root_seed: int,
+                  chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+        """Success indicators of the trial subrange ``start..stop-1``.
+
+        Trial indices are *absolute*: trial ``i`` draws from
+        ``root.child("mc", i)`` whatever the range bounds, so a run
+        partitioned into contiguous ranges — the process-sharding path
+        — concatenates to exactly :meth:`run`'s vector.
+        """
         chunk = check_positive_int(chunk, "chunk")
-        indicators = np.empty(trials, dtype=bool)
+        if start < 0 or stop <= start:
+            raise ValueError(
+                f"need 0 <= start < stop, got start={start}, stop={stop}"
+            )
+        indicators = np.empty(stop - start, dtype=bool)
         if self._expected_code is None:
             # The expected message lies outside the payload alphabet,
             # so no trial can output it anywhere (the scalar engine's
             # outputs are drawn from the same alphabet).
             indicators[:] = False
             return indicators
-        for start in range(0, trials, chunk):
-            stop = min(start + chunk, trials)
-            indicators[start:stop] = self._run_chunk(root_seed, start, stop)
+        for lo in range(start, stop, chunk):
+            hi = min(lo + chunk, stop)
+            indicators[lo - start:hi - start] = self._run_chunk(
+                root_seed, lo, hi
+            )
         return indicators
 
     def _run_chunk(self, root_seed: int, start: int, stop: int) -> np.ndarray:
@@ -194,6 +212,32 @@ def batch_execution(algorithm: Algorithm, failure_model: FailureModel,
     return BatchExecution(
         algorithm, failure_model, program, codec, expected_code
     )
+
+
+def run_batch_shard(factory: Callable[[], Algorithm],
+                    failure_model: FailureModel,
+                    metadata: Optional[Dict[str, Any]],
+                    root_seed: int, start: int, stop: int) -> np.ndarray:
+    """Picklable process-shard entrypoint: trials ``start..stop-1``.
+
+    The worker rebuilds the scenario from the (picklable) factory and
+    re-runs the eligibility probe, then executes its contiguous trial
+    range.  Because every trial derives its stream from
+    ``(root_seed, index)`` alone, the shard's indicators are exactly
+    the corresponding slice of a single-process :meth:`BatchExecution.
+    run` — the parent merges shards in index order and gets a
+    bit-identical vector for any worker count.
+    """
+    execution = batch_execution(factory(), failure_model, metadata=metadata)
+    if execution is None:
+        # The parent only shards scenarios its own probe accepted; a
+        # worker-side rejection means the factory is not a pure
+        # scenario description (e.g. it randomises eligibility).
+        raise RuntimeError(
+            "scenario failed the batchsim eligibility probe inside a "
+            "worker process although the parent accepted it"
+        )
+    return execution.run_range(start, stop, root_seed)
 
 
 def supports_batchsim(algorithm: Algorithm,

@@ -49,9 +49,10 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument("--seed", type=int, default=2007,
                              help="root seed (default 2007)")
         command.add_argument("--workers", type=int, default=1,
-                             help="process count for engine Monte-Carlo "
-                                  "batches; results are bit-identical for "
-                                  "any value (default 1)")
+                             help="process count for the sharded Monte-"
+                                  "Carlo tiers (scalar-engine shards and "
+                                  "batchsim trial chunks); results are "
+                                  "bit-identical for any value (default 1)")
         command.add_argument("--trials-scale", type=float, default=1.0,
                              dest="trials_scale", metavar="FACTOR",
                              help="multiply every runner's Monte-Carlo "

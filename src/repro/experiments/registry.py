@@ -51,8 +51,10 @@ class ExperimentConfig:
         :class:`~repro.montecarlo.TrialRunner` batches.  Reports are
         bit-identical for any worker count (per-trial streams are
         derived by trial index), so this is purely a wall-clock knob
-        for the engine-fallback sweeps; fastsim-dispatched batches
-        ignore it.
+        for the sharded tiers — engine-fallback sweeps shard their
+        trial loops, batchsim sweeps shard their vectorised trial
+        chunks once the budget clears the per-chunk floor;
+        fastsim-dispatched batches ignore it.
     trials_scale:
         Multiplier applied by every runner to its Monte-Carlo trial
         budgets (via :meth:`scaled_trials`), so full-size sweeps

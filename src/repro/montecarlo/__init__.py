@@ -4,10 +4,13 @@ The shared harness behind every success-probability experiment:
 :class:`TrialRunner` dispatches each batch to the fastest backend that
 provably reproduces the scenario's success law — a registered
 :mod:`repro.fastsim` closed-form sampler, the vectorised
-:mod:`repro.batchsim` multi-trial engine, or scalar reference-engine
-executions (shared algorithm state, trace-free fast path, optional
-process sharding with reproducible per-trial streams).  See
-:mod:`repro.montecarlo.dispatch` for the tier table.
+:mod:`repro.batchsim` multi-trial engine (large batches shard into
+per-process trial chunks), or scalar reference-engine executions
+(shared algorithm state, trace-free fast path, optional process
+sharding) — all with reproducible per-trial streams, so indicators
+are bit-identical for any ``workers=`` count on the engine and
+batchsim tiers.  See :mod:`repro.montecarlo.dispatch` for the tier
+table and :mod:`repro.montecarlo.pool` for the shared pool harness.
 """
 
 from repro.batchsim.engine import supports_batchsim

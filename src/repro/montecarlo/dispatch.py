@@ -18,44 +18,47 @@ never changes what is being estimated, only how fast.
 Backend tiers
 -------------
 Dispatch walks three tiers, most specialised first; the tier taken is
-reported as ``TrialResult.backend``:
+reported as ``TrialResult.backend``, and the *sharding* column says how
+``workers=N`` maps onto processes (``TrialResult.workers`` reports the
+count actually used — both sharded tiers run on the shared pool harness
+of :mod:`repro.montecarlo.pool`):
 
-==================  ==============================  ====================
-tier / backend tag  eligibility                     what runs
-==================  ==============================  ====================
-``fastsim:<name>``  first registry entry whose      one closed-form
-                    matcher accepts the scenario    vectorised draw of
-                    (table below); default success  the success law
-                    predicate only                  (root stream)
-``batchsim``        no sampler matched; failure     the vectorised
-                    model is history-oblivious      multi-trial engine:
-                    and ``supports_batch(model)``   all trials advance
-                    (fault-free, omission with      together on stacked
-                    ``p`` or per-node ``p_v``,      ``(B, n)`` arrays;
-                    simple-malicious with a         indicators are
-                    batchable oblivious adversary   **bit-identical**
-                    at every restriction level      to the engine tier
-                    the adversary *certifies* —     (per-trial streams
-                    incl. LIMITED/FLIP — and the    ``root.child("mc",
-                    slowing reduction via           i)``)
-                    per-trial adversary-stream
+==================  ==============================  ====================  ====================
+tier / backend tag  eligibility                     what runs             process sharding
+==================  ==============================  ====================  ====================
+``fastsim:<name>``  first registry entry whose      one closed-form       none — a single
+                    matcher accepts the scenario    vectorised draw of    vectorised call;
+                    (table below); default success  the success law       ``workers`` is
+                    predicate only                  (root stream)         ignored (reports 1)
+``batchsim``        no sampler matched; failure     the vectorised        contiguous trial
+                    model is history-oblivious      multi-trial engine:   chunks, one
+                    and ``supports_batch(model)``   all trials advance    ``BatchExecution``
+                    (fault-free, omission with      together on stacked   per worker process
+                    ``p`` or per-node ``p_v``,      ``(B, n)`` arrays;    (floor of 128
+                    simple-malicious with a         indicators are        trials per chunk —
+                    batchable oblivious adversary   **bit-identical**     small batches stay
+                    at every restriction level      to the engine tier    in-process);
+                    the adversary *certifies* —     (per-trial streams    chunk→result merge
+                    incl. LIMITED/FLIP — and the    ``root.child("mc",    in index order, so
+                    slowing reduction via           i)``)                 bit-identical for
+                    per-trial adversary-stream                            any worker count
                     replay); the algorithm
                     implements ``batch_program()``
                     / ``batch_payloads()`` (lift
                     table below); default success
                     predicate only
-``engine``          history-dependent failure       scalar reference
-                    models (the adaptive            executions, one
-                    equalizing adversaries,         trial at a time,
-                    nested slowing wrappers),       optionally sharded
-                    custom success predicates,      across processes
-                    algorithms without a batch
-                    program — or callers that
+``engine``          history-dependent failure       scalar reference      contiguous trial
+                    models (the adaptive            executions, one       shards (4 per
+                    equalizing adversaries,         trial at a time       worker, for load
+                    nested slowing wrappers),                             balancing) across
+                    custom success predicates,                            worker processes;
+                    algorithms without a batch                            bit-identical for
+                    program — or callers that                             any worker count
                     deliberately pin it
                     (``use_fastsim=False,
                     use_batchsim=False``) for
                     engine-validation columns
-==================  ==============================  ====================
+==================  ==============================  ====================  ====================
 
 Every algorithm family in the library implements the batch interface,
 so the engine tier is *only* auto-dispatched for history-dependent

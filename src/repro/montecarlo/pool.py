@@ -1,0 +1,110 @@
+"""Shared process-pool harness for the sharded dispatch tiers.
+
+Both sharded backends — scalar-engine trial shards and batchsim trial
+chunks — need the same three guarantees from a process pool, which the
+bare :class:`~concurrent.futures.ProcessPoolExecutor` idiom (submit
+everything, collect ``future.result()`` in a loop) does not give:
+
+* an **explicit start method**, so worker behaviour does not change
+  under the platform (or Python-version) default — fork on Linux
+  (cheap: workers inherit the parent's imported numpy and warmed
+  caches), spawn elsewhere;
+* **deterministic shard→result ordering**: results come back indexed
+  by shard, never by completion order, so merged indicator vectors are
+  a pure function of the root seed;
+* **first-exception propagation with cancellation**: one raising shard
+  cancels every shard that has not started instead of letting siblings
+  burn CPU, and the error that surfaces is the one from the
+  *lowest-indexed* failing shard — reproducible no matter which worker
+  happened to crash first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["pool_context", "run_sharded"]
+
+
+def pool_context():
+    """The multiprocessing context every sharded tier uses.
+
+    Fork on Linux: workers reuse the parent's imports and page-shared
+    topology caches, which keeps per-shard startup in the
+    milliseconds.  Spawn everywhere else — on macOS fork is offered
+    but unsafe (forked children can abort inside the Objective-C
+    runtime and Accelerate-backed numpy, which is why CPython moved
+    the platform default to spawn).  Pinning the method explicitly
+    keeps sharded runs identical across Python versions instead of
+    tracking the interpreter's default (3.14 moves Linux to
+    forkserver).
+    """
+    return multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else "spawn"
+    )
+
+
+def run_sharded(function: Callable[..., Any],
+                shard_args: Sequence[Tuple],
+                max_workers: int,
+                on_result: Optional[Callable[[int, Any], None]] = None
+                ) -> List[Any]:
+    """Run ``function(*args)`` for every shard across a process pool.
+
+    Parameters
+    ----------
+    function:
+        Picklable (module-level) worker entrypoint.
+    shard_args:
+        One argument tuple per shard, in shard-index order.
+    max_workers:
+        Process ceiling; the pool never holds more processes than
+        shards.
+    on_result:
+        Optional ``(index, result)`` callback fired **while the pool is
+        still running**, in shard-index order: shard ``i``'s callback
+        fires as soon as shards ``0..i`` have all completed (later
+        shards that finish early are buffered).  This is what streams
+        a live progress tally during a long sharded sweep.  Not called
+        for any shard at or after the first error.
+
+    Returns
+    -------
+    The per-shard results **in shard order**, regardless of completion
+    order.  If any shard raises, every not-yet-started shard is
+    cancelled and the exception of the lowest-indexed failing shard is
+    re-raised (sibling failures are suppressed deterministically).
+    """
+    results: List[Any] = [None] * len(shard_args)
+    errors = {}
+    ready = {}
+    next_in_order = 0
+    workers = min(max_workers, len(shard_args))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=pool_context()) as pool:
+        futures = {
+            pool.submit(function, *args): index
+            for index, args in enumerate(shard_args)
+        }
+        for future in as_completed(futures):
+            if future.cancelled():
+                continue
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except Exception as error:
+                errors[index] = error
+                for sibling in futures:
+                    sibling.cancel()
+                continue
+            if on_result is not None and not errors:
+                ready[index] = results[index]
+                while next_in_order in ready:
+                    on_result(next_in_order, ready.pop(next_in_order))
+                    next_in_order += 1
+    if errors:
+        raise errors[min(errors)]
+    return results

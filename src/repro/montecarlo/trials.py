@@ -15,9 +15,12 @@ centralises that loop and makes it fast through a three-tier dispatch
 * otherwise, when the scenario is history-oblivious and the algorithm
   implements the batch interface (every algorithm family in the
   library does), the :mod:`repro.batchsim` engine executes all trials
-  together on stacked ``(B, n)`` arrays — trial ``i`` still consumes
-  ``root.child("mc", i)``, so the indicators are **bit-identical** to
-  the scalar engine path;
+  together on stacked ``(B, n)`` arrays — and with ``workers > 1`` on
+  a large enough batch, the trial index range is partitioned into
+  contiguous chunks executed by one ``BatchExecution`` per worker
+  process; trial ``i`` still consumes ``root.child("mc", i)``, so the
+  indicators are **bit-identical** to the scalar engine path for any
+  worker count;
 * the scalar engine fallback — reached only for history-dependent
   failure models (the adaptive equalizing adversaries), custom success
   predicates, or when a caller deliberately pins it — instantiates the
@@ -29,6 +32,10 @@ centralises that loop and makes it fast through a three-tier dispatch
   :func:`repro.analysis.estimation.estimate_success` under the same
   root stream.
 
+Both sharded paths run on the same pool harness
+(:mod:`repro.montecarlo.pool`): explicit start method, shard-ordered
+merging, and first-exception propagation with cancellation.
+
 Example::
 
     runner = TrialRunner(lambda: SimpleOmission(g, 0, 1, RADIO, p=0.3),
@@ -39,7 +46,6 @@ Example::
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -52,15 +58,20 @@ from repro.analysis.estimation import (
     hoeffding_interval,
     wilson_interval,
 )
-from repro.batchsim.engine import BatchExecution, batch_execution
+from repro.batchsim.engine import (
+    BatchExecution,
+    batch_execution,
+    run_batch_shard,
+)
 from repro.engine.protocol import Algorithm
 from repro.engine.simulator import ExecutionResult, run_execution
 from repro.failures.base import FailureModel, FaultFree
 from repro.montecarlo.dispatch import SamplerEntry, find_sampler
+from repro.montecarlo.pool import run_sharded
 from repro.rng import RngStream, as_stream, derive_seed
 
 __all__ = ["TrialRunner", "TrialResult", "RunningTally",
-           "ENGINE_BACKEND", "BATCHSIM_BACKEND"]
+           "ENGINE_BACKEND", "BATCHSIM_BACKEND", "MIN_BATCHSIM_SHARD"]
 
 AlgorithmFactory = Callable[[], Algorithm]
 SuccessPredicate = Callable[[ExecutionResult], bool]
@@ -134,7 +145,11 @@ class TrialResult:
     backend:
         ``"engine"``, ``"batchsim"`` or ``"fastsim:<sampler name>"``.
     workers:
-        Process count the batch ran with (1 = in-process).
+        Process count the batch **actually** ran with (1 =
+        in-process), which can be less than the runner's ``workers=``
+        request: a fastsim draw is always a single vectorised call, and
+        the sharded tiers fall back in-process when the batch is too
+        small to amortise process startup.
     seed:
         Root seed the per-trial streams were derived from.
     """
@@ -235,6 +250,29 @@ def _shard_bounds(trials: int, shards: int) -> List[Tuple[int, int]]:
     ]
 
 
+#: Minimum trials per batchsim process chunk.  One batchsim trial costs
+#: a sliver of a numpy call, so a chunk must hold a few hundred trials
+#: before the fork + eligibility-reprobe startup (milliseconds) is
+#: amortised; below the floor the batch stays in-process.  A quarter of
+#: the engine's internal ``DEFAULT_CHUNK`` keeps every spawned worker's
+#: first vectorised call reasonably full.
+MIN_BATCHSIM_SHARD = 128
+
+
+def _batchsim_shards(trials: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous batchsim chunk bounds: one per worker, floor-limited.
+
+    Unlike the engine path (4 shards per worker for load balancing),
+    batchsim chunks have uniform per-trial cost, so exactly one chunk
+    per worker minimises the per-process eligibility-reprobe overhead.
+    """
+    if workers == 1:
+        return _shard_bounds(trials, 1)
+    return _shard_bounds(
+        trials, min(workers, max(1, trials // MIN_BATCHSIM_SHARD))
+    )
+
+
 class TrialRunner:
     """Batched Monte-Carlo runner with three-tier auto-dispatch.
 
@@ -260,8 +298,15 @@ class TrialRunner:
         algorithm's ``metadata()`` (so ``is_successful_broadcast`` can
         read the source message).
     workers:
-        Process count for the engine path.  ``1`` runs in-process; the
-        per-trial indicators are identical either way.
+        Process count for the sharded paths — scalar-engine trial
+        shards *and* batchsim trial chunks.  ``1`` runs in-process;
+        batchsim runs never cut chunks smaller than
+        :data:`MIN_BATCHSIM_SHARD` trials (so batches under two
+        chunks' worth stay in-process, and mid-sized batches may use
+        fewer processes than requested).  The per-trial indicators are
+        bit-identical either way, and :attr:`TrialResult.workers`
+        reports the count actually used.  With ``workers > 1`` the
+        factory must be picklable on both sharded paths.
     use_fastsim:
         Allow dispatching to a registered vectorised sampler when one
         matches the scenario.  Fallback to the next tier is automatic.
@@ -309,7 +354,9 @@ class TrialRunner:
 
     @property
     def workers(self) -> int:
-        """Engine-path process count."""
+        """Requested process count for the sharded paths (engine shards
+        and batchsim chunks); :attr:`TrialResult.workers` reports what a
+        run actually used."""
         return self._workers
 
     def dispatch_entry(self) -> Optional[SamplerEntry]:
@@ -374,8 +421,9 @@ class TrialRunner:
         confidence:
             Default confidence level stored on the result.
         progress:
-            Optional callback receiving the :class:`RunningTally` after
-            every completed shard (engine path) or once (fastsim path).
+            Optional callback receiving the :class:`RunningTally` as
+            each shard folds in, in shard order (sharded engine and
+            batchsim paths), or once (fastsim and in-process paths).
         """
         trials = check_positive_int(trials, "trials")
         confidence = check_probability(confidence, "confidence",
@@ -398,13 +446,29 @@ class TrialRunner:
                 workers=1, seed=root_seed, confidence=confidence,
             )
         if batch is not None:
-            indicators = batch.run(trials, root_seed)
-            tally.update(indicators)
-            if progress is not None:
-                progress(tally)
+            chunks = _batchsim_shards(trials, self._workers)
+            if len(chunks) <= 1:
+                indicators = batch.run(trials, root_seed)
+                used_workers = 1
+                tally.update(indicators)
+                if progress is not None:
+                    progress(tally)
+            else:
+                parts = run_sharded(
+                    run_batch_shard,
+                    [
+                        (self._factory, self._failure_model, self._metadata,
+                         root_seed, start, stop)
+                        for start, stop in chunks
+                    ],
+                    max_workers=self._workers,
+                    on_result=self._fold_shard(tally, progress),
+                )
+                indicators = np.concatenate(parts)
+                used_workers = len(chunks)
             return TrialResult(
                 indicators=indicators, backend=BATCHSIM_BACKEND,
-                workers=1, seed=root_seed, confidence=confidence,
+                workers=used_workers, seed=root_seed, confidence=confidence,
             )
 
         shards = _shard_bounds(trials, self._effective_shards(trials))
@@ -421,27 +485,37 @@ class TrialRunner:
                     progress(tally)
                 parts.append(part)
             indicators = np.concatenate(parts)
+            used_workers = 1
         else:
-            with ProcessPoolExecutor(max_workers=self._workers) as pool:
-                futures = [
-                    pool.submit(
-                        _run_shard, self._factory, self._failure_model,
-                        self._metadata, self._success, root_seed, start, stop,
-                    )
+            parts = run_sharded(
+                _run_shard,
+                [
+                    (self._factory, self._failure_model, self._metadata,
+                     self._success, root_seed, start, stop)
                     for start, stop in shards
-                ]
-                parts = []
-                for future in futures:
-                    part = future.result()
-                    tally.update(part)
-                    if progress is not None:
-                        progress(tally)
-                    parts.append(part)
+                ],
+                max_workers=self._workers,
+                on_result=self._fold_shard(tally, progress),
+            )
             indicators = np.concatenate(parts)
+            used_workers = min(self._workers, len(shards))
         return TrialResult(
             indicators=indicators, backend=ENGINE_BACKEND,
-            workers=self._workers, seed=root_seed, confidence=confidence,
+            workers=used_workers, seed=root_seed, confidence=confidence,
         )
+
+    @staticmethod
+    def _fold_shard(tally: RunningTally,
+                    progress: Optional[Callable[[RunningTally], None]]
+                    ) -> Callable[[int, np.ndarray], None]:
+        """The pool's in-order shard callback: stream counts as they land."""
+
+        def fold(index: int, part: np.ndarray) -> None:
+            tally.update(part)
+            if progress is not None:
+                progress(tally)
+
+        return fold
 
     def _effective_shards(self, trials: int) -> int:
         """Shard count: a few shards per worker, never exceeding trials."""

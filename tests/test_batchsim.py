@@ -199,6 +199,99 @@ AGREEMENT_SCENARIOS = [
 ]
 
 
+#: (label, picklable algorithm factory, failure model) — the process-
+#: sharded batchsim suite.  Factories are ``functools.partial`` over
+#: library callables (lambdas cannot cross the process boundary) and
+#: mirror the scenario shapes above: both communication models, plain /
+#: per-node omission, batchable adversaries incl. restriction levels
+#: and the slowing stream replay, and every custom program family
+#: (hello, windowed, slot-schedule, Kučera plans).  The acceptance bar
+#: is >= 8 shapes.
+SHARDED_SCENARIOS = [
+    ("omission-mp-tree",
+     partial(SimpleOmission, binary_tree(3), 0, 1, MESSAGE_PASSING, 2),
+     OmissionFailures(0.4)),
+    ("omission-radio-grid",
+     partial(SimpleOmission, grid(3, 3), 0, 1, RADIO, 2),
+     OmissionFailures(0.4)),
+    ("omission-pv-mp",
+     partial(SimpleOmission, binary_tree(3), 0, 1, MESSAGE_PASSING, 2),
+     OmissionFailures(p_v=np.linspace(0.1, 0.8, binary_tree(3).order))),
+    ("malicious-mp-garbage-limited",
+     partial(SimpleMalicious, binary_tree(3), 0, 1, MESSAGE_PASSING, 3),
+     MaliciousFailures(0.35, GarbageAdversary(), Restriction.LIMITED)),
+    ("malicious-radio-worstcase-grid",
+     partial(SimpleMalicious, grid(3, 3), 0, 1, RADIO, 5),
+     MaliciousFailures(0.15, RadioWorstCaseAdversary())),
+    ("radio-repeat-majority-omission",
+     partial(RadioRepeat, line_schedule(line(6)), 1, ADOPT_MAJORITY, 5),
+     OmissionFailures(0.3)),
+    ("layered-omission",
+     partial(LayeredScheduleBroadcast, layered_graph(4),
+             [{1, 2}, {3}, {1, 4}, {2, 3, 4}, {1}, {2}, {3}, {4}]),
+     OmissionFailures(0.35)),
+    ("hello-radio-omission",
+     partial(HelloProtocolAlgorithm, two_node(), 0, 6, RADIO),
+     OmissionFailures(0.6)),
+    ("windowed-complement-grid",
+     partial(WindowedMalicious, grid(3, 3), 0, 1, window_length=4),
+     MaliciousFailures(0.3, ComplementAdversary())),
+    ("round-robin-omission-tree",
+     partial(RoundRobinBroadcast, binary_tree(3), 0, 1, cycles=8),
+     OmissionFailures(0.5)),
+    ("kucera-flip-line",
+     partial(KuceraBroadcast, line(6), 0, 1, p=0.25),
+     MaliciousFailures(0.25, RandomFlipAdversary(), Restriction.FLIP)),
+    ("slowing-silent-radio-tree",
+     partial(SimpleMalicious, binary_tree(3), 0, 1, RADIO, 5),
+     MaliciousFailures(0.4, SlowingAdversary(SilentAdversary(), 0.4, 0.2))),
+]
+
+#: Enough trials that ``workers=4`` actually cuts four chunks
+#: (>= 4 x MIN_BATCHSIM_SHARD).
+SHARDED_TRIALS = 520
+
+
+@pytest.mark.parametrize(
+    "factory,failure",
+    [pytest.param(factory, failure, id=label)
+     for label, factory, failure in SHARDED_SCENARIOS],
+)
+class TestShardedBatchsim:
+    """Process sharding is invisible: bit-identical for any workers=N."""
+
+    def test_bit_identical_across_worker_counts(self, factory, failure):
+        results = {}
+        for workers in (1, 2, 4):
+            runner = TrialRunner(factory, failure, use_fastsim=False,
+                                 workers=workers)
+            assert runner.dispatch_backend() == "batchsim"
+            results[workers] = runner.run(SHARDED_TRIALS, SEED)
+        assert all(r.backend == "batchsim" for r in results.values())
+        # The report is truthful about the processes each run used.
+        assert results[1].workers == 1
+        assert results[2].workers == 2
+        assert results[4].workers == 4
+        np.testing.assert_array_equal(
+            results[1].indicators, results[2].indicators
+        )
+        np.testing.assert_array_equal(
+            results[1].indicators, results[4].indicators
+        )
+
+    def test_sharded_prefix_matches_scalar_engine(self, factory, failure):
+        # Per-trial streams depend only on (seed, index), so the first
+        # TRIALS indicators of a sharded run must equal the scalar
+        # engine's vector for a TRIALS-sized run — the engine identity
+        # holds through the process boundary, not just in-process.
+        sharded = TrialRunner(factory, failure, use_fastsim=False,
+                              workers=4).run(SHARDED_TRIALS, SEED)
+        np.testing.assert_array_equal(
+            sharded.indicators[:TRIALS],
+            scalar_indicators(factory(), failure),
+        )
+
+
 @pytest.mark.parametrize(
     "make_algorithm,make_failure",
     [pytest.param(algo, fail, id=label)

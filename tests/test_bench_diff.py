@@ -129,24 +129,58 @@ class TestHistory:
             {"bench_a": 0.10, "bench_b": 0.10},
             {"bench_a": 0.11, "bench_b": 0.10},
             {"bench_a": 0.09, "bench_b": 0.10},
-            {"bench_a": 0.30, "bench_b": 0.11},  # a drifted 3x, b is noise
         )
-        rows = trend_regressions(history, threshold=0.2)
+        current = {"bench_a": 0.30, "bench_b": 0.11}  # a drifted 3x, b noise
+        rows = trend_regressions(history, current, threshold=0.2)
         assert [row[0] for row in rows] == ["bench_a"]
         name, median, now, change, samples = rows[0]
         assert median == 0.10 and now == 0.30 and samples == 3
         assert abs(change - 2.0) < 1e-9
 
-    def test_trend_needs_at_least_two_runs(self):
+    def test_trend_needs_a_stored_baseline(self):
         from benchmarks.diff_bench import trend_regressions
 
-        assert trend_regressions(self._history({"bench": 1.0})) == []
+        assert trend_regressions({"runs": []}, {"bench": 1.0}) == []
 
     def test_new_benchmarks_are_skipped(self):
         from benchmarks.diff_bench import trend_regressions
 
-        history = self._history({"old": 0.1}, {"old": 0.1, "new": 9.0})
-        assert trend_regressions(history, threshold=0.2) == []
+        history = self._history({"old": 0.1})
+        current = {"old": 0.1, "new": 9.0}
+        assert trend_regressions(history, current, threshold=0.2) == []
+
+    def test_judged_run_never_sits_in_its_own_baseline(self):
+        from benchmarks.diff_bench import trend_regressions
+
+        # One stored run at 0.1, current at 0.13 (+30%).  An
+        # append-first implementation would judge 0.13 against the
+        # median of {0.1, 0.13} = 0.115 (+13%) and miss the drift.
+        history = self._history({"bench": 0.10})
+        rows = trend_regressions(history, {"bench": 0.13}, threshold=0.2)
+        assert [row[0] for row in rows] == ["bench"]
+        assert rows[0][1] == 0.10 and rows[0][4] == 1
+
+    def test_drifting_series_detected_at_full_history_depth(self):
+        from benchmarks.diff_bench import append_history, trend_regressions
+
+        # A synthetic slow drift that has already filled the history to
+        # --max-runs depth: stored means 0.10, 0.12, 0.14; current 0.15.
+        # Judged against the stored median (0.12) the drift is +25% and
+        # must be flagged at the default-ish 20% threshold.  The old
+        # append-before-judge path trimmed the series to
+        # [0.12, 0.14, 0.15] first and compared 0.15 against
+        # median(0.12, 0.14) = 0.13 (+15%) — silently under threshold,
+        # and ever more dampened as each new drifted run evicted the
+        # oldest (fastest) baseline sample.
+        history = {"runs": []}
+        for index, mean in enumerate([0.10, 0.12, 0.14]):
+            history = append_history(history, f"sha{index}",
+                                     {"bench": mean}, max_runs=3)
+        rows = trend_regressions(history, {"bench": 0.15}, threshold=0.2)
+        assert [row[0] for row in rows] == ["bench"]
+        name, median, now, change, samples = rows[0]
+        assert median == 0.12 and now == 0.15 and samples == 3
+        assert abs(change - 0.25) < 1e-9
 
 
 class TestHistoryCli:
@@ -174,6 +208,25 @@ class TestHistoryCli:
         current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.5}))
         assert main(["--history", str(history_path), current]) == 0
         assert "trend regression" in capsys.readouterr().out
+
+    def test_drift_warns_even_when_history_is_at_capacity(self, tmp_path,
+                                                          capsys):
+        from benchmarks.diff_bench import append_history
+
+        history_path = tmp_path / "history.json"
+        seeded = {"runs": []}
+        for index, mean in enumerate([0.10, 0.12, 0.14]):
+            seeded = append_history(seeded, f"sha{index}", {"bench": mean},
+                                    max_runs=3)
+        history_path.write_text(json.dumps(seeded))
+        current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.15}))
+        assert main(["--history", str(history_path), "--max-runs", "3",
+                     current]) == 0
+        assert "trend regression" in capsys.readouterr().out
+        # The judged run is persisted after the check, still trimmed.
+        with open(history_path) as handle:
+            runs = json.load(handle)["runs"]
+        assert [run["means"]["bench"] for run in runs] == [0.12, 0.14, 0.15]
 
     def test_pairwise_mode_still_requires_two_files(self, tmp_path):
         current = _write(tmp_path, "curr.json", _bench_json({"bench": 0.1}))

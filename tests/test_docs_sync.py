@@ -23,7 +23,11 @@ import pytest
 
 import repro.montecarlo.dispatch as dispatch_module
 from repro.batchsim.programs import registered_lifts
-from repro.experiments.describe import render_markdown, render_text
+from repro.experiments.describe import (
+    render_markdown,
+    render_text,
+    throughput_data,
+)
 from repro.montecarlo.dispatch import registered_samplers
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -112,3 +116,30 @@ class TestCommittedDocs:
                                       "EXPERIMENTS.md", "ROADMAP.md"])
     def test_markdown_links_resolve(self, name):
         assert broken_links([REPO_ROOT / name]) == []
+
+
+class TestThroughputTable:
+    """The measured-throughput column the ROADMAP asks EXPERIMENTS.md for."""
+
+    def test_committed_measurement_covers_every_backend_tier(self):
+        data = throughput_data()
+        assert data is not None, (
+            "benchmarks/throughput.json is missing — regenerate with "
+            "tools/measure_throughput.py"
+        )
+        backends = {row["backend"] for row in data["rows"]}
+        assert "engine (pinned)" in backends
+        assert "batchsim" in backends
+        assert "batchsim (4 workers)" in backends, (
+            "the sharded-batchsim throughput row is missing"
+        )
+        assert any(name.startswith("fastsim:") for name in backends)
+
+    def test_rendered_docs_carry_the_measurement(self):
+        data = throughput_data()
+        markdown = render_markdown()
+        assert "### Measured throughput per backend" in markdown
+        for row in data["rows"]:
+            assert f"`{row['backend']}`" in markdown
+        text = render_text()
+        assert "measured throughput per backend" in text

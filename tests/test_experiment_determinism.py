@@ -68,3 +68,14 @@ def test_quick_report_matches_golden(experiment_id):
 def test_quick_report_invariant_across_workers(experiment_id):
     assert _render(experiment_id, workers=1) == \
         _render(experiment_id, workers=4)
+
+
+@pytest.mark.parametrize("experiment_id", ["E09", "E14"])
+def test_batchsim_promoted_report_matches_golden_under_workers(experiment_id):
+    # The batchsim-promoted runners, executed with a worker pool
+    # requested, must still render byte-identically to the committed
+    # (pre-migration) goldens: neither the batchsim promotion nor the
+    # worker plumbing may perturb the per-trial streams.
+    golden_path = GOLDEN_DIR / f"{experiment_id}_quick_seed{SEED}.txt"
+    assert _render(experiment_id, workers=4) + "\n" == \
+        golden_path.read_text()

@@ -2,10 +2,13 @@
 
 Covers the TrialRunner determinism contract (bit-identical indicators
 for any worker count, and agreement with ``estimate_success`` under the
-same root stream), fastsim auto-dispatch vs engine fallback, the
-sampler registry, and the streaming statistics.
+same root stream), fastsim auto-dispatch vs engine fallback, the shared
+process-pool harness (ordering, cancellation, deterministic error
+propagation), the truthfulness of ``TrialResult.workers`` on every
+tier, the sampler registry, and the streaming statistics.
 """
 
+import os
 from functools import partial
 
 import numpy as np
@@ -40,6 +43,7 @@ from repro.montecarlo import (
     registered_samplers,
     unregister_sampler,
 )
+from repro.montecarlo.pool import pool_context, run_sharded
 from repro.radio.closed_form import line_schedule
 from repro.rng import RngStream
 
@@ -260,6 +264,144 @@ class TestDispatch:
     def test_use_fastsim_false_disables_dispatch(self):
         assert TrialRunner(mp_factory, OMISSION,
                            use_fastsim=False).dispatch_entry() is None
+
+
+def _shard_square(value):
+    """Module-level (picklable) pool worker: square the argument."""
+    return value * value
+
+
+def _shard_fail_on_odd(value):
+    """Module-level pool worker raising on odd shard arguments."""
+    if value % 2:
+        raise ValueError(f"shard {value} failed")
+    return value
+
+
+def _shard_slow_first(value):
+    """Module-level pool worker where shard 0 finishes last."""
+    if value == 0:
+        import time
+
+        time.sleep(0.3)
+    return value
+
+
+_PARENT_PID = os.getpid()
+
+
+def _parent_only_factory():
+    """Factory that builds fine in the parent but raises in workers.
+
+    Lets the tests drive the sharded tiers' error path: the parent's
+    dispatch probe succeeds, every worker-side rebuild fails.  (Only
+    meaningful under the fork start method, where the module state is
+    inherited rather than re-imported.)
+    """
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("worker-side build failed")
+    return SimpleOmission(TREE, 0, 1, MESSAGE_PASSING, 2)
+
+
+fork_only = pytest.mark.skipif(
+    pool_context().get_start_method() != "fork",
+    reason="needs fork semantics to tell parent from worker builds "
+           "(spawned workers re-import this module and re-stamp "
+           "_PARENT_PID)",
+)
+
+
+class TestPoolHarness:
+    def test_results_come_back_in_shard_order(self):
+        assert run_sharded(
+            _shard_square, [(i,) for i in range(7)], max_workers=3
+        ) == [0, 1, 4, 9, 16, 25, 36]
+
+    def test_lowest_shard_index_error_wins(self):
+        # Shards 1, 3, 5 all raise; whichever order the workers crash
+        # in, the surfaced error must be shard 1's.
+        with pytest.raises(ValueError, match="shard 1 failed"):
+            run_sharded(
+                _shard_fail_on_odd, [(i,) for i in range(6)], max_workers=2
+            )
+
+    def test_single_shard_still_runs_through_the_pool(self):
+        assert run_sharded(_shard_square, [(5,)], max_workers=4) == [25]
+
+    def test_on_result_streams_in_shard_order(self):
+        # Shard 0 completes last, so shards 1..3 must be buffered and
+        # the callback must still fire strictly in index order.
+        seen = []
+        results = run_sharded(
+            _shard_slow_first, [(i,) for i in range(4)], max_workers=2,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert results == [0, 1, 2, 3]
+        assert seen == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    @fork_only
+    def test_batchsim_worker_failure_propagates(self):
+        runner = TrialRunner(
+            _parent_only_factory, OMISSION, use_fastsim=False, workers=2
+        )
+        assert runner.dispatch_backend() == "batchsim"
+        with pytest.raises(RuntimeError, match="worker-side build failed"):
+            runner.run(520, 3)
+
+    @fork_only
+    def test_engine_worker_failure_propagates(self):
+        runner = TrialRunner(
+            _parent_only_factory, OMISSION, use_fastsim=False,
+            use_batchsim=False, workers=2,
+        )
+        with pytest.raises(RuntimeError, match="worker-side build failed"):
+            runner.run(60, 3)
+
+
+class TestWorkersTruthful:
+    """``TrialResult.workers`` reports the process count actually used."""
+
+    def test_fastsim_always_reports_one(self):
+        result = TrialRunner(mp_factory, OMISSION, workers=4).run(2000, 3)
+        assert result.backend == "fastsim:simple-omission"
+        assert result.workers == 1
+
+    def test_sharded_batchsim_reports_chunk_count(self):
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             workers=2)
+        result = runner.run(520, 7)
+        assert result.backend == "batchsim"
+        assert result.workers == 2
+
+    def test_small_batchsim_batch_stays_in_process(self):
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             workers=4)
+        result = runner.run(60, 7)
+        assert result.backend == "batchsim"
+        assert result.workers == 1
+
+    def test_batchsim_chunks_capped_by_shard_floor(self):
+        # 300 trials over 4 requested workers: only two 128-trial
+        # chunks fit, so two processes run and two are never spawned.
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             workers=4)
+        result = runner.run(300, 7)
+        assert result.backend == "batchsim"
+        assert result.workers == 2
+
+    def test_engine_reports_pool_width(self):
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             use_batchsim=False, workers=3)
+        result = runner.run(90, 13)
+        assert result.backend == "engine"
+        assert result.workers == 3
+
+    def test_engine_single_trial_stays_in_process(self):
+        runner = TrialRunner(mp_factory, OMISSION, use_fastsim=False,
+                             use_batchsim=False, workers=4)
+        result = runner.run(1, 13)
+        assert result.backend == "engine"
+        assert result.workers == 1
 
 
 class TestRegistry:
