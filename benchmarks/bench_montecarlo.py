@@ -22,7 +22,11 @@ Several claims are asserted, not just timed:
   failure model is history-oblivious) beats the always-trace execution
   the seed engine performed;
 * batched radio delivery over the cached CSR arrays beats the scalar
-  per-round loop on a radio chain.
+  per-round loop on a radio chain;
+* adaptive trial allocation (``TrialRunner.run_until`` with the
+  empirical-Bernstein stopping rule) reaches the fixed-budget Hoeffding
+  CI width on a threshold sweep with at least 2x fewer total trials —
+  the decisive cells far from the threshold stop doublings early.
 """
 
 import os
@@ -355,6 +359,55 @@ def test_no_trace_fast_path_beats_traced_engine(benchmark):
         f"no-trace {fast_time:.4f}s should beat traced {traced_time:.4f}s"
     )
     benchmark(lambda: batch(False))
+
+
+def test_adaptive_allocation_beats_fixed_budget(benchmark):
+    """Sequential stopping reaches fixed-budget width with >= 2x fewer trials.
+
+    A Simple-Omission threshold sweep (the E01/E05-shaped workload):
+    at a fixed per-phase length, the success probability crosses from
+    ~1 to ~0 as ``p`` sweeps the unit interval, so most grid cells are
+    decisive and only the cells near the crossing carry real variance.
+    A fixed budget pays ``N`` trials for every cell; ``run_until`` with
+    the empirical-Bernstein rule must hit the same (Hoeffding, fixed-N)
+    CI width everywhere while spending at most half the total.
+    """
+    from repro.analysis import hoeffding_margin
+
+    topology = binary_tree(4)
+    failure_rates = [round(0.05 + 0.08 * k, 2) for k in range(12)]
+    phase_length = 12  # sharp crossing near p ~ 0.77: few mid-variance cells
+    fixed_trials = 16384
+    confidence = 0.99
+    # The width a fixed N-trial Hoeffding interval delivers — the
+    # target the adaptive runs must reach.
+    target_width = 2.0 * hoeffding_margin(fixed_trials, confidence)
+
+    def sweep():
+        outcomes = []
+        for p in failure_rates:
+            runner = TrialRunner(
+                partial(SimpleOmission, topology, 0, 1, MESSAGE_PASSING,
+                        phase_length),
+                OmissionFailures(p),
+            )
+            outcomes.append(runner.run_until(
+                target_width, 4 * fixed_trials, 7,
+                confidence=confidence, bound="bernstein",
+            ))
+        return outcomes
+
+    outcomes = benchmark(sweep)
+    assert all(outcome.met for outcome in outcomes)
+    assert all(outcome.width <= target_width for outcome in outcomes)
+    assert all(outcome.backend == "fastsim:simple-omission"
+               for outcome in outcomes)
+    total_adaptive = sum(outcome.trials for outcome in outcomes)
+    total_fixed = fixed_trials * len(failure_rates)
+    assert total_adaptive * 2 <= total_fixed, (
+        f"adaptive spent {total_adaptive} trials vs fixed {total_fixed} "
+        f"({total_fixed / total_adaptive:.1f}x saving, need >= 2x)"
+    )
 
 
 def test_trial_runner_engine_batch(benchmark):

@@ -14,6 +14,8 @@ from repro.analysis.chernoff import (
 from repro.analysis.estimation import (
     MonteCarloResult,
     clopper_pearson,
+    empirical_bernstein_interval,
+    empirical_bernstein_margin,
     estimate_success,
     hoeffding_interval,
     hoeffding_margin,
@@ -44,6 +46,8 @@ __all__ = [
     "wilson_interval",
     "hoeffding_interval",
     "hoeffding_margin",
+    "empirical_bernstein_margin",
+    "empirical_bernstein_interval",
     "estimate_success",
     "MP_MALICIOUS_THRESHOLD",
     "radio_malicious_threshold",

@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments describe [--markdown]
     python -m repro.experiments run E05 [--quick] [--seed N] [--workers N]
-    python -m repro.experiments run-all [--quick] [--seed N] [--workers N]
+        [--trials-scale F] [--target-width W] [--max-trials-scale F]
+    python -m repro.experiments run-all [...same flags...]
 
 ``describe`` renders the registry-driven experiment table — paper
 claims, topologies, failure models, the *dispatched* backend per
@@ -58,6 +59,19 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="multiply every runner's Monte-Carlo "
                                   "trial budget by FACTOR so sweeps "
                                   "stretch with the hardware (default 1.0)")
+        command.add_argument("--target-width", type=float, default=None,
+                             dest="target_width", metavar="W",
+                             help="override the adaptive runners' "
+                                  "sequential stopping width: threshold "
+                                  "sweeps double each cell's budget until "
+                                  "its interval width reaches W (default: "
+                                  "each runner's own width)")
+        command.add_argument("--max-trials-scale", type=float, default=1.0,
+                             dest="max_trials_scale", metavar="FACTOR",
+                             help="multiply the adaptive runners' "
+                                  "sequential max-trials caps by FACTOR "
+                                  "(default 1.0); raise it so a tighter "
+                                  "--target-width can actually be reached")
     return parser
 
 
@@ -80,7 +94,9 @@ def main(argv=None) -> int:
         return 0
     config = ExperimentConfig(seed=args.seed, quick=args.quick,
                               workers=args.workers,
-                              trials_scale=args.trials_scale)
+                              trials_scale=args.trials_scale,
+                              target_width=args.target_width,
+                              max_trials_scale=args.max_trials_scale)
     if args.command == "run":
         report = run_experiment(args.experiment_id.upper(), config)
         print(report.render())

@@ -64,22 +64,55 @@ class ExperimentConfig:
         the trial index, so scaling *extends* the indicator vector of
         a smaller run instead of reshuffling it, and workers-invariance
         is unaffected.
+    target_width:
+        Optional override of the adaptive runners' stopping width.
+        Threshold-curve sweeps (E01, E05, E12, E15) allocate trials
+        sequentially — ``TrialRunner.run_until`` doubles each cell's
+        budget until its interval width reaches the target — so
+        decisive cells stop early and the budget concentrates on the
+        steep part of the curve.  ``None`` keeps each runner's default
+        width (chosen to match its historical fixed budget); the
+        stopping point is deterministic per seed either way.
+    max_trials_scale:
+        Multiplier on the adaptive runners' ``max_trials`` caps (which
+        default to the historical fixed budgets, after
+        ``trials_scale``).  Raising it lets a tighter ``target_width``
+        actually be reached; the cap guarantees termination.
     """
 
     seed: int = 2007  # the journal year, for flavour
     quick: bool = False
     workers: int = 1
     trials_scale: float = 1.0
+    target_width: Optional[float] = None
+    max_trials_scale: float = 1.0
 
     def __post_init__(self):
         if not (self.trials_scale > 0):
             raise ValueError(
                 f"trials_scale must be positive, got {self.trials_scale}"
             )
+        if not (self.max_trials_scale > 0):
+            raise ValueError(
+                f"max_trials_scale must be positive, got {self.max_trials_scale}"
+            )
+        if self.target_width is not None and not (0.0 < self.target_width <= 1.0):
+            raise ValueError(
+                f"target_width must lie in (0, 1], got {self.target_width}"
+            )
 
     def scaled_trials(self, base: int) -> int:
         """``base`` trials scaled by :attr:`trials_scale` (at least 1)."""
         return max(1, round(base * self.trials_scale))
+
+    def adaptive_width(self, default: float) -> float:
+        """The sequential stopping width: the override or the default."""
+        return default if self.target_width is None else self.target_width
+
+    def adaptive_cap(self, base: int) -> int:
+        """Sequential ``max_trials``: the scaled fixed budget times
+        :attr:`max_trials_scale` (at least 1)."""
+        return max(1, round(self.scaled_trials(base) * self.max_trials_scale))
 
 
 @dataclass
@@ -143,6 +176,10 @@ class ScenarioSpec:
         Human-readable topology summary (e.g. ``"binary tree d=4"``).
     trials:
         Trial-budget summary, quick vs full (e.g. ``"2000 / 6000"``).
+    sequential:
+        Adaptive-allocation summary for scenarios that run
+        ``TrialRunner.run_until`` (e.g. ``"width ≤ 0.05 (bernstein)"``);
+        empty for fixed-budget scenarios, rendered as ``—``.
     note:
         Optional caveat (e.g. a deliberately pinned engine
         cross-check column that bypasses dispatch).
@@ -152,6 +189,7 @@ class ScenarioSpec:
     build: Optional[Callable[[], object]]
     topology: str
     trials: str
+    sequential: str = ""
     note: str = ""
 
 

@@ -33,34 +33,48 @@ from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
-def _engine_success_rate(topology, source, p, m, model, trials, stream,
-                         workers=1) -> float:
-    """Monte-Carlo success rate of the reference engine.
+#: Default sequential stopping width of the engine-validation cells: an
+#: empirical-Bernstein interval this narrow pins the engine estimate to
+#: the closed form well inside the almost-safe margin, and on the
+#: near-decisive cells the variance term vanishes, so most cells stop
+#: at the first extension instead of spending the full cap.
+ENGINE_CELL_WIDTH = 0.25
+
+
+def _engine_success_rate(topology, source, p, m, model, config, stream):
+    """Adaptive Monte-Carlo success rate of the reference engine.
 
     ``use_fastsim=False`` / ``use_batchsim=False``: this column exists
     to validate the closed form against the *scalar engine*, so
     dispatching to either vectorised tier would defeat its purpose.
     The factory is a picklable partial so the batch can shard across
-    processes.
+    processes.  Returns ``(estimate, trials actually run)`` — the cell
+    runs sequentially (``run_until``) against
+    :data:`ENGINE_CELL_WIDTH`, with the historical fixed budget as the
+    ``max_trials`` cap.
     """
     runner = TrialRunner(
         partial(SimpleOmission, topology, source, 1, model, m),
         OmissionFailures(p),
         use_fastsim=False,
         use_batchsim=False,
-        workers=workers,
+        workers=config.workers,
     )
-    return runner.run(trials, stream).estimate
+    outcome = runner.run_until(
+        config.adaptive_width(ENGINE_CELL_WIDTH),
+        config.adaptive_cap(60 if config.quick else 200),
+        stream, bound="bernstein", initial_trials=64,
+    )
+    return outcome.estimate, outcome.trials
 
 
 def _run(config: ExperimentConfig, model: str, experiment_id: str) -> ExperimentReport:
     stream = RngStream(config.seed).child(experiment_id)
     depths = [3, 5] if config.quick else [3, 5, 7]
     probabilities = [0.1, 0.5, 0.9] if config.quick else [0.1, 0.3, 0.5, 0.7, 0.9, 0.95]
-    engine_trials = config.scaled_trials(60 if config.quick else 200)
     table = Table([
         "n", "p", "m", "rounds", "exact_success", "target", "almost_safe",
-        "engine_mc",
+        "engine_mc", "engine_trials",
     ])
     passed = True
     for depth in depths:
@@ -75,21 +89,27 @@ def _run(config: ExperimentConfig, model: str, experiment_id: str) -> Experiment
             passed = passed and almost_safe
             # Engine validation on the smallest grid cell per depth.
             engine_mc = ""
+            engine_trials = ""
             if p == probabilities[0]:
-                engine_mc = _engine_success_rate(
-                    topology, 0, p, m, model, engine_trials,
+                engine_mc, engine_trials = _engine_success_rate(
+                    topology, 0, p, m, model, config,
                     stream.child("engine", depth, p),
-                    workers=config.workers,
                 )
             table.add_row(
                 n=n, p=p, m=m, rounds=n * m, exact_success=exact,
                 target=target, almost_safe=almost_safe, engine_mc=engine_mc,
+                engine_trials=engine_trials,
             )
     notes = [
         "exact_success = (1 - p^m)^#internal — one independent event per "
         "internal tree node",
         f"m chosen as the smallest with p^m <= 1/n^2 (union-bound budget); "
         f"model = {model}",
+        f"engine cells allocate trials sequentially: budget doubles until "
+        f"the empirical-Bernstein width reaches "
+        f"{config.adaptive_width(ENGINE_CELL_WIDTH):g} (cap "
+        f"{config.adaptive_cap(60 if config.quick else 200)}); "
+        f"engine_trials is the spend",
     ]
     return ExperimentReport(
         experiment_id=experiment_id,
@@ -120,7 +140,8 @@ def _describe_runner(model: str) -> TrialRunner:
         label="simple-omission mp",
         build=lambda: _describe_runner(MESSAGE_PASSING),
         topology="binary trees d=3..7",
-        trials="60 / 200 per engine cell",
+        trials="≤ 60 / 200 per engine cell",
+        sequential="width ≤ 0.25 (bernstein)",
         note="closed form carries the sweep; one deliberately pinned "
              "scalar-engine validation column per depth",
     )],
@@ -137,7 +158,8 @@ def run_e01(config: ExperimentConfig) -> ExperimentReport:
         label="simple-omission radio",
         build=lambda: _describe_runner(RADIO),
         topology="binary trees d=3..7",
-        trials="60 / 200 per engine cell",
+        trials="≤ 60 / 200 per engine cell",
+        sequential="width ≤ 0.25 (bernstein)",
         note="closed form carries the sweep; one deliberately pinned "
              "scalar-engine validation column per depth",
     )],

@@ -42,6 +42,15 @@ from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
+#: Default sequential stopping widths (quick / full).  Matched to the
+#: historical fixed budgets' Hoeffding widths at 99% confidence so the
+#: pass criteria keep their slack, while the empirical-Bernstein bound
+#: lets near-decisive cells (success rate near 0 or 1 — most of this
+#: sweep) stop several doublings earlier.
+MC_WIDTH_QUICK = 0.06
+MC_WIDTH_FULL = 0.025
+
+
 def _exact_chain_success(tree, m: int, p: float) -> float:
     """Exact per-node success product (worst-case adversary marginals)."""
     success = 1.0
@@ -83,16 +92,20 @@ def _describe_runner() -> TrialRunner:
         label="simple-malicious radio worst case",
         build=_describe_runner,
         topology="leaf-sourced stars, delta=2..16",
-        trials="4000 / 20000",
+        trials="≤ 4000 / 20000",
+        sequential="width ≤ 0.06 / 0.025 (bernstein)",
     )],
 )
 def run_e05(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E05")
     degrees = [2, 4] if config.quick else [2, 4, 8, 16]
-    trials = config.scaled_trials(4000 if config.quick else 20000)
+    width = config.adaptive_width(
+        MC_WIDTH_QUICK if config.quick else MC_WIDTH_FULL
+    )
+    cap = config.adaptive_cap(4000 if config.quick else 20000)
     table = Table([
         "delta", "n", "p_star", "side", "p", "m", "exact_success",
-        "fastsim_mc", "target", "almost_safe",
+        "fastsim_mc", "mc_trials", "target", "almost_safe",
     ])
     passed = True
     backends = set()
@@ -106,27 +119,29 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         p_low = 0.75 * p_star
         m_low = radio_malicious_phase_length(n, p_low, delta)
         exact_low = _exact_chain_success(tree, m_low, p_low)
-        low = _runner(topology, m_low, p_low, config.workers).run(
-            trials, stream.child("low", delta)
+        low = _runner(topology, m_low, p_low, config.workers).run_until(
+            width, cap, stream.child("low", delta), bound="bernstein"
         )
         backends.add(low.backend)
         feasible_ok = exact_low >= target
         table.add_row(
             delta=delta, n=n, p_star=p_star, side="below", p=p_low, m=m_low,
-            exact_success=exact_low, fastsim_mc=low.estimate, target=target,
+            exact_success=exact_low, fastsim_mc=low.estimate,
+            mc_trials=low.trials, target=target,
             almost_safe=feasible_ok,
         )
         # Infeasible side: same repetition budget, p beyond the threshold.
         p_high = min(0.99, 1.25 * p_star)
         exact_high = _exact_chain_success(tree, m_low, p_high)
-        high = _runner(topology, m_low, p_high, config.workers).run(
-            trials, stream.child("high", delta)
+        high = _runner(topology, m_low, p_high, config.workers).run_until(
+            width, cap, stream.child("high", delta), bound="bernstein"
         )
         backends.add(high.backend)
         collapse_ok = exact_high < 0.5
         table.add_row(
             delta=delta, n=n, p_star=p_star, side="above", p=p_high, m=m_low,
-            exact_success=exact_high, fastsim_mc=high.estimate, target=target,
+            exact_success=exact_high, fastsim_mc=high.estimate,
+            mc_trials=high.trials, target=target,
             almost_safe=exact_high >= target,
         )
         passed = passed and feasible_ok and collapse_ok
@@ -139,6 +154,10 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         "other faulty closed-neighbourhood member destroys the reception — "
         "good = (1-p)^(delta+1), bad = p per step",
         "p*(delta) solved by Brent root finding on p - (1-p)^(delta+1)",
+        f"trials allocated sequentially: each cell's budget doubles until "
+        f"its empirical-Bernstein width reaches {width:g} (cap {cap}); "
+        f"mc_trials is the spend — decisive cells far from the threshold "
+        f"stop early",
         f"fastsim_mc backends: {', '.join(sorted(backends))} — the engine-"
         f"exact tree sampler (shared source-phase faults correlate the "
         f"leaves), vs the independent per-node product in exact_success",

@@ -55,6 +55,15 @@ from repro.experiments.tables import Table
 from repro.rng import RngStream
 
 
+#: Default sequential stopping widths (quick / full) of the three
+#: Monte-Carlo validation legs.  The omission-mc check sits near
+#: certainty, so the empirical-Bernstein bound stops it an order of
+#: magnitude under its cap; the heterogeneous legs sit mid-interval
+#: and spend most of theirs.
+MC_WIDTH_QUICK = 0.05
+MC_WIDTH_FULL = 0.025
+
+
 def _describe_exact_m() -> TrialRunner:
     topology = binary_tree(5)
     m = omission_phase_length(topology.order, 0.5)
@@ -84,13 +93,15 @@ def _describe_hetero() -> TrialRunner:
             label="exact-m omission check",
             build=_describe_exact_m,
             topology="binary tree d=5",
-            trials="20000 / 80000",
+            trials="≤ 20000 / 80000",
+            sequential="width ≤ 0.05 / 0.025 (bernstein)",
         ),
         ScenarioSpec(
             label="heterogeneous p_v ramp (batchsim leg)",
             build=_describe_hetero,
             topology="binary tree d=5",
-            trials="10000 / 40000",
+            trials="≤ 10000 / 40000",
+            sequential="width ≤ 0.05 / 0.025 (bernstein)",
             note="run twice: the p_v fastsim sampler and, with fastsim "
                  "off, the batchsim tier — both vs ∏(1-p_v^m)",
         ),
@@ -98,6 +109,9 @@ def _describe_hetero() -> TrialRunner:
 )
 def run_e15(config: ExperimentConfig) -> ExperimentReport:
     stream = RngStream(config.seed).child("E15")
+    width = config.adaptive_width(
+        MC_WIDTH_QUICK if config.quick else MC_WIDTH_FULL
+    )
     table = Table([
         "ablation", "setting", "n_or_L", "p", "exact", "naive",
         "saving",
@@ -120,14 +134,16 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
     mc_topology = binary_tree(5)
     mc_p = 0.5
     mc_m = omission_phase_length(mc_topology.order, mc_p)
-    mc_trials = config.scaled_trials(20000 if config.quick else 80000)
-    mc_margin = hoeffding_margin(mc_trials, confidence=0.999)
+    mc_cap = config.adaptive_cap(20000 if config.quick else 80000)
     runner = TrialRunner(
         partial(SimpleOmission, mc_topology, 0, 1, MESSAGE_PASSING, mc_m),
         OmissionFailures(mc_p),
         workers=config.workers,
     )
-    outcome = runner.run(mc_trials, stream.child("omission-mc"))
+    outcome = runner.run_until(
+        width, mc_cap, stream.child("omission-mc"), bound="bernstein"
+    )
+    mc_margin = hoeffding_margin(outcome.trials, confidence=0.999)
     closed_form = simple_omission_success_probability(
         bfs_tree(mc_topology, 0), mc_m, mc_p
     )
@@ -161,16 +177,18 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
     hetero_closed = simple_omission_success_probability(
         bfs_tree(mc_topology, 0), hetero_m, hetero_rates
     )
-    hetero_trials = config.scaled_trials(10000 if config.quick else 40000)
-    hetero_margin = hoeffding_margin(hetero_trials, confidence=0.999)
+    hetero_cap = config.adaptive_cap(10000 if config.quick else 40000)
     for label, use_fastsim in (("fastsim", True), ("batchsim", False)):
         hetero_runner = TrialRunner(
             hetero_factory, OmissionFailures(p_v=hetero_rates),
             use_fastsim=use_fastsim, workers=config.workers,
         )
-        hetero_outcome = hetero_runner.run(
-            hetero_trials, stream.child("hetero-mc", label)
+        hetero_outcome = hetero_runner.run_until(
+            width, hetero_cap, stream.child("hetero-mc", label),
+            bound="bernstein",
         )
+        hetero_margin = hoeffding_margin(hetero_outcome.trials,
+                                         confidence=0.999)
         hetero_ok = (
             abs(hetero_outcome.estimate - hetero_closed) <= hetero_margin
             and hetero_outcome.backend == (
@@ -233,7 +251,10 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
         "omission m: the exact calculator matches the asymptotic constant "
         "c = 2/ln(1/p) to within a step",
         "omission m (mc): dispatched TrialRunner estimate at the exact m "
-        "vs the closed form, 99.9% Hoeffding margin",
+        "vs the closed form, 99.9% Hoeffding margin over the trials spent",
+        f"all three mc legs allocate trials sequentially: budget doubles "
+        f"until the empirical-Bernstein width reaches {width:g} (caps = "
+        f"historical fixed budgets)",
         "omission p_v (mc): heterogeneous per-node rates (linear ramp) "
         "through the fastsim sampler and the batchsim engine tier, both "
         "vs the per-node closed form",

@@ -59,12 +59,16 @@ def sample_layered_omission(graph: LayeredGraph, steps: Sequence[Set[int]],
     nodes all hear the lone source transmitter) and every layer-3 value
     hears at least one step with exactly one surviving transmitter
     among its neighbours.
+
+    The source-phase and layer-2 fault draws each own a named child
+    stream with the trial count as the leading axis, so the indicators
+    are prefix-stable in ``trials`` (the sequential-extension contract
+    of :class:`repro.montecarlo.dispatch.SamplerEntry`).
     """
     p = check_probability(p, "p", allow_zero=True)
     trials = check_positive_int(trials, "trials")
     check_positive_int(source_steps, "source_steps")
     stream = as_stream(seed_or_stream)
-    generator = stream.generator
     m = graph.m
     step_masks = np.array(
         [_positions_mask(set(step)) for step in steps], dtype=np.int64
@@ -75,10 +79,10 @@ def sample_layered_omission(graph: LayeredGraph, steps: Sequence[Set[int]],
         raise ValueError("layer-2 steps contain positions beyond m")
     # Source phase: fails only if all source transmissions are faulty.
     source_ok = (
-        generator.random((trials, source_steps)) >= p
+        stream.child("source").generator.random((trials, source_steps)) >= p
     ).any(axis=1)
     # Layer-2 faults: (trials, steps, m) bits -> per-step surviving masks.
-    faults = generator.random((trials, len(steps), m)) < p
+    faults = stream.child("layer2").generator.random((trials, len(steps), m)) < p
     weights = (1 << np.arange(m, dtype=np.int64))
     fault_masks = (faults * weights).sum(axis=2)
     alive = step_masks[None, :] & ~fault_masks

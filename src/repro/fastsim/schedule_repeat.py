@@ -103,19 +103,25 @@ def sample_radio_repeat_malicious(schedule: RadioSchedule, phase_length: int,
     shared ``Bin(m, p)`` flip count decides all of its members at once;
     groups are processed in step order so the transmitter's own
     correctness is settled before its group votes.
+
+    Each group draws its flip counts from its own named child stream
+    with the trial count as the only axis, so the indicators are
+    prefix-stable in ``trials`` (the sequential-extension contract of
+    :class:`repro.montecarlo.dispatch.SamplerEntry`).
     """
     phase_length = check_positive_int(phase_length, "phase_length")
     p = check_probability(p, "p", allow_zero=True)
     trials = check_positive_int(trials, "trials")
     stream = as_stream(seed_or_stream)
-    generator = stream.generator
     groups = informing_groups(schedule)
     m = phase_length
     half = m / 2.0
     correct = {schedule.source: np.ones(trials, dtype=bool)}
     result = np.ones(trials, dtype=bool)
     for transmitter, step in sorted(groups, key=lambda pair: (pair[1], pair[0])):
-        flips = generator.binomial(m, p, size=trials)
+        flips = stream.child("flips", transmitter, step).generator.binomial(
+            m, p, size=trials
+        )
         parent_correct = correct[transmitter]
         group_correct = np.where(parent_correct, flips < half, flips > half)
         result &= group_correct

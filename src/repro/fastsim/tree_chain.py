@@ -117,12 +117,16 @@ def sample_simple_malicious_mp(tree: SpanningTree, phase_length: int, p: float,
     reach half of the window; conditioned on it being wrong, only
     ``> m/2`` flips rescue them (a tie falls to the default 0 = the
     wrong value for ``Ms = 1``).
+
+    Each internal node draws its flip counts from its own named child
+    stream with the trial count as the only axis, so the indicators
+    are prefix-stable in ``trials`` (the sequential-extension contract
+    of :class:`repro.montecarlo.dispatch.SamplerEntry`).
     """
     phase_length = check_positive_int(phase_length, "phase_length")
     p = check_probability(p, "p", allow_zero=True)
     trials = check_positive_int(trials, "trials")
     stream = as_stream(seed_or_stream)
-    generator = stream.generator
     m = phase_length
     half = m / 2.0
     correct = {tree.root: np.ones(trials, dtype=bool)}
@@ -132,7 +136,9 @@ def sample_simple_malicious_mp(tree: SpanningTree, phase_length: int, p: float,
         if not children:
             continue
         parent_correct = correct[node]
-        flips = generator.binomial(m, p, size=trials)
+        flips = stream.child("flips", node).generator.binomial(
+            m, p, size=trials
+        )
         children_correct = np.where(parent_correct, flips < half, flips > half)
         result &= children_correct
         for child in children:
@@ -214,6 +220,12 @@ def sample_simple_malicious_radio_tree(tree: SpanningTree, phase_length: int,
     per-node trinomial of :func:`sample_simple_malicious_radio` ignores;
     on chains the two coincide).  Message convention: ``Ms = 1``,
     default ``0``.
+
+    Each draw site — one per transmitter's shared flip count, one per
+    listening child's vote count — owns a named child stream with the
+    trial count as the leading axis, so the indicators are
+    prefix-stable in ``trials`` (the sequential-extension contract of
+    :class:`repro.montecarlo.dispatch.SamplerEntry`).
     """
     phase_length = check_positive_int(phase_length, "phase_length")
     p = check_probability(p, "p", allow_zero=True)
@@ -226,7 +238,6 @@ def sample_simple_malicious_radio_tree(tree: SpanningTree, phase_length: int,
             f"neighbours and the per-phase factorisation breaks"
         )
     stream = as_stream(seed_or_stream)
-    generator = stream.generator
     m = phase_length
     correct = {tree.root: np.ones(trials, dtype=bool)}
     result = np.ones(trials, dtype=bool)
@@ -234,12 +245,16 @@ def sample_simple_malicious_radio_tree(tree: SpanningTree, phase_length: int,
         children = tree.children(node)
         if not children:
             continue
-        flips = generator.binomial(m, p, size=trials)
+        flips = stream.child("flips", node).generator.binomial(
+            m, p, size=trials
+        )
         clear = m - flips
         parent_correct = correct[node]
         for child in children:
             rest_fault_free = (1.0 - p) ** topology.degree(child)
-            true_votes = generator.binomial(clear, rest_fault_free)
+            true_votes = stream.child("votes", child).generator.binomial(
+                clear, rest_fault_free
+            )
             child_correct = np.where(
                 parent_correct, true_votes > flips, flips > true_votes
             )
@@ -262,11 +277,17 @@ def sample_flooding_times(tree: SpanningTree, p, trials: int,
     relay delay of internal node ``v`` is then geometric with its own
     success rate ``1 - p_v[v]`` (its transmitter is the only one that
     matters for the front crossing ``v``).
+
+    Each internal node draws its delays from its own named child
+    stream with the trial count as the only axis, so the completion
+    times are prefix-stable in ``trials`` (the sequential-extension
+    contract of :class:`repro.montecarlo.dispatch.SamplerEntry`) and a
+    constant per-node vector stays bit-identical to the scalar rate —
+    the draw sites depend only on each node's own rate.
     """
     trials = check_positive_int(trials, "trials")
     rates = node_rates(p, tree.topology.order)
     stream = as_stream(seed_or_stream)
-    generator = stream.generator
     informed_time = {tree.root: np.zeros(trials, dtype=np.int64)}
     completion = np.zeros(trials, dtype=np.int64)
     relay_delay = {}
@@ -277,8 +298,9 @@ def sample_flooding_times(tree: SpanningTree, p, trials: int,
         if node_rate == 0.0:
             relay_delay[node] = np.ones(trials, dtype=np.int64)
         else:
-            relay_delay[node] = generator.geometric(1.0 - node_rate,
-                                                    size=trials)
+            relay_delay[node] = stream.child("delay", node).generator.geometric(
+                1.0 - node_rate, size=trials
+            )
     for node in _nodes_in_topdown_order(tree):
         parent = tree.parent[node]
         informed_time[node] = informed_time[parent] + relay_delay[parent]

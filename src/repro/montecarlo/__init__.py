@@ -22,10 +22,14 @@ from repro.montecarlo.dispatch import (
     unregister_sampler,
 )
 from repro.montecarlo import samplers as _builtin_samplers  # noqa: F401  (registers)
+from repro.montecarlo.pool import WorkerCrashError
 from repro.montecarlo.trials import (
     BATCHSIM_BACKEND,
     ENGINE_BACKEND,
+    SEQUENTIAL_BOUNDS,
     RunningTally,
+    SequentialResult,
+    SequentialStep,
     TrialResult,
     TrialRunner,
 )
@@ -34,6 +38,10 @@ __all__ = [
     "TrialRunner",
     "TrialResult",
     "RunningTally",
+    "SequentialResult",
+    "SequentialStep",
+    "SEQUENTIAL_BOUNDS",
+    "WorkerCrashError",
     "SamplerEntry",
     "register_sampler",
     "unregister_sampler",

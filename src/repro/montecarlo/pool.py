@@ -23,10 +23,30 @@ from __future__ import annotations
 
 import multiprocessing
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["pool_context", "run_sharded"]
+__all__ = ["pool_context", "run_sharded", "WorkerCrashError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died abruptly (segfault, ``os._exit``, OOM kill).
+
+    The bare :class:`~concurrent.futures.process.BrokenProcessPool`
+    carries no shard attribution — it surfaces on whichever future the
+    completion loop happened to reach first.  This wrapper names the
+    lowest-indexed shard the crash took down and summarises its
+    arguments, so a reproduction starts from the right shard instead
+    of a random one.
+    """
+
+
+def _summarise_args(args: Tuple, limit: int = 200) -> str:
+    """Truncated ``repr`` of a shard's argument tuple for error text."""
+    text = repr(args)
+    if len(text) > limit:
+        text = text[:limit] + "...<truncated>"
+    return text
 
 
 def pool_context():
@@ -76,7 +96,12 @@ def run_sharded(function: Callable[..., Any],
     The per-shard results **in shard order**, regardless of completion
     order.  If any shard raises, every not-yet-started shard is
     cancelled and the exception of the lowest-indexed failing shard is
-    re-raised (sibling failures are suppressed deterministically).
+    re-raised (sibling failures are suppressed deterministically).  A
+    worker that dies without raising — ``os._exit``, a segfault, the
+    OOM killer — breaks the whole pool; that surfaces as a
+    :class:`WorkerCrashError` naming the lowest-indexed shard the
+    crash took down and its argument summary, instead of the bare
+    unattributed ``BrokenProcessPool``.
     """
     results: List[Any] = [None] * len(shard_args)
     errors = {}
@@ -106,5 +131,14 @@ def run_sharded(function: Callable[..., Any],
                     on_result(next_in_order, ready.pop(next_in_order))
                     next_in_order += 1
     if errors:
-        raise errors[min(errors)]
+        lowest = min(errors)
+        error = errors[lowest]
+        if isinstance(error, BrokenExecutor):
+            raise WorkerCrashError(
+                f"worker process died abruptly (killed / os._exit / "
+                f"segfault) while the pool was running shard {lowest} of "
+                f"{len(shard_args)}; shard args: "
+                f"{_summarise_args(tuple(shard_args[lowest]))}"
+            ) from error
+        raise error
     return results

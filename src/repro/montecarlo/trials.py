@@ -36,6 +36,15 @@ Both sharded paths run on the same pool harness
 (:mod:`repro.montecarlo.pool`): explicit start method, shard-ordered
 merging, and first-exception propagation with cancellation.
 
+Besides fixed budgets (:meth:`TrialRunner.run`), the runner offers a
+**sequential mode** (:meth:`TrialRunner.run_until`): the batch grows in
+powers of two, each extension folding into a :class:`RunningTally`,
+until the Chernoff–Hoeffding or empirical-Bernstein interval width
+drops below a target.  The stopping rule is a pure function of the
+per-trial indicator prefix, so a sequential run's indicators are
+exactly the prefix of a fixed-budget run under the same root seed — on
+all three tiers and for any worker count.
+
 Example::
 
     runner = TrialRunner(lambda: SimpleOmission(g, 0, 1, RADIO, p=0.3),
@@ -55,6 +64,7 @@ from repro._validation import check_positive_int, check_probability
 from repro.analysis.estimation import (
     MonteCarloResult,
     clopper_pearson,
+    empirical_bernstein_interval,
     hoeffding_interval,
     wilson_interval,
 )
@@ -71,6 +81,7 @@ from repro.montecarlo.pool import run_sharded
 from repro.rng import RngStream, as_stream, derive_seed
 
 __all__ = ["TrialRunner", "TrialResult", "RunningTally",
+           "SequentialResult", "SequentialStep", "SEQUENTIAL_BOUNDS",
            "ENGINE_BACKEND", "BATCHSIM_BACKEND", "MIN_BATCHSIM_SHARD"]
 
 AlgorithmFactory = Callable[[], Algorithm]
@@ -84,8 +95,12 @@ class RunningTally:
     """Streaming success/trial counts with on-demand intervals.
 
     Shards report in as they complete; the tally can answer the point
-    estimate and Wilson / Chernoff–Hoeffding / Clopper–Pearson
-    intervals at any moment without storing indicators.
+    estimate and Wilson / Chernoff–Hoeffding / empirical-Bernstein /
+    Clopper–Pearson intervals at any moment without storing indicators.
+    "Any moment" includes before the first batch lands: an empty tally
+    answers the degenerate all-of-``[0, 1]`` interval instead of
+    raising (the sequential stopping rule consults the tally at trial
+    count zero).
     """
 
     __slots__ = ("_successes", "_trials")
@@ -115,15 +130,36 @@ class RunningTally:
         return self._successes / self._trials if self._trials else 0.0
 
     def wilson(self, confidence: float = 0.99) -> Tuple[float, float]:
-        """Wilson score interval on the current counts."""
+        """Wilson score interval on the current counts (``(0, 1)`` empty)."""
+        if self._trials == 0:
+            return 0.0, 1.0
         return wilson_interval(self._successes, self._trials, confidence)
 
     def hoeffding(self, confidence: float = 0.99) -> Tuple[float, float]:
-        """Chernoff–Hoeffding interval on the current counts."""
+        """Chernoff–Hoeffding interval on the current counts (``(0, 1)`` empty)."""
+        if self._trials == 0:
+            return 0.0, 1.0
         return hoeffding_interval(self._successes, self._trials, confidence)
 
+    def bernstein(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Empirical-Bernstein interval on the counts (``(0, 1)`` empty).
+
+        The Maurer–Pontil bound of
+        :func:`repro.analysis.estimation.empirical_bernstein_interval`:
+        variance-adaptive, so on decisive counts it shrinks like
+        ``1/t`` where Hoeffding only manages ``1/sqrt(t)`` — the
+        preferred stopping bound for sequential threshold sweeps.
+        """
+        if self._trials == 0:
+            return 0.0, 1.0
+        return empirical_bernstein_interval(
+            self._successes, self._trials, confidence
+        )
+
     def clopper_pearson(self, confidence: float = 0.99) -> Tuple[float, float]:
-        """Exact Clopper–Pearson interval on the current counts."""
+        """Exact Clopper–Pearson interval on the counts (``(0, 1)`` empty)."""
+        if self._trials == 0:
+            return 0.0, 1.0
         return clopper_pearson(self._successes, self._trials, confidence)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -172,31 +208,169 @@ class TrialResult:
 
     @property
     def estimate(self) -> float:
-        """Point estimate of the success probability."""
-        return self.successes / self.trials
+        """Point estimate of the success probability (0.0 when empty).
+
+        A zero-length indicator vector — directly constructable, and
+        what a sequential run whose target was met before the first
+        extension produces — mirrors :class:`RunningTally`'s empty
+        guard instead of dividing by zero.
+        """
+        return self.successes / self.trials if self.trials else 0.0
 
     def stats(self, confidence: Optional[float] = None) -> MonteCarloResult:
-        """Counts plus exact Clopper–Pearson interval."""
+        """Counts plus exact Clopper–Pearson interval.
+
+        An empty result carries the degenerate all-of-``[0, 1]``
+        interval — zero trials support no narrower claim.
+        """
         confidence = self.confidence if confidence is None else confidence
-        lower, upper = clopper_pearson(self.successes, self.trials, confidence)
+        if self.trials == 0:
+            lower, upper = 0.0, 1.0
+        else:
+            lower, upper = clopper_pearson(
+                self.successes, self.trials, confidence
+            )
         return MonteCarloResult(
             successes=self.successes, trials=self.trials,
             confidence=confidence, lower=lower, upper=upper,
         )
 
     def wilson(self, confidence: Optional[float] = None) -> Tuple[float, float]:
-        """Wilson score interval on the batch counts."""
+        """Wilson score interval on the batch counts (``(0, 1)`` empty)."""
         confidence = self.confidence if confidence is None else confidence
+        if self.trials == 0:
+            return 0.0, 1.0
         return wilson_interval(self.successes, self.trials, confidence)
 
     def hoeffding(self, confidence: Optional[float] = None) -> Tuple[float, float]:
-        """Chernoff–Hoeffding interval on the batch counts."""
+        """Chernoff–Hoeffding interval on the batch counts (``(0, 1)`` empty)."""
         confidence = self.confidence if confidence is None else confidence
+        if self.trials == 0:
+            return 0.0, 1.0
         return hoeffding_interval(self.successes, self.trials, confidence)
+
+    def bernstein(self, confidence: Optional[float] = None) -> Tuple[float, float]:
+        """Empirical-Bernstein interval on the batch counts (``(0, 1)`` empty)."""
+        confidence = self.confidence if confidence is None else confidence
+        if self.trials == 0:
+            return 0.0, 1.0
+        return empirical_bernstein_interval(
+            self.successes, self.trials, confidence
+        )
 
     def describe(self) -> str:
         """Human-readable one-liner for tables and logs."""
         return f"{self.stats().describe()} [{self.backend}]"
+
+
+#: The stopping bounds ``TrialRunner.run_until`` accepts, mapping the
+#: bound name to the ``RunningTally`` interval method it consults.
+#: ``"hoeffding"`` is distribution-free with a trials-only margin;
+#: ``"bernstein"`` (Maurer–Pontil) adapts to the empirical variance and
+#: is the one that lets adaptive sweeps leave decisive cells early.
+SEQUENTIAL_BOUNDS = ("hoeffding", "bernstein")
+
+
+@dataclass(frozen=True)
+class SequentialStep:
+    """One extension of a sequential run: the state after it folded in.
+
+    Attributes
+    ----------
+    trials, successes:
+        Cumulative counts once this extension's indicators landed.
+    width:
+        The stopping-bound interval width at those counts — what the
+        stopping rule compared against ``target_width``.
+    """
+
+    trials: int
+    successes: int
+    width: float
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Outcome of one :meth:`TrialRunner.run_until` sequential run.
+
+    Wraps the final :class:`TrialResult` (whose indicators are exactly
+    the prefix of a fixed-budget run under the same root seed) together
+    with the per-extension trace the stopping rule walked.
+
+    Attributes
+    ----------
+    result:
+        The final batch over every trial actually run.
+    steps:
+        One :class:`SequentialStep` per extension, in order; empty when
+        the target was already met at trial count zero (a
+        ``target_width`` of 1.0).
+    target_width:
+        The interval width the run was asked to reach.
+    bound:
+        Stopping bound consulted (``"hoeffding"`` or ``"bernstein"``).
+    met:
+        Whether the final width reached the target — ``False`` means
+        the run exhausted ``max_trials`` first, and the interval is
+        honest but wider than asked.
+    """
+
+    result: TrialResult
+    steps: Tuple[SequentialStep, ...]
+    target_width: float
+    bound: str
+    met: bool
+
+    @property
+    def indicators(self) -> np.ndarray:
+        """Per-trial success booleans of the final batch."""
+        return self.result.indicators
+
+    @property
+    def trials(self) -> int:
+        """Total trials actually run."""
+        return self.result.trials
+
+    @property
+    def successes(self) -> int:
+        """Total successful trials."""
+        return self.result.successes
+
+    @property
+    def estimate(self) -> float:
+        """Point estimate of the success probability."""
+        return self.result.estimate
+
+    @property
+    def backend(self) -> str:
+        """Backend tag the extensions ran on."""
+        return self.result.backend
+
+    @property
+    def workers(self) -> int:
+        """Largest process count any extension actually used."""
+        return self.result.workers
+
+    @property
+    def seed(self) -> int:
+        """Root seed shared by every extension."""
+        return self.result.seed
+
+    @property
+    def width(self) -> float:
+        """Final stopping-bound interval width (1.0 before any trial)."""
+        return self.steps[-1].width if self.steps else 1.0
+
+    def stats(self, confidence: Optional[float] = None) -> MonteCarloResult:
+        """Counts plus exact Clopper–Pearson interval (final batch)."""
+        return self.result.stats(confidence)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables and logs."""
+        verdict = "met" if self.met else "NOT met"
+        return (f"{self.result.describe()} after {len(self.steps)} "
+                f"extension(s): {self.bound} width {self.width:.4f} "
+                f"(target {self.target_width:.4f} {verdict})")
 
 
 def _default_metadata(algorithm: Algorithm) -> Dict[str, Any]:
@@ -346,6 +520,12 @@ class TrialRunner:
         self._probe: Optional[Tuple[Optional[SamplerEntry],
                                     Optional[BatchExecution],
                                     Optional[Algorithm]]] = None
+        # Sequential-mode fallback probe: when a matching fastsim entry
+        # is not prefix-stable, run_until needs the batchsim
+        # eligibility answer _probe_dispatch never computed (it stops
+        # at the first matching tier).  Cached separately.
+        self._sequential_batch: Optional[BatchExecution] = None
+        self._sequential_probed = False
 
     @property
     def failure_model(self) -> FailureModel:
@@ -503,6 +683,217 @@ class TrialRunner:
             indicators=indicators, backend=ENGINE_BACKEND,
             workers=used_workers, seed=root_seed, confidence=confidence,
         )
+
+    def run_until(self, target_width: float, max_trials: int,
+                  seed_or_stream=0, confidence: float = 0.99, *,
+                  bound: str = "hoeffding",
+                  initial_trials: int = 512,
+                  progress: Optional[Callable[[RunningTally], None]] = None
+                  ) -> SequentialResult:
+        """Grow the batch in powers of two until the interval is narrow.
+
+        Budgets run ``initial_trials → 2·initial_trials → …``, capped
+        at ``max_trials``; after each extension folds into the running
+        tally, the run stops as soon as the ``bound`` interval width at
+        ``confidence`` drops to ``target_width`` or below.  The
+        stopping rule is a pure function of the per-trial indicator
+        prefix, so determinism and bit-identity carry over from
+        :meth:`run`: the indicators of a sequential run are **exactly
+        the prefix** of a fixed-budget run under the same root seed, on
+        every backend and for any worker count, and the stopping point
+        itself is deterministic per root seed.
+
+        Per tier, extensions work as follows.  Engine and batchsim
+        extensions execute the absolute trial range ``[prev, next)`` —
+        trial ``i`` draws from ``root.child("mc", i)`` whatever the
+        range bounds, so prefix identity is free.  A dispatched fastsim
+        sampler re-draws the whole grown prefix from a fresh root
+        stream and folds in only the tail, which is valid exactly when
+        the entry honours the ``prefix_stable`` contract
+        (:class:`repro.montecarlo.dispatch.SamplerEntry`); a matching
+        entry without the flag is routed to the batchsim or engine tier
+        for the entire sequential run instead.
+
+        Parameters
+        ----------
+        target_width:
+            Stop once ``upper - lower`` of the stopping bound is at or
+            below this; in ``(0, 1]`` (1.0 is met by the empty tally,
+            yielding a zero-trial result).
+        max_trials:
+            Hard budget cap.  When it is hit before the target, the
+            result reports ``met=False`` with the honest final width.
+        bound:
+            ``"hoeffding"`` (trials-only margin) or ``"bernstein"``
+            (Maurer–Pontil, variance-adaptive — decisive cells stop
+            after a few hundred trials).
+        initial_trials:
+            First extension's budget (default 512).
+        progress:
+            As in :meth:`run`: called with the running tally as each
+            shard of each extension folds in.
+
+        Returns
+        -------
+        A :class:`SequentialResult`: the final :class:`TrialResult`
+        plus one :class:`SequentialStep` per extension.
+        """
+        target_width = check_probability(target_width, "target_width",
+                                         allow_zero=False, allow_one=True)
+        max_trials = check_positive_int(max_trials, "max_trials")
+        initial_trials = check_positive_int(initial_trials, "initial_trials")
+        confidence = check_probability(confidence, "confidence",
+                                       allow_zero=False)
+        if bound not in SEQUENTIAL_BOUNDS:
+            raise ValueError(
+                f"bound must be one of {SEQUENTIAL_BOUNDS}, got {bound!r}"
+            )
+        stream = as_stream(seed_or_stream)
+        root_seed = stream.seed
+        tally = RunningTally()
+        steps: List[SequentialStep] = []
+        pieces: List[np.ndarray] = []
+        used_workers = 1
+        budget = 0
+        width = self._bound_width(tally, bound, confidence)
+        while width > target_width and budget < max_trials:
+            next_budget = min(
+                initial_trials if budget == 0 else 2 * budget, max_trials
+            )
+            part, workers = self._run_extension(
+                budget, next_budget, root_seed, tally, progress
+            )
+            pieces.append(part)
+            used_workers = max(used_workers, workers)
+            budget = next_budget
+            width = self._bound_width(tally, bound, confidence)
+            steps.append(SequentialStep(
+                trials=tally.trials, successes=tally.successes, width=width,
+            ))
+        indicators = (np.concatenate(pieces) if pieces
+                      else np.zeros(0, dtype=bool))
+        result = TrialResult(
+            indicators=indicators, backend=self.sequential_backend(),
+            workers=used_workers, seed=root_seed, confidence=confidence,
+        )
+        return SequentialResult(
+            result=result, steps=tuple(steps), target_width=target_width,
+            bound=bound, met=width <= target_width,
+        )
+
+    def sequential_backend(self) -> str:
+        """The backend tag ``run_until()`` would report.
+
+        Differs from :meth:`dispatch_backend` exactly when the matching
+        fastsim entry is not prefix-stable — sequential runs then fall
+        through to the batchsim or engine tier.
+        """
+        entry, batch, _ = self._sequential_tiers()
+        if entry is not None:
+            return f"fastsim:{entry.name}"
+        if batch is not None:
+            return BATCHSIM_BACKEND
+        return ENGINE_BACKEND
+
+    def _sequential_tiers(self) -> Tuple[Optional[SamplerEntry],
+                                         Optional[BatchExecution],
+                                         Optional[Algorithm]]:
+        """The dispatch triple sequential extensions actually use.
+
+        Identical to :meth:`_probe_dispatch` except that a matching
+        fastsim entry without the ``prefix_stable`` contract is
+        replaced by the tier below it: extensions re-draw the sampler's
+        grown prefix, which is only sound under that contract.
+        """
+        entry, batch, algorithm = self._probe_dispatch()
+        if entry is not None and not entry.prefix_stable:
+            entry = None
+            if self._use_batchsim and not self._sequential_probed:
+                self._sequential_batch = batch_execution(
+                    algorithm, self._failure_model, metadata=self._metadata
+                )
+                self._sequential_probed = True
+            batch = self._sequential_batch
+        return entry, batch, algorithm
+
+    def _run_extension(self, start: int, stop: int, root_seed: int,
+                       tally: RunningTally,
+                       progress: Optional[Callable[[RunningTally], None]]
+                       ) -> Tuple[np.ndarray, int]:
+        """Run trials ``start..stop-1`` of a sequential run.
+
+        Returns the extension's indicators and the worker count it
+        actually used, folding shards into ``tally`` in order as they
+        land (exactly like :meth:`run`).
+        """
+        entry, batch, algorithm = self._sequential_tiers()
+        if entry is not None:
+            full = np.asarray(
+                entry.sample(algorithm, self._failure_model, stop,
+                             as_stream(root_seed)),
+                dtype=bool,
+            )
+            part = full[start:]
+            tally.update(part)
+            if progress is not None:
+                progress(tally)
+            return part, 1
+        length = stop - start
+        if batch is not None:
+            chunks = [(lo + start, hi + start)
+                      for lo, hi in _batchsim_shards(length, self._workers)]
+            if len(chunks) <= 1:
+                part = batch.run_range(start, stop, root_seed)
+                tally.update(part)
+                if progress is not None:
+                    progress(tally)
+                return part, 1
+            parts = run_sharded(
+                run_batch_shard,
+                [
+                    (self._factory, self._failure_model, self._metadata,
+                     root_seed, lo, hi)
+                    for lo, hi in chunks
+                ],
+                max_workers=self._workers,
+                on_result=self._fold_shard(tally, progress),
+            )
+            return np.concatenate(parts), len(chunks)
+        shards = [
+            (lo + start, hi + start)
+            for lo, hi in _shard_bounds(length, self._effective_shards(length))
+        ]
+        if len(shards) <= 1 or self._workers == 1:
+            parts = []
+            for lo, hi in shards:
+                part = _run_shard(
+                    self._factory, self._failure_model, self._metadata,
+                    self._success, root_seed, lo, hi, algorithm=algorithm,
+                )
+                tally.update(part)
+                if progress is not None:
+                    progress(tally)
+                parts.append(part)
+            return np.concatenate(parts), 1
+        parts = run_sharded(
+            _run_shard,
+            [
+                (self._factory, self._failure_model, self._metadata,
+                 self._success, root_seed, lo, hi)
+                for lo, hi in shards
+            ],
+            max_workers=self._workers,
+            on_result=self._fold_shard(tally, progress),
+        )
+        return np.concatenate(parts), min(self._workers, len(shards))
+
+    @staticmethod
+    def _bound_width(tally: RunningTally, bound: str,
+                     confidence: float) -> float:
+        """Interval width of the stopping bound on the current counts."""
+        lower, upper = (tally.hoeffding(confidence) if bound == "hoeffding"
+                        else tally.bernstein(confidence))
+        return upper - lower
 
     @staticmethod
     def _fold_shard(tally: RunningTally,

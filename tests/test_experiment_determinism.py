@@ -30,7 +30,11 @@ ALL_EXPERIMENTS = [f"E{i:02d}" for i in range(1, 16)]
 
 #: Runners whose goldens predate their TrialRunner migration — for
 #: these, golden equality certifies bit-exact stream preservation.
-PRE_MIGRATION_GOLDENS = {"E09", "E11", "E13", "E14"}
+#: E11 left this set when its fastsim sampler moved to named child
+#: streams (the prefix-stability contract sequential runs require):
+#: the sampler's bit pattern legitimately changed, so its golden was
+#: re-pinned and now certifies the post-refactor draws instead.
+PRE_MIGRATION_GOLDENS = {"E09", "E13", "E14"}
 
 #: Migrated runners cheap enough to re-run with a process pool.  E04
 #: keeps the engine tier (its equalizing adversary is adaptive), so it
