@@ -1,0 +1,76 @@
+"""Benchmarks of the always-on simulation service.
+
+Two claims are asserted, not just timed:
+
+* under duplicate-heavy load (many clients re-asking for the same
+  threshold-curve cells) the service absorbs at least half the
+  queries through coalescing + exact memoisation instead of
+  recomputing them — the acceptance bar the serving layer exists to
+  clear;
+* a cached replay returns **byte-identical** indicators to the cold
+  run it memoised (the cache is exact, not approximate).
+
+``test_serve_qps`` is the sustained-throughput number the rolling
+benchmark history (``diff_bench.py --history``) tracks: mean seconds
+per duplicate-heavy burst, lower is better, with the derived
+queries/second in ``extra_info``.
+"""
+
+import asyncio
+
+from repro.serve import Query, SimulationService
+from repro.serve.traffic import run_inprocess
+
+#: One burst of the benchmark workload: heavily duplicated Monte-Carlo
+#: queries, small trial counts (the serving overhead is the subject,
+#: not the simulation itself).
+BURST_QUERIES = 40
+BURST_POOL = 4
+BURST_TRIALS = 64
+BURST_CONCURRENCY = 8
+
+
+def _burst():
+    """One cold service handling one duplicate-heavy burst."""
+    service = SimulationService()
+    report = asyncio.run(run_inprocess(
+        service, queries=BURST_QUERIES, pool_size=BURST_POOL,
+        trials=BURST_TRIALS, seed=0, concurrency=BURST_CONCURRENCY,
+    ))
+    return service, report
+
+
+def test_serve_qps(benchmark):
+    """Sustained queries/second with coalescing under duplicate load."""
+    service, report = benchmark(_burst)
+    assert report.errors == 0
+    assert report.queries == BURST_QUERIES
+    assert report.distinct_fingerprints == BURST_POOL
+    # >= 50% of the duplicate-heavy burst must be answered by shared
+    # work (coalesced onto an in-flight run or replayed from cache).
+    assert report.shared_rate >= 0.5, report.describe()
+    stats = service.stats()
+    assert stats.computed <= BURST_POOL, (
+        f"{stats.computed} executions for {BURST_POOL} distinct queries"
+    )
+    benchmark.extra_info["qps"] = round(report.qps, 1)
+    benchmark.extra_info["shared_rate"] = round(report.shared_rate, 3)
+
+
+def test_serve_cached_replay_is_exact(benchmark):
+    """Cache hits are byte-identical to the cold run and far cheaper."""
+    query = Query("windowed-malicious", 0.25, 2, 256, seed=13)
+    service = SimulationService()
+    cold = asyncio.run(service.submit(query))
+    assert cold.source == "computed"
+
+    def replay():
+        return asyncio.run(service.submit(query))
+
+    answer = benchmark(replay)
+    assert answer.source == "cache"
+    assert answer.result.indicators.tobytes() == \
+        cold.result.indicators.tobytes()
+    # And a fresh service recomputes the very same bytes cold.
+    fresh = asyncio.run(SimulationService().submit(query))
+    assert fresh.indicators_digest() == cold.indicators_digest()

@@ -28,7 +28,12 @@ __all__ = [
     "ExperimentReport",
     "Experiment",
     "ScenarioSpec",
+    "ScenarioFamily",
     "register",
+    "register_family",
+    "get_family",
+    "all_families",
+    "resolve_scenario",
     "get_experiment",
     "all_experiments",
     "run_experiment",
@@ -191,6 +196,97 @@ class ScenarioSpec:
     trials: str
     sequential: str = ""
     note: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A parameterised scenario the serving layer can build on demand.
+
+    Where a :class:`ScenarioSpec` pins one representative scenario for
+    the describe table, a family is the *wire-format* entry point: a
+    client of :mod:`repro.serve` names a family and supplies ``(p, n)``
+    (plus optional family-specific ``params``), and :attr:`build`
+    returns the ``(algorithm_factory, failure_model)`` pair the service
+    turns into a :class:`~repro.montecarlo.TrialRunner`.  The factory
+    must be **picklable** (a module-level callable or
+    :func:`functools.partial` over one) — that is what makes it
+    process-shardable *and* fingerprintable
+    (:func:`repro.montecarlo.scenario_fingerprint`), so results are
+    exactly memoisable.
+
+    Attributes
+    ----------
+    name:
+        Wire name clients use (kebab-case, e.g. ``"simple-omission"``).
+    build:
+        ``build(p, n, **params) -> (factory, failure_model)``.  It must
+        validate its inputs and raise ``ValueError`` on out-of-range
+        parameters — the service maps that to a client error instead of
+        a crash.
+    description:
+        One-line summary for catalogs and docs.
+    size_meaning:
+        What the wire parameter ``n`` selects (e.g. ``"line length"``,
+        ``"grid side"``) — rendered in the catalog so clients know what
+        they are scaling.
+    """
+
+    name: str
+    build: Callable[..., Tuple[Callable[[], object], object]]
+    description: str
+    size_meaning: str = "number of nodes"
+
+
+_FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def register_family(name: str, description: str,
+                    size_meaning: str = "number of nodes"):
+    """Decorator registering a scenario-family builder under ``name``."""
+
+    def decorate(build: Callable[..., Tuple[Callable[[], object], object]]):
+        if name in _FAMILIES:
+            raise ValueError(f"duplicate scenario family {name!r}")
+        _FAMILIES[name] = ScenarioFamily(
+            name=name, build=build, description=description,
+            size_meaning=size_meaning,
+        )
+        return build
+
+    return decorate
+
+
+def _ensure_families_loaded() -> None:
+    """Import the builtin catalog (registration is an import side effect)."""
+    from repro.serve import catalog  # noqa: F401  (import for effect)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up one scenario family by wire name."""
+    _ensure_families_loaded()
+    if name not in _FAMILIES:
+        known = ", ".join(sorted(_FAMILIES))
+        raise KeyError(f"unknown scenario family {name!r}; known: {known}")
+    return _FAMILIES[name]
+
+
+def all_families() -> List[ScenarioFamily]:
+    """All registered scenario families, sorted by name."""
+    _ensure_families_loaded()
+    return [_FAMILIES[key] for key in sorted(_FAMILIES)]
+
+
+def resolve_scenario(name: str, p: float, n: int,
+                     params: Optional[Dict[str, object]] = None
+                     ) -> Tuple[Callable[[], object], object]:
+    """Resolve a wire scenario spec to ``(factory, failure_model)``.
+
+    The single entry point the service and its wire protocol use:
+    ``KeyError`` for an unknown family, ``ValueError``/``TypeError``
+    from the family's own validation for bad parameters.
+    """
+    family = get_family(name)
+    return family.build(p, n, **dict(params or {}))
 
 
 @dataclass(frozen=True)

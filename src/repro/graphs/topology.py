@@ -155,6 +155,29 @@ class Topology:
         return (f"Topology(name={self._name!r}, order={self._order}, "
                 f"size={self.size})")
 
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self):
+        # Pickle only the defining data, in a canonical layout: the
+        # lazy caches (``_neighbor_sets``, ``_csr``) and the unordered
+        # ``_edges`` frozenset are all derivable from ``_adjacency``.
+        # Equal topologies must pickle to *identical bytes* whether or
+        # not they have been simulated on — scenario fingerprints
+        # (repro.montecarlo.fingerprint) hash these bytes.
+        return {"order": self._order, "adjacency": self._adjacency,
+                "name": self._name}
+
+    def __setstate__(self, state):
+        self._order = state["order"]
+        self._adjacency = state["adjacency"]
+        self._name = state["name"]
+        self._edges = frozenset(
+            (u, v)
+            for u, neighbours in enumerate(self._adjacency)
+            for v in neighbours if u < v
+        )
+        self._neighbor_sets = None
+        self._csr = None
+
     # -- traversal ---------------------------------------------------------
     def bfs_distances(self, source: int) -> List[int]:
         """Distances from ``source``; unreachable nodes get ``-1``."""

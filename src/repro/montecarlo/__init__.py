@@ -14,6 +14,11 @@ table and :mod:`repro.montecarlo.pool` for the shared pool harness.
 """
 
 from repro.batchsim.engine import supports_batchsim
+from repro.montecarlo.asyncrun import AsyncTrialRunner
+from repro.montecarlo.fingerprint import (
+    FINGERPRINT_VERSION,
+    scenario_fingerprint,
+)
 from repro.montecarlo.dispatch import (
     SamplerEntry,
     find_sampler,
@@ -37,6 +42,9 @@ from repro.montecarlo.trials import (
 __all__ = [
     "TrialRunner",
     "TrialResult",
+    "AsyncTrialRunner",
+    "scenario_fingerprint",
+    "FINGERPRINT_VERSION",
     "RunningTally",
     "SequentialResult",
     "SequentialStep",

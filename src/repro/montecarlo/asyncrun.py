@@ -1,0 +1,82 @@
+"""Async adapter around :class:`~repro.montecarlo.trials.TrialRunner`.
+
+The serving layer (:mod:`repro.serve`) lives on an asyncio event loop,
+but a Monte-Carlo batch is CPU-bound synchronous work — a fastsim draw
+is a few numpy calls, a batchsim run is seconds of vectorised rounds,
+and a sharded run blocks on a process pool.  This module is the one
+bridge between the two worlds: it executes a runner's batch on an
+executor thread (the default loop executor unless one is supplied), so
+the loop stays responsive while trials run, and concurrent batches of
+*different* scenarios overlap — the heavy lifting happens in numpy and
+in worker processes, both of which release the GIL's grip on the loop
+thread.
+
+Determinism is untouched: the wrapper adds no randomness and no
+scheduling dependence — the indicators of ``await arun.run(trials,
+seed)`` are byte-identical to ``runner.run(trials, seed)`` because it
+*is* that call, merely hosted on another thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from functools import partial
+from typing import Optional
+
+from repro.montecarlo.trials import SequentialResult, TrialResult, TrialRunner
+
+__all__ = ["AsyncTrialRunner"]
+
+
+class AsyncTrialRunner:
+    """Run a :class:`TrialRunner`'s batches without blocking the loop.
+
+    Parameters
+    ----------
+    runner:
+        The configured synchronous runner (dispatch tier, workers,
+        success predicate all live there).
+    executor:
+        Optional :class:`concurrent.futures.Executor` to host the
+        blocking calls; ``None`` uses the event loop's default
+        executor.  Callers that bound service concurrency (e.g.
+        :class:`repro.serve.service.SimulationService`) pass a sized
+        ``ThreadPoolExecutor``.
+    """
+
+    def __init__(self, runner: TrialRunner,
+                 executor: Optional[Executor] = None):
+        if not isinstance(runner, TrialRunner):
+            raise TypeError(
+                f"runner must be a TrialRunner, got {type(runner).__name__}"
+            )
+        self._runner = runner
+        self._executor = executor
+
+    @property
+    def runner(self) -> TrialRunner:
+        """The wrapped synchronous runner."""
+        return self._runner
+
+    async def _call(self, bound) -> object:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, bound)
+
+    async def run(self, trials: int, seed_or_stream=0,
+                  confidence: float = 0.99) -> TrialResult:
+        """Awaitable :meth:`TrialRunner.run` — identical result bytes."""
+        return await self._call(partial(
+            self._runner.run, trials, seed_or_stream, confidence
+        ))
+
+    async def run_until(self, target_width: float, max_trials: int,
+                        seed_or_stream=0, confidence: float = 0.99, *,
+                        bound: str = "hoeffding",
+                        initial_trials: int = 512) -> SequentialResult:
+        """Awaitable :meth:`TrialRunner.run_until` — same contract."""
+        return await self._call(partial(
+            self._runner.run_until, target_width, max_trials,
+            seed_or_stream, confidence, bound=bound,
+            initial_trials=initial_trials,
+        ))

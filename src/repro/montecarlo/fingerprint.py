@@ -1,0 +1,94 @@
+"""Canonical scenario fingerprints: the exact-memoisation key.
+
+Every Monte-Carlo result in this library is a *pure function* of
+``(scenario, root seed, trial count)``: trial ``i`` draws exclusively
+from ``root.child("mc", i)``, so the indicator vector does not depend
+on the backend tier, the worker count or the chunk size (the
+bit-identity invariant pinned across the test suite).  That determinism
+turns a result cache from an approximation into an *exact* memo — two
+queries with the same fingerprint are guaranteed byte-identical
+indicators, so the serving layer (:mod:`repro.serve`) can answer the
+second one from memory without changing a single bit of the answer.
+
+The fingerprint hashes the same description the process-sharding path
+already relies on being complete: the **picklable factory spec**
+(worker processes rebuild the entire scenario from it, so by the
+sharding contract it captures every scenario-defining datum —
+topology, source, payloads, phase lengths), the **failure model** with
+all its parameters, the **root seed** and the **trial count**.  Pickle
+bytes are produced at a pinned protocol, so equal specs hash equal and
+the digest is stable across runs of the same interpreter/library
+versions; the digest is SHA-256, so distinct specs colliding is not a
+practical concern.
+
+A fingerprint is *conservative* the same way the sharding contract is:
+a factory that is not a pure scenario description (builds differently
+per call) would already break process sharding, and it breaks
+memoisation the same way — both are documented requirements on
+factories, not new constraints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any, Callable, Optional
+
+from repro._validation import check_positive_int
+from repro.failures.base import FailureModel
+
+__all__ = ["scenario_fingerprint", "FINGERPRINT_VERSION"]
+
+#: Bumped whenever the fingerprint layout changes, so persisted caches
+#: from older layouts can never alias new ones.
+FINGERPRINT_VERSION = 1
+
+#: Pinned pickle protocol: the fingerprint must not change bytes when
+#: the interpreter's default protocol moves.
+_PICKLE_PROTOCOL = 4
+
+
+def scenario_fingerprint(factory: Callable[[], Any],
+                         failure_model: Optional[FailureModel],
+                         trials: int, seed: int, *,
+                         extra: Any = None) -> str:
+    """The canonical memo key of one Monte-Carlo batch, as a hex digest.
+
+    Parameters
+    ----------
+    factory:
+        The scenario's picklable algorithm factory — the same object
+        the process-sharding path ships to workers, which is exactly
+        why hashing it captures the whole scenario.
+    failure_model:
+        The failure model instance (or ``None`` for fault-free); its
+        parameters (rates, adversary, restriction) pickle with it.
+    trials, seed:
+        The batch shape: trial count and root seed.
+    extra:
+        Optional picklable discriminator for callers whose result
+        depends on more than the batch (e.g. a custom success
+        predicate's registered name).  ``None`` adds nothing.
+
+    Raises
+    ------
+    TypeError
+        When the factory (or failure model / extra) is not picklable —
+        e.g. a lambda.  Unpicklable factories cannot shard across
+        processes either; the error says so.
+    """
+    trials = check_positive_int(trials, "trials")
+    try:
+        payload = pickle.dumps(
+            (FINGERPRINT_VERSION, factory, failure_model, int(seed),
+             trials, extra),
+            protocol=_PICKLE_PROTOCOL,
+        )
+    except Exception as error:
+        raise TypeError(
+            f"scenario_fingerprint needs a picklable scenario spec "
+            f"(module-level factory/partial, picklable failure model) — "
+            f"the same contract process sharding requires; pickling "
+            f"failed with: {error}"
+        ) from error
+    return hashlib.sha256(payload).hexdigest()

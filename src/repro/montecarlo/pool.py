@@ -89,7 +89,11 @@ def run_sharded(function: Callable[..., Any],
         fires as soon as shards ``0..i`` have all completed (later
         shards that finish early are buffered).  This is what streams
         a live progress tally during a long sharded sweep.  Not called
-        for any shard at or after the first error.
+        for any shard at or after the first error — *first* by shard
+        index, not by wall clock: shards below the lowest failing index
+        still stream their callbacks even when a later shard happened
+        to crash before they finished, so the streamed prefix is
+        exactly the prefix a fault-free run would have streamed.
 
     Returns
     -------
@@ -121,13 +125,26 @@ def run_sharded(function: Callable[..., Any],
             try:
                 results[index] = future.result()
             except Exception as error:
+                if not errors:
+                    # One sweep on the *first* error only: a broken
+                    # pool fails every still-pending future, and
+                    # re-sweeping per failure would make the teardown
+                    # O(shards^2) in cancel calls.
+                    for sibling in futures:
+                        sibling.cancel()
                 errors[index] = error
-                for sibling in futures:
-                    sibling.cancel()
                 continue
-            if on_result is not None and not errors:
+            if on_result is not None:
                 ready[index] = results[index]
-                while next_in_order in ready:
+                # Stream strictly below the lowest failing shard index
+                # (the documented contract): a later shard crashing
+                # first must not suppress the callbacks of
+                # already-running lower shards.  Safe even though
+                # min(errors) can drop as more errors land — callbacks
+                # fire in index order, so every index already streamed
+                # is backed by a completed (never-failing) shard.
+                while next_in_order in ready and (
+                        not errors or next_in_order < min(errors)):
                     on_result(next_in_order, ready.pop(next_in_order))
                     next_in_order += 1
     if errors:

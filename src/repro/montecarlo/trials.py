@@ -528,6 +528,11 @@ class TrialRunner:
         self._sequential_probed = False
 
     @property
+    def algorithm_factory(self) -> AlgorithmFactory:
+        """The scenario's algorithm factory (what fingerprints hash)."""
+        return self._factory
+
+    @property
     def failure_model(self) -> FailureModel:
         """The shared failure model."""
         return self._failure_model

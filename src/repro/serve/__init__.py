@@ -1,0 +1,39 @@
+"""Always-on simulation serving layer.
+
+``python -m repro.serve`` runs the TCP server; the in-process surface
+is :class:`SimulationService` (submit :class:`Query`, get
+:class:`Answer`).  See ARCHITECTURE.md's service-layer section for the
+resolve → fingerprint → cache → coalesce → memoise data flow.
+
+Importing this package registers the built-in scenario families
+(:mod:`repro.serve.catalog`) with the experiment registry.
+"""
+
+from repro.serve import catalog  # noqa: F401  (family registration)
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import SimulationServer, query_many, query_one
+from repro.serve.service import (
+    Answer,
+    Query,
+    QueryError,
+    ServiceStats,
+    SimulationService,
+)
+from repro.serve.traffic import TrafficReport, make_query_pool
+
+__all__ = [
+    "Answer",
+    "CacheStats",
+    "Coalescer",
+    "Query",
+    "QueryError",
+    "ResultCache",
+    "ServiceStats",
+    "SimulationServer",
+    "SimulationService",
+    "TrafficReport",
+    "make_query_pool",
+    "query_many",
+    "query_one",
+]

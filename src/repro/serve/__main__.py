@@ -1,0 +1,139 @@
+"""Command-line front end: ``python -m repro.serve``.
+
+Subcommands::
+
+    serve    run the TCP server until interrupted (the default)
+    traffic  fire a seeded duplicate-heavy burst at a running server
+    smoke    start a server, fire an in-process burst, assert that
+             coalescing/caching actually shared work, shut down —
+             exit status 0 iff healthy (what CI runs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from repro.serve.protocol import SimulationServer
+from repro.serve.service import SimulationService
+from repro.serve.traffic import run_over_wire
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Always-on broadcast-simulation service.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    serve = sub.add_parser("serve", help="run the TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7641,
+                       help="TCP port (default 7641; 0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="processes each Monte-Carlo run shards over")
+    serve.add_argument("--cache-capacity", type=int, default=256)
+
+    traffic = sub.add_parser(
+        "traffic", help="fire a seeded burst at a running server")
+    traffic.add_argument("--host", default="127.0.0.1")
+    traffic.add_argument("--port", type=int, default=7641)
+    traffic.add_argument("--queries", type=int, default=64)
+    traffic.add_argument("--pool-size", type=int, default=4,
+                         help="distinct queries the burst draws from")
+    traffic.add_argument("--trials", type=int, default=256)
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--connections", type=int, default=4)
+
+    smoke = sub.add_parser(
+        "smoke", help="self-contained server health check (CI)")
+    smoke.add_argument("--queries", type=int, default=48)
+    smoke.add_argument("--pool-size", type=int, default=3)
+    smoke.add_argument("--trials", type=int, default=128)
+    smoke.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = SimulationService(workers=args.workers,
+                                cache_capacity=args.cache_capacity)
+    server = SimulationServer(service, args.host, args.port)
+    host, port = await server.start()
+    print(f"repro.serve listening on {host}:{port}", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+    return 0
+
+
+async def _traffic(args: argparse.Namespace) -> int:
+    report = await run_over_wire(
+        args.host, args.port, queries=args.queries,
+        pool_size=args.pool_size, trials=args.trials, seed=args.seed,
+        connections=args.connections,
+    )
+    print(report.describe(), flush=True)
+    return 0 if report.errors == 0 else 1
+
+
+async def _smoke(args: argparse.Namespace) -> int:
+    """Start, burst over the wire, assert shared work, shut down."""
+    service = SimulationService()
+    server = SimulationServer(service)
+    host, port = await server.start()
+    print(f"smoke: server on {host}:{port}", flush=True)
+    try:
+        report = await run_over_wire(
+            host, port, queries=args.queries, pool_size=args.pool_size,
+            trials=args.trials, seed=args.seed,
+        )
+    finally:
+        await server.close()
+    print(f"smoke: {report.describe()}", flush=True)
+    failures = []
+    if report.errors:
+        failures.append(f"{report.errors} queries errored")
+    if report.shared_answers < 1:
+        failures.append("no query was coalesced or served from cache")
+    if report.distinct_fingerprints >= report.queries:
+        failures.append("burst was not duplicate-heavy")
+    stats = service.stats()
+    computed_cells = stats.computed
+    if computed_cells > report.distinct_fingerprints:
+        failures.append(
+            f"{computed_cells} executions for "
+            f"{report.distinct_fingerprints} distinct queries — "
+            f"duplicates were not shared"
+        )
+    if failures:
+        for failure in failures:
+            print(f"smoke: FAIL {failure}", flush=True)
+        return 1
+    print("smoke: OK (clean shutdown, duplicates shared)", flush=True)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command or "serve"
+    if command == "serve":
+        if args.command is None:  # bare ``python -m repro.serve``
+            args = _build_parser().parse_args(["serve"])
+        runner = _serve
+    elif command == "traffic":
+        runner = _traffic
+    else:
+        runner = _smoke
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Builtin wire-scenario families for the simulation service.
+
+Each family maps the wire triple ``(scenario name, p, n)`` — plus
+optional family-specific ``params`` — to a picklable
+``(algorithm_factory, failure_model)`` pair via
+:func:`repro.experiments.registry.register_family`.  Picklability is
+the load-bearing property: the same factory object shards across
+worker processes *and* feeds
+:func:`repro.montecarlo.scenario_fingerprint`, so every family's
+results are exactly memoisable.
+
+The four builtin families deliberately cover both service regimes:
+
+* ``simple-omission`` and ``flooding`` dispatch to **fastsim** closed
+  forms — the service answers them instantly, no coalescing needed;
+* ``windowed-malicious`` and ``kucera-flip`` dispatch to **batchsim**
+  Monte-Carlo runs — the expensive queries the coalescer collapses and
+  the LRU memoises.
+
+Families validate their parameters and raise ``ValueError`` on
+out-of-range input; the wire protocol maps that to a client error.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Tuple
+
+from repro._validation import check_probability
+from repro.core import FastFlooding, SimpleOmission
+from repro.core.kucera import KuceraBroadcast
+from repro.core.parameters import omission_phase_length
+from repro.core.windowed import WindowedMalicious
+from repro.engine import MESSAGE_PASSING
+from repro.experiments.registry import register_family
+from repro.failures import (
+    ComplementAdversary,
+    MaliciousFailures,
+    OmissionFailures,
+    RandomFlipAdversary,
+    Restriction,
+)
+from repro.graphs import binary_tree, grid, line
+
+__all__ = ["MAX_NODES"]
+
+#: Ceiling on the node count a single wire query may request — a
+#: serving-layer guard, not a simulation limit (batch memory scales
+#: with ``trials x rounds x n``).
+MAX_NODES = 4096
+
+FactoryAndFailures = Tuple[Callable[[], Any], Any]
+
+
+def _check_n(n: Any, minimum: int, meaning: str) -> int:
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise ValueError(f"n ({meaning}) must be an int, got {n!r}")
+    if not minimum <= n <= MAX_NODES:
+        raise ValueError(
+            f"n ({meaning}) must lie in [{minimum}, {MAX_NODES}], got {n}"
+        )
+    return n
+
+
+@register_family(
+    "simple-omission",
+    "Simple-Omission on a depth-d binary tree under omission failures "
+    "(Theorem 2.1); fastsim-served",
+    size_meaning="binary-tree depth (order 2^(d+1)-1)",
+)
+def _build_simple_omission(p: float, n: int, *,
+                           phase_length: int = 0) -> FactoryAndFailures:
+    p = check_probability(p, "p", allow_zero=True)
+    depth = _check_n(n, 1, "binary-tree depth")
+    if depth > 11:
+        raise ValueError(f"binary-tree depth must be <= 11, got {depth}")
+    topology = binary_tree(depth)
+    if phase_length:
+        m = _check_n(phase_length, 1, "phase_length")
+    else:
+        m = omission_phase_length(topology.order, p)
+    factory = partial(SimpleOmission, topology, 0, 1, MESSAGE_PASSING, m)
+    return factory, OmissionFailures(p)
+
+
+@register_family(
+    "flooding",
+    "Fast flooding on a line under omission failures (Theorem 3.1); "
+    "fastsim-served",
+    size_meaning="line length",
+)
+def _build_flooding(p: float, n: int, *,
+                    rounds: int = 0) -> FactoryAndFailures:
+    p = check_probability(p, "p", allow_zero=True)
+    length = _check_n(n, 2, "line length")
+    topology = line(length)
+    kwargs = {}
+    if rounds:
+        kwargs["rounds"] = _check_n(rounds, 1, "rounds")
+    factory = partial(FastFlooding, topology, 0, 1, p=p, **kwargs)
+    return factory, OmissionFailures(p)
+
+
+@register_family(
+    "windowed-malicious",
+    "Windowed Simple-Malicious on a k x k grid vs the complement "
+    "adversary (Section 2.2); batchsim Monte-Carlo",
+    size_meaning="grid side k (order k^2)",
+)
+def _build_windowed_malicious(p: float, n: int) -> FactoryAndFailures:
+    p = check_probability(p, "p", allow_zero=False, allow_one=False)
+    side = _check_n(n, 2, "grid side")
+    if side * side > MAX_NODES:
+        raise ValueError(f"grid side must satisfy k^2 <= {MAX_NODES}")
+    factory = partial(WindowedMalicious, grid(side, side), 0, 1, p=p)
+    return factory, MaliciousFailures(p, ComplementAdversary())
+
+
+@register_family(
+    "kucera-flip",
+    "Kucera composition plan on a line vs the random bit-flip "
+    "adversary (Theorem 3.2); batchsim Monte-Carlo",
+    size_meaning="line length",
+)
+def _build_kucera_flip(p: float, n: int) -> FactoryAndFailures:
+    p = check_probability(p, "p", allow_zero=False, allow_one=False)
+    length = _check_n(n, 2, "line length")
+    if length > 64:
+        raise ValueError(
+            f"kucera-flip compiles a per-edge plan; line length must be "
+            f"<= 64, got {length}"
+        )
+    factory = partial(KuceraBroadcast, line(length), 0, 1, p=p)
+    return factory, MaliciousFailures(p, RandomFlipAdversary(),
+                                      Restriction.FLIP)

@@ -1,0 +1,347 @@
+"""Newline-delimited-JSON TCP protocol for the simulation service.
+
+One JSON object per line, in both directions.  Requests::
+
+    {"id": 1, "scenario": "windowed-malicious", "p": 0.25, "n": 4,
+     "trials": 2000, "seed": 7}
+    {"id": 2, "op": "stats"}
+    {"id": 3, "op": "catalog"}
+
+Responses echo the request ``id`` (when one parsed) and carry
+``"ok": true/false``.  A successful query response::
+
+    {"id": 1, "ok": true, "scenario": "windowed-malicious",
+     "estimate": 0.97, "successes": 1940, "trials": 2000,
+     "backend": "batchsim", "source": "computed",
+     "fingerprint": "<sha256>", "indicators_sha256": "<sha256>",
+     "elapsed_ms": 412.7}
+
+``indicators_sha256`` digests the raw indicator bytes, so clients can
+assert that a cached or coalesced replay is byte-identical to a cold
+run without shipping the whole vector.  Errors answer
+``{"ok": false, "error": "<code>", "message": "..."}`` with codes
+``bad-json`` / ``bad-request`` / ``unknown-scenario`` /
+``bad-parameters`` / ``internal`` — a malformed line never kills the
+connection.
+
+Requests on one connection may be **pipelined**: the server processes
+each line as its own task and writes responses as they complete (the
+``id`` is the correlation key; responses can arrive out of order).
+That is what lets N duplicate queries from one client coalesce into a
+single batch execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.registry import all_families
+from repro.serve.service import Answer, Query, QueryError, SimulationService
+
+__all__ = ["SimulationServer", "query_one", "query_many",
+           "MAX_LINE_BYTES"]
+
+#: Request-line size limit — a serving-layer guard against unbounded
+#: buffering, far above any legitimate query.
+MAX_LINE_BYTES = 64 * 1024
+
+_QUERY_KEYS = {"id", "op", "scenario", "p", "n", "trials", "seed", "params"}
+
+
+def _error(code: str, message: str,
+           request_id: Any = None) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"ok": False, "error": code,
+                               "message": message}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def _answer_payload(answer: Answer, request_id: Any) -> Dict[str, Any]:
+    payload = {
+        "ok": True,
+        "scenario": answer.query.scenario,
+        "estimate": answer.estimate,
+        "successes": answer.successes,
+        "trials": answer.trials,
+        "backend": answer.backend,
+        "workers": answer.result.workers,
+        "seed": answer.result.seed,
+        "source": answer.source,
+        "fingerprint": answer.fingerprint,
+        "indicators_sha256": answer.indicators_digest(),
+        "elapsed_ms": round(answer.elapsed * 1000.0, 3),
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+class SimulationServer:
+    """Asyncio TCP front end over a :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections = 0
+
+    @property
+    def service(self) -> SimulationService:
+        """The in-process service this server fronts."""
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves on start)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def connections_served(self) -> int:
+        """Total connections accepted since start."""
+        return self._connections
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    async def close(self) -> None:
+        """Stop accepting and close the listening sockets."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``python -m repro.serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections += 1
+        write_lock = asyncio.Lock()
+        pending: List[asyncio.Task] = []
+
+        async def respond(payload: Dict[str, Any]) -> None:
+            data = json.dumps(payload, separators=(",", ":")) + "\n"
+            async with write_lock:
+                writer.write(data.encode("utf8"))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await respond(_error(
+                        "bad-request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    ))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(line, respond)
+                )
+                pending.append(task)
+                pending = [item for item in pending if not item.done()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Loop/server shutdown with the connection still open:
+            # drop in-flight line tasks and close quietly instead of
+            # letting the cancellation escape into asyncio's stream
+            # callback (which logs it as an error).
+            for task in pending:
+                task.cancel()
+        except ConnectionResetError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError):
+                # Teardown may cancel the handler while it drains the
+                # close; the transport is going away either way.
+                pass
+
+    async def _handle_line(self, line: bytes, respond) -> None:
+        payload = await self._process_line(line)
+        try:
+            await respond(payload)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _process_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line.decode("utf8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return _error("bad-json", f"request is not valid JSON: {error}")
+        if not isinstance(request, dict):
+            return _error("bad-request", "request must be a JSON object")
+        request_id = request.get("id")
+        op = request.get("op", "query")
+        if op == "stats":
+            return self._stats_payload(request_id)
+        if op == "catalog":
+            return self._catalog_payload(request_id)
+        if op != "query":
+            return _error("bad-request", f"unknown op {op!r}", request_id)
+        unknown = set(request) - _QUERY_KEYS
+        if unknown:
+            return _error(
+                "bad-request",
+                f"unknown request field(s): {', '.join(sorted(unknown))}",
+                request_id,
+            )
+        missing = [key for key in ("scenario", "p", "n", "trials")
+                   if key not in request]
+        if missing:
+            return _error(
+                "bad-request",
+                f"missing required field(s): {', '.join(missing)}",
+                request_id,
+            )
+        if not isinstance(request.get("p"), (int, float)) or isinstance(
+                request.get("p"), bool):
+            return _error("bad-request", "p must be a number", request_id)
+        params = request.get("params", {})
+        if not isinstance(params, dict):
+            return _error("bad-request", "params must be a JSON object",
+                          request_id)
+        query = Query(
+            scenario=request["scenario"], p=float(request["p"]),
+            n=request["n"], trials=request["trials"],
+            seed=request.get("seed", 0), params=params,
+        )
+        try:
+            answer = await self._service.submit(query)
+        except QueryError as error:
+            return _error(error.code, error.message, request_id)
+        except Exception as error:  # pragma: no cover - defensive
+            return _error("internal", f"{type(error).__name__}: {error}",
+                          request_id)
+        return _answer_payload(answer, request_id)
+
+    def _stats_payload(self, request_id: Any) -> Dict[str, Any]:
+        stats = self._service.stats()
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "queries": stats.queries,
+            "computed": stats.computed,
+            "coalesced_hits": stats.coalesced_hits,
+            "cache_hits": stats.cache_hits,
+            "fastsim_answers": stats.fastsim_answers,
+            "errors": stats.errors,
+            "shared_work_rate": stats.shared_work_rate,
+            "cache": {
+                "hits": stats.cache.hits,
+                "misses": stats.cache.misses,
+                "evictions": stats.cache.evictions,
+                "size": stats.cache.size,
+                "capacity": stats.cache.capacity,
+            },
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+    def _catalog_payload(self, request_id: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "scenarios": [
+                {
+                    "name": family.name,
+                    "description": family.description,
+                    "n": family.size_meaning,
+                }
+                for family in all_families()
+            ],
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+
+# -- client helpers ----------------------------------------------------
+
+
+async def query_one(host: str, port: int,
+                    request: Dict[str, Any]) -> Dict[str, Any]:
+    """Send one request and await its single response line."""
+    responses = await query_many(host, port, [request])
+    return responses[0]
+
+
+async def query_many(host: str, port: int,
+                     requests: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pipeline ``requests`` over one connection.
+
+    All request lines are written up front (which is what makes
+    duplicate queries coalesce server-side), then one response line is
+    read per request.  Responses are re-ordered to match the request
+    list via their ``id`` echoes; requests without an ``id`` get one
+    injected for correlation.
+    """
+    reader, writer = await asyncio.open_connection(host, port,
+                                                   limit=MAX_LINE_BYTES)
+    try:
+        tagged: List[Dict[str, Any]] = []
+        for index, request in enumerate(requests):
+            request = dict(request)
+            request.setdefault("id", f"q{index}")
+            tagged.append(request)
+        payload = "".join(
+            json.dumps(request, separators=(",", ":")) + "\n"
+            for request in tagged
+        )
+        writer.write(payload.encode("utf8"))
+        await writer.drain()
+        by_id: Dict[Any, Dict[str, Any]] = {}
+        unmatched: List[Dict[str, Any]] = []
+        for _ in tagged:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed before all responses")
+            response = json.loads(line)
+            if isinstance(response, dict) and "id" in response:
+                by_id[response["id"]] = response
+            else:
+                unmatched.append(response)
+        ordered = []
+        for request in tagged:
+            ordered.append(by_id.get(request["id"],
+                                     unmatched.pop(0) if unmatched
+                                     else _error("internal",
+                                                 "response missing")))
+        return ordered
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,338 @@
+"""The always-on simulation service (in-process API).
+
+:class:`SimulationService` is the asyncio serving layer over the
+experiment machinery: clients submit :class:`Query` objects naming a
+registered scenario family (:mod:`repro.serve.catalog`) plus
+``(p, n, trials, seed)``, and the service answers with an exact
+:class:`Answer`.  The wire protocol (:mod:`repro.serve.protocol`) and
+the synthetic traffic generator (:mod:`repro.serve.traffic`) both
+drive this same API.
+
+Data flow per query::
+
+    resolve   spec -> (factory, failure model) -> TrialRunner   (memoised)
+    fingerprint    scenario_fingerprint(factory, model, trials, seed)
+    cache          exact LRU hit?  ->  answer (source="cache")
+    fastsim        dispatch tier 1?  ->  run instantly, memoise
+    coalesce       Monte-Carlo: single flight per fingerprint;
+                   concurrent identical queries await one shared
+                   (sharded) BatchExecution and get the same
+                   TrialResult object
+    memoise        completed results enter the LRU
+
+Everything rests on the repo's determinism invariant: a result is a
+pure function of ``(scenario fingerprint, seed, trials)``, so the
+cache is exact and coalesced waiters lose nothing — bit-identical
+indicators either way.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro._validation import check_positive_int
+from repro.experiments.registry import resolve_scenario
+from repro.montecarlo import (
+    AsyncTrialRunner,
+    TrialResult,
+    TrialRunner,
+    scenario_fingerprint,
+)
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.coalescer import Coalescer
+
+__all__ = ["Query", "Answer", "SimulationService", "ServiceStats",
+           "QueryError"]
+
+#: Source tags an :class:`Answer` can carry.
+SOURCE_COMPUTED = "computed"
+SOURCE_COALESCED = "coalesced"
+SOURCE_CACHE = "cache"
+
+
+class QueryError(ValueError):
+    """A client-side problem with a query (unknown scenario, bad params).
+
+    The wire protocol maps this to an error response instead of a
+    connection-killing crash; the in-process API raises it.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Query:
+    """One simulation request.
+
+    Attributes
+    ----------
+    scenario:
+        Registered scenario-family name (see
+        ``repro.experiments.registry.all_families()``).
+    p:
+        Transmission-failure probability handed to the family builder.
+    n:
+        Family-specific size parameter (each family documents what it
+        selects — line length, grid side, tree depth).
+    trials:
+        Monte-Carlo trial count; with ``seed`` it completes the
+        fingerprint, so distinct trial counts are distinct cache
+        entries (as they must be — indicators differ in length).
+    seed:
+        Root seed of the per-trial streams.
+    params:
+        Optional family-specific extras (e.g. ``phase_length``).
+    """
+
+    scenario: str
+    p: float
+    n: int
+    trials: int
+    seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The service's reply: the exact result plus serving metadata."""
+
+    query: Query
+    result: TrialResult
+    fingerprint: str
+    source: str
+    elapsed: float
+
+    @property
+    def estimate(self) -> float:
+        """Success-probability point estimate."""
+        return self.result.estimate
+
+    @property
+    def successes(self) -> int:
+        """Successful trials."""
+        return self.result.successes
+
+    @property
+    def trials(self) -> int:
+        """Trials run."""
+        return self.result.trials
+
+    @property
+    def backend(self) -> str:
+        """Dispatch backend that produced the indicators."""
+        return self.result.backend
+
+    def indicators_digest(self) -> str:
+        """SHA-256 over the raw indicator bytes.
+
+        What the wire protocol sends instead of the vector itself:
+        clients can assert byte-identity of replays (cache hits,
+        coalesced answers, cross-server reruns) without shipping
+        ``trials`` booleans.
+        """
+        return sha256(self.result.indicators.tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Counters since service creation (all monotone except gauges)."""
+
+    queries: int
+    computed: int
+    coalesced_hits: int
+    cache_hits: int
+    fastsim_answers: int
+    errors: int
+    cache: CacheStats
+
+    @property
+    def shared_work_rate(self) -> float:
+        """Queries answered without a fresh execution (coalesced or
+        cached) over all successful queries — the duplicate-heavy-load
+        metric the service exists to maximise."""
+        answered = self.queries - self.errors
+        if answered <= 0:
+            return 0.0
+        return (self.coalesced_hits + self.cache_hits) / answered
+
+
+class SimulationService:
+    """Always-on query service over the scenario-family catalog.
+
+    Parameters
+    ----------
+    workers:
+        Process count handed to every :class:`TrialRunner` (sharded
+        batchsim/engine execution under the hood).
+    cache_capacity:
+        LRU capacity of the exact result memo.
+    max_trials:
+        Per-query trial ceiling — a serving-layer guard against a
+        single wire query monopolising the machine.
+    executor:
+        Optional executor hosting the blocking batch runs; ``None``
+        uses the event loop's default thread pool.
+
+    The service is single-loop: all bookkeeping (cache, coalescer,
+    counters) happens on the event-loop thread, while batch execution
+    runs on executor threads (and, for sharded runs, worker
+    processes).
+    """
+
+    def __init__(self, *, workers: int = 1, cache_capacity: int = 256,
+                 max_trials: int = 1_000_000,
+                 executor: Optional[Executor] = None):
+        self._workers = check_positive_int(workers, "workers")
+        self._max_trials = check_positive_int(max_trials, "max_trials")
+        self._cache = ResultCache(cache_capacity)
+        self._coalescer = Coalescer()
+        self._executor = executor
+        # Scenario resolution is itself worth memoising: building a
+        # runner re-probes dispatch (builds the algorithm, scans the
+        # registry, checks batchsim eligibility).  Keyed by the wire
+        # identity, bounded like the result cache.
+        self._runners: Dict[Tuple, TrialRunner] = {}
+        self._queries = 0
+        self._computed = 0
+        self._coalesced_hits = 0
+        self._cache_hits = 0
+        self._fastsim_answers = 0
+        self._errors = 0
+
+    @property
+    def workers(self) -> int:
+        """Process count each runner shards over."""
+        return self._workers
+
+    def stats(self) -> ServiceStats:
+        """Current counter snapshot."""
+        return ServiceStats(
+            queries=self._queries, computed=self._computed,
+            coalesced_hits=self._coalesced_hits,
+            cache_hits=self._cache_hits,
+            fastsim_answers=self._fastsim_answers, errors=self._errors,
+            cache=self._cache.stats(),
+        )
+
+    # -- resolution ----------------------------------------------------
+
+    def _runner_key(self, query: Query) -> Tuple:
+        try:
+            params = tuple(sorted(dict(query.params).items()))
+        except (TypeError, AttributeError) as error:
+            raise QueryError(
+                "bad-parameters", f"params must be a string-keyed mapping "
+                f"of sortable items: {error}"
+            ) from error
+        return (query.scenario, float(query.p), query.n, params)
+
+    def _resolve(self, query: Query) -> TrialRunner:
+        """The memoised ``TrialRunner`` for this query's scenario."""
+        key = self._runner_key(query)
+        runner = self._runners.get(key)
+        if runner is None:
+            try:
+                factory, failure_model = resolve_scenario(
+                    query.scenario, query.p, query.n, dict(query.params)
+                )
+            except KeyError as error:
+                raise QueryError("unknown-scenario",
+                                 str(error.args[0])) from error
+            except (TypeError, ValueError) as error:
+                raise QueryError("bad-parameters", str(error)) from error
+            runner = TrialRunner(factory, failure_model,
+                                 workers=self._workers)
+            if len(self._runners) >= self._cache.capacity:
+                self._runners.pop(next(iter(self._runners)))
+            self._runners[key] = runner
+        return runner
+
+    def _validate(self, query: Query) -> None:
+        if not isinstance(query.scenario, str) or not query.scenario:
+            raise QueryError("bad-request", "scenario must be a non-empty "
+                                            "string")
+        if not isinstance(query.trials, int) or isinstance(query.trials,
+                                                           bool):
+            raise QueryError("bad-request", "trials must be an int")
+        if not 1 <= query.trials <= self._max_trials:
+            raise QueryError(
+                "bad-request",
+                f"trials must lie in [1, {self._max_trials}], got "
+                f"{query.trials}"
+            )
+        if not isinstance(query.seed, int) or isinstance(query.seed, bool):
+            raise QueryError("bad-request", "seed must be an int")
+        if query.seed < 0:
+            raise QueryError("bad-request",
+                             f"seed must be non-negative, got {query.seed}")
+
+    def fingerprint(self, query: Query) -> str:
+        """The canonical memo key this query resolves to."""
+        self._validate(query)
+        runner = self._resolve(query)
+        return scenario_fingerprint(
+            runner.algorithm_factory, runner.failure_model, query.trials, query.seed
+        )
+
+    # -- serving -------------------------------------------------------
+
+    async def submit(self, query: Query) -> Answer:
+        """Answer one query (exactly; see the module docstring's flow).
+
+        Raises :class:`QueryError` for client-side problems.
+        """
+        start = time.perf_counter()
+        self._queries += 1
+        try:
+            self._validate(query)
+            runner = self._resolve(query)
+        except QueryError:
+            self._errors += 1
+            raise
+        fingerprint = scenario_fingerprint(
+            runner.algorithm_factory, runner.failure_model, query.trials, query.seed
+        )
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            self._cache_hits += 1
+            return Answer(
+                query=query, result=cached, fingerprint=fingerprint,
+                source=SOURCE_CACHE,
+                elapsed=time.perf_counter() - start,
+            )
+        arunner = AsyncTrialRunner(runner, self._executor)
+        if runner.dispatch_entry() is not None:
+            # Fastsim tier: one closed-form vectorised draw — answered
+            # immediately, no coalescing needed (the draw itself is
+            # cheaper than the bookkeeping would save).
+            result = await arunner.run(query.trials, query.seed)
+            self._computed += 1
+            self._fastsim_answers += 1
+            self._cache.put(fingerprint, result)
+            return Answer(
+                query=query, result=result, fingerprint=fingerprint,
+                source=SOURCE_COMPUTED,
+                elapsed=time.perf_counter() - start,
+            )
+
+        async def compute() -> TrialResult:
+            return await arunner.run(query.trials, query.seed)
+
+        result, coalesced = await self._coalescer.run(fingerprint, compute)
+        if coalesced:
+            self._coalesced_hits += 1
+        else:
+            self._computed += 1
+            self._cache.put(fingerprint, result)
+        return Answer(
+            query=query, result=result, fingerprint=fingerprint,
+            source=SOURCE_COALESCED if coalesced else SOURCE_COMPUTED,
+            elapsed=time.perf_counter() - start,
+        )

@@ -1,0 +1,219 @@
+"""Seeded synthetic traffic for exercising the simulation service.
+
+Real serving load for this repo is duplicate-heavy: threshold-curve
+dashboards and sweep notebooks keep re-asking for the same
+``(scenario, p, n, trials, seed)`` cells.  The generator reproduces
+that shape — it draws each query from a small *pool* of distinct
+queries, so with ``queries >> pool_size`` most requests are duplicates
+and the coalescer/cache should absorb them.
+
+Everything is seeded (``random.Random``), so a traffic run is
+reproducible: same seed, same query sequence.  The generator can drive
+the in-process :class:`~repro.serve.service.SimulationService` API
+directly or a live TCP server via the wire protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._validation import check_positive_int
+from repro.serve.protocol import MAX_LINE_BYTES
+from repro.serve.service import Query, QueryError, SimulationService
+
+__all__ = ["TrafficReport", "make_query_pool", "run_inprocess",
+           "run_over_wire"]
+
+#: Default Monte-Carlo scenario cells the pool draws from.  Small sizes
+#: and trial counts keep a burst cheap while still forcing real
+#: batchsim executions (these families have no fastsim closed form).
+_MONTE_CARLO_CELLS: Tuple[Tuple[str, float, int], ...] = (
+    ("windowed-malicious", 0.2, 2),
+    ("windowed-malicious", 0.4, 2),
+    ("kucera-flip", 0.3, 4),
+    ("kucera-flip", 0.1, 6),
+)
+
+
+@dataclass
+class TrafficReport:
+    """What a traffic run observed (the smoke test's assertion surface)."""
+
+    queries: int
+    elapsed: float
+    sources: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    distinct_fingerprints: int = 0
+
+    @property
+    def qps(self) -> float:
+        """Answered queries per second of wall clock."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.queries / self.elapsed
+
+    @property
+    def shared_answers(self) -> int:
+        """Answers served without a fresh execution."""
+        return (self.sources.get("coalesced", 0)
+                + self.sources.get("cache", 0))
+
+    @property
+    def shared_rate(self) -> float:
+        """Fraction of successful answers that were coalesced or cached."""
+        answered = self.queries - self.errors
+        if answered <= 0:
+            return 0.0
+        return self.shared_answers / answered
+
+    def describe(self) -> str:
+        """One human-readable summary line per metric."""
+        parts = [
+            f"queries={self.queries}",
+            f"elapsed={self.elapsed:.3f}s",
+            f"qps={self.qps:.1f}",
+            f"errors={self.errors}",
+            f"distinct={self.distinct_fingerprints}",
+            f"shared_rate={self.shared_rate:.2f}",
+        ]
+        for source in sorted(self.sources):
+            parts.append(f"{source}={self.sources[source]}")
+        return " ".join(parts)
+
+
+def make_query_pool(pool_size: int, *, trials: int = 256,
+                    seed: int = 0) -> List[Query]:
+    """``pool_size`` distinct Monte-Carlo queries, deterministically.
+
+    Cells cycle through :data:`_MONTE_CARLO_CELLS`; once the cells are
+    exhausted, later pool entries vary the root seed, so every entry
+    has a distinct fingerprint.
+    """
+    check_positive_int(pool_size, "pool_size")
+    pool: List[Query] = []
+    for index in range(pool_size):
+        scenario, p, n = _MONTE_CARLO_CELLS[index % len(_MONTE_CARLO_CELLS)]
+        pool.append(Query(
+            scenario=scenario, p=p, n=n, trials=trials,
+            seed=seed + index // len(_MONTE_CARLO_CELLS),
+        ))
+    return pool
+
+
+def _draw_sequence(pool: List[Query], queries: int,
+                   seed: int) -> List[Query]:
+    rng = random.Random(seed)
+    return [pool[rng.randrange(len(pool))] for _ in range(queries)]
+
+
+async def run_inprocess(service: SimulationService, *, queries: int = 64,
+                        pool_size: int = 4, trials: int = 256,
+                        seed: int = 0,
+                        concurrency: int = 8) -> TrafficReport:
+    """Fire a duplicate-heavy burst at the in-process API.
+
+    ``concurrency`` identical queries in flight at once is what makes
+    coalescing observable: duplicates that arrive while their twin is
+    still executing join its flight; duplicates that arrive later hit
+    the cache.
+    """
+    check_positive_int(queries, "queries")
+    check_positive_int(concurrency, "concurrency")
+    pool = make_query_pool(pool_size, trials=trials, seed=seed)
+    sequence = _draw_sequence(pool, queries, seed)
+    gate = asyncio.Semaphore(concurrency)
+    sources: Dict[str, int] = {}
+    errors = 0
+
+    async def one(query: Query) -> None:
+        nonlocal errors
+        async with gate:
+            try:
+                answer = await service.submit(query)
+            except QueryError:
+                errors += 1
+                return
+            sources[answer.source] = sources.get(answer.source, 0) + 1
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one(query) for query in sequence))
+    elapsed = time.perf_counter() - start
+    distinct = len({service.fingerprint(query) for query in pool})
+    return TrafficReport(
+        queries=queries, elapsed=elapsed, sources=sources, errors=errors,
+        distinct_fingerprints=distinct,
+    )
+
+
+async def run_over_wire(host: str, port: int, *, queries: int = 64,
+                        pool_size: int = 4, trials: int = 256,
+                        seed: int = 0,
+                        connections: int = 4) -> TrafficReport:
+    """Fire the same burst at a live server over TCP.
+
+    The sequence is split round-robin over ``connections`` pipelined
+    connections; each connection writes all its request lines up front,
+    so server-side the duplicates overlap and coalesce.
+    """
+    check_positive_int(queries, "queries")
+    check_positive_int(connections, "connections")
+    pool = make_query_pool(pool_size, trials=trials, seed=seed)
+    sequence = _draw_sequence(pool, queries, seed)
+    batches: List[List[Query]] = [[] for _ in range(connections)]
+    for index, query in enumerate(sequence):
+        batches[index % connections].append(query)
+
+    async def one_connection(batch: List[Query]) -> List[Dict[str, Any]]:
+        if not batch:
+            return []
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES)
+        try:
+            lines = []
+            for index, query in enumerate(batch):
+                lines.append(json.dumps({
+                    "id": index, "scenario": query.scenario,
+                    "p": query.p, "n": query.n, "trials": query.trials,
+                    "seed": query.seed,
+                }, separators=(",", ":")))
+            writer.write(("\n".join(lines) + "\n").encode("utf8"))
+            await writer.drain()
+            responses = []
+            for _ in batch:
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError(
+                        "server closed before all responses")
+                responses.append(json.loads(line))
+            return responses
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    start = time.perf_counter()
+    all_responses = await asyncio.gather(
+        *(one_connection(batch) for batch in batches))
+    elapsed = time.perf_counter() - start
+    sources: Dict[str, int] = {}
+    errors = 0
+    fingerprints = set()
+    for responses in all_responses:
+        for response in responses:
+            if not response.get("ok"):
+                errors += 1
+                continue
+            source = response.get("source", "unknown")
+            sources[source] = sources.get(source, 0) + 1
+            fingerprints.add(response.get("fingerprint"))
+    return TrafficReport(
+        queries=queries, elapsed=elapsed, sources=sources, errors=errors,
+        distinct_fingerprints=len(fingerprints),
+    )

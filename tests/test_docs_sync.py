@@ -27,6 +27,7 @@ from repro.experiments.describe import (
     render_markdown,
     render_text,
     throughput_data,
+    throughput_provenance,
 )
 from repro.montecarlo.dispatch import registered_samplers
 
@@ -143,3 +144,39 @@ class TestThroughputTable:
             assert f"`{row['backend']}`" in markdown
         text = render_text()
         assert "measured throughput per backend" in text
+
+    def test_committed_measurement_is_provenance_stamped(self):
+        """Numbers without machine/cores/date are unreviewable."""
+        data = throughput_data()
+        assert isinstance(data.get("machine"), str) and data["machine"]
+        assert isinstance(data.get("cpu_count"), int)
+        assert data["cpu_count"] >= 1
+        measured_at = data.get("measured_at")
+        assert isinstance(measured_at, str), (
+            "benchmarks/throughput.json lacks a measured_at stamp — "
+            "regenerate with tools/measure_throughput.py"
+        )
+        import re
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", measured_at
+        ), f"measured_at is not a UTC ISO-8601 stamp: {measured_at!r}"
+
+    def test_rendered_docs_carry_the_provenance(self):
+        """Both renderers must show when/where the numbers were taken."""
+        data = throughput_data()
+        sentence = throughput_provenance(data)
+        assert data["measured_at"] in sentence
+        assert str(data["cpu_count"]) in sentence
+        for rendered in (render_text(), render_markdown()):
+            assert data["measured_at"] in rendered
+            assert "measured on" in rendered
+
+    def test_provenance_caveat_tracks_core_count(self):
+        starved = throughput_provenance(
+            {"machine": "m", "cpu_count": 1, "measured_at": "now"})
+        assert "overhead" in starved
+        healthy = throughput_provenance(
+            {"machine": "m", "cpu_count": 8, "measured_at": "now"})
+        assert "overhead" not in healthy
+        undated = throughput_provenance({"machine": "m", "cpu_count": 8})
+        assert "not recorded" in undated

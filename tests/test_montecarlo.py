@@ -36,11 +36,14 @@ from repro.failures import (
 from repro.fastsim import sample_simple_omission
 from repro.graphs import bfs_tree, binary_tree, line, star
 from repro.montecarlo import (
+    FINGERPRINT_VERSION,
+    AsyncTrialRunner,
     RunningTally,
     TrialRunner,
     find_sampler,
     register_sampler,
     registered_samplers,
+    scenario_fingerprint,
     unregister_sampler,
 )
 from repro.montecarlo.pool import pool_context, run_sharded
@@ -278,6 +281,21 @@ def _shard_fail_on_odd(value):
     return value
 
 
+def _shard_low_slow_high_fails(value):
+    """Module-level pool worker: shards 0-1 are slow, shard 2 crashes fast.
+
+    Drives the index-based ``on_result`` contract: shard 2's error
+    lands on the wall clock *before* the lower shards complete, yet
+    their callbacks must still fire.
+    """
+    import time
+
+    if value < 2:
+        time.sleep(0.3)
+        return value
+    raise ValueError(f"shard {value} failed")
+
+
 def _shard_slow_first(value):
     """Module-level pool worker where shard 0 finishes last."""
     if value == 0:
@@ -338,6 +356,53 @@ class TestPoolHarness:
         )
         assert results == [0, 1, 2, 3]
         assert seen == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_on_result_contract_is_index_based_not_time_based(self):
+        # Shard 2 crashes while the slow shards 0 and 1 are still
+        # running: the documented contract ("not called for any shard
+        # at or after the first error") is *index*-based, so the lower
+        # shards' callbacks must fire even though the error reached the
+        # completion loop first on the wall clock.
+        seen = []
+        with pytest.raises(ValueError, match="shard 2 failed"):
+            run_sharded(
+                _shard_low_slow_high_fails, [(i,) for i in range(3)],
+                max_workers=3,
+                on_result=lambda index, result: seen.append((index, result)),
+            )
+        assert seen == [(0, 0), (1, 1)]
+
+    def test_on_result_never_fires_at_or_after_the_failing_shard(self):
+        # Same worker, but the fast-failing argument now rides on shard
+        # index 0 (the slow ones on 1 and 2): nothing may stream at all.
+        seen = []
+        with pytest.raises(ValueError, match="shard 2 failed"):
+            run_sharded(
+                _shard_low_slow_high_fails, [(2,), (0,), (1,)],
+                max_workers=3,
+                on_result=lambda index, result: seen.append((index, result)),
+            )
+        assert seen == []
+
+    def test_first_error_cancels_siblings_exactly_once(self, monkeypatch):
+        # Every shard raises; the cancellation sweep must run only on
+        # the first error — per-failure re-sweeps would make a broken
+        # pool's teardown O(shards^2) in cancel calls.
+        import concurrent.futures
+
+        calls = []
+        original = concurrent.futures.Future.cancel
+
+        def counting_cancel(self):
+            calls.append(self)
+            return original(self)
+
+        monkeypatch.setattr(concurrent.futures.Future, "cancel",
+                            counting_cancel)
+        shards = [(2 * i + 1,) for i in range(6)]  # all odd: all raise
+        with pytest.raises(ValueError, match="shard 1 failed"):
+            run_sharded(_shard_fail_on_odd, shards, max_workers=2)
+        assert len(calls) == len(shards)
 
     @fork_only
     def test_batchsim_worker_failure_propagates(self):
@@ -512,3 +577,78 @@ class TestValidation:
     def test_default_failure_model_is_fault_free(self):
         result = TrialRunner(radio_factory).run(5, 3)
         assert result.estimate == 1.0
+
+
+class TestScenarioFingerprint:
+    def test_equal_specs_hash_equal(self):
+        a = partial(SimpleOmission, binary_tree(3), 0, 1, MESSAGE_PASSING, 2)
+        b = partial(SimpleOmission, binary_tree(3), 0, 1, MESSAGE_PASSING, 2)
+        assert (scenario_fingerprint(a, OmissionFailures(0.4), 100, 7)
+                == scenario_fingerprint(b, OmissionFailures(0.4), 100, 7))
+
+    def test_every_component_is_distinguished(self):
+        base = scenario_fingerprint(mp_factory, OMISSION, 100, 7)
+        assert base != scenario_fingerprint(mp_factory, OMISSION, 101, 7)
+        assert base != scenario_fingerprint(mp_factory, OMISSION, 100, 8)
+        assert base != scenario_fingerprint(mp_factory,
+                                            OmissionFailures(0.3), 100, 7)
+        assert base != scenario_fingerprint(radio_factory, OMISSION, 100, 7)
+        assert base != scenario_fingerprint(mp_factory, None, 100, 7)
+        assert base != scenario_fingerprint(mp_factory, OMISSION, 100, 7,
+                                            extra="predicate-name")
+
+    def test_digest_shape_and_version(self):
+        digest = scenario_fingerprint(mp_factory, OMISSION, 10, 0)
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+        assert FINGERPRINT_VERSION == 1
+
+    def test_unpicklable_factory_raises_type_error(self):
+        with pytest.raises(TypeError, match="picklable"):
+            scenario_fingerprint(lambda: None, OMISSION, 10, 0)
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            scenario_fingerprint(mp_factory, OMISSION, 0, 0)
+
+
+class TestAsyncTrialRunner:
+    def test_rejects_non_runner(self):
+        with pytest.raises(TypeError, match="TrialRunner"):
+            AsyncTrialRunner("not-a-runner")
+
+    def test_run_matches_sync_bytes(self):
+        import asyncio
+
+        runner = TrialRunner(mp_factory, OMISSION)
+        sync_result = runner.run(64, 5)
+        async_result = asyncio.run(AsyncTrialRunner(runner).run(64, 5))
+        assert (async_result.indicators.tobytes()
+                == sync_result.indicators.tobytes())
+        assert async_result.backend == sync_result.backend
+
+    def test_run_until_matches_sync(self):
+        import asyncio
+
+        runner = TrialRunner(mp_factory, OMISSION)
+        sync_result = runner.run_until(0.5, 2048, 5)
+        async_result = asyncio.run(
+            AsyncTrialRunner(runner).run_until(0.5, 2048, 5))
+        assert (async_result.result.indicators.tobytes()
+                == sync_result.result.indicators.tobytes())
+
+    def test_concurrent_batches_overlap_on_the_loop(self):
+        import asyncio
+
+        runner = TrialRunner(mp_factory, OMISSION)
+        arunner = AsyncTrialRunner(runner)
+
+        async def scenario():
+            return await asyncio.gather(
+                arunner.run(32, 1), arunner.run(32, 2))
+
+        first, second = asyncio.run(scenario())
+        assert first.trials == second.trials == 32
+        assert (first.indicators.tobytes()
+                != second.indicators.tobytes()
+                or first.successes == second.successes)

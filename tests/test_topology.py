@@ -168,3 +168,47 @@ class TestProperties:
         for u, v in g.edges:
             if distances[u] >= 0 and distances[v] >= 0:
                 assert abs(distances[u] - distances[v]) <= 1
+
+
+class TestPickleCanonical:
+    """Pickle bytes must not depend on lazily-built caches.
+
+    Scenario fingerprints (``repro.montecarlo.fingerprint``) hash the
+    pickle of specs that embed topologies, so a topology must pickle
+    to identical bytes before and after the simulation hot paths have
+    populated ``neighbor_sets()`` / ``csr_neighbors()``.
+    """
+
+    def test_lazy_caches_do_not_change_pickle_bytes(self):
+        import pickle
+
+        g = line(6)
+        before = pickle.dumps(g, 4)
+        g.neighbor_sets()
+        g.csr_neighbors()
+        assert pickle.dumps(g, 4) == before
+
+    def test_round_trip_preserves_graph_and_rebuilds_caches(self):
+        import pickle
+
+        g = line(5)
+        g.csr_neighbors()
+        clone = pickle.loads(pickle.dumps(g))
+        assert clone == g
+        assert clone.name == g.name
+        assert clone.edges == g.edges
+        assert clone.neighbor_sets() == g.neighbor_sets()
+        indptr, indices = clone.csr_neighbors()
+        ref_indptr, ref_indices = g.csr_neighbors()
+        assert indptr.tolist() == ref_indptr.tolist()
+        assert indices.tolist() == ref_indices.tolist()
+
+    @given(random_edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_equal_topologies_pickle_identically(self, order_edges):
+        import pickle
+
+        order, edges = order_edges
+        g = Topology(order, edges)
+        h = Topology(order, list(reversed(edges)))
+        assert pickle.dumps(g, 4) == pickle.dumps(h, 4)

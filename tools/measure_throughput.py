@@ -140,6 +140,7 @@ def measure() -> dict:
         ),
         "machine": f"{platform.system()}-{platform.machine()}",
         "cpu_count": os.cpu_count() or 1,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "rows": rows,
     }
 
