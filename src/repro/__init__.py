@@ -24,7 +24,16 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the per-theorem reproduction results.
 """
 
-from repro import analysis, batchsim, core, engine, failures, graphs, montecarlo
+from repro import (
+    analysis,
+    batchsim,
+    core,
+    engine,
+    failures,
+    graphs,
+    montecarlo,
+    obs,
+)
 from repro.engine import (
     MESSAGE_PASSING,
     RADIO,
@@ -45,6 +54,7 @@ __all__ = [
     "failures",
     "graphs",
     "montecarlo",
+    "obs",
     "TrialRunner",
     "TrialResult",
     "MESSAGE_PASSING",

@@ -136,6 +136,7 @@ import numpy as np
 
 from repro.engine.protocol import Algorithm
 from repro.failures.base import FailureModel
+from repro.obs import get_registry
 from repro.rng import RngStream
 
 __all__ = [
@@ -219,10 +220,22 @@ def unregister_sampler(name: str) -> None:
 
 def find_sampler(algorithm: Algorithm,
                  failure_model: FailureModel) -> Optional[SamplerEntry]:
-    """First registered sampler matching the scenario, or ``None``."""
+    """First registered sampler matching the scenario, or ``None``.
+
+    Every probe outcome is counted in the metrics registry
+    (``mc.dispatch.match`` labelled by entry, or
+    ``mc.dispatch.fallthrough`` when no sampler matched), so dispatch
+    coverage of a live workload — which scenarios collapse into the
+    fastsim tier and which fall through — is observable.  Probes run
+    once per :class:`~repro.montecarlo.trials.TrialRunner`, so the
+    counters track distinct runner shapes, not per-trial volume.
+    """
     for entry in _REGISTRY.values():
         if entry.matches(algorithm, failure_model):
+            get_registry().counter("mc.dispatch.match",
+                                   entry=entry.name).inc()
             return entry
+    get_registry().counter("mc.dispatch.fallthrough").inc()
     return None
 
 

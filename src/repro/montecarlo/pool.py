@@ -17,14 +17,25 @@ everything, collect ``future.result()`` in a loop) does not give:
   burn CPU, and the error that surfaces is the one from the
   *lowest-indexed* failing shard — reproducible no matter which worker
   happened to crash first.
+
+Every completed shard additionally reports its execution time and
+queue wait to the process-wide metrics registry (:mod:`repro.obs`;
+series ``mc.pool.shards`` / ``mc.pool.shard.seconds`` /
+``mc.pool.shard.queue_seconds``, labelled by worker entrypoint), so
+shard skew across a sharded sweep is visible without touching the
+result contract — callers still receive exactly the per-shard values
+their worker function returned.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import sys
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import get_registry
 
 __all__ = ["pool_context", "run_sharded", "WorkerCrashError"]
 
@@ -47,6 +58,43 @@ def _summarise_args(args: Tuple, limit: int = 200) -> str:
     if len(text) > limit:
         text = text[:limit] + "...<truncated>"
     return text
+
+
+def _timed_shard(function: Callable[..., Any], args: Tuple) -> Tuple[Tuple[float, float], Any]:
+    """Worker-side wrapper: run the shard and report its own clock.
+
+    Returns ``((started, seconds), result)`` where ``started`` is the
+    worker's ``time.monotonic()`` at shard entry.  ``time.monotonic``
+    is system-wide on Linux (CLOCK_MONOTONIC) and macOS
+    (mach_absolute_time), so the parent can subtract its submit stamp
+    from the worker's start stamp to estimate per-shard **queue wait**
+    — how long the shard sat behind siblings before a process picked
+    it up.  Top-level so the spawn start method can pickle it.
+    """
+    started = time.monotonic()
+    result = function(*args)
+    return (started, time.monotonic() - started), result
+
+
+def _record_shard(function: Callable[..., Any], submitted: float,
+                  timing: Tuple[float, float]) -> None:
+    """Report one completed shard's duration and queue wait.
+
+    Three series, labelled by the worker entrypoint so engine shards
+    and batchsim chunks stay distinguishable: the shard counter
+    ``mc.pool.shards``, the execution-latency histogram
+    ``mc.pool.shard.seconds`` (whose spread across a run *is* the
+    shard-skew signal), and the queue-wait histogram
+    ``mc.pool.shard.queue_seconds``.
+    """
+    started, seconds = timing
+    name = getattr(function, "__name__", "shard")
+    registry = get_registry()
+    registry.counter("mc.pool.shards", function=name).inc()
+    registry.histogram("mc.pool.shard.seconds", function=name).observe(seconds)
+    registry.histogram("mc.pool.shard.queue_seconds", function=name).observe(
+        max(0.0, started - submitted)
+    )
 
 
 def pool_context():
@@ -114,8 +162,9 @@ def run_sharded(function: Callable[..., Any],
     workers = min(max_workers, len(shard_args))
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=pool_context()) as pool:
+        submitted = time.monotonic()
         futures = {
-            pool.submit(function, *args): index
+            pool.submit(_timed_shard, function, tuple(args)): index
             for index, args in enumerate(shard_args)
         }
         for future in as_completed(futures):
@@ -123,7 +172,8 @@ def run_sharded(function: Callable[..., Any],
                 continue
             index = futures[future]
             try:
-                results[index] = future.result()
+                timing, results[index] = future.result()
+                _record_shard(function, submitted, timing)
             except Exception as error:
                 if not errors:
                     # One sweep on the *first* error only: a broken

@@ -55,8 +55,9 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +79,7 @@ from repro.engine.simulator import ExecutionResult, run_execution
 from repro.failures.base import FailureModel, FaultFree
 from repro.montecarlo.dispatch import SamplerEntry, find_sampler
 from repro.montecarlo.pool import run_sharded
+from repro.obs import get_registry
 from repro.rng import RngStream, as_stream, derive_seed
 
 __all__ = ["TrialRunner", "TrialResult", "RunningTally",
@@ -188,6 +190,13 @@ class TrialResult:
         small to amortise process startup.
     seed:
         Root seed the per-trial streams were derived from.
+    timings:
+        Optional wall-clock breakdown of the batch in seconds —
+        ``{"probe": dispatch-probe time, "run": execution time,
+        "total": probe + run}`` for fixed budgets, ``{"total": ...}``
+        for sequential runs.  Pure observability: excluded from
+        equality and repr, and never part of the determinism contract
+        (two bit-identical results may carry different timings).
     """
 
     indicators: np.ndarray
@@ -195,6 +204,9 @@ class TrialResult:
     workers: int
     seed: int
     confidence: float = 0.99
+    timings: Optional[Mapping[str, float]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def trials(self) -> int:
@@ -416,6 +428,19 @@ def _run_shard(factory: AlgorithmFactory,
     return indicators
 
 
+def _record_batch(backend: str, trials: int, seconds: float) -> None:
+    """Report one executed batch to the process-wide metrics registry.
+
+    Two series per backend tier: the monotone trial counter
+    ``mc.trials`` and the batch-latency histogram ``mc.run.seconds``.
+    Recording is inert — counters and histograms consume no randomness
+    — so instrumented runs stay bit-identical to uninstrumented ones.
+    """
+    registry = get_registry()
+    registry.counter("mc.trials", backend=backend).inc(trials)
+    registry.histogram("mc.run.seconds", backend=backend).observe(seconds)
+
+
 def _shard_bounds(trials: int, shards: int) -> List[Tuple[int, int]]:
     """Split ``range(trials)`` into ``shards`` contiguous near-even runs."""
     bounds = np.linspace(0, trials, shards + 1, dtype=int)
@@ -617,7 +642,16 @@ class TrialRunner:
         root_seed = stream.seed
         tally = RunningTally()
 
+        probe_start = time.perf_counter()
         entry, batch, algorithm = self._probe_dispatch()
+        run_start = time.perf_counter()
+        probe_seconds = run_start - probe_start
+
+        def finish(seconds: float) -> Dict[str, float]:
+            """Timings breakdown shared by every backend branch."""
+            return {"probe": probe_seconds, "run": seconds,
+                    "total": probe_seconds + seconds}
+
         if entry is not None:
             indicators = np.asarray(
                 entry.sample(algorithm, self._failure_model, trials, stream),
@@ -626,9 +660,13 @@ class TrialRunner:
             tally.update(indicators)
             if progress is not None:
                 progress(tally)
+            run_seconds = time.perf_counter() - run_start
+            backend = f"fastsim:{entry.name}"
+            _record_batch(backend, trials, run_seconds)
             return TrialResult(
-                indicators=indicators, backend=f"fastsim:{entry.name}",
+                indicators=indicators, backend=backend,
                 workers=1, seed=root_seed, confidence=confidence,
+                timings=finish(run_seconds),
             )
         if batch is not None:
             chunks = _batchsim_shards(trials, self._workers)
@@ -651,9 +689,12 @@ class TrialRunner:
                 )
                 indicators = np.concatenate(parts)
                 used_workers = len(chunks)
+            run_seconds = time.perf_counter() - run_start
+            _record_batch(BATCHSIM_BACKEND, trials, run_seconds)
             return TrialResult(
                 indicators=indicators, backend=BATCHSIM_BACKEND,
                 workers=used_workers, seed=root_seed, confidence=confidence,
+                timings=finish(run_seconds),
             )
 
         shards = _shard_bounds(trials, self._effective_shards(trials))
@@ -684,9 +725,12 @@ class TrialRunner:
             )
             indicators = np.concatenate(parts)
             used_workers = min(self._workers, len(shards))
+        run_seconds = time.perf_counter() - run_start
+        _record_batch(ENGINE_BACKEND, trials, run_seconds)
         return TrialResult(
             indicators=indicators, backend=ENGINE_BACKEND,
             workers=used_workers, seed=root_seed, confidence=confidence,
+            timings=finish(run_seconds),
         )
 
     def run_until(self, target_width: float, max_trials: int,
@@ -760,14 +804,20 @@ class TrialRunner:
         pieces: List[np.ndarray] = []
         used_workers = 1
         budget = 0
+        total_seconds = 0.0
         width = self._bound_width(tally, bound, confidence)
         while width > target_width and budget < max_trials:
             next_budget = min(
                 initial_trials if budget == 0 else 2 * budget, max_trials
             )
+            extension_start = time.perf_counter()
             part, workers = self._run_extension(
                 budget, next_budget, root_seed, tally, progress
             )
+            extension_seconds = time.perf_counter() - extension_start
+            total_seconds += extension_seconds
+            _record_batch(self.sequential_backend(), int(len(part)),
+                          extension_seconds)
             pieces.append(part)
             used_workers = max(used_workers, workers)
             budget = next_budget
@@ -780,6 +830,7 @@ class TrialRunner:
         result = TrialResult(
             indicators=indicators, backend=self.sequential_backend(),
             workers=used_workers, seed=root_seed, confidence=confidence,
+            timings={"total": total_seconds},
         )
         return SequentialResult(
             result=result, steps=tuple(steps), target_width=target_width,

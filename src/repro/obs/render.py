@@ -1,0 +1,114 @@
+"""Prometheus-style text exposition of a registry snapshot.
+
+Dotted metric names become underscore-separated Prometheus names
+(``serve.query.seconds`` → ``serve_query_seconds``), counters gain the
+conventional ``_total`` suffix, and histograms expand into cumulative
+``_bucket{le="..."}`` series plus ``_sum``/``_count`` — the format
+every Prometheus scraper and ``promtool`` understands.  The renderer
+works on the plain-dict snapshot (:meth:`MetricsRegistry.snapshot`),
+so it can format a live registry, a wire ``metrics`` response, or a
+snapshot saved to disk — ``python -m repro.obs render`` does all
+three.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["render_prometheus", "render_registry", "prometheus_name"]
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    sanitised = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{prometheus_name(str(key))}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping[str, List[Dict]]) -> str:
+    """Render a registry snapshot as Prometheus exposition text.
+
+    Accepts the dict shape :meth:`MetricsRegistry.snapshot` produces
+    (missing sections are treated as empty).  Series appear in
+    snapshot order — already deterministic — with one ``# TYPE`` line
+    per metric name.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", []):
+        name = prometheus_name(entry["name"]) + "_total"
+        declare(name, "counter")
+        lines.append(
+            f"{name}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", []):
+        name = prometheus_name(entry["name"])
+        declare(name, "gauge")
+        lines.append(
+            f"{name}{_format_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", []):
+        name = prometheus_name(entry["name"])
+        declare(name, "histogram")
+        labels = entry.get("labels", {})
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            le = 'le="%s"' % _format_value(float(bound))
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, le)} {cumulative}"
+            )
+        cumulative += entry["counts"][len(entry["bounds"])]
+        inf = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, inf)} {cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_format_labels(labels)} "
+            f"{_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_format_labels(labels)} {entry['count']}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Convenience: snapshot ``registry`` and render it."""
+    return render_prometheus(registry.snapshot())

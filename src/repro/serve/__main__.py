@@ -5,8 +5,11 @@ Subcommands::
     serve    run the TCP server until interrupted (the default)
     traffic  fire a seeded duplicate-heavy burst at a running server
     smoke    start a server, fire an in-process burst, assert that
-             coalescing/caching actually shared work, shut down —
-             exit status 0 iff healthy (what CI runs)
+             coalescing/caching actually shared work and that the
+             ``metrics`` wire op exposes the core series (query
+             latency histogram, cache lookups, per-backend trial
+             counts), shut down — exit status 0 iff healthy (what CI
+             runs)
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import asyncio
 import sys
 from typing import List, Optional
 
-from repro.serve.protocol import SimulationServer
+from repro.serve.protocol import SimulationServer, query_one
 from repro.serve.service import SimulationService
 from repro.serve.traffic import run_over_wire
 
@@ -81,6 +84,39 @@ async def _traffic(args: argparse.Namespace) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def _check_metrics(response: dict) -> List[str]:
+    """Assert the ``metrics`` wire op exposed the core serving series."""
+    if not response.get("ok"):
+        return [f"metrics op failed: {response}"]
+    snapshot = response.get("metrics", {})
+    counters = snapshot.get("counters", [])
+    histograms = snapshot.get("histograms", [])
+
+    def counter_total(name: str) -> float:
+        return sum(entry["value"] for entry in counters
+                   if entry["name"] == name)
+
+    failures = []
+    query_observations = sum(
+        entry["count"] for entry in histograms
+        if entry["name"] == "serve.query.seconds"
+    )
+    if query_observations < 1:
+        failures.append("metrics: no serve.query.seconds observations")
+    lookups = (counter_total("serve.cache.hits")
+               + counter_total("serve.cache.misses"))
+    if lookups < 1:
+        failures.append("metrics: no serve.cache lookups recorded")
+    batch_trials = sum(
+        entry["value"] for entry in counters
+        if entry["name"] == "mc.trials"
+        and entry.get("labels", {}).get("backend") == "batchsim"
+    )
+    if batch_trials < 1:
+        failures.append("metrics: no mc.trials{backend=batchsim} recorded")
+    return failures
+
+
 async def _smoke(args: argparse.Namespace) -> int:
     """Start, burst over the wire, assert shared work, shut down."""
     service = SimulationService()
@@ -92,12 +128,14 @@ async def _smoke(args: argparse.Namespace) -> int:
             host, port, queries=args.queries, pool_size=args.pool_size,
             trials=args.trials, seed=args.seed,
         )
+        metrics_response = await query_one(host, port, {"op": "metrics"})
     finally:
         await server.close()
     print(f"smoke: {report.describe()}", flush=True)
     failures = []
     if report.errors:
         failures.append(f"{report.errors} queries errored")
+    failures.extend(_check_metrics(metrics_response))
     if report.shared_answers < 1:
         failures.append("no query was coalesced or served from cache")
     if report.distinct_fingerprints >= report.queries:

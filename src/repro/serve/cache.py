@@ -11,6 +11,13 @@ The cache is synchronous and unlocked by design: the service accesses
 it only from the event-loop thread (executor threads compute results
 but never touch the cache), so adding a lock would buy nothing and
 suggest a concurrency story that does not exist.
+
+Besides its own :class:`CacheStats` counters (the in-process API),
+every lookup and eviction is mirrored into the process-wide metrics
+registry (:mod:`repro.obs`; ``serve.cache.hits`` /
+``serve.cache.misses`` / ``serve.cache.evictions``), so the hit rate
+shows up in the ``metrics`` wire op and the Prometheus exposition
+without a stats round trip.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Iterator, Optional
 
 from repro._validation import check_positive_int
 from repro.montecarlo.trials import TrialResult
+from repro.obs import get_registry
 
 __all__ = ["ResultCache", "CacheStats"]
 
@@ -79,9 +87,11 @@ class ResultCache:
         result = self._entries.get(fingerprint)
         if result is None:
             self._misses += 1
+            get_registry().counter("serve.cache.misses").inc()
             return None
         self._entries.move_to_end(fingerprint)
         self._hits += 1
+        get_registry().counter("serve.cache.hits").inc()
         return result
 
     def put(self, fingerprint: str, result: TrialResult) -> None:
@@ -96,6 +106,7 @@ class ResultCache:
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self._evictions += 1
+            get_registry().counter("serve.cache.evictions").inc()
 
     def stats(self) -> CacheStats:
         """Current counters snapshot."""

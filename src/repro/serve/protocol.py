@@ -6,6 +6,7 @@ One JSON object per line, in both directions.  Requests::
      "trials": 2000, "seed": 7}
     {"id": 2, "op": "stats"}
     {"id": 3, "op": "catalog"}
+    {"id": 4, "op": "metrics"}
 
 Responses echo the request ``id`` (when one parsed) and carry
 ``"ok": true/false``.  A successful query response::
@@ -29,6 +30,16 @@ each line as its own task and writes responses as they complete (the
 ``id`` is the correlation key; responses can arrive out of order).
 That is what lets N duplicate queries from one client coalesce into a
 single batch execution.
+
+The ``metrics`` op returns the process-wide :mod:`repro.obs` registry
+snapshot (``{"ok": true, "metrics": {counters, gauges, histograms}}``)
+— the machine-readable twin of ``stats``; pipe it through ``python -m
+repro.obs render`` (or point that command at a live server with
+``--host``/``--port``) for the Prometheus text exposition.  The server
+itself feeds the registry: per-op request counters (``serve.op``),
+wire-level error counters (``serve.wire.errors`` by code), a
+``serve.wire.inflight`` gauge of request lines currently being
+processed, and a ``serve.connections`` counter.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.registry import all_families
+from repro.obs import get_registry
 from repro.serve.service import Answer, Query, QueryError, SimulationService
 
 __all__ = ["SimulationServer", "query_one", "query_many",
@@ -140,6 +152,7 @@ class SimulationServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self._connections += 1
+        get_registry().counter("serve.connections").inc()
         write_lock = asyncio.Lock()
         pending: List[asyncio.Task] = []
 
@@ -190,7 +203,16 @@ class SimulationServer:
                 pass
 
     async def _handle_line(self, line: bytes, respond) -> None:
-        payload = await self._process_line(line)
+        registry = get_registry()
+        inflight = registry.gauge("serve.wire.inflight")
+        inflight.inc()
+        try:
+            payload = await self._process_line(line)
+        finally:
+            inflight.dec()
+        if not payload.get("ok"):
+            registry.counter("serve.wire.errors",
+                             code=payload.get("error", "unknown")).inc()
         try:
             await respond(payload)
         except (ConnectionResetError, BrokenPipeError):
@@ -205,10 +227,14 @@ class SimulationServer:
             return _error("bad-request", "request must be a JSON object")
         request_id = request.get("id")
         op = request.get("op", "query")
+        if op in ("query", "stats", "catalog", "metrics"):
+            get_registry().counter("serve.op", op=op).inc()
         if op == "stats":
             return self._stats_payload(request_id)
         if op == "catalog":
             return self._catalog_payload(request_id)
+        if op == "metrics":
+            return self._metrics_payload(request_id)
         if op != "query":
             return _error("bad-request", f"unknown op {op!r}", request_id)
         unknown = set(request) - _QUERY_KEYS
@@ -258,6 +284,7 @@ class SimulationServer:
             "fastsim_answers": stats.fastsim_answers,
             "errors": stats.errors,
             "shared_work_rate": stats.shared_work_rate,
+            "uptime_seconds": round(stats.uptime_seconds, 3),
             "cache": {
                 "hits": stats.cache.hits,
                 "misses": stats.cache.misses,
@@ -265,6 +292,20 @@ class SimulationServer:
                 "size": stats.cache.size,
                 "capacity": stats.cache.capacity,
             },
+            "coalescer": {
+                "inflight": stats.coalesce_inflight,
+                "started": stats.coalesce_started,
+                "joined": stats.coalesce_joined,
+            },
+        }
+        if request_id is not None:
+            payload["id"] = request_id
+        return payload
+
+    def _metrics_payload(self, request_id: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "metrics": get_registry().snapshot(),
         }
         if request_id is not None:
             payload["id"] = request_id

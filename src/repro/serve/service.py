@@ -24,6 +24,16 @@ Everything rests on the repo's determinism invariant: a result is a
 pure function of ``(scenario fingerprint, seed, trials)``, so the
 cache is exact and coalesced waiters lose nothing — bit-identical
 indicators either way.
+
+Every ``submit`` runs under a ``serve.query`` span (:mod:`repro.obs`)
+whose resolve / fingerprint / cache / run / coalesce phases are child
+spans, so per-phase latency histograms (``serve.query.seconds``,
+``serve.run.seconds``, ...) and the slow-query log come for free;
+outcome counters (``serve.queries``, ``serve.answers`` by source,
+``serve.errors`` by code) land in the same registry.  The
+instrumentation is inert by construction — wall-clock reads only,
+never the experiment RNG — so answers stay bit-identical with metrics
+on or off.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ from repro.montecarlo import (
     TrialRunner,
     scenario_fingerprint,
 )
+from repro.obs import get_registry, span
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.coalescer import Coalescer
 
@@ -142,7 +153,13 @@ class Answer:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Counters since service creation (all monotone except gauges)."""
+    """Counters since service creation (all monotone except gauges).
+
+    ``uptime_seconds`` is wall clock since the service object was
+    built; the three ``coalesce_*`` fields surface the single-flight
+    coalescer's tallies (``coalesce_inflight`` is the only
+    non-monotone value here — keys being computed right now).
+    """
 
     queries: int
     computed: int
@@ -151,6 +168,10 @@ class ServiceStats:
     fastsim_answers: int
     errors: int
     cache: CacheStats
+    uptime_seconds: float = 0.0
+    coalesce_inflight: int = 0
+    coalesce_started: int = 0
+    coalesce_joined: int = 0
 
     @property
     def shared_work_rate(self) -> float:
@@ -205,6 +226,7 @@ class SimulationService:
         self._cache_hits = 0
         self._fastsim_answers = 0
         self._errors = 0
+        self._started_monotonic = time.monotonic()
 
     @property
     def workers(self) -> int:
@@ -219,6 +241,10 @@ class SimulationService:
             cache_hits=self._cache_hits,
             fastsim_answers=self._fastsim_answers, errors=self._errors,
             cache=self._cache.stats(),
+            uptime_seconds=time.monotonic() - self._started_monotonic,
+            coalesce_inflight=self._coalescer.inflight(),
+            coalesce_started=self._coalescer.started,
+            coalesce_joined=self._coalescer.joined,
         )
 
     # -- resolution ----------------------------------------------------
@@ -290,49 +316,66 @@ class SimulationService:
         """
         start = time.perf_counter()
         self._queries += 1
-        try:
-            self._validate(query)
-            runner = self._resolve(query)
-        except QueryError:
-            self._errors += 1
-            raise
-        fingerprint = scenario_fingerprint(
-            runner.algorithm_factory, runner.failure_model, query.trials, query.seed
-        )
-        cached = self._cache.get(fingerprint)
-        if cached is not None:
-            self._cache_hits += 1
-            return Answer(
-                query=query, result=cached, fingerprint=fingerprint,
-                source=SOURCE_CACHE,
-                elapsed=time.perf_counter() - start,
-            )
-        arunner = AsyncTrialRunner(runner, self._executor)
-        if runner.dispatch_entry() is not None:
-            # Fastsim tier: one closed-form vectorised draw — answered
-            # immediately, no coalescing needed (the draw itself is
-            # cheaper than the bookkeeping would save).
-            result = await arunner.run(query.trials, query.seed)
-            self._computed += 1
-            self._fastsim_answers += 1
-            self._cache.put(fingerprint, result)
+        registry = get_registry()
+        registry.counter("serve.queries").inc()
+        with span("serve.query", scenario=query.scenario):
+            try:
+                with span("serve.resolve"):
+                    self._validate(query)
+                    runner = self._resolve(query)
+            except QueryError as error:
+                self._errors += 1
+                registry.counter("serve.errors", code=error.code).inc()
+                raise
+            with span("serve.fingerprint"):
+                fingerprint = scenario_fingerprint(
+                    runner.algorithm_factory, runner.failure_model,
+                    query.trials, query.seed
+                )
+            with span("serve.cache"):
+                cached = self._cache.get(fingerprint)
+            if cached is not None:
+                self._cache_hits += 1
+                registry.counter("serve.answers", source=SOURCE_CACHE).inc()
+                return Answer(
+                    query=query, result=cached, fingerprint=fingerprint,
+                    source=SOURCE_CACHE,
+                    elapsed=time.perf_counter() - start,
+                )
+            arunner = AsyncTrialRunner(runner, self._executor)
+            if runner.dispatch_entry() is not None:
+                # Fastsim tier: one closed-form vectorised draw — answered
+                # immediately, no coalescing needed (the draw itself is
+                # cheaper than the bookkeeping would save).
+                with span("serve.run", tier="fastsim"):
+                    result = await arunner.run(query.trials, query.seed)
+                self._computed += 1
+                self._fastsim_answers += 1
+                self._cache.put(fingerprint, result)
+                registry.counter("serve.answers",
+                                 source=SOURCE_COMPUTED).inc()
+                return Answer(
+                    query=query, result=result, fingerprint=fingerprint,
+                    source=SOURCE_COMPUTED,
+                    elapsed=time.perf_counter() - start,
+                )
+
+            async def compute() -> TrialResult:
+                with span("serve.run", tier="montecarlo"):
+                    return await arunner.run(query.trials, query.seed)
+
+            with span("serve.coalesce"):
+                result, coalesced = await self._coalescer.run(
+                    fingerprint, compute)
+            if coalesced:
+                self._coalesced_hits += 1
+            else:
+                self._computed += 1
+                self._cache.put(fingerprint, result)
+            source = SOURCE_COALESCED if coalesced else SOURCE_COMPUTED
+            registry.counter("serve.answers", source=source).inc()
             return Answer(
                 query=query, result=result, fingerprint=fingerprint,
-                source=SOURCE_COMPUTED,
+                source=source,
                 elapsed=time.perf_counter() - start,
             )
-
-        async def compute() -> TrialResult:
-            return await arunner.run(query.trials, query.seed)
-
-        result, coalesced = await self._coalescer.run(fingerprint, compute)
-        if coalesced:
-            self._coalesced_hits += 1
-        else:
-            self._computed += 1
-            self._cache.put(fingerprint, result)
-        return Answer(
-            query=query, result=result, fingerprint=fingerprint,
-            source=SOURCE_COALESCED if coalesced else SOURCE_COMPUTED,
-            elapsed=time.perf_counter() - start,
-        )

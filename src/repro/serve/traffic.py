@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro._validation import check_positive_int
+from repro.obs import Histogram
 from repro.serve.protocol import MAX_LINE_BYTES
 from repro.serve.service import Query, QueryError, SimulationService
 
@@ -42,13 +43,23 @@ _MONTE_CARLO_CELLS: Tuple[Tuple[str, float, int], ...] = (
 
 @dataclass
 class TrafficReport:
-    """What a traffic run observed (the smoke test's assertion surface)."""
+    """What a traffic run observed (the smoke test's assertion surface).
+
+    ``p50_seconds`` / ``p95_seconds`` are per-query latency
+    percentiles, bucket-interpolated from an
+    :class:`repro.obs.Histogram` over the same fixed latency buckets
+    the serving metrics use — so the traffic summary and a Prometheus
+    dashboard quantile over ``serve_query_seconds_bucket`` agree on
+    resolution.  Both are 0.0 when no query succeeded.
+    """
 
     queries: int
     elapsed: float
     sources: Dict[str, int] = field(default_factory=dict)
     errors: int = 0
     distinct_fingerprints: int = 0
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
 
     @property
     def qps(self) -> float:
@@ -77,6 +88,8 @@ class TrafficReport:
             f"queries={self.queries}",
             f"elapsed={self.elapsed:.3f}s",
             f"qps={self.qps:.1f}",
+            f"p50={self.p50_seconds * 1000.0:.1f}ms",
+            f"p95={self.p95_seconds * 1000.0:.1f}ms",
             f"errors={self.errors}",
             f"distinct={self.distinct_fingerprints}",
             f"shared_rate={self.shared_rate:.2f}",
@@ -129,6 +142,7 @@ async def run_inprocess(service: SimulationService, *, queries: int = 64,
     gate = asyncio.Semaphore(concurrency)
     sources: Dict[str, int] = {}
     errors = 0
+    latencies = Histogram()
 
     async def one(query: Query) -> None:
         nonlocal errors
@@ -139,6 +153,7 @@ async def run_inprocess(service: SimulationService, *, queries: int = 64,
                 errors += 1
                 return
             sources[answer.source] = sources.get(answer.source, 0) + 1
+            latencies.observe(answer.elapsed)
 
     start = time.perf_counter()
     await asyncio.gather(*(one(query) for query in sequence))
@@ -147,6 +162,8 @@ async def run_inprocess(service: SimulationService, *, queries: int = 64,
     return TrafficReport(
         queries=queries, elapsed=elapsed, sources=sources, errors=errors,
         distinct_fingerprints=distinct,
+        p50_seconds=latencies.percentile(0.5) if latencies.count else 0.0,
+        p95_seconds=latencies.percentile(0.95) if latencies.count else 0.0,
     )
 
 
@@ -205,6 +222,7 @@ async def run_over_wire(host: str, port: int, *, queries: int = 64,
     sources: Dict[str, int] = {}
     errors = 0
     fingerprints = set()
+    latencies = Histogram()
     for responses in all_responses:
         for response in responses:
             if not response.get("ok"):
@@ -213,7 +231,10 @@ async def run_over_wire(host: str, port: int, *, queries: int = 64,
             source = response.get("source", "unknown")
             sources[source] = sources.get(source, 0) + 1
             fingerprints.add(response.get("fingerprint"))
+            latencies.observe(float(response.get("elapsed_ms", 0.0)) / 1000.0)
     return TrafficReport(
         queries=queries, elapsed=elapsed, sources=sources, errors=errors,
         distinct_fingerprints=len(fingerprints),
+        p50_seconds=latencies.percentile(0.5) if latencies.count else 0.0,
+        p95_seconds=latencies.percentile(0.95) if latencies.count else 0.0,
     )

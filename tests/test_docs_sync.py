@@ -119,6 +119,27 @@ class TestCommittedDocs:
         assert broken_links([REPO_ROOT / name]) == []
 
 
+class TestObservabilityDocs:
+    """ARCHITECTURE/README must document the metrics layer they ship."""
+
+    def test_architecture_has_an_observability_section(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "## Observability" in architecture
+        for series in ("serve.query.seconds", "serve.cache.hits",
+                       "serve.coalesce.started", "mc.trials",
+                       "mc.pool.shard.seconds", "mc.dispatch.match"):
+            assert f"`{series}`" in architecture, (
+                f"metric series {series!r} missing from ARCHITECTURE.md's "
+                f"Observability section"
+            )
+        assert "repro.obs.slow" in architecture  # the slow-span log
+
+    def test_readme_quickstarts_the_metrics_op(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert '{"op": "metrics"}' in readme
+        assert "python -m repro.obs render" in readme
+
+
 class TestThroughputTable:
     """The measured-throughput column the ROADMAP asks EXPERIMENTS.md for."""
 

@@ -1,0 +1,418 @@
+"""The observability layer: registry, spans, rendering, inertness.
+
+The load-bearing contract is **inertness**: instrumentation consumes
+wall clocks and nothing else, so running any scenario with a live
+:class:`~repro.obs.MetricsRegistry` produces indicators byte-identical
+to the same run with metrics off (the :data:`repro.obs.NULL`
+registry).  Everything else — lock-safety under threads, bucket
+arithmetic, snapshot determinism, the Prometheus text format, the
+NDJSON slow-span log, the ``python -m repro.obs render`` CLI — is
+pinned alongside.
+"""
+
+import io
+import json
+import subprocess
+import sys
+import threading
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SimpleOmission
+from repro.engine import MESSAGE_PASSING
+from repro.failures import OmissionFailures
+from repro.graphs import binary_tree
+from repro.montecarlo import TrialRunner
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    configure_slow_log,
+    current_span,
+    disable_slow_log,
+    get_registry,
+    prometheus_name,
+    render_prometheus,
+    render_registry,
+    set_registry,
+    slow_log_threshold,
+    span,
+    use_registry,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TREE = binary_tree(3)
+OMISSION = OmissionFailures(0.4)
+mp_factory = partial(SimpleOmission, TREE, 0, 1, MESSAGE_PASSING, 2)
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_negative_increment_is_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError, match=">= 0"):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_concurrent_increments_never_lose_counts(self):
+        counter = Counter()
+        threads_n, per_thread = 8, 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == threads_n * per_thread
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.inc()
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(2.5)
+        gauge.set(-3.0)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_bucket_upper_bounds_are_inclusive(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.0)   # lands in the first bucket, not the second
+        hist.observe(1.5)
+        hist.observe(2.0)
+        hist.observe(99.0)  # overflow bucket
+        assert hist.bucket_counts() == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(103.5)
+
+    def test_bounds_must_strictly_increase_and_be_finite(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+        with pytest.raises(ValueError, match="implicit"):
+            Histogram(buckets=(1.0, float("inf")))
+
+    def test_percentile_interpolates_within_a_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for _ in range(4):
+            hist.observe(1.5)  # all four in (1.0, 2.0]
+        # Rank interpolation: p50 sits at rank 2 of 4 → halfway in.
+        assert hist.percentile(0.5) == pytest.approx(1.5)
+        assert hist.percentile(1.0) == pytest.approx(2.0)
+
+    def test_percentile_clamps_overflow_to_last_bound(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(50.0)
+        assert hist.percentile(0.99) == 1.0
+
+    def test_percentile_empty_and_invalid(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) == 0.0
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.percentile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", x=1) is registry.counter("a", x=1)
+        assert registry.counter("a", x=1) is not registry.counter("a", x=2)
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_label_identity_ignores_keyword_order(self):
+        registry = MetricsRegistry()
+        assert (registry.counter("a", x=1, y=2)
+                is registry.counter("a", y=2, x=1))
+
+    def test_counter_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never") == 0
+        registry.counter("hits", kind="exact").inc(3)
+        assert registry.counter_value("hits", kind="exact") == 3
+        assert registry.snapshot()["counters"] == [
+            {"name": "hits", "labels": {"kind": "exact"}, "value": 3}
+        ]
+
+    def test_snapshot_is_deterministic_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a", z="1").inc(2)
+        registry.gauge("level").set(1.5)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        assert [c["name"] for c in snapshot["counters"]] == ["a", "b"]
+        hist = snapshot["histograms"][0]
+        assert hist["bounds"] == [0.1, 1.0]
+        assert hist["counts"] == [1, 0, 0]
+        json.dumps(snapshot)  # must be serialisable as-is
+        assert snapshot == registry.snapshot()
+
+    def test_reset_drops_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.5)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_default_histogram_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").bounds == DEFAULT_LATENCY_BUCKETS
+
+
+class TestNullRegistry:
+    def test_drops_every_record(self):
+        null = NullRegistry()
+        null.counter("a", x=1).inc(100)
+        null.gauge("g").set(5)
+        null.histogram("h").observe(1.0)
+        assert null.counter("a", x=1).value == 0
+        assert null.snapshot() == {"counters": [], "gauges": [],
+                                   "histograms": []}
+
+    def test_process_wide_swap_roundtrip(self):
+        previous = set_registry(NULL)
+        try:
+            assert get_registry() is NULL
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_rejects_non_registries(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            set_registry(object())
+
+    def test_use_registry_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry() as registry:
+                assert get_registry() is registry
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+
+class TestSpans:
+    def test_span_records_a_latency_histogram(self):
+        with use_registry() as registry:
+            with span("unit.op", kind="test"):
+                pass
+            hist = registry.histogram("unit.op.seconds", kind="test")
+            assert hist.count == 1
+
+    def test_nesting_builds_the_phase_tree(self):
+        with use_registry() as registry:
+            assert current_span() is None
+            with span("root") as root:
+                with span("child.a"):
+                    with span("leaf"):
+                        assert current_span().name == "leaf"
+                with span("child.b"):
+                    pass
+            assert current_span() is None
+            tree = root.tree()
+            assert tree["span"] == "root"
+            assert [phase["span"] for phase in tree["phases"]] == [
+                "child.a", "child.b"]
+            assert tree["phases"][0]["phases"][0]["span"] == "leaf"
+            assert registry.histogram("leaf.seconds").count == 1
+
+    def test_span_records_even_when_the_body_raises(self):
+        with use_registry() as registry:
+            with pytest.raises(RuntimeError):
+                with span("fails"):
+                    raise RuntimeError("boom")
+            assert registry.histogram("fails.seconds").count == 1
+            assert current_span() is None
+
+    def test_slow_log_emits_ndjson_for_slow_roots(self):
+        stream = io.StringIO()
+        configure_slow_log(0.0, stream=stream)
+        try:
+            assert slow_log_threshold() == 0.0
+            with use_registry():
+                with span("slow.query", scenario="flooding"):
+                    with span("slow.phase"):
+                        pass
+            lines = [line for line in stream.getvalue().splitlines()
+                     if line]
+            assert len(lines) == 1  # only the root span logs
+            payload = json.loads(lines[0])
+            assert payload["span"] == "slow.query"
+            assert payload["labels"] == {"scenario": "flooding"}
+            assert payload["phases"][0]["span"] == "slow.phase"
+            assert "ts" in payload and payload["level"] == "info"
+        finally:
+            disable_slow_log()
+        assert slow_log_threshold() is None
+
+    def test_fast_roots_stay_silent(self):
+        stream = io.StringIO()
+        configure_slow_log(3600.0, stream=stream)
+        try:
+            with use_registry():
+                with span("fast.query"):
+                    pass
+            assert stream.getvalue() == ""
+        finally:
+            disable_slow_log()
+
+
+class TestRender:
+    def test_prometheus_name_sanitises(self):
+        assert prometheus_name("serve.query.seconds") == \
+            "serve_query_seconds"
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries").inc(3)
+        registry.counter("mc.trials", backend="batchsim").inc(256)
+        registry.gauge("serve.wire.inflight").set(2)
+        hist = registry.histogram("serve.query.seconds",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(9.0)
+        text = render_registry(registry)
+        assert "# TYPE serve_queries_total counter" in text
+        assert "serve_queries_total 3" in text
+        assert 'mc_trials_total{backend="batchsim"} 256' in text
+        assert "# TYPE serve_wire_inflight gauge" in text
+        # Buckets are cumulative and end with +Inf.
+        assert 'serve_query_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_query_seconds_bucket{le="1.0"} 2' in text
+        assert 'serve_query_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_query_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        text = render_prometheus({"counters": [
+            {"name": "c", "labels": {"k": 'a"b\\c\nd'}, "value": 1},
+        ]})
+        assert r'c_total{k="a\"b\\c\nd"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+
+
+class TestInertness:
+    """Metrics on vs off must not move a single indicator bit."""
+
+    def _run(self, **kwargs):
+        runner = TrialRunner(mp_factory, OMISSION, **kwargs)
+        return runner.run(trials=300, seed_or_stream=13)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                                       # fastsim tier
+        {"use_fastsim": False},                   # batchsim tier
+        {"use_fastsim": False, "use_batchsim": False},  # engine tier
+    ])
+    def test_indicators_identical_with_registry_on_and_off(self, kwargs):
+        with use_registry():
+            live = self._run(**kwargs)
+        previous = set_registry(NULL)
+        try:
+            off = self._run(**kwargs)
+        finally:
+            set_registry(previous)
+        assert np.array_equal(live.indicators, off.indicators)
+        assert live.backend == off.backend
+        assert live.estimate == off.estimate
+
+    def test_recording_consumes_no_global_numpy_randomness(self):
+        state_before = np.random.get_state()
+        with use_registry() as registry:
+            registry.counter("c", a=1).inc(5)
+            registry.gauge("g").set(2.0)
+            registry.histogram("h").observe(0.25)
+            with span("s", scenario="x"):
+                pass
+            registry.snapshot()
+        state_after = np.random.get_state()
+        assert state_before[0] == state_after[0]
+        assert np.array_equal(state_before[1], state_after[1])
+        assert state_before[2:] == state_after[2:]
+
+    def test_timings_are_metadata_not_identity(self):
+        with use_registry():
+            first = self._run()
+            second = self._run()
+        assert first.timings is not None and second.timings is not None
+        assert set(first.timings) >= {"probe", "run", "total"}
+        # Wall-clock differs run to run, equality must not.
+        assert np.array_equal(first.indicators, second.indicators)
+        assert repr(first).find("timings") == -1
+
+    def test_run_until_carries_total_timing(self):
+        with use_registry() as registry:
+            sequential = TrialRunner(mp_factory, OMISSION).run_until(
+                target_width=0.2, max_trials=2048, seed_or_stream=3)
+            assert sequential.result.timings["total"] > 0.0
+            trials_counted = sum(
+                entry["value"]
+                for entry in registry.snapshot()["counters"]
+                if entry["name"] == "mc.trials"
+            )
+            assert trials_counted == sequential.trials
+
+
+class TestCli:
+    def _render(self, *args, stdin=None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.obs", "render", *args],
+            input=stdin, capture_output=True, text=True,
+            cwd=REPO_ROOT, env={"PYTHONPATH": "src", "PATH": "/usr/bin"},
+        )
+
+    def _snapshot_json(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries").inc(7)
+        registry.histogram("serve.query.seconds").observe(0.02)
+        return json.dumps(registry.snapshot())
+
+    def test_renders_a_snapshot_from_stdin(self):
+        proc = self._render("-", stdin=self._snapshot_json())
+        assert proc.returncode == 0, proc.stderr
+        assert "serve_queries_total 7" in proc.stdout
+        assert "serve_query_seconds_count 1" in proc.stdout
+
+    def test_renders_a_full_wire_response_from_file(self, tmp_path):
+        wire = json.dumps({"ok": True, "id": 1,
+                           "metrics": json.loads(self._snapshot_json())})
+        path = tmp_path / "metrics.json"
+        path.write_text(wire, encoding="utf8")
+        proc = self._render(str(path))
+        assert proc.returncode == 0, proc.stderr
+        assert "serve_queries_total 7" in proc.stdout
+
+    def test_rejects_non_snapshot_input(self):
+        proc = self._render("-", stdin='{"nope": 1}')
+        assert proc.returncode == 1
+        assert "render:" in proc.stderr
+
+    def test_rejects_host_and_file_together(self):
+        proc = self._render("somefile", "--host", "127.0.0.1")
+        assert proc.returncode == 2

@@ -27,6 +27,7 @@ from hypothesis import strategies as st
 import repro.batchsim.engine as engine_module
 from repro.experiments.registry import all_families, get_family, resolve_scenario
 from repro.montecarlo import scenario_fingerprint
+from repro.obs import render_prometheus, use_registry
 from repro.serve import (
     Coalescer,
     Query,
@@ -502,8 +503,54 @@ class TestWireProtocol:
         stats, catalog = run(self._with_server(scenario))
         assert stats["ok"] and stats["id"] == 7
         assert stats["queries"] == 1
+        assert stats["uptime_seconds"] >= 0.0
+        assert stats["coalescer"] == {"inflight": 0, "started": 0,
+                                      "joined": 0}
         names = {entry["name"] for entry in catalog["scenarios"]}
         assert "windowed-malicious" in names
+
+    def test_metrics_op_ships_the_registry_snapshot(self):
+        async def scenario(host, port, server):
+            with use_registry():
+                await query_one(host, port, {
+                    "scenario": "windowed-malicious", "p": 0.25, "n": 2,
+                    "trials": 64, "seed": 5,
+                })
+                return await query_one(host, port,
+                                       {"op": "metrics", "id": 9})
+
+        response = run(self._with_server(scenario))
+        assert response["ok"] and response["id"] == 9
+        snapshot = response["metrics"]
+        counters = {(entry["name"], tuple(sorted(entry["labels"].items()))):
+                    entry["value"] for entry in snapshot["counters"]}
+        assert counters[("serve.queries", ())] == 1
+        assert counters[("serve.op", (("op", "query"),))] == 1
+        assert counters[("serve.cache.misses", ())] == 1
+        assert counters[("mc.trials", (("backend", "batchsim"),))] == 64
+        histogram_names = {entry["name"]
+                           for entry in snapshot["histograms"]}
+        assert "serve.query.seconds" in histogram_names
+        assert "mc.run.seconds" in histogram_names
+        # The snapshot must round-trip through the renderer.
+        text = render_prometheus(snapshot)
+        assert "serve_query_seconds_bucket" in text
+
+    def test_wire_errors_are_counted_by_code(self):
+        async def scenario(host, port, server):
+            with use_registry() as registry:
+                await query_one(host, port, {"scenario": "no-such",
+                                             "p": 0.1, "n": 2,
+                                             "trials": 8})
+                await query_one(host, port, {"op": "bogus"})
+                return registry.snapshot()
+
+        snapshot = run(self._with_server(scenario))
+        by_code = {entry["labels"]["code"]: entry["value"]
+                   for entry in snapshot["counters"]
+                   if entry["name"] == "serve.wire.errors"}
+        assert by_code["unknown-scenario"] == 1
+        assert by_code["bad-request"] == 1
 
     def test_out_of_order_ids_are_reassembled(self):
         async def scenario(host, port, server):
@@ -544,4 +591,9 @@ class TestTraffic:
         assert report.shared_rate >= 0.5
         assert stats.computed <= report.distinct_fingerprints
         assert report.qps > 0
-        assert "shared_rate" in report.describe()
+        # Percentiles come from the shared fixed-bucket histogram; a
+        # burst with successes must report an ordered, positive pair.
+        assert report.p95_seconds >= report.p50_seconds > 0.0
+        description = report.describe()
+        assert "shared_rate" in description
+        assert "p50=" in description and "p95=" in description
