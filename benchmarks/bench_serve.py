@@ -14,9 +14,16 @@ Two claims are asserted, not just timed:
 benchmark history (``diff_bench.py --history``) tracks: mean seconds
 per duplicate-heavy burst, lower is better, with the derived
 queries/second in ``extra_info``.
+
+``test_serve_warm_restart_hit_rate`` times the journal-rehydrated
+path: a service is killed and rebuilt against the same ``--memo-path``
+journal, and the replayed burst must be answered entirely from the
+rehydrated cache (hit rate 1.0, zero recomputation).
 """
 
 import asyncio
+import tempfile
+from pathlib import Path
 
 from repro.serve import Query, SimulationService
 from repro.serve.traffic import run_inprocess
@@ -74,3 +81,40 @@ def test_serve_cached_replay_is_exact(benchmark):
     # And a fresh service recomputes the very same bytes cold.
     fresh = asyncio.run(SimulationService().submit(query))
     assert fresh.indicators_digest() == cold.indicators_digest()
+
+
+def test_serve_warm_restart_hit_rate(benchmark):
+    """A journal-rehydrated restart answers the whole burst from cache."""
+    with tempfile.TemporaryDirectory() as tmp:
+        memo_path = Path(tmp) / "memo.ndjson"
+        cold = SimulationService(memo_path=memo_path)
+        cold_report = asyncio.run(run_inprocess(
+            cold, queries=BURST_QUERIES, pool_size=BURST_POOL,
+            trials=BURST_TRIALS, seed=0, concurrency=BURST_CONCURRENCY,
+        ))
+        assert cold_report.errors == 0
+        cold.close()
+
+        def warm_burst():
+            """Rebuild from the journal, then replay the same burst."""
+            warm = SimulationService(memo_path=memo_path)
+            report = asyncio.run(run_inprocess(
+                warm, queries=BURST_QUERIES, pool_size=BURST_POOL,
+                trials=BURST_TRIALS, seed=0, concurrency=BURST_CONCURRENCY,
+            ))
+            stats = warm.stats()
+            warm.close()
+            return report, stats
+
+        report, stats = benchmark(warm_burst)
+        assert report.errors == 0
+        hits = report.sources.get("cache", 0)
+        hit_rate = hits / report.queries
+        # Every query in the replayed burst must be served by the
+        # rehydrated journal — zero recomputation after restart.
+        assert hit_rate == 1.0, report.describe()
+        assert stats.computed == 0, (
+            f"warm restart recomputed {stats.computed} queries"
+        )
+        benchmark.extra_info["warm_hit_rate"] = round(hit_rate, 3)
+        benchmark.extra_info["warm_cache_hits"] = stats.cache_hits

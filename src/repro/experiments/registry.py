@@ -33,7 +33,10 @@ __all__ = [
     "register_family",
     "get_family",
     "all_families",
+    "families_for_experiment",
     "resolve_scenario",
+    "FAMILY_MONTECARLO",
+    "FAMILY_EXACT",
     "get_experiment",
     "all_experiments",
     "run_experiment",
@@ -229,27 +232,56 @@ class ScenarioFamily:
         What the wire parameter ``n`` selects (e.g. ``"line length"``,
         ``"grid side"``) — rendered in the catalog so clients know what
         they are scaling.
+    experiments:
+        The experiment ids this family makes servable over the wire
+        (e.g. ``("E05",)``).  The describe table renders these as the
+        **Servable as** column, and the catalog-completeness test pins
+        that every registered experiment is covered by at least one
+        family.
+    kind:
+        ``FAMILY_MONTECARLO`` (the default) for families whose build
+        returns ``(algorithm_factory, failure_model)`` and run through
+        :class:`~repro.montecarlo.TrialRunner`; ``FAMILY_EXACT`` for
+        purely combinatorial families (E10) whose build returns
+        ``(compute, None)`` with ``compute`` a picklable zero-argument
+        callable returning a bool — the service runs it once and serves
+        the verdict memo-only.
     """
 
     name: str
     build: Callable[..., Tuple[Callable[[], object], object]]
     description: str
     size_meaning: str = "number of nodes"
+    experiments: Tuple[str, ...] = ()
+    kind: str = "montecarlo"
 
+
+#: :attr:`ScenarioFamily.kind` values.
+FAMILY_MONTECARLO = "montecarlo"
+FAMILY_EXACT = "exact"
+
+_FAMILY_KINDS = (FAMILY_MONTECARLO, FAMILY_EXACT)
 
 _FAMILIES: Dict[str, ScenarioFamily] = {}
 
 
 def register_family(name: str, description: str,
-                    size_meaning: str = "number of nodes"):
+                    size_meaning: str = "number of nodes",
+                    experiments: Tuple[str, ...] = (),
+                    kind: str = FAMILY_MONTECARLO):
     """Decorator registering a scenario-family builder under ``name``."""
+    if kind not in _FAMILY_KINDS:
+        raise ValueError(
+            f"family kind must be one of {_FAMILY_KINDS}, got {kind!r}"
+        )
 
     def decorate(build: Callable[..., Tuple[Callable[[], object], object]]):
         if name in _FAMILIES:
             raise ValueError(f"duplicate scenario family {name!r}")
         _FAMILIES[name] = ScenarioFamily(
             name=name, build=build, description=description,
-            size_meaning=size_meaning,
+            size_meaning=size_meaning, experiments=tuple(experiments),
+            kind=kind,
         )
         return build
 
@@ -274,6 +306,12 @@ def all_families() -> List[ScenarioFamily]:
     """All registered scenario families, sorted by name."""
     _ensure_families_loaded()
     return [_FAMILIES[key] for key in sorted(_FAMILIES)]
+
+
+def families_for_experiment(experiment_id: str) -> List[ScenarioFamily]:
+    """The families serving ``experiment_id`` over the wire (may be [])."""
+    return [family for family in all_families()
+            if experiment_id in family.experiments]
 
 
 def resolve_scenario(name: str, p: float, n: int,

@@ -1,34 +1,48 @@
 """Always-on simulation serving layer.
 
 ``python -m repro.serve`` runs the TCP server; the in-process surface
-is :class:`SimulationService` (submit :class:`Query`, get
-:class:`Answer`).  See ARCHITECTURE.md's service-layer section for the
-resolve → fingerprint → cache → coalesce → memoise data flow.
+is :class:`SimulationService` (submit :class:`Query` or the adaptive
+:class:`SequentialQuery`, get :class:`Answer` /
+:class:`SequentialAnswer`).  See ARCHITECTURE.md's service-layer
+section for the resolve → fingerprint → cache → coalesce → memoise
+data flow, the persistent memo journal (:class:`MemoJournal`,
+``--memo-path``), and admission control
+(:class:`AdmissionController`, wire code ``overloaded``).
 
 Importing this package registers the built-in scenario families
 (:mod:`repro.serve.catalog`) with the experiment registry.
 """
 
 from repro.serve import catalog  # noqa: F401  (family registration)
+from repro.serve.admission import AdmissionController, AdmissionStats
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.coalescer import Coalescer
+from repro.serve.errors import OverloadedError, QueryError
+from repro.serve.persistence import MemoJournal
 from repro.serve.protocol import SimulationServer, query_many, query_one
 from repro.serve.service import (
     Answer,
     Query,
-    QueryError,
+    SequentialAnswer,
+    SequentialQuery,
     ServiceStats,
     SimulationService,
 )
 from repro.serve.traffic import TrafficReport, make_query_pool
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
     "Answer",
     "CacheStats",
     "Coalescer",
+    "MemoJournal",
+    "OverloadedError",
     "Query",
     "QueryError",
     "ResultCache",
+    "SequentialAnswer",
+    "SequentialQuery",
     "ServiceStats",
     "SimulationServer",
     "SimulationService",

@@ -37,7 +37,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TCP port (default 7641; 0 picks a free one)")
     serve.add_argument("--workers", type=int, default=1,
                        help="processes each Monte-Carlo run shards over")
-    serve.add_argument("--cache-capacity", type=int, default=256)
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="exact-memo LRU entries (0 disables caching)")
+    serve.add_argument("--memo-path", default=None,
+                       help="persistent memo journal; replayed on start "
+                            "so a restarted server answers warm queries "
+                            "from cache, byte-identically")
+    serve.add_argument("--max-concurrent-runs", type=int, default=8,
+                       help="fresh executions in flight per op before "
+                            "runs queue")
+    serve.add_argument("--max-queued-runs", type=int, default=64,
+                       help="queued runs per op before the server sheds "
+                            "with a structured 'overloaded' error")
 
     traffic = sub.add_parser(
         "traffic", help="fire a seeded burst at a running server")
@@ -60,10 +71,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    service = SimulationService(workers=args.workers,
-                                cache_capacity=args.cache_capacity)
+    service = SimulationService(
+        workers=args.workers, cache_capacity=args.cache_capacity,
+        memo_path=args.memo_path,
+        max_concurrent_runs=args.max_concurrent_runs,
+        max_queued_runs=args.max_queued_runs,
+    )
     server = SimulationServer(service, args.host, args.port)
     host, port = await server.start()
+    if service.journal is not None:
+        print(f"repro.serve memo journal {service.journal.path} "
+              f"({service.journal.records_loaded} records rehydrated, "
+              f"{service.journal.records_dropped} corrupt dropped)",
+              flush=True)
     print(f"repro.serve listening on {host}:{port}", flush=True)
     try:
         await server.serve_forever()
@@ -71,6 +91,7 @@ async def _serve(args: argparse.Namespace) -> int:
         pass
     finally:
         await server.close()
+        service.close()
     return 0
 
 

@@ -2,10 +2,13 @@
 
 Because every Monte-Carlo batch is a pure function of its fingerprint
 (:mod:`repro.montecarlo.fingerprint`), this cache is **exact**: a hit
-returns the very :class:`~repro.montecarlo.TrialResult` a cold run
-would recompute, byte-identical indicators included.  There is no
-staleness, no TTL, no probabilistic reuse — eviction is purely a
-memory-bound concern, handled LRU.
+returns the very :class:`~repro.montecarlo.TrialResult` (or
+:class:`~repro.montecarlo.trials.SequentialResult`) a cold run would
+recompute, byte-identical indicators included.  There is no staleness,
+no TTL, no probabilistic reuse — eviction is purely a memory-bound
+concern, handled LRU.  ``capacity=0`` degenerates to a pure
+pass-through: every ``get`` misses, every ``put`` is a no-op, and the
+service behaves as if memoisation were switched off.
 
 The cache is synchronous and unlocked by design: the service accesses
 it only from the event-loop thread (executor threads compute results
@@ -24,13 +27,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Tuple, Union
 
-from repro._validation import check_positive_int
-from repro.montecarlo.trials import TrialResult
+from repro._validation import check_non_negative_int
+from repro.montecarlo.trials import SequentialResult, TrialResult
 from repro.obs import get_registry
 
 __all__ = ["ResultCache", "CacheStats"]
+
+CacheValue = Union[TrialResult, SequentialResult]
 
 
 @dataclass(frozen=True)
@@ -51,25 +56,27 @@ class CacheStats:
 
 
 class ResultCache:
-    """LRU ``fingerprint -> TrialResult`` memo with hit/miss counters.
+    """LRU ``fingerprint -> result`` memo with hit/miss counters.
 
     Parameters
     ----------
     capacity:
         Maximum number of memoised results; the least-recently-*used*
         entry (get or put both refresh recency) is evicted beyond it.
+        ``0`` disables memoisation entirely — the cache is then a pure
+        pass-through that stores nothing and misses every lookup.
     """
 
     def __init__(self, capacity: int = 256):
-        self._capacity = check_positive_int(capacity, "capacity")
-        self._entries: "OrderedDict[str, TrialResult]" = OrderedDict()
+        self._capacity = check_non_negative_int(capacity, "capacity")
+        self._entries: "OrderedDict[str, CacheValue]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     @property
     def capacity(self) -> int:
-        """Maximum entry count."""
+        """Maximum entry count (0 means pass-through)."""
         return self._capacity
 
     def __len__(self) -> int:
@@ -82,7 +89,16 @@ class ResultCache:
         """Fingerprints, least- to most-recently used."""
         return iter(self._entries)
 
-    def get(self, fingerprint: str) -> Optional[TrialResult]:
+    def items(self) -> List[Tuple[str, CacheValue]]:
+        """``(fingerprint, result)`` pairs, least- to most-recently used.
+
+        The journal's compaction input: exactly the live entries, in a
+        stable recency order so a compact-then-replay round trip
+        rebuilds the same LRU ordering.
+        """
+        return list(self._entries.items())
+
+    def get(self, fingerprint: str) -> Optional[CacheValue]:
         """The memoised result, refreshing its recency; ``None`` on miss."""
         result = self._entries.get(fingerprint)
         if result is None:
@@ -94,13 +110,15 @@ class ResultCache:
         get_registry().counter("serve.cache.hits").inc()
         return result
 
-    def put(self, fingerprint: str, result: TrialResult) -> None:
+    def put(self, fingerprint: str, result: CacheValue) -> None:
         """Memoise ``result``, evicting the LRU entry beyond capacity."""
-        if not isinstance(result, TrialResult):
+        if not isinstance(result, (TrialResult, SequentialResult)):
             raise TypeError(
-                f"cache values must be TrialResult, got "
-                f"{type(result).__name__}"
+                f"cache values must be TrialResult or SequentialResult, "
+                f"got {type(result).__name__}"
             )
+        if self._capacity == 0:
+            return
         self._entries[fingerprint] = result
         self._entries.move_to_end(fingerprint)
         while len(self._entries) > self._capacity:

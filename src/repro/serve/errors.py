@@ -1,0 +1,39 @@
+"""Structured client-facing errors of the serving layer.
+
+Kept in their own module so the service, the wire protocol and the
+admission controller can all share them without import cycles.  The
+wire protocol maps each error's ``code`` to the ``"error"`` field of
+an error response; the in-process API raises them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["QueryError", "OverloadedError"]
+
+
+class QueryError(ValueError):
+    """A client-side problem with a query (unknown scenario, bad params).
+
+    The wire protocol maps this to an error response instead of a
+    connection-killing crash; the in-process API raises it.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class OverloadedError(QueryError):
+    """The run queue is full — retry later; nothing was executed.
+
+    Carries the wire code ``overloaded`` plus a ``retry_after_ms``
+    hint scaled by the queue depth at rejection time.  Shedding is
+    correctness-preserving by the fingerprint argument: the retried
+    query is the same memo key and yields the identical bytes.
+    """
+
+    def __init__(self, op: str, message: str, retry_after_ms: float):
+        super().__init__("overloaded", message)
+        self.op = op
+        self.retry_after_ms = retry_after_ms

@@ -4,9 +4,11 @@ One JSON object per line, in both directions.  Requests::
 
     {"id": 1, "scenario": "windowed-malicious", "p": 0.25, "n": 4,
      "trials": 2000, "seed": 7}
-    {"id": 2, "op": "stats"}
-    {"id": 3, "op": "catalog"}
-    {"id": 4, "op": "metrics"}
+    {"id": 2, "op": "run_until", "scenario": "flooding", "p": 0.1,
+     "n": 16, "target_width": 0.05, "max_trials": 100000}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "catalog"}
+    {"id": 5, "op": "metrics"}
 
 Responses echo the request ``id`` (when one parsed) and carry
 ``"ok": true/false``.  A successful query response::
@@ -17,13 +19,25 @@ Responses echo the request ``id`` (when one parsed) and carry
      "fingerprint": "<sha256>", "indicators_sha256": "<sha256>",
      "elapsed_ms": 412.7}
 
+The adaptive ``run_until`` op drives the sequential engine
+(:meth:`TrialRunner.run_until`) server-side: its response adds
+``target_width`` / ``max_trials`` / ``bound``, the honest ``met``
+flag, the final interval ``width``, and the per-extension ``steps``
+trace (``[[trials, successes, width], ...]``).  Sequential answers are
+memo-keyed on the scenario alone, so a cached stricter run serves any
+wider target by prefix truncation — byte-identically, which the
+``indicators_sha256`` field lets clients verify.
+
 ``indicators_sha256`` digests the raw indicator bytes, so clients can
 assert that a cached or coalesced replay is byte-identical to a cold
 run without shipping the whole vector.  Errors answer
 ``{"ok": false, "error": "<code>", "message": "..."}`` with codes
 ``bad-json`` / ``bad-request`` / ``unknown-scenario`` /
-``bad-parameters`` / ``internal`` — a malformed line never kills the
-connection.
+``bad-parameters`` / ``overloaded`` / ``internal`` — a malformed line
+never kills the connection.  ``overloaded`` responses (admission
+control shed the run; see :mod:`repro.serve.admission`) additionally
+carry ``retry_after_ms``, a back-off hint scaled by the queue depth at
+rejection.
 
 Requests on one connection may be **pipelined**: the server processes
 each line as its own task and writes responses as they complete (the
@@ -50,7 +64,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.registry import all_families
 from repro.obs import get_registry
-from repro.serve.service import Answer, Query, QueryError, SimulationService
+from repro.serve.service import (
+    Answer,
+    OverloadedError,
+    Query,
+    QueryError,
+    SequentialAnswer,
+    SequentialQuery,
+    SimulationService,
+)
 
 __all__ = ["SimulationServer", "query_one", "query_many",
            "MAX_LINE_BYTES"]
@@ -60,6 +82,8 @@ __all__ = ["SimulationServer", "query_one", "query_many",
 MAX_LINE_BYTES = 64 * 1024
 
 _QUERY_KEYS = {"id", "op", "scenario", "p", "n", "trials", "seed", "params"}
+_RUN_UNTIL_KEYS = {"id", "op", "scenario", "p", "n", "seed", "params",
+                   "target_width", "max_trials", "bound"}
 
 
 def _error(code: str, message: str,
@@ -68,6 +92,13 @@ def _error(code: str, message: str,
                                "message": message}
     if request_id is not None:
         payload["id"] = request_id
+    return payload
+
+
+def _query_error(error: QueryError, request_id: Any) -> Dict[str, Any]:
+    payload = _error(error.code, error.message, request_id)
+    if isinstance(error, OverloadedError):
+        payload["retry_after_ms"] = round(error.retry_after_ms, 3)
     return payload
 
 
@@ -85,6 +116,35 @@ def _answer_payload(answer: Answer, request_id: Any) -> Dict[str, Any]:
         "fingerprint": answer.fingerprint,
         "indicators_sha256": answer.indicators_digest(),
         "elapsed_ms": round(answer.elapsed * 1000.0, 3),
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def _sequential_payload(answer: SequentialAnswer,
+                        request_id: Any) -> Dict[str, Any]:
+    sequential = answer.sequential
+    payload = {
+        "ok": True,
+        "scenario": answer.query.scenario,
+        "estimate": answer.estimate,
+        "successes": answer.result.successes,
+        "trials": answer.result.trials,
+        "backend": answer.result.backend,
+        "workers": answer.result.workers,
+        "seed": answer.result.seed,
+        "source": answer.source,
+        "fingerprint": answer.fingerprint,
+        "indicators_sha256": answer.indicators_digest(),
+        "elapsed_ms": round(answer.elapsed * 1000.0, 3),
+        "target_width": sequential.target_width,
+        "max_trials": answer.query.max_trials,
+        "bound": sequential.bound,
+        "met": sequential.met,
+        "width": answer.width,
+        "steps": [[step.trials, step.successes, step.width]
+                  for step in sequential.steps],
     }
     if request_id is not None:
         payload["id"] = request_id
@@ -227,7 +287,7 @@ class SimulationServer:
             return _error("bad-request", "request must be a JSON object")
         request_id = request.get("id")
         op = request.get("op", "query")
-        if op in ("query", "stats", "catalog", "metrics"):
+        if op in ("query", "run_until", "stats", "catalog", "metrics"):
             get_registry().counter("serve.op", op=op).inc()
         if op == "stats":
             return self._stats_payload(request_id)
@@ -235,6 +295,8 @@ class SimulationServer:
             return self._catalog_payload(request_id)
         if op == "metrics":
             return self._metrics_payload(request_id)
+        if op == "run_until":
+            return await self._run_until_payload(request, request_id)
         if op != "query":
             return _error("bad-request", f"unknown op {op!r}", request_id)
         unknown = set(request) - _QUERY_KEYS
@@ -267,11 +329,56 @@ class SimulationServer:
         try:
             answer = await self._service.submit(query)
         except QueryError as error:
-            return _error(error.code, error.message, request_id)
+            return _query_error(error, request_id)
         except Exception as error:  # pragma: no cover - defensive
             return _error("internal", f"{type(error).__name__}: {error}",
                           request_id)
         return _answer_payload(answer, request_id)
+
+    async def _run_until_payload(self, request: Dict[str, Any],
+                                 request_id: Any) -> Dict[str, Any]:
+        unknown = set(request) - _RUN_UNTIL_KEYS
+        if unknown:
+            return _error(
+                "bad-request",
+                f"unknown request field(s): {', '.join(sorted(unknown))}",
+                request_id,
+            )
+        missing = [key for key in ("scenario", "p", "n", "target_width",
+                                   "max_trials") if key not in request]
+        if missing:
+            return _error(
+                "bad-request",
+                f"missing required field(s): {', '.join(missing)}",
+                request_id,
+            )
+        for field in ("p", "target_width"):
+            if not isinstance(request.get(field), (int, float)) or \
+                    isinstance(request.get(field), bool):
+                return _error("bad-request", f"{field} must be a number",
+                              request_id)
+        params = request.get("params", {})
+        if not isinstance(params, dict):
+            return _error("bad-request", "params must be a JSON object",
+                          request_id)
+        bound = request.get("bound", "hoeffding")
+        if not isinstance(bound, str):
+            return _error("bad-request", "bound must be a string",
+                          request_id)
+        query = SequentialQuery(
+            scenario=request["scenario"], p=float(request["p"]),
+            n=request["n"], target_width=float(request["target_width"]),
+            max_trials=request["max_trials"], seed=request.get("seed", 0),
+            bound=bound, params=params,
+        )
+        try:
+            answer = await self._service.submit_until(query)
+        except QueryError as error:
+            return _query_error(error, request_id)
+        except Exception as error:  # pragma: no cover - defensive
+            return _error("internal", f"{type(error).__name__}: {error}",
+                          request_id)
+        return _sequential_payload(answer, request_id)
 
     def _stats_payload(self, request_id: Any) -> Dict[str, Any]:
         stats = self._service.stats()
@@ -297,10 +404,22 @@ class SimulationServer:
                 "started": stats.coalesce_started,
                 "joined": stats.coalesce_joined,
             },
+            "admission": self._admission_block(),
         }
         if request_id is not None:
             payload["id"] = request_id
         return payload
+
+    def _admission_block(self) -> Dict[str, Any]:
+        stats = self._service.stats()
+        admission = self._service.admission.stats()
+        return {
+            "admitted": admission.admitted,
+            "rejected": admission.rejected,
+            "inflight": admission.inflight,
+            "waiting": admission.waiting,
+            "overloaded_answers": stats.overloaded,
+        }
 
     def _metrics_payload(self, request_id: Any) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -319,6 +438,8 @@ class SimulationServer:
                     "name": family.name,
                     "description": family.description,
                     "n": family.size_meaning,
+                    "kind": family.kind,
+                    "experiments": list(family.experiments),
                 }
                 for family in all_families()
             ],
@@ -346,8 +467,11 @@ async def query_many(host: str, port: int,
     duplicate queries coalesce server-side), then one response line is
     read per request.  Responses are re-ordered to match the request
     list via their ``id`` echoes; requests without an ``id`` get one
-    injected for correlation.
+    injected for correlation.  An empty request list answers ``[]``
+    without opening a connection.
     """
+    if not requests:
+        return []
     reader, writer = await asyncio.open_connection(host, port,
                                                    limit=MAX_LINE_BYTES)
     try:

@@ -13,12 +13,28 @@ Data flow per query::
     resolve   spec -> (factory, failure model) -> TrialRunner   (memoised)
     fingerprint    scenario_fingerprint(factory, model, trials, seed)
     cache          exact LRU hit?  ->  answer (source="cache")
+    admission      fresh work takes a bounded run slot
+                   (serve/admission.py) or sheds with `overloaded`
     fastsim        dispatch tier 1?  ->  run instantly, memoise
     coalesce       Monte-Carlo: single flight per fingerprint;
                    concurrent identical queries await one shared
                    (sharded) BatchExecution and get the same
                    TrialResult object
-    memoise        completed results enter the LRU
+    memoise        completed results enter the LRU and, when a
+                   memo journal is configured (serve/persistence.py),
+                   the on-disk journal — restarts rehydrate it
+
+:meth:`SimulationService.submit_until` is the adaptive twin: a
+:class:`SequentialQuery` drives :meth:`TrialRunner.run_until` through
+the same pipeline, coalescing on ``(fingerprint, target_width)`` and
+memo-keyed on the scenario alone — because sequential indicators are
+bit-identical *prefixes* of each other, a cached stricter run answers
+any wider-target query by truncation, byte-identically.
+
+Purely combinatorial families (``kind="exact"``, E10) bypass the
+Monte-Carlo machinery entirely: the family's picklable ``compute`` is
+run once on the executor and its verdict served memo-only as a
+single-indicator ``backend="exact"`` result.
 
 Everything rests on the repo's determinism invariant: a result is a
 pure function of ``(scenario fingerprint, seed, trials)``, so the
@@ -38,44 +54,54 @@ on or off.
 
 from __future__ import annotations
 
+import asyncio
+import dataclasses
 import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from hashlib import sha256
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro._validation import check_positive_int
-from repro.experiments.registry import resolve_scenario
+from repro.experiments.registry import (
+    FAMILY_EXACT,
+    ScenarioFamily,
+    get_family,
+)
 from repro.montecarlo import (
     AsyncTrialRunner,
     TrialResult,
     TrialRunner,
     scenario_fingerprint,
 )
+from repro.montecarlo.trials import SEQUENTIAL_BOUNDS, SequentialResult
 from repro.obs import get_registry, span
+from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.coalescer import Coalescer
+from repro.serve.errors import OverloadedError, QueryError
+from repro.serve.persistence import MemoJournal
 
-__all__ = ["Query", "Answer", "SimulationService", "ServiceStats",
-           "QueryError"]
+__all__ = ["Query", "SequentialQuery", "Answer", "SequentialAnswer",
+           "SimulationService", "ServiceStats", "QueryError",
+           "OverloadedError"]
 
 #: Source tags an :class:`Answer` can carry.
 SOURCE_COMPUTED = "computed"
 SOURCE_COALESCED = "coalesced"
 SOURCE_CACHE = "cache"
 
+#: Backend tag of purely combinatorial (``kind="exact"``) answers.
+BACKEND_EXACT = "exact"
 
-class QueryError(ValueError):
-    """A client-side problem with a query (unknown scenario, bad params).
-
-    The wire protocol maps this to an error response instead of a
-    connection-killing crash; the in-process API raises it.
-    """
-
-    def __init__(self, code: str, message: str):
-        super().__init__(message)
-        self.code = code
-        self.message = message
+#: Sequential-run constants baked into the ``run_until`` memo key.
+#: Pinning them keeps the key space one-dimensional in ``target_width``
+#: — which is exactly what lets a stricter cached run serve every wider
+#: target by prefix truncation.
+SEQUENTIAL_CONFIDENCE = 0.99
+SEQUENTIAL_INITIAL_TRIALS = 512
 
 
 @dataclass(frozen=True)
@@ -96,8 +122,9 @@ class Query:
         Monte-Carlo trial count; with ``seed`` it completes the
         fingerprint, so distinct trial counts are distinct cache
         entries (as they must be — indicators differ in length).
+        Exact (combinatorial) families require ``trials=1``.
     seed:
-        Root seed of the per-trial streams.
+        Root seed of the per-trial streams (``0`` for exact families).
     params:
         Optional family-specific extras (e.g. ``phase_length``).
     """
@@ -107,6 +134,26 @@ class Query:
     n: int
     trials: int
     seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SequentialQuery:
+    """One adaptive request: run until the interval is narrow enough.
+
+    Drives :meth:`TrialRunner.run_until` — the budget doubles from
+    ``512`` until the ``bound`` interval width at 99% confidence
+    reaches ``target_width``, capped at ``max_trials`` (the ``met``
+    flag on the answer is honest about which happened).
+    """
+
+    scenario: str
+    p: float
+    n: int
+    target_width: float
+    max_trials: int
+    seed: int = 0
+    bound: str = "hoeffding"
     params: Mapping[str, Any] = field(default_factory=dict)
 
 
@@ -152,13 +199,50 @@ class Answer:
 
 
 @dataclass(frozen=True)
+class SequentialAnswer:
+    """The adaptive reply: the sequential trace plus serving metadata."""
+
+    query: SequentialQuery
+    sequential: SequentialResult
+    fingerprint: str
+    source: str
+    elapsed: float
+
+    @property
+    def result(self) -> TrialResult:
+        """The final batch over every trial actually run."""
+        return self.sequential.result
+
+    @property
+    def estimate(self) -> float:
+        """Success-probability point estimate."""
+        return self.result.estimate
+
+    @property
+    def met(self) -> bool:
+        """Whether the target width was reached within the cap."""
+        return self.sequential.met
+
+    @property
+    def width(self) -> float:
+        """The final stopping-bound interval width (1.0 pre-extension)."""
+        steps = self.sequential.steps
+        return steps[-1].width if steps else 1.0
+
+    def indicators_digest(self) -> str:
+        """SHA-256 over the raw indicator bytes (see :class:`Answer`)."""
+        return sha256(self.result.indicators.tobytes()).hexdigest()
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Counters since service creation (all monotone except gauges).
 
     ``uptime_seconds`` is wall clock since the service object was
     built; the three ``coalesce_*`` fields surface the single-flight
     coalescer's tallies (``coalesce_inflight`` is the only
-    non-monotone value here — keys being computed right now).
+    non-monotone value here — keys being computed right now);
+    ``overloaded`` counts queries shed by admission control.
     """
 
     queries: int
@@ -172,6 +256,7 @@ class ServiceStats:
     coalesce_inflight: int = 0
     coalesce_started: int = 0
     coalesce_joined: int = 0
+    overloaded: int = 0
 
     @property
     def shared_work_rate(self) -> float:
@@ -193,28 +278,63 @@ class SimulationService:
         Process count handed to every :class:`TrialRunner` (sharded
         batchsim/engine execution under the hood).
     cache_capacity:
-        LRU capacity of the exact result memo.
+        LRU capacity of the exact result memo (``0`` disables
+        memoisation — the cache becomes a pure pass-through).
     max_trials:
         Per-query trial ceiling — a serving-layer guard against a
-        single wire query monopolising the machine.
+        single wire query monopolising the machine.  Also caps a
+        sequential query's ``max_trials``.
     executor:
         Optional executor hosting the blocking batch runs; ``None``
         uses the event loop's default thread pool.
+    memo_path:
+        Optional path to the persistent memo journal
+        (:mod:`repro.serve.persistence`).  On construction the journal
+        is replayed into the LRU, so a restarted server serves warm
+        queries from cache, byte-identically; every fresh compute is
+        appended.
+    admission:
+        Optional pre-built :class:`AdmissionController` (for per-op
+        limit maps); ``None`` builds one from the three knobs below.
+    max_concurrent_runs:
+        Fresh executions allowed in flight per op class.
+    max_queued_runs:
+        Runs allowed to wait per op class before the service sheds
+        with a structured ``overloaded`` error.
+    retry_after_ms:
+        Base retry hint carried by ``overloaded`` errors.
 
     The service is single-loop: all bookkeeping (cache, coalescer,
-    counters) happens on the event-loop thread, while batch execution
-    runs on executor threads (and, for sharded runs, worker
-    processes).
+    journal, admission counters) happens on the event-loop thread,
+    while batch execution runs on executor threads (and, for sharded
+    runs, worker processes).
     """
 
     def __init__(self, *, workers: int = 1, cache_capacity: int = 256,
                  max_trials: int = 1_000_000,
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 memo_path: Optional[str] = None,
+                 admission: Optional[AdmissionController] = None,
+                 max_concurrent_runs: int = 8,
+                 max_queued_runs: int = 64,
+                 retry_after_ms: float = 250.0):
         self._workers = check_positive_int(workers, "workers")
         self._max_trials = check_positive_int(max_trials, "max_trials")
         self._cache = ResultCache(cache_capacity)
         self._coalescer = Coalescer()
         self._executor = executor
+        self._admission = admission if admission is not None else (
+            AdmissionController(
+                max_waiting=max_queued_runs,
+                retry_after_ms=retry_after_ms,
+                default_limit=max_concurrent_runs,
+            )
+        )
+        self._journal: Optional[MemoJournal] = None
+        if memo_path is not None:
+            self._journal = MemoJournal(memo_path)
+            for key, value in self._journal.load():
+                self._cache.put(key, value)
         # Scenario resolution is itself worth memoising: building a
         # runner re-probes dispatch (builds the algorithm, scans the
         # registry, checks batchsim eligibility).  Keyed by the wire
@@ -226,12 +346,23 @@ class SimulationService:
         self._cache_hits = 0
         self._fastsim_answers = 0
         self._errors = 0
+        self._overloaded = 0
         self._started_monotonic = time.monotonic()
 
     @property
     def workers(self) -> int:
         """Process count each runner shards over."""
         return self._workers
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The run-queue admission controller."""
+        return self._admission
+
+    @property
+    def journal(self) -> Optional[MemoJournal]:
+        """The persistent memo journal, when one is configured."""
+        return self._journal
 
     def stats(self) -> ServiceStats:
         """Current counter snapshot."""
@@ -245,11 +376,27 @@ class SimulationService:
             coalesce_inflight=self._coalescer.inflight(),
             coalesce_started=self._coalescer.started,
             coalesce_joined=self._coalescer.joined,
+            overloaded=self._overloaded,
         )
+
+    def close(self) -> None:
+        """Flush and close the memo journal (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
 
     # -- resolution ----------------------------------------------------
 
-    def _runner_key(self, query: Query) -> Tuple:
+    def _family(self, scenario: str) -> ScenarioFamily:
+        if not isinstance(scenario, str) or not scenario:
+            raise QueryError("bad-request",
+                             "scenario must be a non-empty string")
+        try:
+            return get_family(scenario)
+        except KeyError as error:
+            raise QueryError("unknown-scenario",
+                             str(error.args[0])) from error
+
+    def _runner_key(self, query: Union[Query, SequentialQuery]) -> Tuple:
         try:
             params = tuple(sorted(dict(query.params).items()))
         except (TypeError, AttributeError) as error:
@@ -259,26 +406,45 @@ class SimulationService:
             ) from error
         return (query.scenario, float(query.p), query.n, params)
 
-    def _resolve(self, query: Query) -> TrialRunner:
+    def _resolve(self, query: Union[Query, SequentialQuery]) -> TrialRunner:
         """The memoised ``TrialRunner`` for this query's scenario."""
         key = self._runner_key(query)
         runner = self._runners.get(key)
         if runner is None:
             try:
-                factory, failure_model = resolve_scenario(
-                    query.scenario, query.p, query.n, dict(query.params)
+                factory, failure_model = self._family(query.scenario).build(
+                    query.p, query.n, **dict(query.params)
                 )
-            except KeyError as error:
-                raise QueryError("unknown-scenario",
-                                 str(error.args[0])) from error
             except (TypeError, ValueError) as error:
                 raise QueryError("bad-parameters", str(error)) from error
             runner = TrialRunner(factory, failure_model,
                                  workers=self._workers)
-            if len(self._runners) >= self._cache.capacity:
+            if len(self._runners) >= max(self._cache.capacity, 1):
                 self._runners.pop(next(iter(self._runners)))
             self._runners[key] = runner
         return runner
+
+    def _resolve_exact(self, query: Query,
+                       family: ScenarioFamily) -> Callable[[], object]:
+        try:
+            compute, failure_model = family.build(query.p, query.n,
+                                                  **dict(query.params))
+        except (TypeError, ValueError) as error:
+            raise QueryError("bad-parameters", str(error)) from error
+        if failure_model is not None:
+            raise QueryError(
+                "bad-parameters",
+                f"exact family {family.name!r} must not carry a failure "
+                f"model"
+            )
+        return compute
+
+    def _validate_seed(self, seed: Any) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise QueryError("bad-request", "seed must be an int")
+        if seed < 0:
+            raise QueryError("bad-request",
+                             f"seed must be non-negative, got {seed}")
 
     def _validate(self, query: Query) -> None:
         if not isinstance(query.scenario, str) or not query.scenario:
@@ -293,89 +459,348 @@ class SimulationService:
                 f"trials must lie in [1, {self._max_trials}], got "
                 f"{query.trials}"
             )
-        if not isinstance(query.seed, int) or isinstance(query.seed, bool):
-            raise QueryError("bad-request", "seed must be an int")
-        if query.seed < 0:
-            raise QueryError("bad-request",
-                             f"seed must be non-negative, got {query.seed}")
+        self._validate_seed(query.seed)
+
+    def _validate_exact(self, query: Query) -> None:
+        """Exact families are deterministic: pin the batch shape.
+
+        Accepting arbitrary ``trials``/``seed`` would fragment the memo
+        across keys whose answers are identical by construction, so the
+        service insists on the canonical ``trials=1, seed=0`` instead
+        of silently aliasing.
+        """
+        if query.trials != 1:
+            raise QueryError(
+                "bad-request",
+                f"scenario {query.scenario!r} is exact (combinatorial); "
+                f"trials must be 1, got {query.trials}"
+            )
+        if query.seed != 0:
+            raise QueryError(
+                "bad-request",
+                f"scenario {query.scenario!r} is exact (combinatorial); "
+                f"seed must be 0, got {query.seed}"
+            )
+
+    def _validate_sequential(self, query: SequentialQuery) -> None:
+        if not isinstance(query.target_width, (int, float)) or isinstance(
+                query.target_width, bool):
+            raise QueryError("bad-request", "target_width must be a number")
+        if not 0.0 < float(query.target_width) <= 1.0:
+            raise QueryError(
+                "bad-request",
+                f"target_width must lie in (0, 1], got {query.target_width}"
+            )
+        if not isinstance(query.max_trials, int) or isinstance(
+                query.max_trials, bool):
+            raise QueryError("bad-request", "max_trials must be an int")
+        if not 1 <= query.max_trials <= self._max_trials:
+            raise QueryError(
+                "bad-request",
+                f"max_trials must lie in [1, {self._max_trials}], got "
+                f"{query.max_trials}"
+            )
+        if query.bound not in SEQUENTIAL_BOUNDS:
+            raise QueryError(
+                "bad-request",
+                f"bound must be one of {SEQUENTIAL_BOUNDS}, got "
+                f"{query.bound!r}"
+            )
+        self._validate_seed(query.seed)
+
+    # -- fingerprints --------------------------------------------------
 
     def fingerprint(self, query: Query) -> str:
         """The canonical memo key this query resolves to."""
         self._validate(query)
+        family = self._family(query.scenario)
+        if family.kind == FAMILY_EXACT:
+            self._validate_exact(query)
+            compute = self._resolve_exact(query, family)
+            return scenario_fingerprint(compute, None, 1, 0,
+                                        extra="exact-search")
         runner = self._resolve(query)
         return scenario_fingerprint(
             runner.algorithm_factory, runner.failure_model, query.trials, query.seed
         )
+
+    def sequential_fingerprint(self, query: SequentialQuery) -> str:
+        """The scenario-level memo key of a ``run_until`` query.
+
+        Deliberately **excludes** ``target_width``: every target over
+        the same ``(scenario, seed, bound, max_trials)`` shares one
+        key, because sequential indicator vectors are bit-identical
+        prefixes of each other — the cache keeps the strictest run
+        seen and truncates it for wider targets.
+        """
+        self._validate_sequential(query)
+        runner = self._resolve(query)
+        return scenario_fingerprint(
+            runner.algorithm_factory, runner.failure_model,
+            query.max_trials, query.seed,
+            extra=("run_until", query.bound, SEQUENTIAL_CONFIDENCE,
+                   SEQUENTIAL_INITIAL_TRIALS),
+        )
+
+    # -- memo ----------------------------------------------------------
+
+    def _memoise(self, fingerprint: str,
+                 result: Union[TrialResult, SequentialResult]) -> None:
+        self._cache.put(fingerprint, result)
+        if self._journal is None:
+            return
+        self._journal.append(fingerprint, result)
+        # Compact once superseded records dominate the file.  With a
+        # pass-through cache (capacity 0) the journal *is* the memo, so
+        # compacting against the empty cache would erase it — skip.
+        if (self._cache.capacity > 0
+                and self._journal.record_count
+                > max(32, 2 * self._cache.capacity)):
+            self._journal.compact(self._cache.items())
 
     # -- serving -------------------------------------------------------
 
     async def submit(self, query: Query) -> Answer:
         """Answer one query (exactly; see the module docstring's flow).
 
-        Raises :class:`QueryError` for client-side problems.
+        Raises :class:`QueryError` for client-side problems (including
+        :class:`OverloadedError` when admission control sheds the run).
         """
         start = time.perf_counter()
         self._queries += 1
         registry = get_registry()
         registry.counter("serve.queries").inc()
-        with span("serve.query", scenario=query.scenario):
-            try:
+        try:
+            with span("serve.query", scenario=query.scenario):
                 with span("serve.resolve"):
                     self._validate(query)
-                    runner = self._resolve(query)
-            except QueryError as error:
-                self._errors += 1
-                registry.counter("serve.errors", code=error.code).inc()
-                raise
-            with span("serve.fingerprint"):
-                fingerprint = scenario_fingerprint(
-                    runner.algorithm_factory, runner.failure_model,
-                    query.trials, query.seed
-                )
-            with span("serve.cache"):
-                cached = self._cache.get(fingerprint)
-            if cached is not None:
-                self._cache_hits += 1
-                registry.counter("serve.answers", source=SOURCE_CACHE).inc()
-                return Answer(
-                    query=query, result=cached, fingerprint=fingerprint,
-                    source=SOURCE_CACHE,
-                    elapsed=time.perf_counter() - start,
-                )
-            arunner = AsyncTrialRunner(runner, self._executor)
-            if runner.dispatch_entry() is not None:
-                # Fastsim tier: one closed-form vectorised draw — answered
-                # immediately, no coalescing needed (the draw itself is
-                # cheaper than the bookkeeping would save).
+                    family = self._family(query.scenario)
+                    if family.kind == FAMILY_EXACT:
+                        self._validate_exact(query)
+                        compute = self._resolve_exact(query, family)
+                        runner = None
+                    else:
+                        runner = self._resolve(query)
+                with span("serve.fingerprint"):
+                    if runner is None:
+                        fingerprint = scenario_fingerprint(
+                            compute, None, 1, 0, extra="exact-search")
+                    else:
+                        fingerprint = scenario_fingerprint(
+                            runner.algorithm_factory, runner.failure_model,
+                            query.trials, query.seed
+                        )
+                with span("serve.cache"):
+                    cached = self._cache.get(fingerprint)
+                if isinstance(cached, TrialResult):
+                    self._cache_hits += 1
+                    registry.counter("serve.answers",
+                                     source=SOURCE_CACHE).inc()
+                    return Answer(
+                        query=query, result=cached, fingerprint=fingerprint,
+                        source=SOURCE_CACHE,
+                        elapsed=time.perf_counter() - start,
+                    )
+                if runner is None:
+                    return await self._run_exact(query, compute, fingerprint,
+                                                 start)
+                return await self._run_montecarlo(query, runner, fingerprint,
+                                                  start)
+        except QueryError as error:
+            self._errors += 1
+            if isinstance(error, OverloadedError):
+                self._overloaded += 1
+            registry.counter("serve.errors", code=error.code).inc()
+            raise
+
+    async def _run_montecarlo(self, query: Query, runner: TrialRunner,
+                              fingerprint: str, start: float) -> Answer:
+        registry = get_registry()
+        arunner = AsyncTrialRunner(runner, self._executor)
+        if runner.dispatch_entry() is not None:
+            # Fastsim tier: one closed-form vectorised draw — answered
+            # immediately, no coalescing needed (the draw itself is
+            # cheaper than the bookkeeping would save), but still a
+            # fresh execution, so it takes an admission slot.
+            async with self._admission.admit("query"):
                 with span("serve.run", tier="fastsim"):
                     result = await arunner.run(query.trials, query.seed)
-                self._computed += 1
-                self._fastsim_answers += 1
-                self._cache.put(fingerprint, result)
-                registry.counter("serve.answers",
-                                 source=SOURCE_COMPUTED).inc()
-                return Answer(
-                    query=query, result=result, fingerprint=fingerprint,
-                    source=SOURCE_COMPUTED,
-                    elapsed=time.perf_counter() - start,
-                )
+            self._computed += 1
+            self._fastsim_answers += 1
+            self._memoise(fingerprint, result)
+            registry.counter("serve.answers",
+                             source=SOURCE_COMPUTED).inc()
+            return Answer(
+                query=query, result=result, fingerprint=fingerprint,
+                source=SOURCE_COMPUTED,
+                elapsed=time.perf_counter() - start,
+            )
 
-            async def compute() -> TrialResult:
+        async def compute() -> TrialResult:
+            async with self._admission.admit("query"):
                 with span("serve.run", tier="montecarlo"):
                     return await arunner.run(query.trials, query.seed)
 
-            with span("serve.coalesce"):
-                result, coalesced = await self._coalescer.run(
-                    fingerprint, compute)
-            if coalesced:
-                self._coalesced_hits += 1
-            else:
-                self._computed += 1
-                self._cache.put(fingerprint, result)
-            source = SOURCE_COALESCED if coalesced else SOURCE_COMPUTED
-            registry.counter("serve.answers", source=source).inc()
-            return Answer(
-                query=query, result=result, fingerprint=fingerprint,
-                source=source,
-                elapsed=time.perf_counter() - start,
+        with span("serve.coalesce"):
+            result, coalesced = await self._coalescer.run(
+                fingerprint, compute)
+        if coalesced:
+            self._coalesced_hits += 1
+        else:
+            self._computed += 1
+            self._memoise(fingerprint, result)
+        source = SOURCE_COALESCED if coalesced else SOURCE_COMPUTED
+        registry.counter("serve.answers", source=source).inc()
+        return Answer(
+            query=query, result=result, fingerprint=fingerprint,
+            source=source,
+            elapsed=time.perf_counter() - start,
+        )
+
+    async def _run_exact(self, query: Query, compute: Callable[[], object],
+                         fingerprint: str, start: float) -> Answer:
+        registry = get_registry()
+
+        async def run() -> TrialResult:
+            async with self._admission.admit("query"):
+                with span("serve.run", tier="exact"):
+                    loop = asyncio.get_running_loop()
+                    verdict = await loop.run_in_executor(self._executor,
+                                                         compute)
+            return TrialResult(
+                indicators=np.array([bool(verdict)], dtype=bool),
+                backend=BACKEND_EXACT, workers=1, seed=0,
             )
+
+        with span("serve.coalesce"):
+            result, coalesced = await self._coalescer.run(fingerprint, run)
+        if coalesced:
+            self._coalesced_hits += 1
+        else:
+            self._computed += 1
+            self._memoise(fingerprint, result)
+        source = SOURCE_COALESCED if coalesced else SOURCE_COMPUTED
+        registry.counter("serve.answers", source=source).inc()
+        return Answer(
+            query=query, result=result, fingerprint=fingerprint,
+            source=source,
+            elapsed=time.perf_counter() - start,
+        )
+
+    # -- adaptive serving ----------------------------------------------
+
+    @staticmethod
+    def _truncate_sequential(cached: SequentialResult,
+                             target_width: float
+                             ) -> Optional[SequentialResult]:
+        """Serve ``target_width`` from a cached (stricter) run, if valid.
+
+        Sequential indicators are bit-identical prefixes: a run asked
+        for a *wider* target walks the same extension trace and stops
+        at the first step whose width clears it, so the cached run's
+        prefix up to that step IS the fresh answer.  A cached run that
+        exhausted its cap (``met=False``) is the full trace any target
+        would produce.  Returns ``None`` when the cached run stopped
+        early of what ``target_width`` needs — the caller recomputes
+        (and the stricter fresh run then replaces the cache entry,
+        extending it).
+        """
+        for index, step in enumerate(cached.steps):
+            if step.width <= target_width:
+                result = dataclasses.replace(
+                    cached.result,
+                    indicators=cached.result.indicators[:step.trials],
+                    timings=None,
+                )
+                return SequentialResult(
+                    result=result, steps=cached.steps[:index + 1],
+                    target_width=target_width, bound=cached.bound, met=True,
+                )
+        if not cached.met:
+            # Capped run: a stricter target runs the identical trace
+            # and caps too — only the honest `met` recomputation
+            # (still False here: no step cleared the target) differs.
+            return SequentialResult(
+                result=cached.result, steps=cached.steps,
+                target_width=target_width, bound=cached.bound, met=False,
+            )
+        return None
+
+    async def submit_until(self, query: SequentialQuery) -> SequentialAnswer:
+        """Answer one adaptive query via :meth:`TrialRunner.run_until`.
+
+        Coalesces concurrent identical queries on ``(fingerprint,
+        target_width)``; the memo key excludes the target, so any
+        cached stricter run serves a wider target by prefix truncation
+        (byte-identical, per the sequential prefix invariant).
+        """
+        start = time.perf_counter()
+        self._queries += 1
+        registry = get_registry()
+        registry.counter("serve.queries").inc()
+        try:
+            with span("serve.query", scenario=query.scenario):
+                with span("serve.resolve"):
+                    family = self._family(query.scenario)
+                    if family.kind == FAMILY_EXACT:
+                        raise QueryError(
+                            "bad-request",
+                            f"scenario {query.scenario!r} is exact "
+                            f"(combinatorial); run_until does not apply"
+                        )
+                    self._validate_sequential(query)
+                    runner = self._resolve(query)
+                with span("serve.fingerprint"):
+                    fingerprint = scenario_fingerprint(
+                        runner.algorithm_factory, runner.failure_model,
+                        query.max_trials, query.seed,
+                        extra=("run_until", query.bound,
+                               SEQUENTIAL_CONFIDENCE,
+                               SEQUENTIAL_INITIAL_TRIALS),
+                    )
+                target = float(query.target_width)
+                with span("serve.cache"):
+                    cached = self._cache.get(fingerprint)
+                if isinstance(cached, SequentialResult):
+                    served = self._truncate_sequential(cached, target)
+                    if served is not None:
+                        self._cache_hits += 1
+                        registry.counter("serve.answers",
+                                         source=SOURCE_CACHE).inc()
+                        return SequentialAnswer(
+                            query=query, sequential=served,
+                            fingerprint=fingerprint, source=SOURCE_CACHE,
+                            elapsed=time.perf_counter() - start,
+                        )
+                arunner = AsyncTrialRunner(runner, self._executor)
+
+                async def compute() -> SequentialResult:
+                    async with self._admission.admit("run_until"):
+                        with span("serve.run", tier="run_until"):
+                            return await arunner.run_until(
+                                target, query.max_trials, query.seed,
+                                SEQUENTIAL_CONFIDENCE, bound=query.bound,
+                                initial_trials=SEQUENTIAL_INITIAL_TRIALS,
+                            )
+
+                with span("serve.coalesce"):
+                    sequential, coalesced = await self._coalescer.run(
+                        (fingerprint, target), compute)
+                if coalesced:
+                    self._coalesced_hits += 1
+                else:
+                    self._computed += 1
+                    self._memoise(fingerprint, sequential)
+                source = SOURCE_COALESCED if coalesced else SOURCE_COMPUTED
+                registry.counter("serve.answers", source=source).inc()
+                return SequentialAnswer(
+                    query=query, sequential=sequential,
+                    fingerprint=fingerprint, source=source,
+                    elapsed=time.perf_counter() - start,
+                )
+        except QueryError as error:
+            self._errors += 1
+            if isinstance(error, OverloadedError):
+                self._overloaded += 1
+            registry.counter("serve.errors", code=error.code).inc()
+            raise

@@ -25,7 +25,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro._validation import check_positive_int
 from repro.obs import Histogram
 from repro.serve.protocol import MAX_LINE_BYTES
-from repro.serve.service import Query, QueryError, SimulationService
+from repro.serve.service import (
+    OverloadedError,
+    Query,
+    QueryError,
+    SimulationService,
+)
 
 __all__ = ["TrafficReport", "make_query_pool", "run_inprocess",
            "run_over_wire"]
@@ -60,6 +65,11 @@ class TrafficReport:
     distinct_fingerprints: int = 0
     p50_seconds: float = 0.0
     p95_seconds: float = 0.0
+    #: Errors that were admission-control sheds (a subset of
+    #: ``errors``): the server answered ``overloaded`` instead of
+    #: queueing unboundedly.  Non-zero under a saturating burst is the
+    #: backpressure working, not a bug.
+    overloaded: int = 0
 
     @property
     def qps(self) -> float:
@@ -91,6 +101,7 @@ class TrafficReport:
             f"p50={self.p50_seconds * 1000.0:.1f}ms",
             f"p95={self.p95_seconds * 1000.0:.1f}ms",
             f"errors={self.errors}",
+            f"overloaded={self.overloaded}",
             f"distinct={self.distinct_fingerprints}",
             f"shared_rate={self.shared_rate:.2f}",
         ]
@@ -142,13 +153,18 @@ async def run_inprocess(service: SimulationService, *, queries: int = 64,
     gate = asyncio.Semaphore(concurrency)
     sources: Dict[str, int] = {}
     errors = 0
+    overloaded = 0
     latencies = Histogram()
 
     async def one(query: Query) -> None:
-        nonlocal errors
+        nonlocal errors, overloaded
         async with gate:
             try:
                 answer = await service.submit(query)
+            except OverloadedError:
+                errors += 1
+                overloaded += 1
+                return
             except QueryError:
                 errors += 1
                 return
@@ -164,6 +180,7 @@ async def run_inprocess(service: SimulationService, *, queries: int = 64,
         distinct_fingerprints=distinct,
         p50_seconds=latencies.percentile(0.5) if latencies.count else 0.0,
         p95_seconds=latencies.percentile(0.95) if latencies.count else 0.0,
+        overloaded=overloaded,
     )
 
 
@@ -221,12 +238,15 @@ async def run_over_wire(host: str, port: int, *, queries: int = 64,
     elapsed = time.perf_counter() - start
     sources: Dict[str, int] = {}
     errors = 0
+    overloaded = 0
     fingerprints = set()
     latencies = Histogram()
     for responses in all_responses:
         for response in responses:
             if not response.get("ok"):
                 errors += 1
+                if response.get("error") == "overloaded":
+                    overloaded += 1
                 continue
             source = response.get("source", "unknown")
             sources[source] = sources.get(source, 0) + 1
@@ -237,4 +257,5 @@ async def run_over_wire(host: str, port: int, *, queries: int = 64,
         distinct_fingerprints=len(fingerprints),
         p50_seconds=latencies.percentile(0.5) if latencies.count else 0.0,
         p95_seconds=latencies.percentile(0.95) if latencies.count else 0.0,
+        overloaded=overloaded,
     )

@@ -140,6 +140,40 @@ class TestObservabilityDocs:
         assert "python -m repro.obs render" in readme
 
 
+class TestServiceDocs:
+    """The persistence + admission layers must ship with their docs."""
+
+    def test_architecture_documents_the_memo_journal(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "### Persistent memo" in architecture
+        assert "repro-serve-memo" in architecture, (
+            "ARCHITECTURE.md must pin the journal header format name"
+        )
+        assert "os.replace" in architecture  # atomic compaction contract
+
+    def test_architecture_documents_admission_control(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "### Admission control" in architecture
+        assert "retry_after_ms" in architecture
+        for series in ("serve.admission.admitted", "serve.admission.rejected",
+                       "serve.admission.inflight", "serve.admission.waiting",
+                       "serve.memo.corrupt"):
+            assert series in architecture, (
+                f"metric series {series!r} missing from ARCHITECTURE.md"
+            )
+
+    def test_readme_quickstarts_warm_restart(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "--memo-path" in readme
+        assert "run_until" in readme
+        assert "--max-concurrent-runs" in readme
+        assert '"overloaded"' in readme
+
+    def test_experiments_md_has_a_servable_column(self):
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "| Servable |" in committed
+
+
 class TestThroughputTable:
     """The measured-throughput column the ROADMAP asks EXPERIMENTS.md for."""
 

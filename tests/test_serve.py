@@ -123,7 +123,28 @@ class TestResultCache:
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
-            ResultCache(0)
+            ResultCache(-1)
+
+    def test_capacity_zero_is_pass_through(self):
+        # Regression: capacity 0 used to be rejected outright; it now
+        # means "memoisation off" — puts store nothing, gets always
+        # miss, and the service runs fine without a cache.
+        cache = ResultCache(0)
+        result = self._result()
+        cache.put("a", result)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert (stats.capacity, stats.size, stats.hits) == (0, 0, 0)
+        assert stats.misses == 1
+
+    def test_items_orders_least_to_most_recent(self):
+        cache = ResultCache(4)
+        first, second = (self._result(seed) for seed in (1, 2))
+        cache.put("a", first)
+        cache.put("b", second)
+        assert cache.get("a") is first  # refresh "a" to MRU
+        assert cache.items() == [("b", second), ("a", first)]
 
 
 class TestCoalescer:
