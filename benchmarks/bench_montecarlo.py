@@ -26,7 +26,11 @@ Several claims are asserted, not just timed:
 * adaptive trial allocation (``TrialRunner.run_until`` with the
   empirical-Bernstein stopping rule) reaches the fixed-budget Hoeffding
   CI width on a threshold sweep with at least 2x fewer total trials —
-  the decisive cells far from the threshold stop doublings early.
+  the decisive cells far from the threshold stop doublings early;
+* the remote-socket executor's wire overhead against the local pool on
+  the same sweep is *recorded* (not gated — loopback workers on one
+  host can only pay for the TCP round trips) while asserting the
+  shipped run stays bit-identical to the local one.
 """
 
 import os
@@ -408,6 +412,70 @@ def test_adaptive_allocation_beats_fixed_budget(benchmark):
         f"adaptive spent {total_adaptive} trials vs fixed {total_fixed} "
         f"({total_fixed / total_adaptive:.1f}x saving, need >= 2x)"
     )
+
+
+def test_remote_executor_overhead_vs_local(benchmark):
+    """Socket-shipping overhead of the remote executor, bit-identically.
+
+    Two loopback ``repro.distrib`` workers against a two-process local
+    pool on the same batchsim sweep.  No speedup is asserted — on one
+    host the remote backend pays pickling plus a TCP round trip per
+    chunk on top of the same process count, and CI runners have too
+    few cores for sharding to win anyway.  What this records (for
+    ``diff_bench.py``'s trend gate) is the *overhead* of the wire, and
+    what it asserts is the invariant that makes the substrate safe:
+    the shipped run's indicators are byte-identical to the local one.
+    """
+    import re
+    import subprocess
+    import sys
+
+    from repro.core.windowed import WindowedMalicious
+    from repro.montecarlo import RemoteSocketExecutor
+
+    def spawn_worker():
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.distrib", "worker", "--port", "0"],
+            stdout=subprocess.PIPE, text=True,
+        )
+        banner = process.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, f"worker failed to start: {banner!r}"
+        return process, (match.group(1), int(match.group(2)))
+
+    factory = partial(WindowedMalicious, grid(4, 4), 0, 1, p=0.25)
+    failure = MaliciousFailures(0.25, ComplementAdversary())
+    trials = 2000
+    workers = [spawn_worker() for _ in range(2)]
+    try:
+        remote = TrialRunner(
+            factory, failure, workers=2,
+            executor=RemoteSocketExecutor([peer for _, peer in workers]),
+        )
+        local = TrialRunner(factory, failure, workers=2)
+
+        def shipped():
+            return remote.run(trials, 7)
+
+        def pooled():
+            return local.run(trials, 7)
+
+        reference = pooled()
+        shipped()  # warm connections / worker-side imports before timing
+        local_time = _best_of(pooled, repeats=2)
+        result = benchmark(shipped)
+        remote_time = _best_of(shipped, repeats=2)
+        print(f"\nremote {remote_time:.4f}s vs local pool "
+              f"{local_time:.4f}s "
+              f"({remote_time / local_time:.2f}x wire overhead)")
+        assert result.backend == "batchsim"
+        np.testing.assert_array_equal(result.indicators,
+                                      reference.indicators)
+    finally:
+        for process, _ in workers:
+            if process.poll() is None:
+                process.kill()
+            process.wait()
 
 
 def test_trial_runner_engine_batch(benchmark):

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments describe [--markdown]
     python -m repro.experiments run E05 [--quick] [--seed N] [--workers N]
         [--trials-scale F] [--target-width W] [--max-trials-scale F]
+        [--executor SPEC] [--executor-workers HOST:PORT,...]
     python -m repro.experiments run-all [...same flags...]
 
 ``describe`` renders the registry-driven experiment table — paper
@@ -72,6 +73,18 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "sequential max-trials caps by FACTOR "
                                   "(default 1.0); raise it so a tighter "
                                   "--target-width can actually be reached")
+        command.add_argument("--executor", default=None, metavar="SPEC",
+                             help="shard substrate for the sharded Monte-"
+                                  "Carlo tiers: 'in-process', "
+                                  "'local-process[:N]' or "
+                                  "'remote:host:port,...' (default: "
+                                  "resolved from --workers); reports are "
+                                  "bit-identical for any substrate")
+        command.add_argument("--executor-workers", default=None,
+                             dest="executor_workers",
+                             metavar="HOST:PORT,...",
+                             help="shorthand for --executor remote:...: "
+                                  "shard onto these repro.distrib workers")
     return parser
 
 
@@ -92,11 +105,18 @@ def main(argv=None) -> int:
             print(f"{experiment.experiment_id}  {experiment.title}")
             print(f"      {experiment.paper_claim}")
         return 0
+    if args.executor is not None and args.executor_workers is not None:
+        print("--executor and --executor-workers are mutually exclusive")
+        return 2
+    executor = args.executor
+    if args.executor_workers is not None:
+        executor = f"remote:{args.executor_workers}"
     config = ExperimentConfig(seed=args.seed, quick=args.quick,
                               workers=args.workers,
                               trials_scale=args.trials_scale,
                               target_width=args.target_width,
-                              max_trials_scale=args.max_trials_scale)
+                              max_trials_scale=args.max_trials_scale,
+                              executor=executor)
     if args.command == "run":
         report = run_experiment(args.experiment_id.upper(), config)
         print(report.render())

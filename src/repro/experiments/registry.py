@@ -86,6 +86,13 @@ class ExperimentConfig:
         default to the historical fixed budgets, after
         ``trials_scale``).  Raising it lets a tighter ``target_width``
         actually be reached; the cap guarantees termination.
+    executor:
+        Optional shard-substrate spec handed to every runner's
+        :class:`~repro.montecarlo.TrialRunner` (``"in-process"``,
+        ``"local-process[:N]"``, ``"remote:host:port,..."`` — the
+        ``--executor`` CLI flag).  ``None`` keeps the historical
+        resolution from ``workers``.  Reports are bit-identical for
+        any substrate, exactly as they are for any worker count.
     """
 
     seed: int = 2007  # the journal year, for flavour
@@ -94,11 +101,17 @@ class ExperimentConfig:
     trials_scale: float = 1.0
     target_width: Optional[float] = None
     max_trials_scale: float = 1.0
+    executor: Optional[str] = None
 
     def __post_init__(self):
         if not (self.trials_scale > 0):
             raise ValueError(
                 f"trials_scale must be positive, got {self.trials_scale}"
+            )
+        if self.executor is not None and not isinstance(self.executor, str):
+            raise TypeError(
+                f"executor must be a spec string or None, got "
+                f"{type(self.executor).__name__}"
             )
         if not (self.max_trials_scale > 0):
             raise ValueError(

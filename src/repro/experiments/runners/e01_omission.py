@@ -59,6 +59,7 @@ def _engine_success_rate(topology, source, p, m, model, config, stream):
         use_fastsim=False,
         use_batchsim=False,
         workers=config.workers,
+        executor=config.executor,
     )
     outcome = runner.run_until(
         config.adaptive_width(ENGINE_CELL_WIDTH),

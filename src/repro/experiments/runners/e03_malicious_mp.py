@@ -39,7 +39,7 @@ from repro.rng import RngStream
 
 
 def _runner(topology, m: int, p: float, use_fastsim: bool = True,
-            workers: int = 1) -> TrialRunner:
+            workers: int = 1, executor=None) -> TrialRunner:
     """Trial runner for Simple-Malicious + complement adversary (MP).
 
     With dispatch enabled this lands on the ``simple-malicious-mp``
@@ -54,6 +54,7 @@ def _runner(topology, m: int, p: float, use_fastsim: bool = True,
         use_fastsim=use_fastsim,
         use_batchsim=use_fastsim,
         workers=workers,
+        executor=executor,
     )
 
 
@@ -117,7 +118,8 @@ def run_e03(config: ExperimentConfig) -> ExperimentReport:
     engine_m = mp_malicious_phase_length(n, engine_p)
     engine_trials = config.scaled_trials(40 if config.quick else 120)
     engine_rate = _runner(topology, engine_m, engine_p, use_fastsim=False,
-                          workers=config.workers).run(
+                          workers=config.workers,
+                          executor=config.executor).run(
         engine_trials, stream.child("engine")
     ).estimate
     notes = [

@@ -81,6 +81,7 @@ def run_e04(config: ExperimentConfig) -> ExperimentReport:
                         MESSAGE_PASSING, phase_length),
                 MaliciousFailures(p, adversary),
                 workers=config.workers,
+                executor=config.executor,
             )
             outcome = runner.run(
                 trials // 2, stream.child("mc", p, message)

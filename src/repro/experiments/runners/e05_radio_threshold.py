@@ -67,12 +67,14 @@ def _exact_chain_success(tree, m: int, p: float) -> float:
     return success
 
 
-def _runner(topology, m: int, p: float, workers: int) -> TrialRunner:
+def _runner(topology, m: int, p: float, workers: int,
+            executor=None) -> TrialRunner:
     """Monte-Carlo runner; dispatches to the radio tree sampler."""
     return TrialRunner(
         partial(SimpleMalicious, topology, 0, 1, RADIO, m),
         MaliciousFailures(p, RadioWorstCaseAdversary()),
         workers=workers,
+        executor=executor,
     )
 
 
@@ -119,7 +121,8 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         p_low = 0.75 * p_star
         m_low = radio_malicious_phase_length(n, p_low, delta)
         exact_low = _exact_chain_success(tree, m_low, p_low)
-        low = _runner(topology, m_low, p_low, config.workers).run_until(
+        low = _runner(topology, m_low, p_low, config.workers,
+                      executor=config.executor).run_until(
             width, cap, stream.child("low", delta), bound="bernstein"
         )
         backends.add(low.backend)
@@ -133,7 +136,8 @@ def run_e05(config: ExperimentConfig) -> ExperimentReport:
         # Infeasible side: same repetition budget, p beyond the threshold.
         p_high = min(0.99, 1.25 * p_star)
         exact_high = _exact_chain_success(tree, m_low, p_high)
-        high = _runner(topology, m_low, p_high, config.workers).run_until(
+        high = _runner(topology, m_low, p_high, config.workers,
+                       executor=config.executor).run_until(
             width, cap, stream.child("high", delta), bound="bernstein"
         )
         backends.add(high.backend)

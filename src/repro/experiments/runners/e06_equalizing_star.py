@@ -97,6 +97,7 @@ def run_e06(config: ExperimentConfig) -> ExperimentReport:
                         phase_length),
                 MaliciousFailures(p, adversary),
                 workers=config.workers,
+                executor=config.executor,
             )
             outcome = runner.run(
                 trials // 2, stream.child("mc", delta, p, message)

@@ -83,6 +83,7 @@ def run_e07(config: ExperimentConfig) -> ExperimentReport:
             partial(FastFlooding, topology, 0, 1, None, safe_rounds),
             OmissionFailures(p),
             workers=config.workers,
+            executor=config.executor,
         )
         success = runner.run(
             trials, stream.child("times", topology.name)

@@ -88,6 +88,7 @@ def run_e08(config: ExperimentConfig) -> ExperimentReport:
                     partial(FastFlooding, line(length), 0, 1, None, rounds),
                     OmissionFailures(p),
                     workers=config.workers,
+                    executor=config.executor,
                 )
                 outcome = runner.run(
                     trials, stream.child("mc", constant, length)

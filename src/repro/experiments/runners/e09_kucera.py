@@ -93,6 +93,7 @@ def run_e09(config: ExperimentConfig) -> ExperimentReport:
                     plan=algorithm.plan),
             MaliciousFailures(p, RandomFlipAdversary(), Restriction.FLIP),
             workers=config.workers,
+            executor=config.executor,
         )
         outcome = runner.run(trials, stream.child("mc", topology.name))
         runs.add_row(

@@ -43,7 +43,7 @@ from repro.rng import RngStream
 
 
 def _schedule_success(graph, steps, source_steps, p, trials, stream,
-                      workers) -> float:
+                      workers, executor=None) -> float:
     """Monte-Carlo success of an explicit layered schedule.
 
     Runs through the :class:`TrialRunner`, which dispatches to the
@@ -54,6 +54,7 @@ def _schedule_success(graph, steps, source_steps, p, trials, stream,
         partial(LayeredScheduleBroadcast, graph, steps, source_steps),
         OmissionFailures(p),
         workers=workers,
+        executor=executor,
     )
     return runner.run(trials, stream).estimate
 
@@ -117,6 +118,7 @@ def run_e11(config: ExperimentConfig) -> ExperimentReport:
         short_success = _schedule_success(
             graph, short_steps, max(1, short_budget // m), p, trials,
             stream.child("short", m), config.workers,
+            executor=config.executor,
         )
         short_fails = short_success < target
         table.add_row(
@@ -134,6 +136,7 @@ def run_e11(config: ExperimentConfig) -> ExperimentReport:
         long_success = _schedule_success(
             graph, long_steps, repeat, p, trials,
             stream.child("long", m), config.workers,
+            executor=config.executor,
         )
         long_ok = long_success >= target - 2.0 / math.sqrt(trials)
         table.add_row(

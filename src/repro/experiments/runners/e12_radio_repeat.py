@@ -137,6 +137,7 @@ def run_e12(config: ExperimentConfig) -> ExperimentReport:
                         algorithm.phase_length),
                 failure_model,
                 workers=config.workers,
+                executor=config.executor,
             )
             outcome = runner.run_until(
                 width, cap, stream.child("mc", name, rule), bound="bernstein"

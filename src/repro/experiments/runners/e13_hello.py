@@ -87,6 +87,7 @@ def run_e13(config: ExperimentConfig) -> ExperimentReport:
                         partial(HelloProtocolAlgorithm, topology, message, m),
                         MaliciousFailures(p, adversary, Restriction.LIMITED),
                         workers=config.workers,
+                        executor=config.executor,
                     )
                     outcome = runner.run(
                         trials,

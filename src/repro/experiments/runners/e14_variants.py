@@ -107,6 +107,7 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
         partial(WindowedMalicious, topology, 0, 1, p=p),
         MaliciousFailures(p, ComplementAdversary()),
         workers=config.workers,
+        executor=config.executor,
     )
     outcome = runner.run(trials, stream.child("win"))
     reference = WindowedMalicious(topology, 0, 1, p=p)
@@ -127,6 +128,7 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
         partial(RoundRobinBroadcast, tree_topology, 0, 1, cycles=cycles),
         OmissionFailures(p),
         workers=config.workers,
+        executor=config.executor,
     )
     outcome = runner.run(trials, stream.child("robin"))
     reference = RoundRobinBroadcast(tree_topology, 0, 1, cycles=cycles)
@@ -147,6 +149,7 @@ def run_e14(config: ExperimentConfig) -> ExperimentReport:
         partial(PrimeScheduleBroadcast, line_topology, 0, 1, rounds=horizon),
         OmissionFailures(p),
         workers=config.workers,
+        executor=config.executor,
     )
     outcome = runner.run(trials, stream.child("prime"))
     target = 1.0 - 1.0 / line_topology.order

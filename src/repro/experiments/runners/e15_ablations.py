@@ -139,6 +139,7 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
         partial(SimpleOmission, mc_topology, 0, 1, MESSAGE_PASSING, mc_m),
         OmissionFailures(mc_p),
         workers=config.workers,
+        executor=config.executor,
     )
     outcome = runner.run_until(
         width, mc_cap, stream.child("omission-mc"), bound="bernstein"
@@ -182,6 +183,7 @@ def run_e15(config: ExperimentConfig) -> ExperimentReport:
         hetero_runner = TrialRunner(
             hetero_factory, OmissionFailures(p_v=hetero_rates),
             use_fastsim=use_fastsim, workers=config.workers,
+            executor=config.executor,
         )
         hetero_outcome = hetero_runner.run_until(
             width, hetero_cap, stream.child("hetero-mc", label),

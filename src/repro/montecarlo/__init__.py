@@ -10,13 +10,26 @@ per-process trial chunks), or scalar reference-engine executions
 sharding) — all with reproducible per-trial streams, so indicators
 are bit-identical for any ``workers=`` count on the engine and
 batchsim tiers.  See :mod:`repro.montecarlo.dispatch` for the tier
-table and :mod:`repro.montecarlo.pool` for the shared pool harness.
+table and :mod:`repro.montecarlo.executors` for the pluggable
+execution substrate behind the sharded paths (in-process, local
+process pool, remote socket workers) — byte-identical indicators on
+all of them.
 """
 
 from repro.batchsim.engine import supports_batchsim
 from repro.montecarlo.asyncrun import AsyncTrialRunner
+from repro.montecarlo.executors import (
+    InProcessExecutor,
+    LocalProcessExecutor,
+    RemoteSocketExecutor,
+    ShardExecutor,
+    WorkerDisconnect,
+    make_executor,
+)
 from repro.montecarlo.fingerprint import (
     FINGERPRINT_VERSION,
+    PICKLE_PROTOCOL,
+    payload_fingerprint,
     scenario_fingerprint,
 )
 from repro.montecarlo.dispatch import (
@@ -49,7 +62,15 @@ __all__ = [
     "SequentialResult",
     "SequentialStep",
     "SEQUENTIAL_BOUNDS",
+    "ShardExecutor",
+    "InProcessExecutor",
+    "LocalProcessExecutor",
+    "RemoteSocketExecutor",
+    "make_executor",
+    "payload_fingerprint",
+    "PICKLE_PROTOCOL",
     "WorkerCrashError",
+    "WorkerDisconnect",
     "SamplerEntry",
     "register_sampler",
     "unregister_sampler",

@@ -59,6 +59,16 @@ class AsyncTrialRunner:
         """The wrapped synchronous runner."""
         return self._runner
 
+    @property
+    def shard_executor(self):
+        """The wrapped runner's shard substrate
+        (:class:`~repro.montecarlo.executors.ShardExecutor`) — distinct
+        from the *thread* executor hosting the blocking call.  A remote
+        substrate composes cleanly with this adapter: the loop thread
+        hands the batch to a pool thread, which ships shards to worker
+        hosts and blocks on sockets, leaving the loop untouched."""
+        return self._runner.shard_executor
+
     async def _call(self, bound) -> object:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, bound)

@@ -1,0 +1,256 @@
+"""The ``ShardExecutor`` contract every execution backend honours.
+
+The sharded dispatch tiers (scalar-engine trial shards and batchsim
+trial chunks) used to assume one substrate — a local process pool.
+This package turns that assumption into an explicit, pluggable
+contract so shards can run in-process, across local processes, or on
+remote worker hosts, with the *same* guarantees the pool harness
+always gave:
+
+* **index-ordered results** — ``run_sharded`` returns per-shard values
+  in shard order, never completion order, so merged indicator vectors
+  are a pure function of the root seed;
+* **in-order streaming** — the optional ``on_result(index, value)``
+  callback fires strictly in shard-index order (shard ``i`` as soon as
+  shards ``0..i`` all completed), and never at or after the
+  lowest-indexed failing shard;
+* **lowest-index first-error propagation** — when shards raise, every
+  not-yet-started shard is cancelled with a **single** sweep and the
+  error re-raised is the lowest-indexed one, reproducible no matter
+  which worker happened to fail first on the wall clock;
+* **crash attribution** — a worker that dies without raising
+  (``os._exit``, segfault, OOM kill, remote disconnect) surfaces as a
+  :class:`WorkerCrashError` naming the lowest-indexed shard it took
+  down, never a bare unattributed ``BrokenProcessPool``;
+* **bounded shard retry** — backends that can lose a worker (local
+  pool, remote socket) re-run a crashed shard up to
+  ``max_shard_retries`` times before the crash surfaces.  Retried
+  shards re-run the *same absolute trial range*, so results are
+  deterministic by construction — the bit-identity invariant makes
+  shard placement (and re-placement) semantically free.
+
+Every completed shard reports to the process-wide metrics registry
+(:mod:`repro.obs`): the ``mc.executor.shards`` counter and the
+``mc.executor.shard.seconds`` / ``mc.executor.shard.queue_seconds``
+histograms, all labelled by executor ``backend``, plus the
+``mc.executor.retries`` counter whenever a crashed shard is re-run.
+Instrumentation is inert (no RNG), so indicators are bit-identical
+with metrics on or off.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import BrokenExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import get_registry
+
+__all__ = [
+    "ShardExecutor",
+    "WorkerCrashError",
+    "WorkerDisconnect",
+    "OrderedMerge",
+    "pool_context",
+]
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker died abruptly (segfault, ``os._exit``, OOM kill,
+    remote disconnect).
+
+    The bare :class:`~concurrent.futures.process.BrokenProcessPool`
+    carries no shard attribution — it surfaces on whichever future the
+    completion loop happened to reach first.  This wrapper names the
+    lowest-indexed shard the crash took down and summarises its
+    arguments, so a reproduction starts from the right shard instead
+    of a random one.
+    """
+
+
+class WorkerDisconnect(ConnectionError):
+    """A remote worker's connection dropped while it held a shard.
+
+    The remote analogue of a broken process pool: the shard's fate is
+    unknown, the worker is considered dead, and the executor either
+    retries the shard on another worker (within ``max_shard_retries``)
+    or surfaces a :class:`WorkerCrashError`.
+    """
+
+
+def pool_context():
+    """The multiprocessing context every local sharded tier uses.
+
+    Fork on Linux: workers reuse the parent's imports and page-shared
+    topology caches, which keeps per-shard startup in the
+    milliseconds.  Spawn everywhere else — on macOS fork is offered
+    but unsafe (forked children can abort inside the Objective-C
+    runtime and Accelerate-backed numpy, which is why CPython moved
+    the platform default to spawn).  Pinning the method explicitly
+    keeps sharded runs identical across Python versions instead of
+    tracking the interpreter's default (3.14 moves Linux to
+    forkserver).
+    """
+    return multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else "spawn"
+    )
+
+
+def _summarise_args(args: Tuple, limit: int = 200) -> str:
+    """Truncated ``repr`` of a shard's argument tuple for error text."""
+    text = repr(args)
+    if len(text) > limit:
+        text = text[:limit] + "...<truncated>"
+    return text
+
+
+#: Error types that mean "the worker died", not "the shard raised" —
+#: these are retried (within budget) and wrapped as WorkerCrashError.
+CRASH_ERRORS = (BrokenExecutor, WorkerDisconnect)
+
+
+class OrderedMerge:
+    """Index-ordered shard→result merge shared by every backend.
+
+    Collects per-shard completions and failures in whatever order a
+    backend delivers them and enforces the streaming contract: the
+    ``on_result`` callback fires strictly in shard-index order and
+    strictly below the lowest failing shard index.  Safe even though
+    ``min(errors)`` can drop as more errors land — callbacks fire in
+    index order, so every index already streamed is backed by a
+    completed (never-failing) shard.
+    """
+
+    def __init__(self, total: int,
+                 on_result: Optional[Callable[[int, Any], None]]):
+        self.results: List[Any] = [None] * total
+        self.errors: Dict[int, BaseException] = {}
+        self._ready: Dict[int, Any] = {}
+        self._next_in_order = 0
+        self._on_result = on_result
+        self._completed = 0
+        self._total = total
+
+    @property
+    def unresolved(self) -> bool:
+        """Whether any shard has neither completed nor failed."""
+        return self._completed + len(self.errors) < self._total
+
+    def complete(self, index: int, value: Any) -> None:
+        """Record shard ``index``'s value and stream any ready prefix."""
+        self.results[index] = value
+        self._completed += 1
+        if self._on_result is None:
+            return
+        self._ready[index] = value
+        while self._next_in_order in self._ready and (
+                not self.errors or self._next_in_order < min(self.errors)):
+            self._on_result(self._next_in_order,
+                            self._ready.pop(self._next_in_order))
+            self._next_in_order += 1
+
+    def fail(self, index: int, error: BaseException) -> None:
+        """Record shard ``index``'s terminal failure."""
+        self.errors[index] = error
+
+    def finalise(self, shard_args: Sequence[Tuple],
+                 crash_text: Callable[[int, int, Tuple], str]) -> List[Any]:
+        """Return the ordered results, or raise the lowest-index error.
+
+        A crash-class error (:data:`CRASH_ERRORS`) is wrapped as a
+        :class:`WorkerCrashError` whose message comes from the
+        backend's ``crash_text(lowest, total, args)`` hook.
+        """
+        if self.errors:
+            lowest = min(self.errors)
+            error = self.errors[lowest]
+            if isinstance(error, CRASH_ERRORS):
+                raise WorkerCrashError(
+                    crash_text(lowest, len(shard_args),
+                               tuple(shard_args[lowest]))
+                ) from error
+            raise error
+        return self.results
+
+
+class ShardExecutor(ABC):
+    """Abstract execution substrate for sharded Monte-Carlo batches.
+
+    Implementations run a picklable, module-level ``function`` over a
+    sequence of shard argument tuples and uphold the contract in the
+    module docstring: index-ordered results, in-order ``on_result``
+    streaming, lowest-index first-error propagation with a single
+    cancel sweep, :class:`WorkerCrashError` attribution, and bounded
+    deterministic shard retry where workers can die.
+
+    Attributes
+    ----------
+    name:
+        The backend label (``"in-process"`` / ``"local-process"`` /
+        ``"remote-socket"``) — the ``backend`` label on every
+        ``mc.executor.*`` metric series and the tag shown by the
+        serving layer's ``stats`` op.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def worker_count(self) -> int:
+        """Parallel worker ceiling — what the shard-floor heuristics
+        (``MIN_BATCHSIM_SHARD``-bounded chunk counts, shards-per-worker
+        multipliers) size shard lists against."""
+
+    @abstractmethod
+    def run_sharded(self, function: Callable[..., Any],
+                    shard_args: Sequence[Tuple],
+                    on_result: Optional[Callable[[int, Any], None]] = None
+                    ) -> List[Any]:
+        """Run ``function(*args)`` for every shard; results in shard order."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Deployment summary for ``stats`` blocks and throughput docs."""
+        return {"backend": self.name, "workers": self.worker_count()}
+
+    def close(self) -> None:
+        """Release any held resources (default: nothing held)."""
+
+    # -- shared instrumentation ---------------------------------------
+
+    def _record_shard(self, queue_seconds: float, seconds: float) -> None:
+        """Report one completed shard's duration and queue wait.
+
+        Three ``mc.executor.*`` series labelled by backend: the shard
+        counter, the execution-latency histogram (whose spread across a
+        run *is* the shard-skew signal), and the queue-wait histogram.
+        """
+        registry = get_registry()
+        registry.counter("mc.executor.shards", backend=self.name).inc()
+        registry.histogram("mc.executor.shard.seconds",
+                           backend=self.name).observe(seconds)
+        registry.histogram("mc.executor.shard.queue_seconds",
+                           backend=self.name).observe(max(0.0, queue_seconds))
+
+    def _record_retry(self) -> None:
+        """Count one crashed shard being re-run on another worker."""
+        get_registry().counter("mc.executor.retries",
+                               backend=self.name).inc()
+
+
+def _timed_shard(function: Callable[..., Any],
+                 args: Tuple) -> Tuple[Tuple[float, float], Any]:
+    """Worker-side wrapper: run the shard and report its own clock.
+
+    Returns ``((started, seconds), result)`` where ``started`` is the
+    worker's ``time.monotonic()`` at shard entry.  ``time.monotonic``
+    is system-wide on Linux (CLOCK_MONOTONIC) and macOS
+    (mach_absolute_time), so the parent can subtract its submit stamp
+    from the worker's start stamp to estimate per-shard **queue wait**
+    — how long the shard sat behind siblings before a process picked
+    it up.  Top-level so the spawn start method can pickle it.
+    """
+    started = time.monotonic()
+    result = function(*args)
+    return (started, time.monotonic() - started), result

@@ -1,0 +1,384 @@
+"""Remote-socket backend: shards shipped to ``repro.distrib`` workers.
+
+Each ``run_sharded`` call opens one NDJSON TCP connection per
+configured peer (the hello handshake doubles as registration: role and
+protocol version are verified before any shard is shipped), then
+drives the same round/retry merge loop as the local pool — a thread
+per in-flight shard checks an idle connection out of a small peer
+pool, ships ``{"op": "run", ...}`` with the pickled argument tuple,
+and blocks for the reply.  The *main* thread owns the
+:class:`OrderedMerge`, so streaming callbacks fire in shard-index
+order exactly as they do locally.
+
+Worker death is a first-class event, not an abort: a dropped
+connection (EOF, reset, refused mid-run) surfaces as
+:class:`WorkerDisconnect`, the peer is discarded from the pool, and
+the shard is re-shipped to a surviving worker — up to
+``max_shard_retries`` times per shard — before a
+:class:`WorkerCrashError` reaches the caller.  Because workers are
+stateless and indicators are a pure function of the absolute trial
+index, the retried run's results are byte-identical to an undisturbed
+one; losing a worker costs time, never bits.
+
+Deterministic shard exceptions travel back pickled (``shard-error``
+replies) and re-raise on the client with the usual lowest-index
+deterministic selection; they are never retried, because they would
+raise identically anywhere.
+
+Trust model (see :mod:`repro.distrib.protocol`): pickle payloads mean
+workers must only be run on trusted networks.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.distrib.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    WORKER_ROLE,
+    decode_line,
+    decode_payload,
+    encode_line,
+    encode_payload,
+    function_spec,
+)
+from repro.montecarlo.executors.base import (
+    OrderedMerge,
+    ShardExecutor,
+    WorkerCrashError,
+    WorkerDisconnect,
+    _summarise_args,
+)
+
+__all__ = ["RemoteSocketExecutor", "parse_peers"]
+
+
+def parse_peers(spec: str) -> List[Tuple[str, int]]:
+    """Parse ``host:port,host:port,...`` into (host, port) pairs."""
+    peers: List[Tuple[str, int]] = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, sep, port_text = item.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"remote peer {item!r} is not of the form host:port")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"remote peer {item!r} has a non-integer port") from None
+        if not 0 < port < 65536:
+            raise ValueError(f"remote peer {item!r} port out of range")
+        peers.append((host, port))
+    if not peers:
+        raise ValueError(f"no remote peers in spec {spec!r}")
+    return peers
+
+
+class _PeerConnection:
+    """One NDJSON request/response channel to a worker."""
+
+    def __init__(self, peer: Tuple[str, int], timeout: float):
+        self.peer = peer
+        self._sock = socket.create_connection(peer, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, block for the id-echoed reply.
+
+        Raises :class:`WorkerDisconnect` on any transport failure —
+        EOF, reset, timeout — because after one the shard's fate on
+        that worker is unknown.
+        """
+        ident = self._next_id
+        self._next_id += 1
+        message = dict(message, id=ident)
+        try:
+            self._file.write(encode_line(message))
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES + 1)
+        except (OSError, ValueError) as error:
+            raise WorkerDisconnect(
+                f"worker {self.peer[0]}:{self.peer[1]} dropped the "
+                f"connection: {error}") from error
+        if not line:
+            raise WorkerDisconnect(
+                f"worker {self.peer[0]}:{self.peer[1]} closed the "
+                f"connection mid-request (killed?)")
+        if len(line) > MAX_LINE_BYTES:
+            raise WorkerDisconnect(
+                f"worker {self.peer[0]}:{self.peer[1]} sent an oversized "
+                f"frame (> {MAX_LINE_BYTES} bytes)")
+        try:
+            reply = decode_line(line)
+        except ValueError as error:
+            raise WorkerDisconnect(
+                f"worker {self.peer[0]}:{self.peer[1]} sent a garbage "
+                f"frame: {error}") from error
+        if reply.get("id") != ident:
+            raise WorkerDisconnect(
+                f"worker {self.peer[0]}:{self.peer[1]} echoed id "
+                f"{reply.get('id')!r} for request {ident}")
+        return reply
+
+    def close(self) -> None:
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+class _PeerPool:
+    """Thread-safe checkout of idle worker connections."""
+
+    def __init__(self, connections: List[_PeerConnection]):
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._idle = list(connections)
+        self._live = len(connections)
+
+    @property
+    def live(self) -> int:
+        with self._lock:
+            return self._live
+
+    def acquire(self) -> _PeerConnection:
+        """Block until an idle worker is available.
+
+        Raises :class:`WorkerDisconnect` once every worker is dead —
+        waiting any longer could never be satisfied.
+        """
+        with self._available:
+            while not self._idle:
+                if self._live == 0:
+                    raise WorkerDisconnect(
+                        "every remote worker has disconnected")
+                self._available.wait()
+            return self._idle.pop()
+
+    def release(self, connection: _PeerConnection) -> None:
+        with self._available:
+            self._idle.append(connection)
+            self._available.notify()
+
+    def discard(self, connection: _PeerConnection) -> None:
+        """Drop a dead connection and wake blocked acquirers so they
+        can observe ``live == 0`` instead of waiting forever."""
+        connection.close()
+        with self._available:
+            self._live -= 1
+            self._available.notify_all()
+
+    def close_all(self) -> None:
+        with self._lock:
+            idle, self._idle, self._live = self._idle, [], 0
+        for connection in idle:
+            connection.close()
+
+
+class RemoteSocketExecutor(ShardExecutor):
+    """Shard across remote ``repro.distrib`` worker processes."""
+
+    name = "remote-socket"
+
+    def __init__(self, peers: Sequence[Tuple[str, int]] | str, *,
+                 max_shard_retries: int = 2,
+                 connect_timeout: float = 5.0):
+        if isinstance(peers, str):
+            peers = parse_peers(peers)
+        self._peers = [(str(host), int(port)) for host, port in peers]
+        if not self._peers:
+            raise ValueError("RemoteSocketExecutor needs at least one peer")
+        if max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}")
+        self._max_shard_retries = max_shard_retries
+        self._connect_timeout = connect_timeout
+
+    def worker_count(self) -> int:
+        return len(self._peers)
+
+    def describe(self) -> Dict[str, Any]:
+        summary = super().describe()
+        summary["peers"] = [f"{host}:{port}" for host, port in self._peers]
+        summary["max_shard_retries"] = self._max_shard_retries
+        return summary
+
+    def heartbeat(self) -> Dict[str, bool]:
+        """Ping every configured peer; True per peer that answered."""
+        alive: Dict[str, bool] = {}
+        for peer in self._peers:
+            key = f"{peer[0]}:{peer[1]}"
+            try:
+                connection = _PeerConnection(peer, self._connect_timeout)
+                try:
+                    reply = connection.request({"op": "ping"})
+                    alive[key] = bool(reply.get("ok"))
+                finally:
+                    connection.close()
+            except (OSError, WorkerDisconnect):
+                alive[key] = False
+        return alive
+
+    # -- the sharded run ----------------------------------------------
+
+    def run_sharded(self, function: Callable[..., Any],
+                    shard_args: Sequence[Tuple],
+                    on_result: Optional[Callable[[int, Any], None]] = None
+                    ) -> List[Any]:
+        spec = function_spec(function)
+        pool = self._connect()
+        try:
+            merge = OrderedMerge(len(shard_args), on_result)
+            attempts: Dict[int, int] = {}
+            pending = list(range(len(shard_args)))
+            while pending:
+                if pool.live == 0:
+                    merge.fail(min(pending), WorkerDisconnect(
+                        "every remote worker has disconnected"))
+                    break
+                crashes, incomplete = self._round(
+                    spec, shard_args, pending, merge, pool)
+                if merge.errors:
+                    for index, error in crashes.items():
+                        merge.fail(index, error)
+                    break
+                retry: List[int] = []
+                exhausted = False
+                for index in sorted(crashes):
+                    attempts[index] = attempts.get(index, 0) + 1
+                    if attempts[index] > self._max_shard_retries:
+                        merge.fail(index, crashes[index])
+                        exhausted = True
+                    else:
+                        retry.append(index)
+                        self._record_retry()
+                if exhausted:
+                    break
+                pending = sorted(retry + incomplete)
+            return merge.finalise(shard_args, self._crash_text)
+        finally:
+            pool.close_all()
+
+    def _connect(self) -> _PeerPool:
+        """Open + handshake one connection per peer; need at least one."""
+        connections: List[_PeerConnection] = []
+        unreachable: List[str] = []
+        for peer in self._peers:
+            key = f"{peer[0]}:{peer[1]}"
+            try:
+                connection = _PeerConnection(peer, self._connect_timeout)
+                hello = connection.request({"op": "hello"})
+                if not hello.get("ok") or hello.get("role") != WORKER_ROLE:
+                    connection.close()
+                    unreachable.append(
+                        f"{key} (not a {WORKER_ROLE}: {hello.get('role')!r})")
+                    continue
+                if hello.get("protocol") != PROTOCOL_VERSION:
+                    connection.close()
+                    unreachable.append(
+                        f"{key} (protocol {hello.get('protocol')!r}, "
+                        f"need {PROTOCOL_VERSION})")
+                    continue
+                connection.settimeout(None)  # shards take as long as they take
+                connections.append(connection)
+            except (OSError, WorkerDisconnect) as error:
+                unreachable.append(f"{key} ({error})")
+        if not connections:
+            raise WorkerCrashError(
+                f"no remote workers reachable: {'; '.join(unreachable)}")
+        return _PeerPool(connections)
+
+    def _round(self, spec: str, shard_args: Sequence[Tuple],
+               pending: Sequence[int], merge: OrderedMerge, pool: _PeerPool
+               ) -> Tuple[Dict[int, BaseException], List[int]]:
+        crashes: Dict[int, BaseException] = {}
+        resolved = set()
+        swept = False
+        workers = min(max(pool.live, 1), len(pending))
+        with ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-remote-shard") as dispatch:
+            submitted = time.monotonic()
+            futures = {
+                dispatch.submit(self._run_one, pool, spec,
+                                tuple(shard_args[index]), submitted): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                if future.cancelled():
+                    continue
+                index = futures[future]
+                resolved.add(index)
+                try:
+                    queue_seconds, seconds, value = future.result()
+                except Exception as error:
+                    if not swept:
+                        for sibling in futures:
+                            sibling.cancel()
+                        swept = True
+                    if isinstance(error, WorkerDisconnect):
+                        crashes[index] = error
+                    else:
+                        merge.fail(index, error)
+                    continue
+                self._record_shard(queue_seconds, seconds)
+                merge.complete(index, value)
+        incomplete = [index for index in pending if index not in resolved]
+        return crashes, incomplete
+
+    def _run_one(self, pool: _PeerPool, spec: str, args: Tuple,
+                 submitted: float) -> Tuple[float, float, Any]:
+        """Ship one shard to an idle worker; return (queue, run, value)."""
+        connection = pool.acquire()
+        queue_seconds = max(0.0, time.monotonic() - submitted)
+        try:
+            payload, digest = encode_payload(args)
+            reply = connection.request({
+                "op": "run", "protocol": PROTOCOL_VERSION,
+                "function": spec, "payload": payload, "digest": digest,
+            })
+        except WorkerDisconnect:
+            pool.discard(connection)
+            raise
+        if reply.get("ok"):
+            try:
+                value = decode_payload(reply.get("payload", ""),
+                                       reply.get("digest", ""))
+            except ValueError as error:
+                pool.discard(connection)
+                raise WorkerDisconnect(
+                    f"worker {connection.peer[0]}:{connection.peer[1]} "
+                    f"returned a corrupt result frame: {error}") from error
+            pool.release(connection)
+            seconds = float(reply.get("seconds", 0.0))
+            return queue_seconds, seconds, value
+        # Structured failure: the worker itself is healthy.
+        pool.release(connection)
+        kind = reply.get("error")
+        if kind == "shard-error":
+            raise decode_payload(reply["payload"], reply["digest"])
+        raise RuntimeError(
+            f"worker {connection.peer[0]}:{connection.peer[1]} rejected "
+            f"the shard ({kind}): {reply.get('message')}")
+
+    def _crash_text(self, lowest: int, total: int, args: Tuple) -> str:
+        peers = ", ".join(f"{host}:{port}" for host, port in self._peers)
+        return (
+            f"remote worker died or disconnected while running shard "
+            f"{lowest} of {total} (retries exhausted); shard args: "
+            f"{_summarise_args(args)}; peers: {peers}"
+        )

@@ -37,15 +37,31 @@ from typing import Any, Callable, Optional
 from repro._validation import check_positive_int
 from repro.failures.base import FailureModel
 
-__all__ = ["scenario_fingerprint", "FINGERPRINT_VERSION"]
+__all__ = ["scenario_fingerprint", "payload_fingerprint",
+           "FINGERPRINT_VERSION", "PICKLE_PROTOCOL"]
 
 #: Bumped whenever the fingerprint layout changes, so persisted caches
 #: from older layouts can never alias new ones.
 FINGERPRINT_VERSION = 1
 
 #: Pinned pickle protocol: the fingerprint must not change bytes when
-#: the interpreter's default protocol moves.
-_PICKLE_PROTOCOL = 4
+#: the interpreter's default protocol moves.  Public because the
+#: distributed worker protocol (:mod:`repro.distrib`) pickles shard
+#: payloads at the same pin, so client and worker agree on the wire
+#: bytes regardless of interpreter defaults.
+PICKLE_PROTOCOL = 4
+_PICKLE_PROTOCOL = PICKLE_PROTOCOL
+
+
+def payload_fingerprint(payload: bytes) -> str:
+    """Content address of raw payload bytes, as a SHA-256 hex digest.
+
+    The same digest family as :func:`scenario_fingerprint`, applied to
+    bytes the caller already has — the distributed worker protocol
+    stamps every shard payload and result with it so a corrupted or
+    truncated frame is rejected instead of silently mis-simulated.
+    """
+    return hashlib.sha256(payload).hexdigest()
 
 
 def scenario_fingerprint(factory: Callable[[], Any],

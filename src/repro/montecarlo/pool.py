@@ -1,118 +1,34 @@
-"""Shared process-pool harness for the sharded dispatch tiers.
+"""Compatibility front for the historical process-pool harness.
 
-Both sharded backends — scalar-engine trial shards and batchsim trial
-chunks — need the same three guarantees from a process pool, which the
-bare :class:`~concurrent.futures.ProcessPoolExecutor` idiom (submit
-everything, collect ``future.result()`` in a loop) does not give:
+The pool semantics that used to live here — explicit start method,
+index-ordered streaming merge, lowest-shard-index first-exception
+propagation with a single cancel sweep, ``WorkerCrashError``
+attribution, ``mc.pool.*`` metrics — moved verbatim into the
+pluggable executor substrate (:mod:`repro.montecarlo.executors`),
+where :class:`~repro.montecarlo.executors.LocalProcessExecutor` is
+their home and :class:`~repro.montecarlo.executors.RemoteSocketExecutor`
+extends them across hosts.
 
-* an **explicit start method**, so worker behaviour does not change
-  under the platform (or Python-version) default — fork on Linux
-  (cheap: workers inherit the parent's imported numpy and warmed
-  caches), spawn elsewhere;
-* **deterministic shard→result ordering**: results come back indexed
-  by shard, never by completion order, so merged indicator vectors are
-  a pure function of the root seed;
-* **first-exception propagation with cancellation**: one raising shard
-  cancels every shard that has not started instead of letting siblings
-  burn CPU, and the error that surfaces is the one from the
-  *lowest-indexed* failing shard — reproducible no matter which worker
-  happened to crash first.
-
-Every completed shard additionally reports its execution time and
-queue wait to the process-wide metrics registry (:mod:`repro.obs`;
-series ``mc.pool.shards`` / ``mc.pool.shard.seconds`` /
-``mc.pool.shard.queue_seconds``, labelled by worker entrypoint), so
-shard skew across a sharded sweep is visible without touching the
-result contract — callers still receive exactly the per-shard values
-their worker function returned.
+This module keeps the original one-shot entrypoint alive for existing
+callers and the conformance pins in ``tests/``: :func:`run_sharded`
+is exactly the historical contract (no shard retry — a worker crash
+surfaces immediately, as it always did here), expressed as a
+single-use local executor.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import sys
-import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.obs import get_registry
+from repro.montecarlo.executors.base import (
+    WorkerCrashError,
+    _summarise_args,
+    _timed_shard,
+    pool_context,
+)
+from repro.montecarlo.executors.localprocess import LocalProcessExecutor
 
 __all__ = ["pool_context", "run_sharded", "WorkerCrashError"]
-
-
-class WorkerCrashError(RuntimeError):
-    """A pool worker died abruptly (segfault, ``os._exit``, OOM kill).
-
-    The bare :class:`~concurrent.futures.process.BrokenProcessPool`
-    carries no shard attribution — it surfaces on whichever future the
-    completion loop happened to reach first.  This wrapper names the
-    lowest-indexed shard the crash took down and summarises its
-    arguments, so a reproduction starts from the right shard instead
-    of a random one.
-    """
-
-
-def _summarise_args(args: Tuple, limit: int = 200) -> str:
-    """Truncated ``repr`` of a shard's argument tuple for error text."""
-    text = repr(args)
-    if len(text) > limit:
-        text = text[:limit] + "...<truncated>"
-    return text
-
-
-def _timed_shard(function: Callable[..., Any], args: Tuple) -> Tuple[Tuple[float, float], Any]:
-    """Worker-side wrapper: run the shard and report its own clock.
-
-    Returns ``((started, seconds), result)`` where ``started`` is the
-    worker's ``time.monotonic()`` at shard entry.  ``time.monotonic``
-    is system-wide on Linux (CLOCK_MONOTONIC) and macOS
-    (mach_absolute_time), so the parent can subtract its submit stamp
-    from the worker's start stamp to estimate per-shard **queue wait**
-    — how long the shard sat behind siblings before a process picked
-    it up.  Top-level so the spawn start method can pickle it.
-    """
-    started = time.monotonic()
-    result = function(*args)
-    return (started, time.monotonic() - started), result
-
-
-def _record_shard(function: Callable[..., Any], submitted: float,
-                  timing: Tuple[float, float]) -> None:
-    """Report one completed shard's duration and queue wait.
-
-    Three series, labelled by the worker entrypoint so engine shards
-    and batchsim chunks stay distinguishable: the shard counter
-    ``mc.pool.shards``, the execution-latency histogram
-    ``mc.pool.shard.seconds`` (whose spread across a run *is* the
-    shard-skew signal), and the queue-wait histogram
-    ``mc.pool.shard.queue_seconds``.
-    """
-    started, seconds = timing
-    name = getattr(function, "__name__", "shard")
-    registry = get_registry()
-    registry.counter("mc.pool.shards", function=name).inc()
-    registry.histogram("mc.pool.shard.seconds", function=name).observe(seconds)
-    registry.histogram("mc.pool.shard.queue_seconds", function=name).observe(
-        max(0.0, started - submitted)
-    )
-
-
-def pool_context():
-    """The multiprocessing context every sharded tier uses.
-
-    Fork on Linux: workers reuse the parent's imports and page-shared
-    topology caches, which keeps per-shard startup in the
-    milliseconds.  Spawn everywhere else — on macOS fork is offered
-    but unsafe (forked children can abort inside the Objective-C
-    runtime and Accelerate-backed numpy, which is why CPython moved
-    the platform default to spawn).  Pinning the method explicitly
-    keeps sharded runs identical across Python versions instead of
-    tracking the interpreter's default (3.14 moves Linux to
-    forkserver).
-    """
-    return multiprocessing.get_context(
-        "fork" if sys.platform == "linux" else "spawn"
-    )
 
 
 def run_sharded(function: Callable[..., Any],
@@ -155,57 +71,5 @@ def run_sharded(function: Callable[..., Any],
     crash took down and its argument summary, instead of the bare
     unattributed ``BrokenProcessPool``.
     """
-    results: List[Any] = [None] * len(shard_args)
-    errors = {}
-    ready = {}
-    next_in_order = 0
-    workers = min(max_workers, len(shard_args))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=pool_context()) as pool:
-        submitted = time.monotonic()
-        futures = {
-            pool.submit(_timed_shard, function, tuple(args)): index
-            for index, args in enumerate(shard_args)
-        }
-        for future in as_completed(futures):
-            if future.cancelled():
-                continue
-            index = futures[future]
-            try:
-                timing, results[index] = future.result()
-                _record_shard(function, submitted, timing)
-            except Exception as error:
-                if not errors:
-                    # One sweep on the *first* error only: a broken
-                    # pool fails every still-pending future, and
-                    # re-sweeping per failure would make the teardown
-                    # O(shards^2) in cancel calls.
-                    for sibling in futures:
-                        sibling.cancel()
-                errors[index] = error
-                continue
-            if on_result is not None:
-                ready[index] = results[index]
-                # Stream strictly below the lowest failing shard index
-                # (the documented contract): a later shard crashing
-                # first must not suppress the callbacks of
-                # already-running lower shards.  Safe even though
-                # min(errors) can drop as more errors land — callbacks
-                # fire in index order, so every index already streamed
-                # is backed by a completed (never-failing) shard.
-                while next_in_order in ready and (
-                        not errors or next_in_order < min(errors)):
-                    on_result(next_in_order, ready.pop(next_in_order))
-                    next_in_order += 1
-    if errors:
-        lowest = min(errors)
-        error = errors[lowest]
-        if isinstance(error, BrokenExecutor):
-            raise WorkerCrashError(
-                f"worker process died abruptly (killed / os._exit / "
-                f"segfault) while the pool was running shard {lowest} of "
-                f"{len(shard_args)}; shard args: "
-                f"{_summarise_args(tuple(shard_args[lowest]))}"
-            ) from error
-        raise error
-    return results
+    executor = LocalProcessExecutor(max_workers, max_shard_retries=0)
+    return executor.run_sharded(function, shard_args, on_result=on_result)

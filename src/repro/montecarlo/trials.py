@@ -57,7 +57,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -78,7 +78,7 @@ from repro.engine.protocol import Algorithm
 from repro.engine.simulator import ExecutionResult, run_execution
 from repro.failures.base import FailureModel, FaultFree
 from repro.montecarlo.dispatch import SamplerEntry, find_sampler
-from repro.montecarlo.pool import run_sharded
+from repro.montecarlo.executors import ShardExecutor, make_executor
 from repro.obs import get_registry
 from repro.rng import RngStream, as_stream, derive_seed
 
@@ -506,6 +506,18 @@ class TrialRunner:
         bit-identical either way, and :attr:`TrialResult.workers`
         reports the count actually used.  With ``workers > 1`` the
         factory must be picklable on both sharded paths.
+    executor:
+        Execution substrate for the sharded paths: ``None`` (default)
+        resolves from ``workers`` exactly as before — in-process at
+        ``workers=1``, a local process pool otherwise; a spec string
+        (``"in-process"``, ``"local-process[:N]"``,
+        ``"remote:host:port,..."``) or a
+        :class:`~repro.montecarlo.executors.ShardExecutor` instance
+        selects a backend explicitly (instances are shared, so a
+        service can schedule many runners onto one substrate).  The
+        shard-floor heuristics size shard lists against the executor's
+        worker count, and by the bit-identity invariant the indicators
+        do not depend on the choice.
     use_fastsim:
         Allow dispatching to a registered vectorised sampler when one
         matches the scenario.  Fallback to the next tier is automatic.
@@ -523,6 +535,7 @@ class TrialRunner:
                  success: Optional[SuccessPredicate] = None,
                  metadata: Optional[Dict[str, Any]] = None,
                  workers: int = 1,
+                 executor: Optional[Union[str, ShardExecutor]] = None,
                  use_fastsim: bool = True,
                  use_batchsim: bool = True):
         if not callable(algorithm_factory):
@@ -540,6 +553,11 @@ class TrialRunner:
         self._success = success
         self._metadata = dict(metadata) if metadata is not None else None
         self._workers = check_positive_int(workers, "workers")
+        self._executor = make_executor(executor, workers=self._workers)
+        # Every sharding heuristic keys off the substrate's parallel
+        # capacity, not the (possibly defaulted) workers argument, so
+        # an explicit executor sizes shard lists correctly.
+        self._parallelism = self._executor.worker_count()
         self._use_fastsim = bool(use_fastsim)
         self._use_batchsim = bool(use_batchsim)
         self._probe: Optional[Tuple[Optional[SamplerEntry],
@@ -568,6 +586,11 @@ class TrialRunner:
         and batchsim chunks); :attr:`TrialResult.workers` reports what a
         run actually used."""
         return self._workers
+
+    @property
+    def shard_executor(self) -> ShardExecutor:
+        """The resolved execution substrate behind the sharded paths."""
+        return self._executor
 
     def dispatch_entry(self) -> Optional[SamplerEntry]:
         """The fastsim sampler this runner would dispatch to, if any."""
@@ -669,7 +692,7 @@ class TrialRunner:
                 timings=finish(run_seconds),
             )
         if batch is not None:
-            chunks = _batchsim_shards(trials, self._workers)
+            chunks = _batchsim_shards(trials, self._parallelism)
             if len(chunks) <= 1:
                 indicators = batch.run(trials, root_seed)
                 used_workers = 1
@@ -677,14 +700,13 @@ class TrialRunner:
                 if progress is not None:
                     progress(tally)
             else:
-                parts = run_sharded(
+                parts = self._executor.run_sharded(
                     run_batch_shard,
                     [
                         (self._factory, self._failure_model, self._metadata,
                          root_seed, start, stop)
                         for start, stop in chunks
                     ],
-                    max_workers=self._workers,
                     on_result=self._fold_shard(tally, progress),
                 )
                 indicators = np.concatenate(parts)
@@ -698,7 +720,7 @@ class TrialRunner:
             )
 
         shards = _shard_bounds(trials, self._effective_shards(trials))
-        if len(shards) <= 1 or self._workers == 1:
+        if len(shards) <= 1 or self._parallelism == 1:
             parts = []
             for start, stop in shards:
                 part = _run_shard(
@@ -713,18 +735,17 @@ class TrialRunner:
             indicators = np.concatenate(parts)
             used_workers = 1
         else:
-            parts = run_sharded(
+            parts = self._executor.run_sharded(
                 _run_shard,
                 [
                     (self._factory, self._failure_model, self._metadata,
                      self._success, root_seed, start, stop)
                     for start, stop in shards
                 ],
-                max_workers=self._workers,
                 on_result=self._fold_shard(tally, progress),
             )
             indicators = np.concatenate(parts)
-            used_workers = min(self._workers, len(shards))
+            used_workers = min(self._parallelism, len(shards))
         run_seconds = time.perf_counter() - run_start
         _record_batch(ENGINE_BACKEND, trials, run_seconds)
         return TrialResult(
@@ -897,21 +918,20 @@ class TrialRunner:
         length = stop - start
         if batch is not None:
             chunks = [(lo + start, hi + start)
-                      for lo, hi in _batchsim_shards(length, self._workers)]
+                      for lo, hi in _batchsim_shards(length, self._parallelism)]
             if len(chunks) <= 1:
                 part = batch.run_range(start, stop, root_seed)
                 tally.update(part)
                 if progress is not None:
                     progress(tally)
                 return part, 1
-            parts = run_sharded(
+            parts = self._executor.run_sharded(
                 run_batch_shard,
                 [
                     (self._factory, self._failure_model, self._metadata,
                      root_seed, lo, hi)
                     for lo, hi in chunks
                 ],
-                max_workers=self._workers,
                 on_result=self._fold_shard(tally, progress),
             )
             return np.concatenate(parts), len(chunks)
@@ -919,7 +939,7 @@ class TrialRunner:
             (lo + start, hi + start)
             for lo, hi in _shard_bounds(length, self._effective_shards(length))
         ]
-        if len(shards) <= 1 or self._workers == 1:
+        if len(shards) <= 1 or self._parallelism == 1:
             parts = []
             for lo, hi in shards:
                 part = _run_shard(
@@ -931,17 +951,16 @@ class TrialRunner:
                     progress(tally)
                 parts.append(part)
             return np.concatenate(parts), 1
-        parts = run_sharded(
+        parts = self._executor.run_sharded(
             _run_shard,
             [
                 (self._factory, self._failure_model, self._metadata,
                  self._success, root_seed, lo, hi)
                 for lo, hi in shards
             ],
-            max_workers=self._workers,
             on_result=self._fold_shard(tally, progress),
         )
-        return np.concatenate(parts), min(self._workers, len(shards))
+        return np.concatenate(parts), min(self._parallelism, len(shards))
 
     @staticmethod
     def _bound_width(tally: RunningTally, bound: str,
@@ -966,6 +985,6 @@ class TrialRunner:
 
     def _effective_shards(self, trials: int) -> int:
         """Shard count: a few shards per worker, never exceeding trials."""
-        if self._workers == 1:
+        if self._parallelism == 1:
             return 1
-        return min(trials, self._workers * 4)
+        return min(trials, self._parallelism * 4)

@@ -49,6 +49,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queued-runs", type=int, default=64,
                        help="queued runs per op before the server sheds "
                             "with a structured 'overloaded' error")
+    serve.add_argument("--executor", default=None,
+                       metavar="SPEC",
+                       help="shard substrate spec: 'in-process', "
+                            "'local-process[:N]' or "
+                            "'remote:host:port,...' (default: resolved "
+                            "from --workers)")
+    serve.add_argument("--executor-workers", default=None,
+                       metavar="HOST:PORT,...",
+                       help="shorthand for --executor remote:...: "
+                            "schedule Monte-Carlo batches onto these "
+                            "repro.distrib workers (cache/coalesce/"
+                            "admission semantics unchanged — answers "
+                            "are placement-independent)")
 
     traffic = sub.add_parser(
         "traffic", help="fire a seeded burst at a running server")
@@ -71,14 +84,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    if args.executor is not None and args.executor_workers is not None:
+        print("--executor and --executor-workers are mutually exclusive",
+              flush=True)
+        return 2
+    shard_executor = args.executor
+    if args.executor_workers is not None:
+        shard_executor = f"remote:{args.executor_workers}"
     service = SimulationService(
         workers=args.workers, cache_capacity=args.cache_capacity,
+        shard_executor=shard_executor,
         memo_path=args.memo_path,
         max_concurrent_runs=args.max_concurrent_runs,
         max_queued_runs=args.max_queued_runs,
     )
     server = SimulationServer(service, args.host, args.port)
     host, port = await server.start()
+    substrate = service.shard_executor.describe()
+    peers = substrate.get("peers")
+    print(f"repro.serve shard executor {substrate['backend']} "
+          f"({substrate['workers']} workers"
+          f"{': ' + ', '.join(peers) if peers else ''})", flush=True)
     if service.journal is not None:
         print(f"repro.serve memo journal {service.journal.path} "
               f"({service.journal.records_loaded} records rehydrated, "

@@ -405,6 +405,7 @@ class SimulationServer:
                 "joined": stats.coalesce_joined,
             },
             "admission": self._admission_block(),
+            "executor": dict(stats.executor),
         }
         if request_id is not None:
             payload["id"] = request_id

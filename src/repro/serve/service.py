@@ -72,8 +72,10 @@ from repro.experiments.registry import (
 )
 from repro.montecarlo import (
     AsyncTrialRunner,
+    ShardExecutor,
     TrialResult,
     TrialRunner,
+    make_executor,
     scenario_fingerprint,
 )
 from repro.montecarlo.trials import SEQUENTIAL_BOUNDS, SequentialResult
@@ -257,6 +259,10 @@ class ServiceStats:
     coalesce_started: int = 0
     coalesce_joined: int = 0
     overloaded: int = 0
+    #: The shard substrate batches are scheduled onto: backend name,
+    #: worker count and (for the remote backend) the peer list — the
+    #: deployment-at-a-glance block the ``stats`` wire op exposes.
+    executor: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def shared_work_rate(self) -> float:
@@ -285,8 +291,19 @@ class SimulationService:
         single wire query monopolising the machine.  Also caps a
         sequential query's ``max_trials``.
     executor:
-        Optional executor hosting the blocking batch runs; ``None``
-        uses the event loop's default thread pool.
+        Optional *thread* executor hosting the blocking batch runs;
+        ``None`` uses the event loop's default thread pool.
+    shard_executor:
+        The shard substrate every resolved runner schedules its
+        batches onto: ``None`` resolves from ``workers`` (in-process
+        or local pool, the historical behaviour), a spec string
+        (e.g. ``"remote:host:port,host:port"`` — the
+        ``--executor-workers`` serve flag) or a pre-built
+        :class:`~repro.montecarlo.executors.ShardExecutor` schedules
+        Monte-Carlo work onto an explicit substrate, e.g. a remote
+        worker fleet.  One instance is shared by every runner; cache,
+        coalescing and admission semantics are untouched because by
+        the bit-identity invariant answers do not depend on placement.
     memo_path:
         Optional path to the persistent memo journal
         (:mod:`repro.serve.persistence`).  On construction the journal
@@ -313,12 +330,15 @@ class SimulationService:
     def __init__(self, *, workers: int = 1, cache_capacity: int = 256,
                  max_trials: int = 1_000_000,
                  executor: Optional[Executor] = None,
+                 shard_executor: Optional[Union[str, ShardExecutor]] = None,
                  memo_path: Optional[str] = None,
                  admission: Optional[AdmissionController] = None,
                  max_concurrent_runs: int = 8,
                  max_queued_runs: int = 64,
                  retry_after_ms: float = 250.0):
         self._workers = check_positive_int(workers, "workers")
+        self._shard_executor = make_executor(shard_executor,
+                                             workers=self._workers)
         self._max_trials = check_positive_int(max_trials, "max_trials")
         self._cache = ResultCache(cache_capacity)
         self._coalescer = Coalescer()
@@ -355,6 +375,11 @@ class SimulationService:
         return self._workers
 
     @property
+    def shard_executor(self) -> ShardExecutor:
+        """The shared shard substrate every runner schedules onto."""
+        return self._shard_executor
+
+    @property
     def admission(self) -> AdmissionController:
         """The run-queue admission controller."""
         return self._admission
@@ -377,6 +402,7 @@ class SimulationService:
             coalesce_started=self._coalescer.started,
             coalesce_joined=self._coalescer.joined,
             overloaded=self._overloaded,
+            executor=self._shard_executor.describe(),
         )
 
     def close(self) -> None:
@@ -418,7 +444,8 @@ class SimulationService:
             except (TypeError, ValueError) as error:
                 raise QueryError("bad-parameters", str(error)) from error
             runner = TrialRunner(factory, failure_model,
-                                 workers=self._workers)
+                                 workers=self._workers,
+                                 executor=self._shard_executor)
             if len(self._runners) >= max(self._cache.capacity, 1):
                 self._runners.pop(next(iter(self._runners)))
             self._runners[key] = runner

@@ -1,7 +1,12 @@
-"""Shared test helpers: scripted protocols for exercising the engine."""
+"""Shared test helpers: scripted protocols and distrib worker spawning."""
 
 from __future__ import annotations
 
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.protocol import Algorithm, Protocol
@@ -54,3 +59,47 @@ class ScriptedAlgorithm(Algorithm):
         instance = ScriptedProtocol(self._scripts.get(node, []))
         self.instances[node] = instance
         return instance
+
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_WORKER_BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+class WorkerProcess:
+    """One ``python -m repro.distrib worker`` subprocess on a free port.
+
+    The worker binds port 0 and prints its banner; the constructor
+    blocks on that line, so by the time it returns the worker is
+    accepting connections.  ``extra_args`` pass through to the CLI
+    (e.g. ``"--die-after-runs", "1"`` for fault-injection tests).
+    """
+
+    def __init__(self, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.distrib", "worker",
+             "--port", "0", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(_REPO_ROOT),
+        )
+        banner = self.process.stdout.readline()
+        match = _WORKER_BANNER.search(banner)
+        if match is None:  # pragma: no cover - startup failure path
+            self.process.kill()
+            rest = self.process.stdout.read()
+            raise RuntimeError(f"worker failed to start: {banner!r}{rest!r}")
+        self.host, self.port = match.group(1), int(match.group(2))
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def close(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.stdout.close()
+        self.process.wait()

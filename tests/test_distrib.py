@@ -1,0 +1,372 @@
+"""Distributed shard workers: wire protocol, bit-identity, fault injection.
+
+Three layers of pinning:
+
+* **protocol units** — the NDJSON/pickle framing helpers (digest
+  verification, the ``repro.`` trust prefix, frame caps);
+* **worker wire behaviour** — an in-process :class:`ShardWorker` driven
+  over a real loopback socket: hello/ping, structured rejections for
+  every malformed-frame class, pickled shard exceptions, and the
+  event-loop-stays-responsive guarantee (a ping answers while a shard
+  simulates on the execution thread);
+* **cross-executor properties** — the reason the whole substrate is
+  safe to swap: the same scenario under the same root seed yields
+  byte-identical indicators on the in-process, local-pool and
+  remote-socket backends (engine and batchsim tiers), ``run_until``
+  stops at the same trial count with the same indicator prefix on all
+  of them, and killing a remote worker mid-sweep changes nothing but
+  wall-clock time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import SimpleOmission
+from repro.distrib.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    TRUSTED_FUNCTION_PREFIX,
+    WORKER_ROLE,
+    decode_line,
+    decode_payload,
+    encode_line,
+    encode_payload,
+    function_spec,
+    resolve_function,
+)
+from repro.distrib.testing import shard_square
+from repro.distrib.worker import ShardWorker
+from repro.engine import MESSAGE_PASSING
+from repro.failures import OmissionFailures
+from repro.graphs import binary_tree
+from repro.montecarlo import RemoteSocketExecutor, TrialRunner
+from tests.helpers import WorkerProcess
+
+TREE = binary_tree(3)
+OMISSION = OmissionFailures(0.3)
+
+# Built from repro classes only: remote workers unpickle shard args in
+# a bare interpreter with just ``src`` on the path, so a factory
+# defined in this test module would not resolve over there.
+tree_factory = partial(SimpleOmission, TREE, 0, 1, MESSAGE_PASSING, 2)
+
+
+class TestProtocolUnits:
+    def test_payload_roundtrip_is_digest_stamped(self):
+        value = {"array": [1, 2, 3], "nested": ("a", 0.5)}
+        payload, digest = encode_payload(value)
+        assert decode_payload(payload, digest) == value
+
+    def test_digest_mismatch_is_rejected(self):
+        payload, digest = encode_payload([1, 2, 3])
+        _, other_digest = encode_payload([1, 2, 4])
+        with pytest.raises(ValueError, match="digest mismatch"):
+            decode_payload(payload, other_digest)
+
+    def test_malformed_base64_is_rejected(self):
+        _, digest = encode_payload("x")
+        with pytest.raises(ValueError, match="not valid base64"):
+            decode_payload("!!!not-base64!!!", digest)
+
+    def test_function_spec_roundtrips_through_resolve(self):
+        spec = function_spec(shard_square)
+        assert spec == "repro.distrib.testing:shard_square"
+        assert resolve_function(spec) is shard_square
+
+    def test_lambdas_have_no_wire_spec(self):
+        with pytest.raises(ValueError, match="module-level entrypoint"):
+            function_spec(lambda x: x)
+
+    def test_resolve_rejects_functions_outside_the_trust_prefix(self):
+        with pytest.raises(PermissionError, match=TRUSTED_FUNCTION_PREFIX):
+            resolve_function("os:system")
+
+    def test_resolve_rejects_malformed_and_missing_specs(self):
+        with pytest.raises(ValueError, match="malformed"):
+            resolve_function("no-colon-here")
+        with pytest.raises(ValueError, match="does not resolve"):
+            resolve_function("repro.distrib.testing:no_such_function")
+        with pytest.raises(ValueError, match="not callable"):
+            resolve_function("repro.distrib.protocol:PROTOCOL_VERSION")
+
+    def test_line_framing_roundtrip(self):
+        frame = encode_line({"op": "ping", "id": 3})
+        assert frame.endswith(b"\n")
+        assert decode_line(frame) == {"op": "ping", "id": 3}
+        with pytest.raises(ValueError, match="not valid JSON"):
+            decode_line(b"{nope\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_line(b"[1,2]\n")
+
+
+async def _with_worker(interact, **worker_kwargs):
+    """Start an in-process worker, run ``interact(reader, writer)``."""
+    worker = ShardWorker(**worker_kwargs)
+    await worker.start()
+    host, port = worker.address
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await interact(reader, writer)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+        await worker.close()
+
+
+async def _exchange(reader, writer, message):
+    writer.write(encode_line(message))
+    await writer.drain()
+    return decode_line(await reader.readline())
+
+
+class TestWorkerWire:
+    def test_hello_identifies_role_and_protocol(self):
+        async def interact(reader, writer):
+            reply = await _exchange(reader, writer, {"op": "hello", "id": 7})
+            assert reply["id"] == 7
+            assert reply["ok"] is True
+            assert reply["role"] == WORKER_ROLE
+            assert reply["protocol"] == PROTOCOL_VERSION
+            assert isinstance(reply["pid"], int)
+
+        asyncio.run(_with_worker(interact))
+
+    def test_ping_and_unknown_op(self):
+        async def interact(reader, writer):
+            assert (await _exchange(
+                reader, writer, {"op": "ping", "id": 0}))["ok"] is True
+            reply = await _exchange(reader, writer, {"op": "warp", "id": 1})
+            assert reply["ok"] is False
+            assert reply["error"] == "bad-request"
+
+        asyncio.run(_with_worker(interact))
+
+    def test_garbage_json_gets_a_structured_rejection(self):
+        async def interact(reader, writer):
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = decode_line(await reader.readline())
+            assert reply["ok"] is False
+            assert reply["error"] == "bad-json"
+
+        asyncio.run(_with_worker(interact))
+
+    def test_run_rejects_protocol_mismatch(self):
+        async def interact(reader, writer):
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 2, "protocol": PROTOCOL_VERSION + 1,
+            })
+            assert reply["error"] == "bad-request"
+            assert "protocol mismatch" in reply["message"]
+
+        asyncio.run(_with_worker(interact))
+
+    def test_run_rejects_corrupt_payload(self):
+        async def interact(reader, writer):
+            payload, _ = encode_payload((3,))
+            _, wrong_digest = encode_payload((4,))
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 3, "protocol": PROTOCOL_VERSION,
+                "function": "repro.distrib.testing:shard_square",
+                "payload": payload, "digest": wrong_digest,
+            })
+            assert reply["error"] == "bad-payload"
+
+        asyncio.run(_with_worker(interact))
+
+    def test_run_rejects_non_tuple_args(self):
+        async def interact(reader, writer):
+            payload, digest = encode_payload([3])  # list, not tuple
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 4, "protocol": PROTOCOL_VERSION,
+                "function": "repro.distrib.testing:shard_square",
+                "payload": payload, "digest": digest,
+            })
+            assert reply["error"] == "bad-payload"
+            assert "tuple" in reply["message"]
+
+        asyncio.run(_with_worker(interact))
+
+    def test_run_refuses_functions_outside_repro(self):
+        async def interact(reader, writer):
+            payload, digest = encode_payload(("echo pwned",))
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 5, "protocol": PROTOCOL_VERSION,
+                "function": "os:system",
+                "payload": payload, "digest": digest,
+            })
+            assert reply["error"] == "forbidden-function"
+
+        asyncio.run(_with_worker(interact))
+
+    def test_run_executes_and_stamps_the_result(self):
+        async def interact(reader, writer):
+            payload, digest = encode_payload((9,))
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 6, "protocol": PROTOCOL_VERSION,
+                "function": "repro.distrib.testing:shard_square",
+                "payload": payload, "digest": digest,
+            })
+            assert reply["ok"] is True
+            assert decode_payload(reply["payload"], reply["digest"]) == 81
+            assert reply["seconds"] >= 0.0
+
+        asyncio.run(_with_worker(interact))
+
+    def test_shard_exceptions_travel_back_pickled(self):
+        async def interact(reader, writer):
+            payload, digest = encode_payload((5,))
+            reply = await _exchange(reader, writer, {
+                "op": "run", "id": 8, "protocol": PROTOCOL_VERSION,
+                "function": "repro.distrib.testing:shard_fail_on_odd",
+                "payload": payload, "digest": digest,
+            })
+            assert reply["ok"] is False
+            assert reply["error"] == "shard-error"
+            error = decode_payload(reply["payload"], reply["digest"])
+            assert isinstance(error, ValueError)
+            assert "shard value 5 failed" in str(error)
+
+        asyncio.run(_with_worker(interact))
+
+    def test_ping_answers_while_a_shard_is_running(self):
+        # The run executes on the worker's execution thread, so a
+        # second connection's heartbeat must answer well inside the
+        # shard's own duration.
+        async def run():
+            worker = ShardWorker()
+            await worker.start()
+            host, port = worker.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                payload, digest = encode_payload((2, 0.6))
+                writer.write(encode_line({
+                    "op": "run", "id": 9, "protocol": PROTOCOL_VERSION,
+                    "function":
+                        "repro.distrib.testing:shard_sleep_then_square",
+                    "payload": payload, "digest": digest,
+                }))
+                await writer.drain()
+                ping_reader, ping_writer = await asyncio.open_connection(
+                    host, port)
+                try:
+                    reply = await asyncio.wait_for(
+                        _exchange(ping_reader, ping_writer,
+                                  {"op": "ping", "id": 0}),
+                        timeout=0.4)
+                    assert reply["ok"] is True
+                finally:
+                    ping_writer.close()
+                    await ping_writer.wait_closed()
+                run_reply = decode_line(await reader.readline())
+                assert decode_payload(run_reply["payload"],
+                                      run_reply["digest"]) == 4
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await worker.close()
+
+        asyncio.run(run())
+
+    def test_frame_cap_fits_bulk_indicator_payloads(self):
+        # The cap must bound garbage, not legitimate work: a
+        # million-trial uint8 indicator chunk still fits comfortably.
+        payload, _ = encode_payload(np.zeros(1_000_000, dtype=np.uint8))
+        assert len(payload) < MAX_LINE_BYTES
+
+    def test_negative_die_after_runs_is_rejected(self):
+        with pytest.raises(ValueError, match="die_after_runs"):
+            ShardWorker(die_after_runs=-1)
+
+
+@pytest.fixture(scope="module")
+def loopback_pair():
+    workers = [WorkerProcess(), WorkerProcess()]
+    yield workers
+    for worker in workers:
+        worker.close()
+
+
+def _runner(executor=None, workers=1, **kwargs):
+    return TrialRunner(tree_factory, OMISSION, workers=workers,
+                       executor=executor, **kwargs)
+
+
+class TestCrossExecutorBitIdentity:
+    """Same seed, any substrate → byte-identical indicators."""
+
+    def test_engine_tier_identical_across_all_backends(self, loopback_pair):
+        remote = RemoteSocketExecutor(
+            [(w.host, w.port) for w in loopback_pair])
+        kwargs = dict(use_fastsim=False, use_batchsim=False)
+        baseline = _runner(**kwargs).run(96, 2007)
+        local = _runner(workers=4, **kwargs).run(96, 2007)
+        shipped = _runner(executor=remote, workers=4, **kwargs).run(96, 2007)
+        assert np.array_equal(baseline.indicators, local.indicators)
+        assert np.array_equal(baseline.indicators, shipped.indicators)
+
+    def test_batchsim_tier_identical_across_all_backends(self, loopback_pair):
+        remote = RemoteSocketExecutor(
+            [(w.host, w.port) for w in loopback_pair])
+        kwargs = dict(use_fastsim=False)
+        baseline = _runner(**kwargs).run(600, 11)
+        local = _runner(workers=2, **kwargs).run(600, 11)
+        shipped = _runner(executor=remote, workers=2, **kwargs).run(600, 11)
+        assert np.array_equal(baseline.indicators, local.indicators)
+        assert np.array_equal(baseline.indicators, shipped.indicators)
+
+    def test_run_until_stops_identically_on_every_backend(
+            self, loopback_pair):
+        remote = RemoteSocketExecutor(
+            [(w.host, w.port) for w in loopback_pair])
+        kwargs = dict(use_fastsim=False)
+        sequential = [
+            _runner(workers=4, **kwargs).run_until(
+                0.2, 4096, 13, initial_trials=256),
+            _runner(executor=remote, workers=2, **kwargs).run_until(
+                0.2, 4096, 13, initial_trials=256),
+        ]
+        baseline = sequential[0]
+        fixed = _runner(**kwargs).run(4096, 13)
+        for result in sequential:
+            # Identical stopping point and identical indicator prefix —
+            # and that prefix is exactly the fixed-budget run's prefix.
+            assert result.result.trials == baseline.result.trials
+            assert result.met is baseline.met
+            assert np.array_equal(result.result.indicators,
+                                  baseline.result.indicators)
+            assert np.array_equal(
+                result.result.indicators,
+                fixed.indicators[:result.result.trials])
+
+    def test_mid_sweep_worker_kill_changes_nothing_but_time(self, tmp_path):
+        # One worker serves a single shard then hard-exits on its next
+        # run op — an OOM kill from the executor's point of view.  The
+        # engine tier cuts 4 shards per worker, so the doomed worker is
+        # guaranteed to be holding shards when it dies; the survivor
+        # absorbs them and the final indicators are the undisturbed ones.
+        doomed = WorkerProcess("--die-after-runs", "1")
+        steady = WorkerProcess()
+        try:
+            remote = RemoteSocketExecutor(
+                [(doomed.host, doomed.port), (steady.host, steady.port)],
+                max_shard_retries=2)
+            kwargs = dict(use_fastsim=False, use_batchsim=False)
+            undisturbed = _runner(**kwargs).run(96, 3)
+            shipped = _runner(executor=remote, workers=4, **kwargs).run(96, 3)
+            assert not doomed.alive()
+            assert steady.alive()
+            assert np.array_equal(undisturbed.indicators, shipped.indicators)
+        finally:
+            doomed.close()
+            steady.close()
+
+

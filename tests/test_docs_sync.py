@@ -174,6 +174,43 @@ class TestServiceDocs:
         assert "| Servable |" in committed
 
 
+class TestExecutorDocs:
+    """The execution substrate must ship with its docs."""
+
+    def test_architecture_has_an_execution_substrate_section(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "## Execution substrate" in architecture
+        for backend in ("in-process", "local-process", "remote-socket"):
+            assert f"`{backend}`" in architecture, (
+                f"executor backend {backend!r} missing from "
+                f"ARCHITECTURE.md's Execution substrate section"
+            )
+        for series in ("mc.executor.shards", "mc.executor.shard.seconds",
+                       "mc.executor.shard.queue_seconds",
+                       "mc.executor.retries"):
+            assert f"`{series}`" in architecture, (
+                f"metric series {series!r} missing from ARCHITECTURE.md"
+            )
+        assert "WorkerCrashError" in architecture
+        assert "max_shard_retries" in architecture
+
+    def test_architecture_layer_map_names_the_new_packages(self):
+        architecture = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+        assert "montecarlo/executors/" in architecture
+        assert "distrib/" in architecture
+
+    def test_readme_quickstarts_the_distributed_workers(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "python -m repro.distrib worker" in readme
+        assert "--executor remote:" in readme
+        assert "--executor-workers" in readme
+        assert "python -m repro.distrib smoke" in readme
+
+    def test_experiments_md_documents_the_executor_flag(self):
+        committed = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "--executor SPEC" in committed
+
+
 class TestThroughputTable:
     """The measured-throughput column the ROADMAP asks EXPERIMENTS.md for."""
 
@@ -190,6 +227,16 @@ class TestThroughputTable:
             "the sharded-batchsim throughput row is missing"
         )
         assert any(name.startswith("fastsim:") for name in backends)
+
+    def test_every_row_names_its_executor_substrate(self):
+        data = throughput_data()
+        executors = {row["executor"] for row in data["rows"]}
+        assert "in-process" in executors
+        assert "local-process (4)" in executors, (
+            "the sharded row must name its local-process substrate"
+        )
+        markdown = render_markdown()
+        assert "| Executor |" in markdown
 
     def test_rendered_docs_carry_the_measurement(self):
         data = throughput_data()

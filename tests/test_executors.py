@@ -1,0 +1,299 @@
+"""Executor-contract conformance suite, run against every backend.
+
+The contract (``repro.montecarlo.executors.base``) is what the sharded
+dispatch tiers rely on: index-ordered results, in-order ``on_result``
+streaming cut off strictly below the lowest failing shard, lowest-index
+deterministic error propagation, ``WorkerCrashError`` attribution and
+bounded shard retry.  Each test here runs against the in-process, the
+local-pool and the remote-socket backend through the *same* assertions,
+so a new backend cannot silently weaken the semantics the trial
+runners' bit-identity guarantee is built on.
+
+Shard functions come from :mod:`repro.distrib.testing` — the remote
+worker only resolves functions under the ``repro.`` trust prefix, so
+test-module locals cannot cross the wire.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import pytest
+
+from repro import obs
+from repro.distrib.testing import (
+    shard_exit,
+    shard_exit_unless_marked,
+    shard_fail_on_odd,
+    shard_slow_first,
+    shard_square,
+)
+from repro.montecarlo.executors import (
+    DEFAULT_SPEC_RETRIES,
+    InProcessExecutor,
+    LocalProcessExecutor,
+    RemoteSocketExecutor,
+    WorkerCrashError,
+    make_executor,
+)
+from repro.montecarlo.executors.base import pool_context
+from repro.montecarlo.executors.remote import parse_peers
+from tests.helpers import WorkerProcess
+
+fork_only = pytest.mark.skipif(
+    pool_context().get_start_method() != "fork",
+    reason="crash-injection workers rely on fork-shared module state",
+)
+
+
+@pytest.fixture(scope="module")
+def worker_pair():
+    """Two loopback workers shared by the read-only conformance tests."""
+    workers = [WorkerProcess(), WorkerProcess()]
+    yield workers
+    for worker in workers:
+        worker.close()
+
+
+BACKENDS = ["in-process", "local-process", "remote-socket"]
+
+
+@pytest.fixture(params=BACKENDS)
+def executor(request, worker_pair):
+    """One executor per contract backend; remote rides the loopback pair."""
+    if request.param == "in-process":
+        built = InProcessExecutor()
+    elif request.param == "local-process":
+        built = LocalProcessExecutor(2)
+    else:
+        built = RemoteSocketExecutor(
+            [(w.host, w.port) for w in worker_pair])
+    yield built
+    built.close()
+
+
+class TestConformance:
+    """The same assertions against every backend."""
+
+    def test_results_come_back_in_shard_order(self, executor):
+        assert executor.run_sharded(
+            shard_square, [(i,) for i in range(7)]
+        ) == [0, 1, 4, 9, 16, 25, 36]
+
+    def test_on_result_streams_in_shard_order(self, executor):
+        # Shard 0 completes last on any parallel backend; the callback
+        # must still fire strictly in index order.
+        seen = []
+        results = executor.run_sharded(
+            shard_slow_first, [(i,) for i in range(4)],
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert results == [0, 1, 2, 3]
+        assert seen == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_lowest_shard_index_error_wins(self, executor):
+        with pytest.raises(ValueError, match="shard value 1 failed"):
+            executor.run_sharded(
+                shard_fail_on_odd, [(i,) for i in range(6)])
+
+    def test_on_result_never_fires_at_or_after_the_failing_shard(
+            self, executor):
+        seen = []
+        with pytest.raises(ValueError, match="shard value 1 failed"):
+            executor.run_sharded(
+                shard_fail_on_odd, [(0,), (1,), (2,)],
+                on_result=lambda index, value: seen.append((index, value)),
+            )
+        assert seen == [(0, 0)]
+
+    def test_metrics_labelled_by_backend(self, executor):
+        with obs.use_registry() as registry:
+            executor.run_sharded(shard_square, [(i,) for i in range(3)])
+            counter = registry.counter("mc.executor.shards",
+                                       backend=executor.name)
+            assert counter.value == 3
+            assert registry.histogram("mc.executor.shard.seconds",
+                                      backend=executor.name).count == 3
+            assert registry.histogram("mc.executor.shard.queue_seconds",
+                                      backend=executor.name).count == 3
+
+    def test_describe_names_backend_and_workers(self, executor):
+        summary = executor.describe()
+        assert summary["backend"] == executor.name
+        assert summary["workers"] == executor.worker_count()
+
+
+class TestLocalCrashSemantics:
+    """The historical pool guarantees, now on the executor interface."""
+
+    @fork_only
+    def test_crash_attributed_to_lowest_shard_with_zero_retries(self):
+        executor = LocalProcessExecutor(2, max_shard_retries=0)
+        with pytest.raises(WorkerCrashError,
+                           match=r"shard 0 of 3.*shard args: \(0,\)"):
+            executor.run_sharded(shard_exit, [(i,) for i in range(3)])
+
+    @fork_only
+    def test_crashed_shard_is_retried_within_budget(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        executor = LocalProcessExecutor(2, max_shard_retries=1)
+        with obs.use_registry() as registry:
+            results = executor.run_sharded(
+                shard_exit_unless_marked, [(7, marker)])
+            assert results == [49]
+            assert registry.counter("mc.executor.retries",
+                                    backend="local-process").value == 1
+
+    @fork_only
+    def test_retry_budget_is_bounded(self):
+        executor = LocalProcessExecutor(2, max_shard_retries=1)
+        with obs.use_registry() as registry:
+            with pytest.raises(WorkerCrashError, match="shard 0 of 1"):
+                executor.run_sharded(shard_exit, [(0,)])
+            # One retry attempted (and counted) before the crash surfaced.
+            assert registry.counter("mc.executor.retries",
+                                    backend="local-process").value == 1
+
+    @fork_only
+    def test_deterministic_error_is_never_retried(self):
+        # An ordinary exception must surface immediately even with a
+        # generous retry budget — it would raise identically anywhere.
+        executor = LocalProcessExecutor(2, max_shard_retries=5)
+        with obs.use_registry() as registry:
+            with pytest.raises(ValueError, match="shard value 1 failed"):
+                executor.run_sharded(shard_fail_on_odd, [(0,), (1,)])
+            assert registry.counter("mc.executor.retries",
+                                    backend="local-process").value == 0
+
+    def test_first_error_cancels_siblings_exactly_once(self, monkeypatch):
+        calls = []
+        original = concurrent.futures.Future.cancel
+
+        def counting_cancel(future):
+            calls.append(future)
+            return original(future)
+
+        monkeypatch.setattr(concurrent.futures.Future, "cancel",
+                            counting_cancel)
+        shards = [(2 * i + 1,) for i in range(6)]  # all odd: all raise
+        executor = LocalProcessExecutor(2, max_shard_retries=0)
+        with pytest.raises(ValueError, match="shard value 1 failed"):
+            executor.run_sharded(shard_fail_on_odd, shards)
+        assert len(calls) == len(shards)
+
+
+class TestRemoteCrashSemantics:
+    """Worker death over the wire: retry, reassignment, attribution."""
+
+    def test_killed_worker_reassigns_shard_to_survivor(self, tmp_path):
+        # The marker protocol is cross-process: the first worker to run
+        # the shard creates the marker and dies; the retry lands on the
+        # surviving worker, sees the marker and completes — with the
+        # same shard arguments, so the answer is the undisturbed one.
+        doomed, steady = WorkerProcess(), WorkerProcess()
+        try:
+            marker = str(tmp_path / "remote-crash")
+            executor = RemoteSocketExecutor(
+                [(doomed.host, doomed.port), (steady.host, steady.port)],
+                max_shard_retries=1)
+            with obs.use_registry() as registry:
+                results = executor.run_sharded(
+                    shard_exit_unless_marked, [(9, marker)])
+                assert results == [81]
+                assert registry.counter(
+                    "mc.executor.retries",
+                    backend="remote-socket").value == 1
+            # Exactly one of the pair died executing the shard.
+            assert sum(1 for w in (doomed, steady) if w.alive()) == 1
+        finally:
+            doomed.close()
+            steady.close()
+
+    def test_retries_exhausted_surfaces_worker_crash_error(self):
+        worker = WorkerProcess()
+        try:
+            executor = RemoteSocketExecutor(
+                [(worker.host, worker.port)], max_shard_retries=0)
+            with pytest.raises(WorkerCrashError,
+                               match=r"shard 0 of 1 \(retries exhausted\)"):
+                executor.run_sharded(shard_exit, [(0,)])
+        finally:
+            worker.close()
+
+    def test_unreachable_peers_fail_fast(self):
+        executor = RemoteSocketExecutor([("127.0.0.1", 1)],
+                                        connect_timeout=0.5)
+        with pytest.raises(WorkerCrashError, match="no remote workers"):
+            executor.run_sharded(shard_square, [(1,)])
+
+    def test_heartbeat_reports_per_peer_liveness(self, worker_pair):
+        live, dead_port = worker_pair[0], 1
+        executor = RemoteSocketExecutor(
+            [(live.host, live.port), ("127.0.0.1", dead_port)],
+            connect_timeout=0.5)
+        beat = executor.heartbeat()
+        assert beat[live.address] is True
+        assert beat[f"127.0.0.1:{dead_port}"] is False
+
+    def test_forbidden_function_is_a_deterministic_rejection(
+            self, worker_pair):
+        executor = RemoteSocketExecutor(
+            [(w.host, w.port) for w in worker_pair])
+
+        with pytest.raises(RuntimeError, match="forbidden-function"):
+            executor.run_sharded(_outside_trust_prefix, [(1,)])
+
+
+def _outside_trust_prefix(value):
+    """Module-level (picklable spec) but outside the repro. namespace."""
+    return value
+
+
+class TestMakeExecutor:
+    """Spec-string parsing shared by every CLI ``--executor`` flag."""
+
+    def test_default_resolves_from_workers(self):
+        assert isinstance(make_executor(None, workers=1), InProcessExecutor)
+        local = make_executor(None, workers=3)
+        assert isinstance(local, LocalProcessExecutor)
+        assert local.worker_count() == 3
+
+    def test_instance_passes_through(self):
+        executor = InProcessExecutor()
+        assert make_executor(executor, workers=8) is executor
+
+    def test_in_process_spec(self):
+        assert isinstance(make_executor("in-process", workers=4),
+                          InProcessExecutor)
+
+    def test_local_process_spec_with_and_without_width(self):
+        sized = make_executor("local-process:5", workers=1)
+        assert isinstance(sized, LocalProcessExecutor)
+        assert sized.worker_count() == 5
+        defaulted = make_executor("local-process", workers=3)
+        assert defaulted.worker_count() == 3
+
+    def test_remote_spec_parses_peers_and_default_retries(self):
+        remote = make_executor("remote:127.0.0.1:7000,127.0.0.1:7001",
+                               workers=1)
+        assert isinstance(remote, RemoteSocketExecutor)
+        summary = remote.describe()
+        assert summary["peers"] == ["127.0.0.1:7000", "127.0.0.1:7001"]
+        assert summary["max_shard_retries"] == DEFAULT_SPEC_RETRIES
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            make_executor("warp-drive", workers=1)
+        with pytest.raises(ValueError):
+            make_executor("remote:", workers=1)
+        with pytest.raises(ValueError):
+            make_executor("local-process:zero", workers=1)
+
+    def test_parse_peers_validation(self):
+        assert parse_peers("a:1, b:2") == [("a", 1), ("b", 2)]
+        with pytest.raises(ValueError, match="host:port"):
+            parse_peers(":99")
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_peers("host:http")
+        with pytest.raises(ValueError, match="out of range"):
+            parse_peers("host:70000")

@@ -527,6 +527,10 @@ class TestWireProtocol:
         assert stats["uptime_seconds"] >= 0.0
         assert stats["coalescer"] == {"inflight": 0, "started": 0,
                                       "joined": 0}
+        # The shard-substrate block: which executor backend answers
+        # Monte-Carlo runs, and how wide it is.
+        assert stats["executor"]["backend"] == "in-process"
+        assert stats["executor"]["workers"] == 1
         names = {entry["name"] for entry in catalog["scenarios"]}
         assert "windowed-malicious" in names
 

@@ -48,6 +48,15 @@ OUTPUT = Path(__file__).resolve().parent.parent / "benchmarks" / "throughput.jso
 SEED = 2007
 
 
+def _executor_label(runner: TrialRunner) -> str:
+    """Human-readable executor substrate, e.g. ``local-process (4)``."""
+    substrate = runner.shard_executor.describe()
+    workers = substrate.get("workers", 1)
+    if workers and workers > 1:
+        return f"{substrate['backend']} ({workers})"
+    return str(substrate["backend"])
+
+
 def _rate(runner: TrialRunner, trials: int, repeats: int = 3) -> float:
     """Best-of-``repeats`` trials/second of ``runner.run(trials)``."""
     runner.run(min(trials, 50), SEED)  # warm caches / dispatch probe
@@ -96,12 +105,14 @@ def measure() -> dict:
         rows.append({
             "scenario": label,
             "backend": backend,
+            "executor": _executor_label(dispatched),
             "trials_per_second": round(dispatched_rate, 1),
             "speedup": f"{dispatched_rate / engine_rate:.1f}x vs engine",
         })
         rows.append({
             "scenario": label,
             "backend": "engine (pinned)",
+            "executor": _executor_label(engine),
             "trials_per_second": round(engine_rate, 1),
             "speedup": "1.0x (reference)",
         })
@@ -116,6 +127,7 @@ def measure() -> dict:
     rows.append({
         "scenario": label,
         "backend": "batchsim",
+        "executor": _executor_label(single),
         "trials_per_second": round(single_rate, 1),
         "speedup": "1.0x (reference)",
     })
@@ -129,6 +141,7 @@ def measure() -> dict:
     rows.append({
         "scenario": label,
         "backend": "batchsim (4 workers)",
+        "executor": _executor_label(sharded),
         "trials_per_second": round(sharded_rate, 1),
         "speedup": sharded_speedup,
     })
